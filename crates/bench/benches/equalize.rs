@@ -1,0 +1,56 @@
+//! E14(a): the parallel-link equalizer — `m`-scaling of the Corollary 2.2
+//! building block, plus the analytic-inverse vs generic-bisection ablation
+//! (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sopt_latency::LatencyFn;
+use sopt_solver::equalize::equalize;
+use sopt_solver::objective::CostModel;
+use std::hint::black_box;
+
+fn affine_links(m: usize) -> Vec<LatencyFn> {
+    (0..m)
+        .map(|i| LatencyFn::affine(0.5 + (i % 13) as f64 * 0.25, (i % 7) as f64 * 0.2))
+        .collect()
+}
+
+/// The same latencies spelled as generic polynomials: every inverse goes
+/// through bracket-growth + bisection instead of the affine closed form.
+fn polynomial_links(m: usize) -> Vec<LatencyFn> {
+    (0..m)
+        .map(|i| {
+            LatencyFn::polynomial(vec![(i % 7) as f64 * 0.2, 0.5 + (i % 13) as f64 * 0.25])
+        })
+        .collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equalize_scaling");
+    for &m in &[10usize, 100, 1_000, 10_000] {
+        let links = affine_links(m);
+        group.bench_with_input(BenchmarkId::new("nash", m), &links, |b, links| {
+            b.iter(|| equalize(black_box(links), 3.0, CostModel::Wardrop).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("optimum", m), &links, |b, links| {
+            b.iter(|| equalize(black_box(links), 3.0, CostModel::SystemOptimum).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equalize_inverse_ablation");
+    let m = 500;
+    let analytic = affine_links(m);
+    let generic = polynomial_links(m);
+    group.bench_function("affine_closed_form", |b| {
+        b.iter(|| equalize(black_box(&analytic), 3.0, CostModel::Wardrop).unwrap())
+    });
+    group.bench_function("polynomial_bisection", |b| {
+        b.iter(|| equalize(black_box(&generic), 3.0, CostModel::Wardrop).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_inverse_ablation);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerate every experiment of the reproduction (DESIGN.md §4, E1–E13).
+//!
+//! ```text
+//! cargo run -p sopt-bench --bin experiments --release
+//! ```
+//!
+//! Prints the paper-vs-measured tables recorded in EXPERIMENTS.md and
+//! asserts every acceptance criterion (the binary fails loudly on drift).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("stackopt experiment suite — Kaporis & Spirakis, \"The price of optimum\"");
+    println!("(SPAA'06 / TCS 410 (2009)); see DESIGN.md §4 for the experiment index.)");
+    sopt_bench::exps::run_all();
+    println!("\nall experiments passed in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,32 @@
+//! The experiment suite E1–E13 (see DESIGN.md §4 for the index).
+//!
+//! Each function prints its table(s) to stdout and asserts the paper's
+//! acceptance criteria, so `--bin experiments` doubles as an end-to-end
+//! regression harness: a silent numerical drift fails loudly.
+
+pub mod bounds;
+pub mod figures;
+pub mod hard;
+pub mod mm1;
+pub mod multi;
+pub mod negative;
+pub mod pricing;
+pub mod properties;
+
+/// Run every experiment in order.
+pub fn run_all() {
+    figures::e1_pigou();
+    figures::e2_optop_trace();
+    figures::e3_fig7_mop();
+    figures::e4_swap_lemma();
+    negative::e5_unbounded_stackelberg();
+    hard::e6_theorem24_vs_brute();
+    hard::e7_beta_minimality();
+    bounds::e8_llf_scale_bounds();
+    mm1::e9_mm1_beta();
+    bounds::e10_poa_bounds();
+    multi::e11_multicommodity();
+    properties::e12_invariants();
+    hard::e13_threshold();
+    pricing::e15_control_vs_pricing();
+}

@@ -1,0 +1,200 @@
+//! The a-posteriori anarchy curve `α ↦ ϱ(M, r, α)` — Expression (2) as a
+//! function of the Leader's portion.
+//!
+//! The paper's headline picture in one object: the curve starts at the plain
+//! coordination ratio `ϱ(M,r)` (Expression (1)) at `α = 0`, decreases, and
+//! pins to exactly 1 at `α = β_M` (Corollary 2.2) — the crossover the
+//! experiments E5/E7 measure pointwise.
+
+use sopt_equilibrium::parallel::ParallelLinks;
+use sopt_latency::LatencyFn;
+
+use crate::brute::{brute_force_optimal, BruteOptions};
+use crate::linear_optimal::linear_optimal_strategy;
+use crate::llf::llf;
+use crate::optop::optop;
+use crate::scale::scale;
+
+/// Which oracle produced a curve point's cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CurveOracle {
+    /// Theorem 2.4 exact algorithm (common-slope affine instances).
+    Exact,
+    /// Exhaustive/pattern search (small systems).
+    BruteForce,
+    /// Best of LLF / SCALE / padded OpTop / proportional-Nash — an upper
+    /// bound on the optimal cost.
+    HeuristicUpperBound,
+}
+
+/// One sample of the anarchy curve.
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    /// The Leader portion α.
+    pub alpha: f64,
+    /// Best induced cost `C(S+T)` found for this α.
+    pub cost: f64,
+    /// `ϱ(M,r,α) = C(S+T)/C(O)`.
+    pub ratio: f64,
+    /// Which oracle produced the value.
+    pub oracle: CurveOracle,
+}
+
+/// The sampled curve plus its anchors.
+#[derive(Clone, Debug)]
+pub struct AnarchyCurve {
+    /// Samples in increasing α.
+    pub points: Vec<CurvePoint>,
+    /// `β_M` of the instance.
+    pub beta: f64,
+    /// `C(N)` and `C(O)` anchors.
+    pub nash_cost: f64,
+    /// The optimum cost.
+    pub optimum_cost: f64,
+}
+
+/// True when every link is affine with one common slope (the Theorem 2.4
+/// class where the curve is exact).
+fn is_common_slope(links: &ParallelLinks) -> bool {
+    let mut slope = None;
+    for l in links.latencies() {
+        match l {
+            LatencyFn::Affine(a) => match slope {
+                None => slope = Some(a.a),
+                Some(s) if (s - a.a).abs() <= 1e-12 * s.abs().max(1.0) => {}
+                _ => return false,
+            },
+            _ => return false,
+        }
+    }
+    slope.map(|s| s > 0.0).unwrap_or(false)
+}
+
+/// Sample the anarchy curve at the given α values.
+///
+/// Oracle selection: Theorem 2.4 where exact (common-slope affine), brute
+/// force for small systems (`m ≤ 3`), otherwise the best heuristic upper
+/// bound. Points at `α ≥ β_M` are always exact (`= 1`, Corollary 2.2).
+pub fn anarchy_curve(links: &ParallelLinks, alphas: &[f64]) -> AnarchyCurve {
+    let ot = optop(links);
+    let exact_class = is_common_slope(links);
+    let small = links.m() <= 3;
+
+    let mut points = Vec::with_capacity(alphas.len());
+    let mut sorted: Vec<f64> = alphas.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    for &alpha in &sorted {
+        assert!((0.0..=1.0).contains(&alpha), "α must lie in [0, 1]");
+        let (cost, oracle) = if exact_class {
+            (linear_optimal_strategy(links, alpha).cost, CurveOracle::Exact)
+        } else if alpha >= ot.beta {
+            // Corollary 2.2: pad the OpTop strategy with mimicking flow.
+            let strategy = pad(&ot.strategy, &ot.optimum, alpha * links.rate());
+            (links.induced_cost(&strategy), CurveOracle::Exact)
+        } else if small {
+            let (_, c) = brute_force_optimal(links, alpha, &BruteOptions::default());
+            (c, CurveOracle::BruteForce)
+        } else {
+            let (_, c_llf) = llf(links, alpha);
+            let (_, c_scale) = scale(links, alpha);
+            // Proportional Nash (useless strategy) anchors at C(N).
+            (c_llf.min(c_scale).min(ot.nash_cost), CurveOracle::HeuristicUpperBound)
+        };
+        points.push(CurvePoint {
+            alpha,
+            cost,
+            ratio: cost / ot.optimum_cost,
+            oracle,
+        });
+    }
+    AnarchyCurve {
+        points,
+        beta: ot.beta,
+        nash_cost: ot.nash_cost,
+        optimum_cost: ot.optimum_cost,
+    }
+}
+
+fn pad(strategy: &[f64], optimum: &[f64], budget: f64) -> Vec<f64> {
+    let used: f64 = strategy.iter().sum();
+    let surplus = (budget - used).max(0.0);
+    let remaining: Vec<f64> =
+        optimum.iter().zip(strategy).map(|(o, s)| (o - s).max(0.0)).collect();
+    let total: f64 = remaining.iter().sum();
+    if surplus <= 0.0 || total <= 0.0 {
+        return strategy.to_vec();
+    }
+    strategy.iter().zip(&remaining).map(|(s, r)| s + surplus * r / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphas() -> Vec<f64> {
+        (0..=10).map(|k| k as f64 / 10.0).collect()
+    }
+
+    #[test]
+    fn pigou_curve_shape() {
+        let links =
+            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let c = anarchy_curve(&links, &alphas());
+        assert!((c.beta - 0.5).abs() < 1e-9);
+        // Starts at the coordination ratio 4/3…
+        assert!((c.points[0].ratio - 4.0 / 3.0).abs() < 1e-6);
+        // …monotone nonincreasing…
+        for w in c.points.windows(2) {
+            assert!(w[1].ratio <= w[0].ratio + 1e-7);
+        }
+        // …and exactly 1 from β on.
+        for p in &c.points {
+            if p.alpha >= c.beta - 1e-12 {
+                assert!((p.ratio - 1.0).abs() < 1e-6, "α={}: ratio {}", p.alpha, p.ratio);
+            } else {
+                assert!(p.ratio > 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_oracle_on_common_slope() {
+        let links = ParallelLinks::new(
+            vec![LatencyFn::affine(1.0, 0.0), LatencyFn::affine(1.0, 0.5)],
+            1.0,
+        );
+        let c = anarchy_curve(&links, &[0.1, 0.3, 0.9]);
+        assert!(c.points.iter().all(|p| p.oracle == CurveOracle::Exact));
+    }
+
+    #[test]
+    fn heuristic_oracle_on_large_mixed() {
+        let links = ParallelLinks::new(
+            vec![
+                LatencyFn::identity(),
+                LatencyFn::monomial(1.0, 2),
+                LatencyFn::constant(0.8),
+                LatencyFn::mm1(4.0),
+            ],
+            1.0,
+        );
+        let c = anarchy_curve(&links, &[0.05, 0.9]);
+        // Below β: heuristic; above: exact (OpTop padding).
+        assert_eq!(c.points[0].oracle, CurveOracle::HeuristicUpperBound);
+        assert_eq!(c.points[1].oracle, CurveOracle::Exact);
+        assert!((c.points[1].ratio - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn curve_never_beats_optimum_nor_loses_to_nash() {
+        let links = ParallelLinks::new(
+            vec![LatencyFn::affine(2.0, 0.0), LatencyFn::affine(2.0, 0.3), LatencyFn::affine(2.0, 0.9)],
+            1.0,
+        );
+        let c = anarchy_curve(&links, &alphas());
+        for p in &c.points {
+            assert!(p.cost >= c.optimum_cost - 1e-9);
+            assert!(p.cost <= c.nash_cost + 1e-7);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Marginal-cost pricing — the classical alternative to Stackelberg control
+//! (the paper's introduction lists pricing policies [4] among the
+//! methodologies that "bring the system to fixed points closer to its
+//! optimum").
+//!
+//! Charging every link/edge the toll `τ = o·ℓ'(o)` (the congestion
+//! externality at the optimum) makes selfish users internalise the social
+//! cost: the tolled latencies `ℓ(x) + τ` have a Nash equilibrium whose flows
+//! are exactly the untolled optimum `O`. Where the Stackelberg Leader pays
+//! with *control over β_M·r flow*, the toll designer pays with *money
+//! collected from everyone* — `tolls` quantifies that trade on any instance.
+
+use sopt_equilibrium::parallel::ParallelLinks;
+use sopt_latency::{Latency, LatencyFn};
+use sopt_network::instance::NetworkInstance;
+use sopt_solver::frank_wolfe::FwOptions;
+
+/// Marginal-cost tolls on parallel links.
+#[derive(Clone, Debug)]
+pub struct ParallelTolls {
+    /// Per-link tolls `τ_i = o_i·ℓ'_i(o_i)`.
+    pub tolls: Vec<f64>,
+    /// The tolled system (latencies `ℓ_i + τ_i`).
+    pub tolled: ParallelLinks,
+    /// The optimum `O` of the *untolled* system (= tolled Nash flows).
+    pub optimum: Vec<f64>,
+    /// Total toll revenue `Σ o_i·τ_i` at the induced equilibrium.
+    pub revenue: f64,
+}
+
+/// Compute marginal-cost tolls for `(M, r)`: the tolled Nash equals the
+/// untolled optimum.
+pub fn marginal_cost_tolls(links: &ParallelLinks) -> ParallelTolls {
+    let optimum = links.optimum().flows().to_vec();
+    let tolls: Vec<f64> = links
+        .latencies()
+        .iter()
+        .zip(&optimum)
+        .map(|(l, &o)| o * l.derivative(o))
+        .collect();
+    let tolled_lats: Vec<LatencyFn> =
+        links.latencies().iter().zip(&tolls).map(|(l, &t)| l.tolled(t)).collect();
+    let tolled = ParallelLinks::new(tolled_lats, links.rate());
+    let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
+    ParallelTolls { tolls, tolled, optimum, revenue }
+}
+
+/// Marginal-cost tolls on a network instance.
+#[derive(Clone, Debug)]
+pub struct NetworkTolls {
+    /// Per-edge tolls `τ_e = o_e·ℓ'_e(o_e)`.
+    pub tolls: Vec<f64>,
+    /// The tolled instance.
+    pub tolled: NetworkInstance,
+    /// The optimum of the untolled instance.
+    pub optimum: Vec<f64>,
+    /// Total revenue.
+    pub revenue: f64,
+}
+
+/// Compute marginal-cost edge tolls for `(G, r)`.
+pub fn marginal_cost_tolls_network(inst: &NetworkInstance, opts: &FwOptions) -> NetworkTolls {
+    let opt = sopt_equilibrium::network::network_optimum(inst, opts);
+    assert!(opt.converged, "optimum solve did not converge");
+    let optimum = opt.flow.as_slice().to_vec();
+    let tolls: Vec<f64> = inst
+        .latencies
+        .iter()
+        .zip(&optimum)
+        .map(|(l, &o)| o * l.derivative(o))
+        .collect();
+    let latencies: Vec<LatencyFn> =
+        inst.latencies.iter().zip(&tolls).map(|(l, &t)| l.tolled(t)).collect();
+    let tolled = NetworkInstance::new(
+        inst.graph.clone(),
+        latencies,
+        inst.source,
+        inst.sink,
+        inst.rate,
+    );
+    let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
+    NetworkTolls { tolls, tolled, optimum, revenue }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sopt_equilibrium::network::network_nash;
+    use sopt_network::graph::NodeId;
+    use sopt_network::DiGraph;
+
+    #[test]
+    fn pigou_toll_restores_optimum() {
+        // Toll on the fast link: τ₁ = o₁·1 = 1/2; the constant link gets 0.
+        let links =
+            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let t = marginal_cost_tolls(&links);
+        assert!((t.tolls[0] - 0.5).abs() < 1e-9);
+        assert!(t.tolls[1].abs() < 1e-12);
+        let tolled_nash = t.tolled.nash();
+        for (got, want) in tolled_nash.flows().iter().zip(&t.optimum) {
+            assert!((got - want).abs() < 1e-7, "tolled Nash {got} vs optimum {want}");
+        }
+        // The *latency* cost at the tolled equilibrium equals C(O).
+        assert!((links.cost(tolled_nash.flows()) - 0.75).abs() < 1e-7);
+        assert!((t.revenue - 0.25).abs() < 1e-7); // 1/2 flow × 1/2 toll
+    }
+
+    #[test]
+    fn random_instances_tolled_nash_is_optimum() {
+        for seed in 0..10u64 {
+            let links = sopt_instances_free::random_mixed_links(5, 1.5, seed);
+            let t = marginal_cost_tolls(&links);
+            let tolled_nash = t.tolled.nash();
+            for (i, (got, want)) in tolled_nash.flows().iter().zip(&t.optimum).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-5,
+                    "seed {seed} link {i}: tolled Nash {got} vs optimum {want}"
+                );
+            }
+        }
+    }
+
+    /// Minimal local generator (sopt-instances depends on this crate's
+    /// siblings, not vice versa — avoid the cycle).
+    mod sopt_instances_free {
+        use super::*;
+
+        pub fn random_mixed_links(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let lats: Vec<LatencyFn> = (0..m)
+                .map(|i| match i % 3 {
+                    0 => LatencyFn::affine(0.2 + 2.0 * next(), next()),
+                    1 => LatencyFn::monomial(0.3 + next(), 2),
+                    _ => LatencyFn::mm1(rate * (1.5 + 2.0 * next())),
+                })
+                .collect();
+            ParallelLinks::new(lats, rate)
+        }
+    }
+
+    #[test]
+    fn braess_tolls_dissolve_the_paradox() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        let inst = NetworkInstance::new(
+            g,
+            vec![
+                LatencyFn::identity(),
+                LatencyFn::constant(1.0),
+                LatencyFn::constant(0.0),
+                LatencyFn::constant(1.0),
+                LatencyFn::identity(),
+            ],
+            NodeId(0),
+            NodeId(3),
+            1.0,
+        );
+        let opts = FwOptions::default();
+        let t = marginal_cost_tolls_network(&inst, &opts);
+        // Tolls τ = o·ℓ': 1/2 on each x-edge, 0 on constants.
+        assert!((t.tolls[0] - 0.5).abs() < 1e-5);
+        assert!((t.tolls[4] - 0.5).abs() < 1e-5);
+        assert!(t.tolls[1].abs() < 1e-9 && t.tolls[2].abs() < 1e-9);
+        // The tolled Nash avoids the middle edge, restoring C(O) = 3/2.
+        let nash = network_nash(&t.tolled, &opts);
+        assert!(nash.flow.0[2].abs() < 1e-5, "{:?}", nash.flow);
+        assert!((inst.cost(nash.flow.as_slice()) - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_tolls_when_nash_is_optimal() {
+        // Identical links: optimum = Nash; tolls exist but leave flows put.
+        let links = ParallelLinks::new(vec![LatencyFn::identity(); 3], 1.5);
+        let t = marginal_cost_tolls(&links);
+        let tolled_nash = t.tolled.nash();
+        for (got, want) in tolled_nash.flows().iter().zip(&t.optimum) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Link classification: Definitions 4.3 (load states) and 4.4 (frozen).
+
+/// Definition 4.3: the state of link `i` comparing Nash load `n_i` to
+/// optimal load `o_i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadState {
+    /// `n_i > o_i` — selfish users overuse the link.
+    OverLoaded,
+    /// `n_i < o_i` — selfish users underuse the link (OpTop freezes these).
+    UnderLoaded,
+    /// `n_i = o_i` (within tolerance).
+    OptimumLoaded,
+}
+
+/// Classify every link (Definition 4.3).
+pub fn classify_links(nash: &[f64], optimum: &[f64], tol: f64) -> Vec<LoadState> {
+    assert_eq!(nash.len(), optimum.len());
+    nash.iter()
+        .zip(optimum)
+        .map(|(&n, &o)| {
+            if n > o + tol {
+                LoadState::OverLoaded
+            } else if n < o - tol {
+                LoadState::UnderLoaded
+            } else {
+                LoadState::OptimumLoaded
+            }
+        })
+        .collect()
+}
+
+/// Definition 4.4: link `i` is *frozen* by strategy `S` if `s_i ≥ n_i`
+/// (with `N` the initial Nash assignment); Theorems 7.4/7.5 show frozen
+/// links receive no induced selfish flow.
+pub fn is_frozen(strategy_i: f64, nash_i: f64, tol: f64) -> bool {
+    strategy_i >= nash_i - tol
+}
+
+/// Indices of under-loaded links — the set OpTop freezes each round.
+pub fn underloaded_indices(nash: &[f64], optimum: &[f64], tol: f64) -> Vec<usize> {
+    classify_links(nash, optimum, tol)
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| (*s == LoadState::UnderLoaded).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_fig4() {
+        // Paper Fig. 4: N = (32/77, 64/231, 16/77, (32/77−1/6)·2/5, 0),
+        // O = (0.35, 7/30, 0.175, 8/75, 0.135): links 4 and 5 under-loaded.
+        let l = 32.0 / 77.0;
+        let nash = [l, l / 1.5, l / 2.0, (l - 1.0 / 6.0) / 2.5, 0.0];
+        let opt = [0.35, 7.0 / 30.0, 0.175, 8.0 / 75.0, 0.135];
+        let states = classify_links(&nash, &opt, 1e-9);
+        assert_eq!(states[0], LoadState::OverLoaded);
+        assert_eq!(states[1], LoadState::OverLoaded);
+        assert_eq!(states[2], LoadState::OverLoaded);
+        assert_eq!(states[3], LoadState::UnderLoaded);
+        assert_eq!(states[4], LoadState::UnderLoaded);
+        assert_eq!(underloaded_indices(&nash, &opt, 1e-9), vec![3, 4]);
+    }
+
+    #[test]
+    fn optimum_loaded_within_tol() {
+        let states = classify_links(&[0.5, 0.5], &[0.5 + 1e-12, 0.5 - 1e-12], 1e-9);
+        assert!(states.iter().all(|s| *s == LoadState::OptimumLoaded));
+    }
+
+    #[test]
+    fn frozen_definition() {
+        assert!(is_frozen(0.5, 0.5, 1e-12));
+        assert!(is_frozen(0.6, 0.5, 1e-12));
+        assert!(!is_frozen(0.4, 0.5, 1e-12));
+        // Links with zero Nash load are frozen by any assignment.
+        assert!(is_frozen(0.0, 0.0, 1e-12));
+    }
+}

@@ -1,0 +1,63 @@
+//! Costs, potentials, and the price of anarchy.
+
+use sopt_latency::{Latency, LatencyFn};
+
+/// Total cost `C(f) = Σ_e f_e·ℓ_e(f_e)` (paper §4).
+pub fn total_cost(latencies: &[LatencyFn], flows: &[f64]) -> f64 {
+    assert_eq!(latencies.len(), flows.len());
+    latencies
+        .iter()
+        .zip(flows)
+        .map(|(l, &x)| if x == 0.0 { 0.0 } else { x * l.value(x) })
+        .sum()
+}
+
+/// Beckmann potential `Φ(f) = Σ_e ∫₀^{f_e} ℓ_e(u) du`, whose minimiser over
+/// feasible flows is the Nash equilibrium.
+pub fn beckmann_potential(latencies: &[LatencyFn], flows: &[f64]) -> f64 {
+    assert_eq!(latencies.len(), flows.len());
+    latencies.iter().zip(flows).map(|(l, &x)| l.integral(x)).sum()
+}
+
+/// The coordination ratio / price of anarchy `ϱ = C(N)/C(O)` (Expression (1)
+/// of the paper). `C(O) = 0` (free network) yields `1` if `C(N) = 0` too,
+/// else `+∞`.
+pub fn coordination_ratio(cost_nash: f64, cost_opt: f64) -> f64 {
+    assert!(cost_nash >= -1e-12 && cost_opt >= -1e-12);
+    if cost_opt <= 0.0 {
+        if cost_nash <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        cost_nash / cost_opt
+    }
+}
+
+/// The a-posteriori anarchy value `ϱ(M,r,α) = C(S+T)/C(O)` of Expression (2).
+pub fn a_posteriori_ratio(cost_induced: f64, cost_opt: f64) -> f64 {
+    coordination_ratio(cost_induced, cost_opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pigou_costs() {
+        let lats = vec![LatencyFn::identity(), LatencyFn::constant(1.0)];
+        assert!((total_cost(&lats, &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((total_cost(&lats, &[0.5, 0.5]) - 0.75).abs() < 1e-12);
+        // Beckmann at Nash: ∫₀¹ u du = 0.5.
+        assert!((beckmann_potential(&lats, &[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!((coordination_ratio(1.0, 0.75) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_ratios() {
+        assert_eq!(coordination_ratio(0.0, 0.0), 1.0);
+        assert_eq!(coordination_ratio(1.0, 0.0), f64::INFINITY);
+        assert_eq!(a_posteriori_ratio(0.75, 0.75), 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # sopt-equilibrium — Nash equilibria, optima, induced equilibria
+//!
+//! The equilibrium layer of the reproduction (paper §4, "Model"):
+//!
+//! * [`parallel`] — `(M, r)` systems of parallel links: [the unique] Nash
+//!   assignment `N` (all loaded links share latency `L_N`, Remark 4.1), the
+//!   optimum `O` (equal marginal costs), and the equilibrium `T` *induced*
+//!   by a Stackelberg strategy `S` (Followers face a-posteriori latencies
+//!   `ℓ_i(s_i + ·)`, Remark 4.2);
+//! * [`network`] — the same three computations on arbitrary s–t and
+//!   k-commodity networks via Frank–Wolfe;
+//! * [`cost`] — `C(·)`, the Beckmann potential, price of anarchy;
+//! * [`certify`] — *a-posteriori certificates*: every solver result in tests
+//!   and experiments is re-verified against the Wardrop/KKT conditions, so
+//!   correctness never rests on solver internals;
+//! * [`classify`] — Definitions 4.3/4.4: over/under/optimum-loaded links and
+//!   frozen links, the vocabulary of `OpTop` and the structure theorems.
+
+pub mod certify;
+pub mod classify;
+pub mod cost;
+pub mod network;
+pub mod parallel;
+
+pub use classify::LoadState;
+pub use parallel::{Induced, ParallelLinks, ParallelProfile};
+
+/// Workspace-wide default tolerance for equilibrium comparisons.
+pub const EQ_TOL: f64 = 1e-7;

@@ -1,0 +1,158 @@
+//! Equilibria on arbitrary s–t and k-commodity networks (Frank–Wolfe).
+
+use sopt_network::flow::EdgeFlow;
+use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
+use sopt_solver::frank_wolfe::{solve_assignment, solve_multicommodity, FwOptions, FwResult};
+use sopt_solver::objective::CostModel;
+
+/// Nash (Wardrop) flow of `(G, r)`: minimiser of the Beckmann potential.
+pub fn network_nash(inst: &NetworkInstance, opts: &FwOptions) -> FwResult {
+    solve_assignment(inst, CostModel::Wardrop, opts)
+}
+
+/// Optimum flow `O` of `(G, r)`: minimiser of total cost.
+pub fn network_optimum(inst: &NetworkInstance, opts: &FwOptions) -> FwResult {
+    solve_assignment(inst, CostModel::SystemOptimum, opts)
+}
+
+/// The equilibrium induced by a Leader edge flow: Followers route the
+/// remaining rate against a-posteriori latencies `ℓ_e(· + s_e)`.
+///
+/// `leader_value` is the s→t value of the Leader's flow (the amount
+/// subtracted from the follower rate). Returns the *follower* result; the
+/// Stackelberg equilibrium is `leader + follower`.
+pub fn induced_network(
+    inst: &NetworkInstance,
+    leader: &EdgeFlow,
+    leader_value: f64,
+    opts: &FwOptions,
+) -> FwResult {
+    let sub = inst.preloaded_with_value(leader.as_slice(), leader_value);
+    solve_assignment(&sub, CostModel::Wardrop, opts)
+}
+
+/// Nash flow of a k-commodity instance.
+pub fn multicommodity_nash(inst: &MultiCommodityInstance, opts: &FwOptions) -> FwResult {
+    solve_multicommodity(inst, CostModel::Wardrop, opts)
+}
+
+/// Optimum flow of a k-commodity instance.
+pub fn multicommodity_optimum(inst: &MultiCommodityInstance, opts: &FwOptions) -> FwResult {
+    solve_multicommodity(inst, CostModel::SystemOptimum, opts)
+}
+
+/// Induced equilibrium on a k-commodity instance: the Leader preloads edge
+/// flow `leader` whose per-commodity values are `leader_values[i]`; every
+/// commodity's followers route the remainder selfishly.
+pub fn induced_multicommodity(
+    inst: &MultiCommodityInstance,
+    leader: &EdgeFlow,
+    leader_values: &[f64],
+    opts: &FwOptions,
+) -> FwResult {
+    assert_eq!(leader_values.len(), inst.commodities.len());
+    let latencies = inst
+        .latencies
+        .iter()
+        .zip(leader.as_slice())
+        .map(|(l, &s)| l.preloaded(s.max(0.0)))
+        .collect();
+    let commodities = inst
+        .commodities
+        .iter()
+        .zip(leader_values)
+        .map(|(c, &v)| {
+            let mut c = *c;
+            c.rate = (c.rate - v).max(0.0);
+            c
+        })
+        .collect::<Vec<_>>();
+    // Rebuild without the >0-rate validation: fully-controlled commodities
+    // legitimately drop to rate 0.
+    let sub = MultiCommodityInstance {
+        graph: inst.graph.clone(),
+        latencies,
+        commodities,
+    };
+    solve_multicommodity(&sub, CostModel::Wardrop, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sopt_latency::LatencyFn;
+    use sopt_network::graph::NodeId;
+    use sopt_network::DiGraph;
+
+    /// Classic Braess instance (edges: s→v:x, s→w:1, v→w:0, v→t:1, w→t:x).
+    fn braess() -> NetworkInstance {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        NetworkInstance::new(
+            g,
+            vec![
+                LatencyFn::identity(),
+                LatencyFn::constant(1.0),
+                LatencyFn::constant(0.0),
+                LatencyFn::constant(1.0),
+                LatencyFn::identity(),
+            ],
+            NodeId(0),
+            NodeId(3),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn braess_nash_vs_optimum_costs() {
+        let inst = braess();
+        let opts = FwOptions::default();
+        let n = network_nash(&inst, &opts);
+        let o = network_optimum(&inst, &opts);
+        assert!((inst.cost(n.flow.as_slice()) - 2.0).abs() < 1e-6);
+        assert!((inst.cost(o.flow.as_slice()) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn induced_with_zero_leader_is_nash() {
+        let inst = braess();
+        let opts = FwOptions::default();
+        let zero = EdgeFlow::zeros(inst.num_edges());
+        let ind = induced_network(&inst, &zero, 0.0, &opts);
+        let nash = network_nash(&inst, &opts);
+        for e in 0..inst.num_edges() {
+            assert!((ind.flow.0[e] - nash.flow.0[e]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn induced_with_full_leader_leaves_no_followers() {
+        let inst = braess();
+        let opts = FwOptions::default();
+        // Leader ships the whole unit on the two outer paths (optimum).
+        let leader = EdgeFlow(vec![0.5, 0.5, 0.0, 0.5, 0.5]);
+        let ind = induced_network(&inst, &leader, 1.0, &opts);
+        assert!(ind.flow.0.iter().all(|f| f.abs() < 1e-9));
+    }
+
+    #[test]
+    fn induced_followers_recongest_braess_middle() {
+        // Leader plays half the optimum (α = 1/2, SCALE-like): followers
+        // flood the middle path again.
+        let inst = braess();
+        let opts = FwOptions::default();
+        let leader = EdgeFlow(vec![0.25, 0.25, 0.0, 0.25, 0.25]);
+        let ind = induced_network(&inst, &leader, 0.5, &opts);
+        assert!(ind.converged);
+        // All follower flow uses the middle path.
+        assert!((ind.flow.0[2] - 0.5).abs() < 1e-5, "{:?}", ind.flow);
+        let total: Vec<f64> =
+            leader.as_slice().iter().zip(ind.flow.as_slice()).map(|(a, b)| a + b).collect();
+        // C(S+T) = 2(3/4)² + 2·(1/4)·1 = 9/8 + 1/2 = 13/8.
+        assert!((inst.cost(&total) - 13.0 / 8.0).abs() < 1e-5);
+    }
+}

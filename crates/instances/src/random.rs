@@ -1,0 +1,210 @@
+//! Random instance generators (deterministic via seeds) for property tests
+//! and experiment sweeps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sopt_equilibrium::parallel::ParallelLinks;
+use sopt_latency::LatencyFn;
+use sopt_network::graph::{DiGraph, NodeId};
+use sopt_network::instance::NetworkInstance;
+
+/// Random common-slope affine system `ℓ_i = a·x + b_i` (the Theorem 2.4
+/// class) with `m` links, slope in `[0.5, 3]`, intercepts in `[0, 2]`.
+pub fn random_common_slope(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    assert!(m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = rng.random_range(0.5..3.0);
+    let mut lats = Vec::with_capacity(m);
+    for _ in 0..m {
+        let b = rng.random_range(0.0..2.0);
+        lats.push(LatencyFn::affine(a, b));
+    }
+    ParallelLinks::new(lats, rate)
+}
+
+/// Random general affine system (independent slopes and intercepts) — the
+/// Roughgarden–Tardos `4/3` class.
+pub fn random_affine(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    assert!(m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lats = Vec::with_capacity(m);
+    for _ in 0..m {
+        let a = rng.random_range(0.1..3.0);
+        let b = rng.random_range(0.0..2.0);
+        lats.push(LatencyFn::affine(a, b));
+    }
+    ParallelLinks::new(lats, rate)
+}
+
+/// Random mixed standard system with *smooth marginals*: affine, monomial,
+/// polynomial, M/M/1 and constant links. Safe for every solver, including
+/// network Frank–Wolfe under the SystemOptimum objective (whose duality-gap
+/// certificate needs a continuous marginal — see [`random_mixed`]).
+pub fn random_mixed_smooth(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    assert!(m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lats: Vec<LatencyFn> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let kind = rng.random_range(0..5);
+        lats.push(match kind {
+            0 => LatencyFn::affine(rng.random_range(0.1..3.0), rng.random_range(0.0..1.5)),
+            1 => LatencyFn::monomial(rng.random_range(0.2..2.0), rng.random_range(1..4)),
+            2 => LatencyFn::polynomial(vec![
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.1..2.0),
+                rng.random_range(0.0..1.0),
+            ]),
+            3 => LatencyFn::mm1(rate * rng.random_range(1.5..4.0)),
+            _ => LatencyFn::constant(rng.random_range(0.2..2.0)),
+        });
+    }
+    if lats.iter().all(|l| matches!(l, LatencyFn::MM1(_))) {
+        lats[0] = LatencyFn::affine(1.0, 0.0);
+    }
+    ParallelLinks::new(lats, rate)
+}
+
+/// Random mixed standard system: affine, monomial, polynomial, M/M/1,
+/// piecewise-linear and constant links, capacity-checked to keep the rate
+/// feasible.
+///
+/// Piecewise-linear latencies have *kinked marginal costs*: the parallel-link
+/// equalizer handles them exactly, but the network Frank–Wolfe
+/// `SystemOptimum` gap certificate cannot reach tight tolerances when the
+/// optimum sits on a kink (the subgradient is set-valued there) — use
+/// [`random_mixed_smooth`] for network-optimum workloads.
+pub fn random_mixed(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    assert!(m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lats: Vec<LatencyFn> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let kind = rng.random_range(0..6);
+        lats.push(match kind {
+            0 => LatencyFn::affine(rng.random_range(0.1..3.0), rng.random_range(0.0..1.5)),
+            1 => LatencyFn::monomial(rng.random_range(0.2..2.0), rng.random_range(1..4)),
+            2 => LatencyFn::polynomial(vec![
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.1..2.0),
+                rng.random_range(0.0..1.0),
+            ]),
+            // Oversized capacity keeps mixtures feasible for the given rate.
+            3 => LatencyFn::mm1(rate * rng.random_range(1.5..4.0)),
+            4 => {
+                // Convex piecewise-linear with two kinks.
+                let b = rng.random_range(0.0..1.0);
+                let a0 = rng.random_range(0.1..1.0);
+                let a1 = a0 + rng.random_range(0.0..2.0);
+                let a2 = a1 + rng.random_range(0.0..3.0);
+                let x1 = rng.random_range(0.1..0.6) * rate;
+                let x2 = x1 + rng.random_range(0.1..0.6) * rate;
+                LatencyFn::piecewise(b, &[(0.0, a0), (x1, a1), (x2, a2)])
+            }
+            _ => LatencyFn::constant(rng.random_range(0.2..2.0)),
+        });
+    }
+    // Ensure at least one unbounded-capacity link so any rate is feasible.
+    if lats.iter().all(|l| matches!(l, LatencyFn::MM1(_))) {
+        lats[0] = LatencyFn::affine(1.0, 0.0);
+    }
+    ParallelLinks::new(lats, rate)
+}
+
+/// A random layered DAG `s → layer₁ → … → layer_L → t` with affine
+/// latencies and a few skip edges: the MOP workload.
+pub fn random_layered_network(
+    layers: usize,
+    width: usize,
+    rate: f64,
+    seed: u64,
+) -> NetworkInstance {
+    assert!(layers >= 1 && width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2 + layers * width;
+    let mut g = DiGraph::with_nodes(n);
+    let mut lats = Vec::new();
+    let node = |layer: usize, i: usize| NodeId((2 + (layer - 1) * width + i) as u32);
+    let s = NodeId(0);
+    let t = NodeId(1);
+    let rand_affine = |rng: &mut StdRng| {
+        LatencyFn::affine(rng.random_range(0.2..2.0), rng.random_range(0.0..1.0))
+    };
+    // s → first layer.
+    for i in 0..width {
+        g.add_edge(s, node(1, i));
+        lats.push(rand_affine(&mut rng));
+    }
+    // layer k → layer k+1 (dense-ish random bipartite, plus a guaranteed
+    // perfect matching for connectivity).
+    for l in 1..layers {
+        for i in 0..width {
+            g.add_edge(node(l, i), node(l + 1, i));
+            lats.push(rand_affine(&mut rng));
+            for j in 0..width {
+                if j != i && rng.random_bool(0.3) {
+                    g.add_edge(node(l, i), node(l + 1, j));
+                    lats.push(rand_affine(&mut rng));
+                }
+            }
+        }
+    }
+    // last layer → t.
+    for i in 0..width {
+        g.add_edge(node(layers, i), t);
+        lats.push(rand_affine(&mut rng));
+    }
+    NetworkInstance::new(g, lats, s, t, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sopt_latency::Latency;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_common_slope(5, 1.0, 42);
+        let b = random_common_slope(5, 1.0, 42);
+        for i in 0..5 {
+            assert_eq!(a.latencies()[i], b.latencies()[i]);
+        }
+        let c = random_common_slope(5, 1.0, 43);
+        assert!((0..5).any(|i| a.latencies()[i] != c.latencies()[i]));
+    }
+
+    #[test]
+    fn common_slope_extractable() {
+        let links = random_common_slope(8, 2.0, 7);
+        let slopes: Vec<f64> = links
+            .latencies()
+            .iter()
+            .map(|l| match l {
+                LatencyFn::Affine(a) => a.a,
+                _ => panic!("not affine"),
+            })
+            .collect();
+        assert!(slopes.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn mixed_instances_are_feasible() {
+        for seed in 0..20 {
+            let links = random_mixed(6, 1.5, seed);
+            let n = links.try_nash().expect("feasible");
+            let o = links.try_optimum().expect("feasible");
+            let sn: f64 = n.flows().iter().sum();
+            let so: f64 = o.flows().iter().sum();
+            assert!((sn - 1.5).abs() < 1e-7, "seed {seed}");
+            assert!((so - 1.5).abs() < 1e-7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn layered_network_well_formed() {
+        let inst = random_layered_network(3, 3, 2.0, 11);
+        assert_eq!(inst.latencies.len(), inst.graph.num_edges());
+        // t reachable from s.
+        let costs: Vec<f64> = inst.latencies.iter().map(|l| l.value(0.0)).collect();
+        let sp = sopt_network::spath::dijkstra(&inst.graph, &costs, inst.source);
+        assert!(sp.dist[inst.sink.idx()].is_finite());
+    }
+}

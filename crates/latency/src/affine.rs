@@ -1,0 +1,122 @@
+//! Affine latencies `ℓ(x) = a·x + b`, the class of the paper's Theorem 2.4
+//! and of the Roughgarden–Tardos `4/3` price-of-anarchy bound.
+
+use crate::traits::Latency;
+
+/// `ℓ(x) = a·x + b` with `a ≥ 0`, `b ≥ 0`.
+///
+/// With `a = 0` the function degenerates to a constant (still standard, not
+/// strictly increasing); [`crate::Constant`] is the idiomatic spelling but
+/// generators that randomise `a` may produce `a = 0` and remain correct.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Affine {
+    /// Slope `a ≥ 0`.
+    pub a: f64,
+    /// Intercept `b = ℓ(0) ≥ 0`.
+    pub b: f64,
+}
+
+impl Affine {
+    /// Create `ℓ(x) = a·x + b`. Panics if `a < 0`, `b < 0`, or non-finite.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a.is_finite() && b.is_finite(), "affine coefficients must be finite");
+        assert!(a >= 0.0 && b >= 0.0, "affine latency requires a ≥ 0 and b ≥ 0");
+        Self { a, b }
+    }
+
+    /// The identity latency `ℓ(x) = x` (Pigou's fast link, Fig. 1).
+    pub fn identity() -> Self {
+        Self::new(1.0, 0.0)
+    }
+}
+
+impl Latency for Affine {
+    fn value(&self, x: f64) -> f64 {
+        self.a * x + self.b
+    }
+
+    fn derivative(&self, _x: f64) -> f64 {
+        self.a
+    }
+
+    fn second_derivative(&self, _x: f64) -> f64 {
+        0.0
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        0.5 * self.a * x * x + self.b * x
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        2.0 * self.a * x + self.b
+    }
+
+    fn marginal_derivative(&self, _x: f64) -> f64 {
+        2.0 * self.a
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        self.a > 0.0
+    }
+
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        if y < self.b {
+            0.0
+        } else if self.a == 0.0 {
+            f64::INFINITY
+        } else {
+            (y - self.b) / self.a
+        }
+    }
+
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        if y < self.b {
+            0.0
+        } else if self.a == 0.0 {
+            f64::INFINITY
+        } else {
+            (y - self.b) / (2.0 * self.a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms() {
+        let l = Affine::new(3.0, 2.0);
+        assert_eq!(l.value(2.0), 8.0);
+        assert_eq!(l.derivative(7.0), 3.0);
+        assert_eq!(l.integral(2.0), 10.0);
+        assert_eq!(l.marginal(2.0), 14.0);
+        assert_eq!(l.max_flow_at_latency(8.0), 2.0);
+        assert_eq!(l.max_flow_at_marginal(14.0), 2.0);
+        assert_eq!(l.max_flow_at_latency(1.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_slope_acts_constant() {
+        let l = Affine::new(0.0, 1.0);
+        assert!(!l.is_strictly_increasing());
+        assert!(l.max_flow_at_latency(1.0).is_infinite());
+        assert_eq!(l.max_flow_at_latency(0.9), 0.0);
+        assert_eq!(l.marginal(5.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a ≥ 0")]
+    fn rejects_negative_slope() {
+        let _ = Affine::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn integral_differentiates_back() {
+        let l = Affine::new(1.5, 0.25);
+        let x = 1.3;
+        let h = 1e-6;
+        let num = (l.integral(x + h) - l.integral(x - h)) / (2.0 * h);
+        assert!((num - l.value(x)).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,132 @@
+//! Bureau of Public Roads (BPR) latencies `ℓ(x) = t₀·(1 + b·(x/c)^p)` — the
+//! classical traffic-assignment volume-delay curve (Patriksson [34]), used by
+//! the `traffic_sweep` example as the realistic road-network workload the
+//! paper's introduction motivates.
+
+use crate::traits::Latency;
+
+/// `ℓ(x) = t₀·(1 + b·(x/c)^p)` with free-flow time `t₀ > 0`, coefficient
+/// `b ≥ 0`, practical capacity `c > 0`, integer power `p ≥ 1` (standard BPR
+/// uses `b = 0.15`, `p = 4`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bpr {
+    /// Free-flow travel time `t₀ > 0`.
+    pub t0: f64,
+    /// Congestion coefficient `b ≥ 0`.
+    pub b: f64,
+    /// Practical capacity `c > 0` (not a hard capacity: flows may exceed it).
+    pub c: f64,
+    /// Power `p ≥ 1`.
+    pub p: u32,
+}
+
+impl Bpr {
+    /// Create a BPR latency. Panics on nonpositive `t₀`/`c`, negative `b`, or `p = 0`.
+    pub fn new(t0: f64, b: f64, c: f64, p: u32) -> Self {
+        assert!(t0.is_finite() && t0 > 0.0, "BPR free-flow time must be positive");
+        assert!(b.is_finite() && b >= 0.0, "BPR coefficient must be ≥ 0");
+        assert!(c.is_finite() && c > 0.0, "BPR capacity must be positive");
+        assert!(p >= 1, "BPR power must be ≥ 1");
+        Self { t0, b, c, p }
+    }
+
+    /// Standard BPR curve: `b = 0.15`, `p = 4`.
+    pub fn standard(t0: f64, c: f64) -> Self {
+        Self::new(t0, 0.15, c, 4)
+    }
+
+    #[inline]
+    fn ratio_pow(&self, x: f64, k: i32) -> f64 {
+        (x / self.c).powi(k)
+    }
+}
+
+impl Latency for Bpr {
+    fn value(&self, x: f64) -> f64 {
+        self.t0 * (1.0 + self.b * self.ratio_pow(x, self.p as i32))
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.t0 * self.b * self.p as f64 / self.c * self.ratio_pow(x, self.p as i32 - 1)
+    }
+
+    fn second_derivative(&self, x: f64) -> f64 {
+        if self.p == 1 {
+            return 0.0;
+        }
+        let p = self.p as f64;
+        self.t0 * self.b * p * (p - 1.0) / (self.c * self.c) * self.ratio_pow(x, self.p as i32 - 2)
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        let p = self.p as f64;
+        self.t0 * x + self.t0 * self.b * x * self.ratio_pow(x, self.p as i32) / (p + 1.0)
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        let p = self.p as f64;
+        self.t0 * (1.0 + self.b * (p + 1.0) * self.ratio_pow(x, self.p as i32))
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        self.b > 0.0
+    }
+
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        if y < self.t0 {
+            return 0.0;
+        }
+        if self.b == 0.0 {
+            return f64::INFINITY;
+        }
+        self.c * ((y / self.t0 - 1.0) / self.b).powf(1.0 / self.p as f64)
+    }
+
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        if y < self.t0 {
+            return 0.0;
+        }
+        if self.b == 0.0 {
+            return f64::INFINITY;
+        }
+        let p = self.p as f64;
+        self.c * ((y / self.t0 - 1.0) / (self.b * (p + 1.0))).powf(1.0 / p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_flow_at_zero() {
+        let l = Bpr::standard(10.0, 100.0);
+        assert_eq!(l.value(0.0), 10.0);
+        assert!((l.value(100.0) - 11.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let l = Bpr::standard(2.0, 50.0);
+        for &x in &[10.0, 50.0, 120.0] {
+            assert!((l.max_flow_at_latency(l.value(x)) - x).abs() < 1e-8);
+            assert!((l.max_flow_at_marginal(l.marginal(x)) - x).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn integral_differentiates_back() {
+        let l = Bpr::new(3.0, 0.5, 20.0, 3);
+        let x = 17.0;
+        let h = 1e-5;
+        let num = (l.integral(x + h) - l.integral(x - h)) / (2.0 * h);
+        assert!((num - l.value(x)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_b_zero_is_constant() {
+        let l = Bpr::new(5.0, 0.0, 10.0, 4);
+        assert!(!l.is_strictly_increasing());
+        assert!(l.max_flow_at_latency(5.0).is_infinite());
+    }
+}

@@ -1,0 +1,140 @@
+//! Numeric standardness certificates (paper §4's latency requirements).
+//!
+//! Tests and instance generators call [`check_standard`] to certify that a
+//! latency is *standard*: nonnegative, nondecreasing, with `x·ℓ(x)` convex.
+//! The check samples a grid; it is a test oracle, not a proof.
+
+use crate::traits::Latency;
+
+/// A violation of the standardness conditions found by [`check_standard`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Violation {
+    /// `ℓ(x) < 0` at the given load.
+    Negative { x: f64, value: f64 },
+    /// `ℓ` decreased between two sample points.
+    Decreasing { x0: f64, x1: f64 },
+    /// `(x·ℓ(x))'' < 0`, i.e. the link cost is not convex, detected via a
+    /// negative marginal-cost slope between two sample points.
+    NonConvexCost { x0: f64, x1: f64 },
+    /// Derivative disagrees with a central finite difference of `value`.
+    BadDerivative { x: f64, analytic: f64, numeric: f64 },
+    /// Integral disagrees with a finite-difference reconstruction.
+    BadIntegral { x: f64, analytic: f64, numeric: f64 },
+}
+
+/// Certify standardness of `l` on `[0, x_max]` with `n` samples.
+///
+/// Returns all violations found (empty = certified on the grid).
+pub fn check_standard<L: Latency>(l: &L, x_max: f64, n: usize) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let cap = l.capacity();
+    let hi = if cap.is_finite() { x_max.min(cap * 0.99) } else { x_max };
+    let n = n.max(2);
+    let step = hi / (n - 1) as f64;
+    let tol = 1e-7;
+
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 * step).collect();
+    for (i, &x) in xs.iter().enumerate() {
+        let v = l.value(x);
+        if v < -tol {
+            violations.push(Violation::Negative { x, value: v });
+        }
+        // derivative vs central difference (skip the boundary). At a kink
+        // (piecewise-linear breakpoints) the central difference averages the
+        // one-sided slopes: accept any value in the one-sided bracket.
+        if i > 0 && i + 1 < n {
+            let h = (1e-6 * x.abs().max(1.0)).min(step * 0.5);
+            let num = (l.value(x + h) - l.value(x - h)) / (2.0 * h);
+            let ana = l.derivative(x);
+            let (d_lo, d_hi) = {
+                let a = l.derivative(x - h);
+                let b = l.derivative(x + h);
+                (a.min(b).min(ana), a.max(b).max(ana))
+            };
+            let scale = ana.abs().max(num.abs()).max(1.0);
+            let tol = 1e-4 * scale;
+            if num < d_lo - tol || num > d_hi + tol {
+                violations.push(Violation::BadDerivative { x, analytic: ana, numeric: num });
+            }
+        }
+        // integral vs trapezoid reconstruction over one step
+        if i > 0 {
+            let x0 = xs[i - 1];
+            let trap = 0.5 * (l.value(x0) + l.value(x)) * step;
+            let ana = l.integral(x) - l.integral(x0);
+            let scale = ana.abs().max(1.0);
+            // Trapezoid error on a panel of a convex function is at most
+            // (ℓ'(x₁) − ℓ'(x₀))·w²/8 — valid for smooth curves (≈ ℓ''·w³/8)
+            // and for piecewise-linear kinks alike. Double it for slack; the
+            // curvature term additionally covers steep poles (M/M/1) where
+            // the one-sided derivatives understate the interior variation.
+            let djump = (l.derivative(x) - l.derivative(x0)).abs();
+            let curv = l.second_derivative(x0).abs().max(l.second_derivative(x).abs());
+            let bound =
+                (djump * step * step / 4.0).max(step * step * step * curv).max(1e-5 * scale);
+            if (ana - trap).abs() > bound + 1e-6 * scale {
+                violations.push(Violation::BadIntegral { x, analytic: ana, numeric: trap });
+            }
+        }
+    }
+    for w in xs.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        if l.value(x1) < l.value(x0) - tol {
+            violations.push(Violation::Decreasing { x0, x1 });
+        }
+        if l.marginal(x1) < l.marginal(x0) - tol {
+            violations.push(Violation::NonConvexCost { x0, x1 });
+        }
+    }
+    violations
+}
+
+/// Panic with a readable report unless `l` is standard on the grid.
+pub fn assert_standard<L: Latency>(l: &L, x_max: f64) {
+    let v = check_standard(l, x_max, 257);
+    assert!(v.is_empty(), "latency {l:?} violates standardness: {v:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Affine, Bpr, Constant, LatencyFn, MM1, Monomial, Polynomial};
+
+    #[test]
+    fn all_families_standard() {
+        assert_standard(&Affine::new(2.0, 0.5), 10.0);
+        assert_standard(&Polynomial::new(vec![1.0, 0.5, 0.0, 2.0]), 5.0);
+        assert_standard(&Monomial::new(1.0, 6), 3.0);
+        assert_standard(&MM1::new(2.0), 10.0);
+        assert_standard(&Bpr::standard(1.0, 10.0), 40.0);
+        assert_standard(&Constant::new(0.7), 10.0);
+        assert_standard(&LatencyFn::monomial(2.0, 3).preloaded(0.4), 5.0);
+    }
+
+    #[test]
+    fn catches_decreasing() {
+        // Hand-rolled bad latency for the checker itself.
+        #[derive(Debug)]
+        struct Bad;
+        impl crate::Latency for Bad {
+            fn value(&self, x: f64) -> f64 {
+                1.0 - x
+            }
+            fn derivative(&self, _x: f64) -> f64 {
+                -1.0
+            }
+            fn second_derivative(&self, _x: f64) -> f64 {
+                0.0
+            }
+            fn integral(&self, x: f64) -> f64 {
+                x - 0.5 * x * x
+            }
+            fn is_strictly_increasing(&self) -> bool {
+                false
+            }
+        }
+        let v = check_standard(&Bad, 2.0, 33);
+        assert!(v.iter().any(|v| matches!(v, Violation::Decreasing { .. })));
+        assert!(v.iter().any(|v| matches!(v, Violation::Negative { .. })));
+    }
+}

@@ -1,0 +1,94 @@
+//! Constant latencies `ℓ(x) ≡ c`.
+//!
+//! Constants appear in the paper's own examples (Pigou's slow link `ℓ₂ ≡ 1`,
+//! Fig. 4's `ℓ₅ ≡ 7/10`, the Braess middle edge `ℓ ≡ 0`) even though the
+//! uniqueness statements (Remark 2.5) are phrased for strictly increasing
+//! latencies; the journal version points to [16] for the extension that keeps
+//! optimum edge flows unique in the presence of constant edges.
+
+use crate::traits::Latency;
+
+/// `ℓ(x) ≡ c` with `c ≥ 0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Constant {
+    /// The constant latency `c ≥ 0`.
+    pub c: f64,
+}
+
+impl Constant {
+    /// Create `ℓ(x) ≡ c`. Panics on negative or non-finite `c`.
+    pub fn new(c: f64) -> Self {
+        assert!(c.is_finite() && c >= 0.0, "constant latency must be finite and ≥ 0");
+        Self { c }
+    }
+
+    /// The free edge `ℓ ≡ 0` (Braess middle edge).
+    pub fn zero() -> Self {
+        Self::new(0.0)
+    }
+}
+
+impl Latency for Constant {
+    fn value(&self, _x: f64) -> f64 {
+        self.c
+    }
+
+    fn derivative(&self, _x: f64) -> f64 {
+        0.0
+    }
+
+    fn second_derivative(&self, _x: f64) -> f64 {
+        0.0
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        self.c * x
+    }
+
+    fn marginal(&self, _x: f64) -> f64 {
+        self.c
+    }
+
+    fn marginal_derivative(&self, _x: f64) -> f64 {
+        0.0
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        false
+    }
+
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        if y < self.c {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        self.max_flow_at_latency(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_constant() {
+        let l = Constant::new(0.7);
+        assert_eq!(l.value(0.0), 0.7);
+        assert_eq!(l.value(100.0), 0.7);
+        assert_eq!(l.marginal(3.0), 0.7);
+        assert_eq!(l.integral(2.0), 1.4);
+        assert_eq!(l.max_flow_at_latency(0.69), 0.0);
+        assert!(l.max_flow_at_latency(0.7).is_infinite());
+    }
+
+    #[test]
+    fn zero_edge() {
+        let l = Constant::zero();
+        assert_eq!(l.value(1.0), 0.0);
+        assert!(l.max_flow_at_latency(0.0).is_infinite());
+    }
+}

@@ -1,0 +1,110 @@
+//! Generic monotone inversion used by default `max_flow_at_*` trait methods.
+//!
+//! Concrete families override with closed forms (affine, monomial, M/M/1,
+//! BPR); the bisection here serves [`crate::Polynomial`], [`crate::Shifted`]
+//! and any user-defined latency.
+
+/// Relative width at which level bisection stops.
+const REL_TOL: f64 = 1e-14;
+/// Hard cap on bracket-growing / bisection iterations.
+const MAX_ITER: usize = 200;
+
+/// `sup { x ∈ [0, capacity) : f(x) ≤ y }` for a nondecreasing `f`.
+///
+/// * `y < f(0)` → `0` (the link refuses any flow at this level);
+/// * non-strict (`constant-like`) `f` with `f(0) ≤ y` → `+∞` (the link
+///   absorbs unbounded flow at this level);
+/// * otherwise the unique preimage, found by bracket growth + bisection.
+pub fn max_flow_generic(y: f64, capacity: f64, strictly_increasing: bool, f: impl Fn(f64) -> f64) -> f64 {
+    let f0 = f(0.0);
+    if y < f0 {
+        return 0.0;
+    }
+    if !strictly_increasing {
+        // Constant-like function at or below the level: unbounded.
+        return f64::INFINITY;
+    }
+    if capacity.is_finite() {
+        // Latency diverges at `capacity` (e.g. M/M/1): bisect on a domain
+        // shaved away from the pole.
+        let hi = capacity * (1.0 - 1e-15);
+        if f(hi) <= y {
+            return hi;
+        }
+        return bisect_leq(y, 0.0, hi, &f);
+    }
+    // Grow an upper bracket.
+    let mut hi = 1.0_f64.max(y.abs());
+    let mut iter = 0;
+    while f(hi) < y {
+        hi *= 2.0;
+        iter += 1;
+        if iter > MAX_ITER {
+            // f grows too slowly to reach y within ~1e60; treat as unbounded.
+            return f64::INFINITY;
+        }
+    }
+    bisect_leq(y, 0.0, hi, &f)
+}
+
+/// Largest `x ∈ [lo, hi]` with `f(x) ≤ y`, given `f(lo) ≤ y ≤ f(hi)` and `f`
+/// nondecreasing.
+fn bisect_leq(y: f64, mut lo: f64, mut hi: f64, f: &impl Fn(f64) -> f64) -> f64 {
+    debug_assert!(f(lo) <= y);
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) <= y {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= REL_TOL * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverts_square() {
+        let x = max_flow_generic(9.0, f64::INFINITY, true, |x| x * x);
+        assert!((x - 3.0).abs() < 1e-9, "{x}");
+    }
+
+    #[test]
+    fn below_range_is_zero() {
+        let x = max_flow_generic(0.5, f64::INFINITY, true, |x| x + 1.0);
+        assert_eq!(x, 0.0);
+    }
+
+    #[test]
+    fn constant_is_unbounded_at_level() {
+        let x = max_flow_generic(1.0, f64::INFINITY, false, |_| 1.0);
+        assert!(x.is_infinite());
+    }
+
+    #[test]
+    fn constant_above_level_is_zero() {
+        let x = max_flow_generic(0.5, f64::INFINITY, false, |_| 1.0);
+        assert_eq!(x, 0.0);
+    }
+
+    #[test]
+    fn finite_capacity_pole() {
+        // f(x) = 1/(2-x), capacity 2; f(x) ≤ 1 ⇔ x ≤ 1.
+        let x = max_flow_generic(1.0, 2.0, true, |x| 1.0 / (2.0 - x));
+        assert!((x - 1.0).abs() < 1e-9, "{x}");
+    }
+
+    #[test]
+    fn finite_capacity_saturates() {
+        // Level above any latency on the shaved domain → returns ≈capacity.
+        let x = max_flow_generic(1e20, 2.0, true, |x| 1.0 / (2.0 - x));
+        assert!(x > 1.999_999_999);
+        assert!(x < 2.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! [`LatencyFn`] — a closed sum type over all latency families.
+//!
+//! Equilibrium solvers iterate over thousands of links inside bisection
+//! loops; a closed enum lets the compiler devirtualise and inline the
+//! per-family closed forms (see the workspace's HPC guidance: prefer enums
+//! over `dyn Trait` in hot paths).
+
+use crate::{
+    Affine, Bpr, Constant, Latency, MM1, Monomial, Offset, PiecewiseLinear, Polynomial, Shifted,
+};
+
+/// Any latency function supported by the workspace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LatencyFn {
+    /// `a·x + b`
+    Affine(Affine),
+    /// `Σ c_k x^k`
+    Polynomial(Polynomial),
+    /// `c·x^k`
+    Monomial(Monomial),
+    /// `1/(c − x)`
+    MM1(MM1),
+    /// `t₀(1 + b(x/c)^p)`
+    Bpr(Bpr),
+    /// `≡ c`
+    Constant(Constant),
+    /// Convex piecewise-linear.
+    Piecewise(PiecewiseLinear),
+    /// `inner(x + s)` for families without a closed-form shift.
+    Shifted(Box<Shifted<LatencyFn>>),
+    /// `inner(x) + τ` for families without a closed-form toll.
+    Offset(Box<Offset<LatencyFn>>),
+}
+
+impl LatencyFn {
+    /// `ℓ(x) = a·x + b`.
+    pub fn affine(a: f64, b: f64) -> Self {
+        Self::Affine(Affine::new(a, b))
+    }
+
+    /// `ℓ(x) = x`.
+    pub fn identity() -> Self {
+        Self::Affine(Affine::identity())
+    }
+
+    /// `ℓ(x) ≡ c`.
+    pub fn constant(c: f64) -> Self {
+        Self::Constant(Constant::new(c))
+    }
+
+    /// `ℓ(x) = c·x^k`.
+    pub fn monomial(c: f64, k: u32) -> Self {
+        Self::Monomial(Monomial::new(c, k))
+    }
+
+    /// `ℓ(x) = Σ c_k x^k` (coefficients low degree first).
+    pub fn polynomial(coeffs: impl Into<Vec<f64>>) -> Self {
+        Self::Polynomial(Polynomial::new(coeffs))
+    }
+
+    /// M/M/1 queueing latency `1/(c − x)`.
+    pub fn mm1(c: f64) -> Self {
+        Self::MM1(MM1::new(c))
+    }
+
+    /// BPR volume-delay curve.
+    pub fn bpr(t0: f64, b: f64, c: f64, p: u32) -> Self {
+        Self::Bpr(Bpr::new(t0, b, c, p))
+    }
+
+    /// A convex piecewise-linear latency (see [`PiecewiseLinear::new`]).
+    pub fn piecewise(b: f64, segments: &[(f64, f64)]) -> Self {
+        Self::Piecewise(PiecewiseLinear::new(b, segments))
+    }
+
+    /// The a-posteriori latency `ℓ(x + s)` after a Leader preload of `s`.
+    ///
+    /// Closed forms are used where the family is closed under shifting
+    /// (affine, constant, M/M/1); nested shifts are flattened; other
+    /// families wrap in [`Shifted`]. A zero shift is the identity.
+    pub fn preloaded(&self, s: f64) -> LatencyFn {
+        assert!(s.is_finite() && s >= 0.0, "preload must be finite and ≥ 0");
+        if s == 0.0 {
+            return self.clone();
+        }
+        match self {
+            // a(x+s) + b = ax + (as + b)
+            LatencyFn::Affine(l) => LatencyFn::affine(l.a, l.a * s + l.b),
+            LatencyFn::Constant(l) => LatencyFn::Constant(*l),
+            // 1/(c − s − x): an M/M/1 with reduced capacity.
+            LatencyFn::MM1(l) => {
+                assert!(s < l.c, "preload {s} must stay below M/M/1 capacity {}", l.c);
+                LatencyFn::mm1(l.c - s)
+            }
+            // Flatten nested shifts so chains of preloads stay O(1) deep.
+            LatencyFn::Shifted(sh) => {
+                LatencyFn::Shifted(Box::new(Shifted::new(sh.inner.clone(), sh.shift + s)))
+            }
+            other => LatencyFn::Shifted(Box::new(Shifted::new(other.clone(), s))),
+        }
+    }
+
+    /// The tolled latency `ℓ(x) + τ` (constant edge toll; marginal-cost
+    /// pricing uses `τ_e = o_e·ℓ'_e(o_e)`).
+    ///
+    /// Closed forms where the family is closed under constant addition
+    /// (affine, constant, polynomial, BPR-free-flow); nested offsets are
+    /// flattened; other families wrap in [`Offset`]. A zero toll is the
+    /// identity.
+    pub fn tolled(&self, tau: f64) -> LatencyFn {
+        assert!(tau.is_finite() && tau >= 0.0, "toll must be finite and ≥ 0");
+        if tau == 0.0 {
+            return self.clone();
+        }
+        match self {
+            LatencyFn::Affine(l) => LatencyFn::affine(l.a, l.b + tau),
+            LatencyFn::Constant(l) => LatencyFn::constant(l.c + tau),
+            LatencyFn::Polynomial(p) => {
+                let mut coeffs = p.coeffs().to_vec();
+                coeffs[0] += tau;
+                LatencyFn::polynomial(coeffs)
+            }
+            LatencyFn::Monomial(m) => {
+                // c·x^k + τ is the polynomial with coefficients τ, 0…0, c.
+                let mut coeffs = vec![0.0; m.k as usize + 1];
+                coeffs[0] = tau;
+                coeffs[m.k as usize] = m.c;
+                LatencyFn::polynomial(coeffs)
+            }
+            LatencyFn::Offset(off) => {
+                LatencyFn::Offset(Box::new(Offset::new(off.inner.clone(), off.offset + tau)))
+            }
+            other => LatencyFn::Offset(Box::new(Offset::new(other.clone(), tau))),
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $l:ident => $body:expr) => {
+        match $self {
+            LatencyFn::Affine($l) => $body,
+            LatencyFn::Polynomial($l) => $body,
+            LatencyFn::Monomial($l) => $body,
+            LatencyFn::MM1($l) => $body,
+            LatencyFn::Bpr($l) => $body,
+            LatencyFn::Constant($l) => $body,
+            LatencyFn::Piecewise($l) => $body,
+            LatencyFn::Shifted($l) => $body,
+            LatencyFn::Offset($l) => $body,
+        }
+    };
+}
+
+impl Latency for LatencyFn {
+    fn value(&self, x: f64) -> f64 {
+        dispatch!(self, l => l.value(x))
+    }
+    fn derivative(&self, x: f64) -> f64 {
+        dispatch!(self, l => l.derivative(x))
+    }
+    fn second_derivative(&self, x: f64) -> f64 {
+        dispatch!(self, l => l.second_derivative(x))
+    }
+    fn integral(&self, x: f64) -> f64 {
+        dispatch!(self, l => l.integral(x))
+    }
+    fn marginal(&self, x: f64) -> f64 {
+        dispatch!(self, l => l.marginal(x))
+    }
+    fn marginal_derivative(&self, x: f64) -> f64 {
+        dispatch!(self, l => l.marginal_derivative(x))
+    }
+    fn capacity(&self) -> f64 {
+        dispatch!(self, l => l.capacity())
+    }
+    fn is_strictly_increasing(&self) -> bool {
+        dispatch!(self, l => l.is_strictly_increasing())
+    }
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        dispatch!(self, l => l.max_flow_at_latency(y))
+    }
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        dispatch!(self, l => l.max_flow_at_marginal(y))
+    }
+}
+
+impl From<Affine> for LatencyFn {
+    fn from(l: Affine) -> Self {
+        Self::Affine(l)
+    }
+}
+impl From<Polynomial> for LatencyFn {
+    fn from(l: Polynomial) -> Self {
+        Self::Polynomial(l)
+    }
+}
+impl From<Monomial> for LatencyFn {
+    fn from(l: Monomial) -> Self {
+        Self::Monomial(l)
+    }
+}
+impl From<MM1> for LatencyFn {
+    fn from(l: MM1) -> Self {
+        Self::MM1(l)
+    }
+}
+impl From<Bpr> for LatencyFn {
+    fn from(l: Bpr) -> Self {
+        Self::Bpr(l)
+    }
+}
+impl From<Constant> for LatencyFn {
+    fn from(l: Constant) -> Self {
+        Self::Constant(l)
+    }
+}
+impl From<PiecewiseLinear> for LatencyFn {
+    fn from(l: PiecewiseLinear) -> Self {
+        Self::Piecewise(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preload_affine_closed_form() {
+        let l = LatencyFn::affine(2.0, 1.0).preloaded(0.5);
+        assert_eq!(l, LatencyFn::affine(2.0, 2.0));
+    }
+
+    #[test]
+    fn preload_mm1_shrinks_capacity() {
+        let l = LatencyFn::mm1(2.0).preloaded(0.5);
+        assert_eq!(l, LatencyFn::mm1(1.5));
+    }
+
+    #[test]
+    fn preload_zero_is_identity() {
+        let l = LatencyFn::monomial(1.0, 4);
+        assert_eq!(l.preloaded(0.0), l);
+    }
+
+    #[test]
+    fn nested_shifts_flatten() {
+        let l = LatencyFn::monomial(1.0, 4).preloaded(0.25).preloaded(0.25);
+        match &l {
+            LatencyFn::Shifted(sh) => {
+                assert_eq!(sh.shift, 0.5);
+                assert!(matches!(sh.inner, LatencyFn::Monomial(_)));
+            }
+            other => panic!("expected flattened shift, got {other:?}"),
+        }
+        // value agrees with direct evaluation
+        assert!((l.value(0.5) - 1.0f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preload_constant_unchanged() {
+        let l = LatencyFn::constant(0.7).preloaded(3.0);
+        assert_eq!(l, LatencyFn::constant(0.7));
+    }
+
+    #[test]
+    fn dispatch_consistency() {
+        let fns = vec![
+            LatencyFn::affine(1.5, 0.2),
+            LatencyFn::polynomial(vec![0.1, 0.0, 2.0]),
+            LatencyFn::monomial(3.0, 2),
+            LatencyFn::mm1(5.0),
+            LatencyFn::bpr(1.0, 0.15, 10.0, 4),
+            LatencyFn::constant(0.3),
+        ];
+        for l in &fns {
+            let x = 0.8;
+            assert!((l.marginal(x) - (l.value(x) + x * l.derivative(x))).abs() < 1e-10);
+            if l.is_strictly_increasing() {
+                let y = l.value(x);
+                assert!((l.max_flow_at_latency(y) - x).abs() < 1e-7, "{l:?}");
+            }
+        }
+    }
+}

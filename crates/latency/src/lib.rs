@@ -1,0 +1,54 @@
+//! # sopt-latency — load-dependent latency functions
+//!
+//! The model of Kaporis & Spirakis (TCS 410 (2009) §4, following Roughgarden's
+//! *Selfish Routing and the Price of Anarchy*) endows every link/edge with a
+//! *standard* latency function `ℓ(x)`: nonnegative, differentiable,
+//! nondecreasing, with `x·ℓ(x)` convex. The paper's main results additionally
+//! assume strictly increasing latencies (Remark 2.5) so that Nash and optimum
+//! edge flows are unique; constant latencies (Pigou's `ℓ≡1`, Fig. 4's
+//! `ℓ₅≡0.7`, the Braess middle edge `ℓ≡0`) are supported as the extension
+//! discussed in the paper's Remark 2.5/[16].
+//!
+//! This crate provides:
+//!
+//! * the [`Latency`] trait — evaluation, derivatives, the Beckmann integral
+//!   `∫₀ˣ ℓ(u)du`, the marginal cost `ℓ*(x) = ℓ(x) + x·ℓ'(x)`, and *level
+//!   inversion* ([`Latency::max_flow_at_latency`]) used by equilibrium
+//!   solvers;
+//! * concrete families: [`Affine`], [`Polynomial`], [`Monomial`], [`MM1`],
+//!   [`Bpr`], [`Constant`];
+//! * the [`Shifted`] combinator `ℓ̃(x) = ℓ(x + s)` implementing the
+//!   *a-posteriori* latencies of §4 ("the a posteriori latency of edge e ...
+//!   equals `ℓ̃_e(τ_e) = ℓ_e(τ_e + s_e)`");
+//! * the closed enum [`LatencyFn`] used throughout the workspace so that hot
+//!   loops dispatch without virtual calls;
+//! * [`checks`] — numeric standardness certificates used in tests.
+
+pub mod affine;
+pub mod bpr;
+pub mod checks;
+pub mod constant;
+pub mod invert;
+pub mod kind;
+pub mod mm1;
+pub mod monomial;
+pub mod offset;
+pub mod piecewise;
+pub mod polynomial;
+pub mod shifted;
+pub mod traits;
+
+pub use affine::Affine;
+pub use bpr::Bpr;
+pub use constant::Constant;
+pub use kind::LatencyFn;
+pub use mm1::MM1;
+pub use monomial::Monomial;
+pub use offset::Offset;
+pub use piecewise::PiecewiseLinear;
+pub use polynomial::Polynomial;
+pub use shifted::Shifted;
+pub use traits::Latency;
+
+/// Default absolute/relative tolerance used by latency-level numerics.
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,132 @@
+//! M/M/1 queueing latencies `ℓ(x) = 1/(c − x)`.
+//!
+//! The paper (§2, citing Korilis–Lazar–Orda [20]) discusses systems of
+//! distinct M/M/1 links, observing that the price of optimum `β_M` "may be
+//! significantly small" when the system contains small groups of highly
+//! appealing links or large groups of identical links — Experiment E9
+//! reproduces that claim with this family.
+
+use crate::traits::Latency;
+
+/// `ℓ(x) = 1/(c − x)` on `0 ≤ x < c` — expected sojourn time of an M/M/1
+/// queue with service capacity `c` and arrival rate `x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MM1 {
+    /// Service capacity `c > 0`; the latency diverges as `x → c`.
+    pub c: f64,
+}
+
+impl MM1 {
+    /// Create an M/M/1 latency with capacity `c > 0`.
+    pub fn new(c: f64) -> Self {
+        assert!(c.is_finite() && c > 0.0, "M/M/1 capacity must be positive");
+        Self { c }
+    }
+
+    #[inline]
+    fn slack(&self, x: f64) -> f64 {
+        debug_assert!(x < self.c, "M/M/1 load {x} ≥ capacity {}", self.c);
+        self.c - x
+    }
+}
+
+impl Latency for MM1 {
+    fn value(&self, x: f64) -> f64 {
+        1.0 / self.slack(x)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let s = self.slack(x);
+        1.0 / (s * s)
+    }
+
+    fn second_derivative(&self, x: f64) -> f64 {
+        let s = self.slack(x);
+        2.0 / (s * s * s)
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        // ∫₀ˣ du/(c−u) = ln c − ln(c−x)
+        (self.c / self.slack(x)).ln()
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        // ℓ + xℓ' = (c−x)/(c−x)² + x/(c−x)² = c/(c−x)²
+        let s = self.slack(x);
+        self.c / (s * s)
+    }
+
+    fn marginal_derivative(&self, x: f64) -> f64 {
+        let s = self.slack(x);
+        2.0 * self.c / (s * s * s)
+    }
+
+    fn capacity(&self) -> f64 {
+        self.c
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        true
+    }
+
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        // 1/(c−x) ≤ y ⇔ x ≤ c − 1/y (for y ≥ 1/c)
+        if y < 1.0 / self.c {
+            0.0
+        } else {
+            self.c - 1.0 / y
+        }
+    }
+
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        // c/(c−x)² ≤ y ⇔ x ≤ c − √(c/y) (for y ≥ 1/c)
+        if y < 1.0 / self.c {
+            0.0
+        } else {
+            self.c - (self.c / y).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms() {
+        let l = MM1::new(2.0);
+        assert_eq!(l.value(0.0), 0.5);
+        assert_eq!(l.value(1.0), 1.0);
+        assert_eq!(l.derivative(1.0), 1.0);
+        assert_eq!(l.second_derivative(1.0), 2.0);
+        assert!((l.integral(1.0) - 2.0_f64.ln()).abs() < 1e-12);
+        assert_eq!(l.marginal(1.0), 2.0);
+        assert_eq!(l.capacity(), 2.0);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let l = MM1::new(3.0);
+        for &x in &[0.0, 0.5, 1.5, 2.9] {
+            let y = l.value(x);
+            assert!((l.max_flow_at_latency(y) - x).abs() < 1e-10);
+            let m = l.marginal(x);
+            assert!((l.max_flow_at_marginal(m) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn below_empty_latency_refuses_flow() {
+        let l = MM1::new(4.0); // ℓ(0) = 0.25
+        assert_eq!(l.max_flow_at_latency(0.2), 0.0);
+        assert_eq!(l.max_flow_at_marginal(0.2), 0.0);
+    }
+
+    #[test]
+    fn marginal_exceeds_latency() {
+        let l = MM1::new(1.5);
+        for &x in &[0.1, 0.7, 1.2] {
+            assert!(l.marginal(x) > l.value(x));
+        }
+    }
+}

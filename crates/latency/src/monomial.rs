@@ -1,0 +1,107 @@
+//! Monomial latencies `ℓ(x) = c·x^k`.
+//!
+//! The degree-`k` family drives Roughgarden's Example 6.5.1 (the Braess-type
+//! net on which no Stackelberg strategy achieves a `1/α` guarantee as
+//! `k → ∞`) and the `Θ(k/ln k)` price-of-anarchy growth for polynomial
+//! latencies referenced via Expression (1).
+
+use crate::traits::Latency;
+
+/// `ℓ(x) = c·x^k` with `c > 0` and integer degree `k ≥ 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Monomial {
+    /// Coefficient `c > 0`.
+    pub c: f64,
+    /// Degree `k ≥ 1`.
+    pub k: u32,
+}
+
+impl Monomial {
+    /// Create `ℓ(x) = c·x^k`. Panics unless `c > 0`, finite, and `k ≥ 1`.
+    pub fn new(c: f64, k: u32) -> Self {
+        assert!(c.is_finite() && c > 0.0, "monomial coefficient must be positive");
+        assert!(k >= 1, "monomial degree must be ≥ 1 (use Constant for k = 0)");
+        Self { c, k }
+    }
+}
+
+impl Latency for Monomial {
+    fn value(&self, x: f64) -> f64 {
+        self.c * x.powi(self.k as i32)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.c * self.k as f64 * x.powi(self.k as i32 - 1)
+    }
+
+    fn second_derivative(&self, x: f64) -> f64 {
+        if self.k == 1 {
+            0.0
+        } else {
+            self.c * (self.k as f64) * (self.k as f64 - 1.0) * x.powi(self.k as i32 - 2)
+        }
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        self.c * x.powi(self.k as i32 + 1) / (self.k as f64 + 1.0)
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        self.c * (self.k as f64 + 1.0) * x.powi(self.k as i32)
+    }
+
+    fn marginal_derivative(&self, x: f64) -> f64 {
+        self.c * (self.k as f64 + 1.0) * self.k as f64 * x.powi(self.k as i32 - 1)
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        true
+    }
+
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            0.0
+        } else {
+            (y / self.c).powf(1.0 / self.k as f64)
+        }
+    }
+
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            0.0
+        } else {
+            (y / (self.c * (self.k as f64 + 1.0))).powf(1.0 / self.k as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_cubic() {
+        let l = Monomial::new(2.0, 3); // 2x³
+        assert_eq!(l.value(2.0), 16.0);
+        assert_eq!(l.derivative(2.0), 24.0);
+        assert_eq!(l.second_derivative(2.0), 24.0);
+        assert_eq!(l.integral(2.0), 8.0);
+        assert_eq!(l.marginal(2.0), 64.0);
+        assert!((l.max_flow_at_latency(16.0) - 2.0).abs() < 1e-12);
+        assert!((l.max_flow_at_marginal(64.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_degenerate_second_derivative() {
+        let l = Monomial::new(1.0, 1);
+        assert_eq!(l.second_derivative(0.0), 0.0);
+        assert_eq!(l.marginal(3.0), 6.0);
+    }
+
+    #[test]
+    fn high_degree_inverse_stable() {
+        let l = Monomial::new(1.0, 16);
+        let x = l.max_flow_at_latency(l.value(0.9));
+        assert!((x - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! The additive-offset combinator `ℓ̂(x) = ℓ(x) + τ` — constant edge tolls.
+//!
+//! The paper's introduction lists *pricing policies* among the methodologies
+//! competing with Stackelberg control; the classical instrument is the
+//! marginal-cost toll `τ_e = o_e·ℓ'_e(o_e)`, which makes the tolled Nash
+//! equilibrium coincide with the untolled optimum. Tolls enter the model as
+//! constant additions to latencies — this combinator keeps the result inside
+//! the standard class (nonnegative, same monotonicity, `x(ℓ(x)+τ)` convex).
+
+use crate::traits::Latency;
+
+/// `ℓ̂(x) = inner(x) + offset` with `offset ≥ 0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Offset<L> {
+    /// The underlying latency.
+    pub inner: L,
+    /// The constant addition `τ ≥ 0`.
+    pub offset: f64,
+}
+
+impl<L: Latency> Offset<L> {
+    /// Create `ℓ̂(x) = inner(x) + offset`. Panics on negative or non-finite
+    /// offsets.
+    pub fn new(inner: L, offset: f64) -> Self {
+        assert!(offset.is_finite() && offset >= 0.0, "offset must be finite and ≥ 0");
+        Self { inner, offset }
+    }
+}
+
+impl<L: Latency> Latency for Offset<L> {
+    fn value(&self, x: f64) -> f64 {
+        self.inner.value(x) + self.offset
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.inner.derivative(x)
+    }
+
+    fn second_derivative(&self, x: f64) -> f64 {
+        self.inner.second_derivative(x)
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        self.inner.integral(x) + self.offset * x
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        self.inner.marginal(x) + self.offset
+    }
+
+    fn marginal_derivative(&self, x: f64) -> f64 {
+        self.inner.marginal_derivative(x)
+    }
+
+    fn capacity(&self) -> f64 {
+        self.inner.capacity()
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        self.inner.is_strictly_increasing()
+    }
+
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        if y < self.value(0.0) {
+            0.0
+        } else {
+            self.inner.max_flow_at_latency(y - self.offset)
+        }
+    }
+
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        if y < self.marginal(0.0) {
+            0.0
+        } else {
+            self.inner.max_flow_at_marginal(y - self.offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Affine, MM1};
+
+    #[test]
+    fn tolled_affine_closed_forms() {
+        let l = Offset::new(Affine::new(2.0, 1.0), 0.5);
+        assert_eq!(l.value(1.0), 3.5);
+        assert_eq!(l.marginal(1.0), 5.5);
+        assert_eq!(l.integral(2.0), 7.0); // (2·2 + 2) + 0.5·2
+        assert_eq!(l.max_flow_at_latency(3.5), 1.0);
+        assert_eq!(l.max_flow_at_latency(1.0), 0.0);
+        assert_eq!(l.max_flow_at_marginal(5.5), 1.0);
+    }
+
+    #[test]
+    fn tolled_mm1_keeps_capacity() {
+        let l = Offset::new(MM1::new(2.0), 1.0);
+        assert_eq!(l.capacity(), 2.0);
+        assert!((l.value(1.0) - 2.0).abs() < 1e-12);
+        let y = l.value(1.5);
+        assert!((l.max_flow_at_latency(y) - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 0")]
+    fn negative_offset_rejected() {
+        let _ = Offset::new(Affine::identity(), -0.1);
+    }
+}

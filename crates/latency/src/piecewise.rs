@@ -1,0 +1,215 @@
+//! Piecewise-linear latencies — the workhorse class of applied traffic
+//! assignment (piecewise linearisation of arbitrary standard latencies,
+//! Patriksson [34]) and a stress test for the equalizer's level inversion.
+
+use crate::traits::Latency;
+
+/// A continuous, nondecreasing, convex piecewise-linear latency given by
+/// breakpoints `0 = x₀ < x₁ < … < x_{n-1}` and slopes `a₀ ≤ a₁ ≤ … ≤ a_{n-1}`
+/// (convexity ⇔ nondecreasing slopes keeps `x·ℓ(x)` convex), with
+/// `ℓ(0) = b ≥ 0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PiecewiseLinear {
+    /// Segment start points, `breaks[0] == 0`.
+    breaks: Vec<f64>,
+    /// Segment slopes, nondecreasing and ≥ 0.
+    slopes: Vec<f64>,
+    /// `ℓ(0)`.
+    b: f64,
+    /// Cached latency value at each breakpoint.
+    values: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Build from `(breakpoint, slope)` segments; the first breakpoint must
+    /// be 0. Panics unless breakpoints strictly increase and slopes are
+    /// nonnegative and nondecreasing (convexity).
+    pub fn new(b: f64, segments: &[(f64, f64)]) -> Self {
+        assert!(!segments.is_empty(), "need at least one segment");
+        assert!(b.is_finite() && b >= 0.0, "ℓ(0) must be finite and ≥ 0");
+        assert_eq!(segments[0].0, 0.0, "first breakpoint must be 0");
+        let mut breaks = Vec::with_capacity(segments.len());
+        let mut slopes = Vec::with_capacity(segments.len());
+        for (i, &(x, a)) in segments.iter().enumerate() {
+            assert!(x.is_finite() && a.is_finite() && a >= 0.0, "invalid segment ({x}, {a})");
+            if i > 0 {
+                assert!(x > breaks[i - 1], "breakpoints must strictly increase");
+                assert!(a >= slopes[i - 1], "slopes must be nondecreasing (convexity)");
+            }
+            breaks.push(x);
+            slopes.push(a);
+        }
+        let mut values = Vec::with_capacity(breaks.len());
+        let mut v = b;
+        values.push(v);
+        for i in 1..breaks.len() {
+            v += slopes[i - 1] * (breaks[i] - breaks[i - 1]);
+            values.push(v);
+        }
+        Self { breaks, slopes, b, values }
+    }
+
+    /// The segment index containing load `x`.
+    fn segment(&self, x: f64) -> usize {
+        // Segments are few in practice; binary search keeps big
+        // linearisations cheap.
+        match self.breaks.binary_search_by(|bp| bp.total_cmp(&x)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.breaks.len()
+    }
+}
+
+impl Latency for PiecewiseLinear {
+    fn value(&self, x: f64) -> f64 {
+        let i = self.segment(x.max(0.0));
+        self.values[i] + self.slopes[i] * (x - self.breaks[i])
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.slopes[self.segment(x.max(0.0))]
+    }
+
+    fn second_derivative(&self, _x: f64) -> f64 {
+        // Zero almost everywhere (kinks carry Dirac mass; callers using
+        // curvature, e.g. conjugate FW, degrade gracefully to plain FW).
+        0.0
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        let x = x.max(0.0);
+        let i = self.segment(x);
+        let mut acc = 0.0;
+        for j in 0..i {
+            let w = self.breaks[j + 1] - self.breaks[j];
+            acc += w * (self.values[j] + 0.5 * self.slopes[j] * w);
+        }
+        let w = x - self.breaks[i];
+        acc + w * (self.values[i] + 0.5 * self.slopes[i] * w)
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        self.slopes.iter().all(|a| *a > 0.0)
+    }
+
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        if y < self.b {
+            return 0.0;
+        }
+        // Find the segment whose value range contains y.
+        let n = self.breaks.len();
+        for i in 0..n {
+            let hi = if i + 1 < n { self.values[i + 1] } else { f64::INFINITY };
+            if y <= hi || i + 1 == n {
+                if self.slopes[i] == 0.0 {
+                    // Flat at level y: unbounded within the segment only if
+                    // the segment is final; else continue to the next.
+                    if i + 1 == n {
+                        return f64::INFINITY;
+                    }
+                    if y < hi {
+                        return self.breaks[i + 1];
+                    }
+                    continue;
+                }
+                return self.breaks[i] + (y - self.values[i]) / self.slopes[i];
+            }
+        }
+        unreachable!("y ≥ ℓ(0) always lands in a segment")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::assert_standard;
+
+    fn sample() -> PiecewiseLinear {
+        // ℓ(0) = 1; slope 1 on [0,2), slope 3 on [2,5), slope 10 on [5,∞).
+        PiecewiseLinear::new(1.0, &[(0.0, 1.0), (2.0, 3.0), (5.0, 10.0)])
+    }
+
+    #[test]
+    fn values_and_kinks() {
+        let l = sample();
+        assert_eq!(l.value(0.0), 1.0);
+        assert_eq!(l.value(2.0), 3.0);
+        assert_eq!(l.value(3.0), 6.0);
+        assert_eq!(l.value(5.0), 12.0);
+        assert_eq!(l.value(6.0), 22.0);
+        assert_eq!(l.derivative(1.0), 1.0);
+        assert_eq!(l.derivative(4.0), 3.0);
+        assert_eq!(l.num_segments(), 3);
+    }
+
+    #[test]
+    fn integral_matches_quadrature() {
+        let l = sample();
+        for &x in &[0.5, 2.0, 3.7, 6.2] {
+            // Trapezoid over a fine grid (exact for piecewise linear).
+            let n = 10_000;
+            let mut acc = 0.0;
+            for k in 0..n {
+                let a = x * k as f64 / n as f64;
+                let b = x * (k + 1) as f64 / n as f64;
+                acc += 0.5 * (l.value(a) + l.value(b)) * (b - a);
+            }
+            assert!((l.integral(x) - acc).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip_across_segments() {
+        let l = sample();
+        for &x in &[0.0, 1.0, 2.0, 3.5, 5.0, 8.0] {
+            let y = l.value(x);
+            assert!((l.max_flow_at_latency(y) - x).abs() < 1e-9, "x={x}");
+        }
+        assert_eq!(l.max_flow_at_latency(0.5), 0.0);
+    }
+
+    #[test]
+    fn flat_segments_handled() {
+        // Flat then rising: ℓ = 2 on [0,1), then slope 1.
+        let l = PiecewiseLinear::new(2.0, &[(0.0, 0.0), (1.0, 1.0)]);
+        assert!(!l.is_strictly_increasing());
+        assert_eq!(l.value(0.5), 2.0);
+        assert_eq!(l.value(3.0), 4.0);
+        // At the flat level the segment end is the max flow…
+        assert_eq!(l.max_flow_at_latency(2.0), 1.0);
+        // …above it the rising part inverts normally.
+        assert!((l.max_flow_at_latency(3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardness() {
+        assert_standard(&sample(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn concave_slopes_rejected() {
+        let _ = PiecewiseLinear::new(0.0, &[(0.0, 2.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn marginal_monotone_for_equalizer() {
+        let l = sample();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..100 {
+            let x = k as f64 * 0.08;
+            let m = l.marginal(x);
+            assert!(m >= prev - 1e-12);
+            prev = m;
+        }
+        // Marginal inverse via the generic default.
+        let m = l.marginal(3.3);
+        assert!((l.max_flow_at_marginal(m) - 3.3).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,144 @@
+//! Polynomial latencies `ℓ(x) = Σ_k c_k x^k` with nonnegative coefficients.
+
+use crate::traits::Latency;
+
+/// `ℓ(x) = c₀ + c₁x + … + c_d x^d` with every `c_k ≥ 0`.
+///
+/// Nonnegative coefficients guarantee standardness: `ℓ ≥ 0`, nondecreasing,
+/// and `x·ℓ(x)` convex on `x ≥ 0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial {
+    /// Coefficients `c₀..c_d`, low degree first. Invariant: all ≥ 0, last ≠ 0
+    /// unless the polynomial is the zero constant.
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Create from coefficients `c₀..c_d` (low degree first). Trailing zeros
+    /// are trimmed. Panics on negative or non-finite coefficients.
+    pub fn new(coeffs: impl Into<Vec<f64>>) -> Self {
+        let mut coeffs = coeffs.into();
+        assert!(
+            coeffs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "polynomial latency requires finite nonnegative coefficients"
+        );
+        while coeffs.len() > 1 && *coeffs.last().unwrap() == 0.0 {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Self { coeffs }
+    }
+
+    /// The coefficients, low degree first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    fn horner(&self, x: f64, map: impl Fn(usize, f64) -> f64) -> f64 {
+        // Evaluate Σ map(k, c_k)·x^k by Horner on the mapped coefficients.
+        let mut acc = 0.0;
+        for k in (0..self.coeffs.len()).rev() {
+            acc = acc * x + map(k, self.coeffs[k]);
+        }
+        acc
+    }
+}
+
+impl Latency for Polynomial {
+    fn value(&self, x: f64) -> f64 {
+        self.horner(x, |_, c| c)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        if self.coeffs.len() == 1 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for k in (1..self.coeffs.len()).rev() {
+            acc = acc * x + k as f64 * self.coeffs[k];
+        }
+        acc
+    }
+
+    fn second_derivative(&self, x: f64) -> f64 {
+        if self.coeffs.len() <= 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for k in (2..self.coeffs.len()).rev() {
+            acc = acc * x + (k * (k - 1)) as f64 * self.coeffs[k];
+        }
+        acc
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        // ∫₀ˣ Σ c_k u^k du = Σ c_k x^{k+1}/(k+1) = x · Horner(c_k/(k+1)).
+        x * self.horner(x, |k, c| c / (k as f64 + 1.0))
+    }
+
+    fn marginal(&self, x: f64) -> f64 {
+        // ℓ + xℓ' = Σ (k+1) c_k x^k.
+        self.horner(x, |k, c| (k as f64 + 1.0) * c)
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        self.coeffs.iter().skip(1).any(|c| *c > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartic_closed_forms() {
+        // ℓ = 1 + 2x + 3x⁴
+        let l = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0, 3.0]);
+        assert_eq!(l.degree(), 4);
+        assert_eq!(l.value(1.0), 6.0);
+        assert_eq!(l.derivative(1.0), 14.0);
+        assert_eq!(l.second_derivative(1.0), 36.0);
+        assert!((l.integral(1.0) - (1.0 + 1.0 + 0.6)).abs() < 1e-12);
+        assert_eq!(l.marginal(1.0), 1.0 + 4.0 + 15.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let l = Polynomial::new(vec![1.0, 0.0, 0.0]);
+        assert_eq!(l.degree(), 0);
+        assert!(!l.is_strictly_increasing());
+    }
+
+    #[test]
+    fn generic_inverse_via_bisection() {
+        let l = Polynomial::new(vec![1.0, 1.0, 1.0]); // 1 + x + x²
+        let y = l.value(2.5);
+        assert!((l.max_flow_at_latency(y) - 2.5).abs() < 1e-9);
+        let m = l.marginal(2.5);
+        assert!((l.max_flow_at_marginal(m) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_polynomial_unbounded_at_level() {
+        let l = Polynomial::new(vec![2.0]);
+        assert!(l.max_flow_at_latency(2.0).is_infinite());
+        assert_eq!(l.max_flow_at_latency(1.0), 0.0);
+    }
+
+    #[test]
+    fn marginal_consistent_with_default_formula() {
+        let l = Polynomial::new(vec![0.5, 1.5, 2.5, 3.5]);
+        for &x in &[0.0, 0.3, 1.0, 4.2] {
+            let direct = l.marginal(x);
+            let generic = l.value(x) + x * l.derivative(x);
+            assert!((direct - generic).abs() < 1e-10 * direct.abs().max(1.0));
+        }
+    }
+}

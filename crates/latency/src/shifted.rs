@@ -1,0 +1,135 @@
+//! The shift combinator `ℓ̃(x) = ℓ(x + s)` — a-posteriori latencies.
+//!
+//! When a Leader preloads `s ≥ 0` units onto a link/edge, the Followers see
+//! the *a-posteriori* latency `ℓ̃(x) = ℓ(x + s)` (paper §4, multicommodity
+//! model paragraph). The induced Nash equilibrium of the remaining flow is
+//! the ordinary Wardrop equilibrium with respect to these shifted functions,
+//! which is exactly how [`sopt-equilibrium`](../../equilibrium) computes it.
+
+use crate::traits::Latency;
+
+/// `ℓ̃(x) = inner(x + shift)` with `shift ≥ 0`.
+///
+/// Note the *marginal* of a shifted latency is
+/// `ℓ̃*(x) = ℓ(x+s) + x·ℓ'(x+s)`, **not** the shifted marginal
+/// `ℓ*(x+s)` — the trait's default formula computes the former from
+/// `value`/`derivative`, which is the correct follower-side marginal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Shifted<L> {
+    /// The underlying latency `ℓ`.
+    pub inner: L,
+    /// The preloaded flow `s ≥ 0`.
+    pub shift: f64,
+}
+
+impl<L: Latency> Shifted<L> {
+    /// Create `ℓ̃(x) = inner(x + shift)`. Panics if `shift < 0`, non-finite,
+    /// or at/above the inner capacity.
+    pub fn new(inner: L, shift: f64) -> Self {
+        assert!(shift.is_finite() && shift >= 0.0, "shift must be finite and ≥ 0");
+        assert!(
+            shift < inner.capacity(),
+            "shift {shift} must lie strictly below the link capacity {}",
+            inner.capacity()
+        );
+        Self { inner, shift }
+    }
+}
+
+impl<L: Latency> Latency for Shifted<L> {
+    fn value(&self, x: f64) -> f64 {
+        self.inner.value(x + self.shift)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.inner.derivative(x + self.shift)
+    }
+
+    fn second_derivative(&self, x: f64) -> f64 {
+        self.inner.second_derivative(x + self.shift)
+    }
+
+    fn integral(&self, x: f64) -> f64 {
+        // ∫₀ˣ ℓ(u+s) du = ∫ₛ^{x+s} ℓ = Λ(x+s) − Λ(s)
+        self.inner.integral(x + self.shift) - self.inner.integral(self.shift)
+    }
+
+    fn capacity(&self) -> f64 {
+        self.inner.capacity() - self.shift
+    }
+
+    fn is_strictly_increasing(&self) -> bool {
+        self.inner.is_strictly_increasing()
+    }
+
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        // sup{x : ℓ(x+s) ≤ y} = sup{z : ℓ(z) ≤ y} − s, clamped at 0.
+        let z = self.inner.max_flow_at_latency(y);
+        if z.is_infinite() {
+            f64::INFINITY
+        } else {
+            (z - self.shift).max(0.0)
+        }
+    }
+    // max_flow_at_marginal: generic bisection default (the shifted marginal
+    // has no closed inverse in terms of the inner one).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Affine, Constant, MM1};
+
+    #[test]
+    fn value_and_integral_shift() {
+        let l = Shifted::new(Affine::new(2.0, 1.0), 0.5);
+        assert_eq!(l.value(0.0), 2.0); // 2·0.5 + 1
+        assert_eq!(l.value(1.0), 4.0);
+        // ∫₀¹ (2(u+0.5)+1) du = ∫₀¹ (2u+2) du = 3
+        assert!((l.integral(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_is_follower_side() {
+        let l = Shifted::new(Affine::new(1.0, 0.0), 1.0); // ℓ̃(x) = x + 1
+        // follower marginal: ℓ̃ + xℓ̃' = (x+1) + x = 2x + 1; at x=1 → 3
+        assert!((l.marginal(1.0) - 3.0).abs() < 1e-12);
+        // NOT the shifted marginal ℓ*(x+1) = 2(x+1) = 4.
+    }
+
+    #[test]
+    fn max_flow_clamps() {
+        let l = Shifted::new(Affine::new(1.0, 0.0), 2.0); // ℓ̃(x) = x + 2
+        assert_eq!(l.max_flow_at_latency(1.0), 0.0);
+        assert_eq!(l.max_flow_at_latency(5.0), 3.0);
+    }
+
+    #[test]
+    fn shifted_constant_unbounded() {
+        let l = Shifted::new(Constant::new(1.0), 3.0);
+        assert!(l.max_flow_at_latency(1.0).is_infinite());
+        assert_eq!(l.max_flow_at_latency(0.5), 0.0);
+    }
+
+    #[test]
+    fn shifted_mm1_capacity_shrinks() {
+        let l = Shifted::new(MM1::new(2.0), 0.5);
+        assert_eq!(l.capacity(), 1.5);
+        assert!((l.value(0.0) - 1.0 / 1.5).abs() < 1e-12);
+        let y = l.value(1.0);
+        assert!((l.max_flow_at_latency(y) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn shift_beyond_capacity_rejected() {
+        let _ = Shifted::new(MM1::new(1.0), 1.0);
+    }
+
+    #[test]
+    fn marginal_inverse_round_trip_via_bisection() {
+        let l = Shifted::new(Affine::new(3.0, 1.0), 0.7);
+        let m = l.marginal(1.3);
+        assert!((l.max_flow_at_marginal(m) - 1.3).abs() < 1e-9);
+    }
+}

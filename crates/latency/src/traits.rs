@@ -1,0 +1,127 @@
+//! The [`Latency`] trait: the contract every latency family satisfies.
+
+use crate::invert::max_flow_generic;
+
+/// A *standard* load-dependent latency function `ℓ : [0, capacity) → [0, ∞)`.
+///
+/// Standardness (paper §4): `ℓ(x) ≥ 0`, differentiable, nondecreasing, and
+/// `x·ℓ(x)` convex. Implementations must uphold these; [`crate::checks`]
+/// verifies them numerically in tests.
+///
+/// Two cost views are exposed, matching the two equilibrium notions:
+///
+/// * the **latency** `ℓ(x)` itself — Wardrop/Nash equilibria equalize it
+///   across loaded links (paper Remark 4.1);
+/// * the **marginal cost** `ℓ*(x) = ℓ(x) + x·ℓ'(x) = (x·ℓ(x))'` — the system
+///   optimum equalizes it across loaded links (KKT conditions of the convex
+///   program minimising `Σ x_i ℓ_i(x_i)`).
+pub trait Latency: std::fmt::Debug {
+    /// `ℓ(x)`, the latency at load `x ≥ 0`.
+    fn value(&self, x: f64) -> f64;
+
+    /// `ℓ'(x)`, first derivative.
+    fn derivative(&self, x: f64) -> f64;
+
+    /// `ℓ''(x)`, second derivative.
+    fn second_derivative(&self, x: f64) -> f64;
+
+    /// `∫₀ˣ ℓ(u) du` — the per-link Beckmann potential term whose minimiser
+    /// over feasible flows is the Nash equilibrium.
+    fn integral(&self, x: f64) -> f64;
+
+    /// Marginal (social) cost `ℓ*(x) = ℓ(x) + x·ℓ'(x)`.
+    fn marginal(&self, x: f64) -> f64 {
+        self.value(x) + x * self.derivative(x)
+    }
+
+    /// `(ℓ*)'(x) = 2ℓ'(x) + x·ℓ''(x)` — nonnegative by convexity of `x·ℓ(x)`.
+    fn marginal_derivative(&self, x: f64) -> f64 {
+        2.0 * self.derivative(x) + x * self.second_derivative(x)
+    }
+
+    /// Supremum of the feasible load domain. `+∞` for most families; the
+    /// queueing latency [`crate::MM1`] has finite capacity `c` (its latency
+    /// diverges as `x → c`).
+    fn capacity(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    /// Whether `ℓ` is strictly increasing on its domain. Strictness is what
+    /// makes Nash/optimum *edge flows* unique (paper Remark 2.5).
+    fn is_strictly_increasing(&self) -> bool;
+
+    /// `sup { x ≥ 0 : ℓ(x) ≤ y }` — the largest load the link carries without
+    /// exceeding latency level `y`.
+    ///
+    /// Returns `0` when `y < ℓ(0)`, `+∞` for constant latencies at or below
+    /// `y`, and the unique inverse point otherwise. Equilibrium solvers
+    /// bisect on the level `y` using this as the link capacity profile.
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        max_flow_generic(y, self.capacity(), self.is_strictly_increasing(), |x| {
+            self.value(x)
+        })
+    }
+
+    /// `sup { x ≥ 0 : ℓ*(x) ≤ y }` — same as [`Self::max_flow_at_latency`]
+    /// but for the marginal cost; used to compute system optima.
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        max_flow_generic(y, self.capacity(), self.is_strictly_increasing(), |x| {
+            self.marginal(x)
+        })
+    }
+}
+
+/// Blanket impl so `&L` works wherever `L: Latency` is expected.
+impl<L: Latency + ?Sized> Latency for &L {
+    fn value(&self, x: f64) -> f64 {
+        (**self).value(x)
+    }
+    fn derivative(&self, x: f64) -> f64 {
+        (**self).derivative(x)
+    }
+    fn second_derivative(&self, x: f64) -> f64 {
+        (**self).second_derivative(x)
+    }
+    fn integral(&self, x: f64) -> f64 {
+        (**self).integral(x)
+    }
+    fn marginal(&self, x: f64) -> f64 {
+        (**self).marginal(x)
+    }
+    fn marginal_derivative(&self, x: f64) -> f64 {
+        (**self).marginal_derivative(x)
+    }
+    fn capacity(&self) -> f64 {
+        (**self).capacity()
+    }
+    fn is_strictly_increasing(&self) -> bool {
+        (**self).is_strictly_increasing()
+    }
+    fn max_flow_at_latency(&self, y: f64) -> f64 {
+        (**self).max_flow_at_latency(y)
+    }
+    fn max_flow_at_marginal(&self, y: f64) -> f64 {
+        (**self).max_flow_at_marginal(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Affine;
+
+    #[test]
+    fn marginal_default_matches_closed_form() {
+        let l = Affine::new(2.0, 1.0); // ℓ = 2x + 1, ℓ* = 4x + 1
+        assert!((l.marginal(0.5) - 3.0).abs() < 1e-12);
+        assert!((l.marginal_derivative(0.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let l = Affine::new(1.0, 0.0);
+        let r = &l;
+        assert_eq!(r.value(2.0), l.value(2.0));
+        assert_eq!(r.max_flow_at_latency(3.0), l.max_flow_at_latency(3.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests on the latency framework: round-trips, standardness,
+//! and consistency of every family's closed forms with generic numerics.
+
+use proptest::prelude::*;
+use sopt_latency::checks::check_standard;
+use sopt_latency::{Latency, LatencyFn};
+
+/// Strategy over arbitrary standard latency functions with bounded parameters.
+fn any_latency() -> impl Strategy<Value = LatencyFn> {
+    prop_oneof![
+        (0.01..10.0f64, 0.0..10.0f64).prop_map(|(a, b)| LatencyFn::affine(a, b)),
+        (0.01..5.0f64, 1u32..6).prop_map(|(c, k)| LatencyFn::monomial(c, k)),
+        proptest::collection::vec(0.0..3.0f64, 1..5).prop_map(|mut cs| {
+            // Ensure it is not the zero polynomial to keep levels meaningful.
+            if cs.iter().all(|c| *c == 0.0) {
+                cs[0] = 1.0;
+            }
+            LatencyFn::polynomial(cs)
+        }),
+        (0.5..20.0f64).prop_map(LatencyFn::mm1),
+        (0.1..5.0f64, 0.0..2.0f64, 0.5..20.0f64, 1u32..5)
+            .prop_map(|(t0, b, c, p)| LatencyFn::bpr(t0, b, c, p)),
+        (0.0..10.0f64).prop_map(LatencyFn::constant),
+    ]
+}
+
+/// A load safely inside the latency's domain.
+fn load_within(l: &LatencyFn, x01: f64) -> f64 {
+    let cap = l.capacity();
+    if cap.is_finite() {
+        x01 * cap * 0.95
+    } else {
+        x01 * 8.0
+    }
+}
+
+proptest! {
+    #[test]
+    fn standardness_certified(l in any_latency()) {
+        let x_max = if l.capacity().is_finite() { l.capacity() * 0.9 } else { 8.0 };
+        let violations = check_standard(&l, x_max, 65);
+        prop_assert!(violations.is_empty(), "{l:?}: {violations:?}");
+    }
+
+    #[test]
+    fn latency_inverse_round_trip(l in any_latency(), x01 in 0.0..1.0f64) {
+        let x = load_within(&l, x01);
+        prop_assume!(l.is_strictly_increasing());
+        let y = l.value(x);
+        let back = l.max_flow_at_latency(y);
+        prop_assert!((back - x).abs() < 1e-6 * x.max(1.0), "x={x} back={back} for {l:?}");
+    }
+
+    #[test]
+    fn marginal_inverse_round_trip(l in any_latency(), x01 in 0.0..1.0f64) {
+        let x = load_within(&l, x01);
+        prop_assume!(l.is_strictly_increasing());
+        let m = l.marginal(x);
+        let back = l.max_flow_at_marginal(m);
+        prop_assert!((back - x).abs() < 1e-6 * x.max(1.0), "x={x} back={back} for {l:?}");
+    }
+
+    #[test]
+    fn marginal_dominates_latency(l in any_latency(), x01 in 0.0..1.0f64) {
+        let x = load_within(&l, x01);
+        prop_assert!(l.marginal(x) >= l.value(x) - 1e-12);
+    }
+
+    #[test]
+    fn integral_is_antiderivative(l in any_latency(), x01 in 0.01..1.0f64) {
+        let x = load_within(&l, x01).max(1e-3);
+        let h = (x * 1e-6).max(1e-9);
+        let num = (l.integral(x + h) - l.integral(x - h)) / (2.0 * h);
+        let scale = l.value(x).abs().max(1.0);
+        prop_assert!((num - l.value(x)).abs() < 1e-3 * scale,
+            "∫' = {num} vs ℓ = {} at x={x} for {l:?}", l.value(x));
+    }
+
+    #[test]
+    fn preload_matches_pointwise(l in any_latency(), s01 in 0.0..1.0f64, x01 in 0.0..1.0f64) {
+        let cap = l.capacity();
+        let (s, x) = if cap.is_finite() {
+            (s01 * cap * 0.45, x01 * cap * 0.45)
+        } else {
+            (s01 * 4.0, x01 * 4.0)
+        };
+        let p = l.preloaded(s);
+        prop_assert!((p.value(x) - l.value(x + s)).abs() < 1e-9 * l.value(x + s).abs().max(1.0));
+        let lhs = p.integral(x);
+        let rhs = l.integral(x + s) - l.integral(s);
+        prop_assert!((lhs - rhs).abs() < 1e-7 * rhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn max_flow_is_monotone_in_level(l in any_latency(), y0 in 0.0..20.0f64, dy in 0.0..5.0f64) {
+        let lo = l.max_flow_at_latency(y0);
+        let hi = l.max_flow_at_latency(y0 + dy);
+        prop_assert!(hi >= lo - 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! Routing instances: a graph, per-edge latencies, and demands.
+
+use sopt_latency::{Latency, LatencyFn};
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// A single-commodity `s–t` scheduling instance `(G, r)` (paper §4).
+#[derive(Clone, Debug)]
+pub struct NetworkInstance {
+    /// The network.
+    pub graph: DiGraph,
+    /// Per-edge latency functions, indexed by [`EdgeId`].
+    pub latencies: Vec<LatencyFn>,
+    /// Source vertex `s`.
+    pub source: NodeId,
+    /// Sink vertex `t`.
+    pub sink: NodeId,
+    /// Total flow `r > 0` to route from `s` to `t`.
+    pub rate: f64,
+}
+
+impl NetworkInstance {
+    /// Assemble an instance, validating counts, endpoints and rate.
+    pub fn new(
+        graph: DiGraph,
+        latencies: Vec<LatencyFn>,
+        source: NodeId,
+        sink: NodeId,
+        rate: f64,
+    ) -> Self {
+        assert_eq!(latencies.len(), graph.num_edges(), "one latency per edge");
+        assert!(source.idx() < graph.num_nodes() && sink.idx() < graph.num_nodes());
+        assert_ne!(source, sink, "source and sink must differ");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { graph, latencies, source, sink, rate }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Latency of edge `e` at flow `x`.
+    pub fn latency(&self, e: EdgeId, x: f64) -> f64 {
+        self.latencies[e.idx()].value(x)
+    }
+
+    /// Total cost `C(f) = Σ_e f_e·ℓ_e(f_e)` of an edge flow.
+    pub fn cost(&self, flow: &[f64]) -> f64 {
+        assert_eq!(flow.len(), self.num_edges());
+        flow.iter()
+            .zip(&self.latencies)
+            .map(|(&f, l)| if f == 0.0 { 0.0 } else { f * l.value(f) })
+            .sum()
+    }
+
+    /// Per-edge latencies evaluated at a flow (the MOP edge costs `ℓ_e(o_e)`).
+    pub fn edge_costs(&self, flow: &[f64]) -> Vec<f64> {
+        flow.iter().zip(&self.latencies).map(|(&f, l)| l.value(f)).collect()
+    }
+
+    /// The instance seen by Followers after a Leader preload: the
+    /// a-posteriori latencies `ℓ̃_e(x) = ℓ_e(x + s_e)` with the follower
+    /// rate reduced by the *value* of the Leader's s→t flow (`value` is the
+    /// flow shipped from `s` to `t`, not the sum of edge entries, which
+    /// would double-count multi-edge paths).
+    pub fn preloaded_with_value(&self, preload: &[f64], value: f64) -> NetworkInstance {
+        assert_eq!(preload.len(), self.num_edges());
+        assert!(value >= -1e-12 && value <= self.rate + 1e-9);
+        let latencies = self
+            .latencies
+            .iter()
+            .zip(preload)
+            .map(|(l, &s)| l.preloaded(s))
+            .collect();
+        NetworkInstance {
+            graph: self.graph.clone(),
+            latencies,
+            source: self.source,
+            sink: self.sink,
+            rate: (self.rate - value).max(0.0),
+        }
+    }
+}
+
+/// One demand pair of a multicommodity instance.
+#[derive(Clone, Copy, Debug)]
+pub struct Commodity {
+    /// Source `s_i`.
+    pub source: NodeId,
+    /// Sink `t_i`.
+    pub sink: NodeId,
+    /// Demand `r_i > 0`.
+    pub rate: f64,
+}
+
+/// A k-commodity instance (paper §4, multicommodity model).
+#[derive(Clone, Debug)]
+pub struct MultiCommodityInstance {
+    /// The shared network.
+    pub graph: DiGraph,
+    /// Per-edge latencies.
+    pub latencies: Vec<LatencyFn>,
+    /// The demand pairs `(s_i, t_i, r_i)`.
+    pub commodities: Vec<Commodity>,
+}
+
+impl MultiCommodityInstance {
+    /// Assemble and validate.
+    pub fn new(graph: DiGraph, latencies: Vec<LatencyFn>, commodities: Vec<Commodity>) -> Self {
+        assert_eq!(latencies.len(), graph.num_edges(), "one latency per edge");
+        assert!(!commodities.is_empty(), "at least one commodity");
+        for c in &commodities {
+            assert!(c.source.idx() < graph.num_nodes() && c.sink.idx() < graph.num_nodes());
+            assert_ne!(c.source, c.sink);
+            assert!(c.rate.is_finite() && c.rate > 0.0);
+        }
+        Self { graph, latencies, commodities }
+    }
+
+    /// Total demand `r = Σ r_i`.
+    pub fn total_rate(&self) -> f64 {
+        self.commodities.iter().map(|c| c.rate).sum()
+    }
+
+    /// Total cost of a combined edge flow.
+    pub fn cost(&self, flow: &[f64]) -> f64 {
+        assert_eq!(flow.len(), self.graph.num_edges());
+        flow.iter()
+            .zip(&self.latencies)
+            .map(|(&f, l)| if f == 0.0 { 0.0 } else { f * l.value(f) })
+            .sum()
+    }
+
+    /// The single-commodity restriction `(G, r_i)` for commodity `i` (other
+    /// demands ignored) — used by per-commodity subroutines.
+    pub fn commodity_instance(&self, i: usize) -> NetworkInstance {
+        let c = self.commodities[i];
+        NetworkInstance::new(
+            self.graph.clone(),
+            self.latencies.clone(),
+            c.source,
+            c.sink,
+            c.rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_link() -> NetworkInstance {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        NetworkInstance::new(
+            g,
+            vec![LatencyFn::identity(), LatencyFn::constant(1.0)],
+            NodeId(0),
+            NodeId(1),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn cost_of_pigou_optimum() {
+        let inst = two_link();
+        assert!((inst.cost(&[0.5, 0.5]) - 0.75).abs() < 1e-12);
+        assert!((inst.cost(&[1.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_costs_at_flow() {
+        let inst = two_link();
+        let costs = inst.edge_costs(&[0.5, 0.5]);
+        assert_eq!(costs, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn preloaded_shifts_and_reduces_rate() {
+        let inst = two_link();
+        let sub = inst.preloaded_with_value(&[0.0, 0.5], 0.5);
+        assert!((sub.rate - 0.5).abs() < 1e-12);
+        // Constant latency unchanged; identity unchanged at zero preload.
+        assert_eq!(sub.latency(EdgeId(0), 0.3), 0.3);
+        assert_eq!(sub.latency(EdgeId(1), 0.3), 1.0);
+    }
+
+    #[test]
+    fn multicommodity_accessors() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let inst = MultiCommodityInstance::new(
+            g,
+            vec![LatencyFn::identity(), LatencyFn::identity()],
+            vec![
+                Commodity { source: NodeId(0), sink: NodeId(1), rate: 1.0 },
+                Commodity { source: NodeId(0), sink: NodeId(2), rate: 2.0 },
+            ],
+        );
+        assert_eq!(inst.total_rate(), 3.0);
+        let c1 = inst.commodity_instance(1);
+        assert_eq!(c1.rate, 2.0);
+        assert_eq!(c1.sink, NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "one latency per edge")]
+    fn latency_count_checked() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        let _ = NetworkInstance::new(g, vec![], NodeId(0), NodeId(1), 1.0);
+    }
+}

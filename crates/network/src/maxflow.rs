@@ -1,0 +1,199 @@
+//! Dinic's max-flow on real-valued capacities.
+//!
+//! `MOP` needs the *largest* amount of the optimal flow `O` that can be
+//! routed along shortest paths (w.r.t. costs `ℓ_e(o_e)`): path
+//! decompositions of `O` are not unique, and the decomposition that
+//! maximises shortest-path flow minimises the Leader's controlled portion
+//! `β_G`. That quantity is exactly the max flow through the shortest-path
+//! subnetwork with capacities `o_e` — computed here.
+
+use crate::flow::EdgeFlow;
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// Result of [`max_flow`].
+#[derive(Clone, Debug)]
+pub struct MaxFlowResult {
+    /// The max-flow value.
+    pub value: f64,
+    /// Per-original-edge flow attaining it.
+    pub flow: EdgeFlow,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Arc {
+    to: u32,
+    /// Remaining capacity.
+    cap: f64,
+    /// Index of the original edge (None for reverse arcs).
+    orig: Option<EdgeId>,
+}
+
+/// Dinic's algorithm. `caps[e]` may be `0` (edge absent) but not negative;
+/// infinite capacities are allowed only if `t` is not reachable from `s`
+/// through exclusively-infinite paths (otherwise the value diverges — the
+/// caller guards this; MOP capacities are finite optimal flows).
+pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResult {
+    assert_eq!(caps.len(), g.num_edges());
+    assert!(caps.iter().all(|c| *c >= 0.0), "capacities must be ≥ 0");
+    assert_ne!(s, t, "source and sink must differ");
+
+    let n = g.num_nodes();
+    // Tolerance scaled to the instance.
+    let cap_scale = caps.iter().cloned().filter(|c| c.is_finite()).fold(0.0f64, f64::max);
+    let eps = 1e-12 * cap_scale.max(1.0);
+
+    // Build residual arcs: forward at even indices, reverse at odd.
+    let mut arcs: Vec<Arc> = Vec::with_capacity(2 * g.num_edges());
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let a = arcs.len() as u32;
+        arcs.push(Arc { to: edge.to.0, cap: caps[e.idx()], orig: Some(e) });
+        arcs.push(Arc { to: edge.from.0, cap: 0.0, orig: None });
+        adj[edge.from.idx()].push(a);
+        adj[edge.to.idx()].push(a + 1);
+    }
+
+    let mut total = 0.0;
+    let mut level = vec![-1i32; n];
+    let mut it = vec![0usize; n];
+    loop {
+        // BFS level graph on arcs with residual capacity > eps.
+        level.iter_mut().for_each(|l| *l = -1);
+        level[s.idx()] = 0;
+        let mut queue = std::collections::VecDeque::from([s.0]);
+        while let Some(u) = queue.pop_front() {
+            for &ai in &adj[u as usize] {
+                let arc = arcs[ai as usize];
+                if arc.cap > eps && level[arc.to as usize] < 0 {
+                    level[arc.to as usize] = level[u as usize] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if level[t.idx()] < 0 {
+            break;
+        }
+        it.iter_mut().for_each(|i| *i = 0);
+        // Blocking flow via iterative DFS.
+        loop {
+            let pushed = dfs_push(&mut arcs, &adj, &level, &mut it, s.0, t.0, f64::INFINITY, eps);
+            if pushed <= eps {
+                break;
+            }
+            total += pushed;
+        }
+    }
+
+    // Recover per-original-edge flow: flow = initial cap − residual cap.
+    let mut flow = EdgeFlow::zeros(g.num_edges());
+    for arc in &arcs {
+        if let Some(e) = arc.orig {
+            let sent = caps[e.idx()] - arc.cap;
+            flow.0[e.idx()] = if sent > eps { sent } else { 0.0 };
+        }
+    }
+    MaxFlowResult { value: total, flow }
+}
+
+/// DFS augmentation in the level graph (recursive; depth ≤ n).
+#[allow(clippy::too_many_arguments)]
+fn dfs_push(
+    arcs: &mut [Arc],
+    adj: &[Vec<u32>],
+    level: &[i32],
+    it: &mut [usize],
+    u: u32,
+    t: u32,
+    limit: f64,
+    eps: f64,
+) -> f64 {
+    if u == t {
+        return limit;
+    }
+    while it[u as usize] < adj[u as usize].len() {
+        let ai = adj[u as usize][it[u as usize]] as usize;
+        let (to, cap) = (arcs[ai].to, arcs[ai].cap);
+        if cap > eps && level[to as usize] == level[u as usize] + 1 {
+            let pushed = dfs_push(arcs, adj, level, it, to, t, limit.min(cap), eps);
+            if pushed > eps {
+                arcs[ai].cap -= pushed;
+                arcs[ai ^ 1].cap += pushed;
+                return pushed;
+            }
+        }
+        it[u as usize] += 1;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_diamond() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1)); // cap 3
+        g.add_edge(NodeId(0), NodeId(2)); // cap 2
+        g.add_edge(NodeId(1), NodeId(2)); // cap 1
+        g.add_edge(NodeId(1), NodeId(3)); // cap 2
+        g.add_edge(NodeId(2), NodeId(3)); // cap 3
+        let r = max_flow(&g, &[3.0, 2.0, 1.0, 2.0, 3.0], NodeId(0), NodeId(3));
+        assert!((r.value - 5.0).abs() < 1e-9);
+        assert!(r.flow.is_st_flow(&g, NodeId(0), NodeId(3), r.value, 1e-9));
+    }
+
+    #[test]
+    fn bottleneck_single_path() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let r = max_flow(&g, &[5.0, 2.5], NodeId(0), NodeId(2));
+        assert!((r.value - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let r = max_flow(&g, &[1.0], NodeId(0), NodeId(2));
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_edges_ignored() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(2));
+        let r = max_flow(&g, &[1.0, 1.0, 0.0], NodeId(0), NodeId(2));
+        assert!((r.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_flow_conservation_with_back_edges() {
+        // Needs augmentation through a reverse arc to reach optimum.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1)); // 1
+        g.add_edge(NodeId(0), NodeId(2)); // 1
+        g.add_edge(NodeId(1), NodeId(3)); // 1
+        g.add_edge(NodeId(2), NodeId(1)); // 1
+        g.add_edge(NodeId(2), NodeId(3)); // 1
+        let r = max_flow(&g, &[1.0; 5], NodeId(0), NodeId(3));
+        assert!((r.value - 2.0).abs() < 1e-12);
+        assert!(r.flow.is_st_flow(&g, NodeId(0), NodeId(3), 2.0, 1e-9));
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let caps = [0.75, 0.25, 0.3, 0.9];
+        let r = max_flow(&g, &caps, NodeId(0), NodeId(3));
+        assert!((r.value - 0.55).abs() < 1e-9);
+    }
+}

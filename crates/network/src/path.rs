@@ -1,0 +1,188 @@
+//! Simple s→t paths: representation, costs, enumeration.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// A simple directed path, stored as its edge sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Build from an edge sequence, validating contiguity in `g`.
+    pub fn new(g: &DiGraph, edges: Vec<EdgeId>) -> Self {
+        for w in edges.windows(2) {
+            assert_eq!(
+                g.edge(w[0]).to,
+                g.edge(w[1]).from,
+                "path edges must be contiguous"
+            );
+        }
+        Self { edges }
+    }
+
+    /// The edge sequence.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for the empty path.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First node (requires non-empty path).
+    pub fn source(&self, g: &DiGraph) -> NodeId {
+        g.edge(self.edges[0]).from
+    }
+
+    /// Last node (requires non-empty path).
+    pub fn sink(&self, g: &DiGraph) -> NodeId {
+        g.edge(*self.edges.last().expect("non-empty path")).to
+    }
+
+    /// The node sequence `source, …, sink`.
+    pub fn nodes(&self, g: &DiGraph) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.edges.len() + 1);
+        if let Some(&first) = self.edges.first() {
+            nodes.push(g.edge(first).from);
+        }
+        for &e in &self.edges {
+            nodes.push(g.edge(e).to);
+        }
+        nodes
+    }
+
+    /// Sum of the given per-edge costs along the path.
+    pub fn cost(&self, edge_costs: &[f64]) -> f64 {
+        self.edges.iter().map(|e| edge_costs[e.idx()]).sum()
+    }
+
+    /// Whether the path traverses edge `e`.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+}
+
+/// Error from [`all_simple_paths`] when the graph has more than `max_paths`
+/// simple s→t paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TooManyPaths {
+    /// The cap that was exceeded.
+    pub max_paths: usize,
+}
+
+/// Enumerate every simple `s → t` path (DFS). Intended for the small
+/// canonical graphs (Braess has 3, layered test nets a few dozen); errors
+/// out beyond `max_paths` instead of exploding.
+pub fn all_simple_paths(
+    g: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    max_paths: usize,
+) -> Result<Vec<Path>, TooManyPaths> {
+    let mut paths = Vec::new();
+    let mut on_stack = vec![false; g.num_nodes()];
+    let mut stack: Vec<EdgeId> = Vec::new();
+    dfs(g, s, t, max_paths, &mut on_stack, &mut stack, &mut paths)?;
+    Ok(paths)
+}
+
+fn dfs(
+    g: &DiGraph,
+    u: NodeId,
+    t: NodeId,
+    max_paths: usize,
+    on_stack: &mut [bool],
+    stack: &mut Vec<EdgeId>,
+    paths: &mut Vec<Path>,
+) -> Result<(), TooManyPaths> {
+    if u == t {
+        if paths.len() >= max_paths {
+            return Err(TooManyPaths { max_paths });
+        }
+        paths.push(Path { edges: stack.clone() });
+        return Ok(());
+    }
+    on_stack[u.idx()] = true;
+    for &e in g.out_edges(u) {
+        let v = g.edge(e).to;
+        if on_stack[v.idx()] {
+            continue;
+        }
+        stack.push(e);
+        dfs(g, v, t, max_paths, on_stack, stack, paths)?;
+        stack.pop();
+    }
+    on_stack[u.idx()] = false;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Braess topology: s=0, v=1, w=2, t=3.
+    fn braess() -> DiGraph {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1)); // e0: s→v
+        g.add_edge(NodeId(0), NodeId(2)); // e1: s→w
+        g.add_edge(NodeId(1), NodeId(2)); // e2: v→w
+        g.add_edge(NodeId(1), NodeId(3)); // e3: v→t
+        g.add_edge(NodeId(2), NodeId(3)); // e4: w→t
+        g
+    }
+
+    #[test]
+    fn braess_has_three_paths() {
+        let g = braess();
+        let paths = all_simple_paths(&g, NodeId(0), NodeId(3), 100).unwrap();
+        assert_eq!(paths.len(), 3);
+        let lens: Vec<usize> = paths.iter().map(|p| p.len()).collect();
+        assert!(lens.contains(&2));
+        assert!(lens.contains(&3));
+    }
+
+    #[test]
+    fn path_nodes_and_cost() {
+        let g = braess();
+        let p = Path::new(&g, vec![EdgeId(0), EdgeId(2), EdgeId(4)]);
+        assert_eq!(p.nodes(&g), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(p.source(&g), NodeId(0));
+        assert_eq!(p.sink(&g), NodeId(3));
+        let costs = [1.0, 2.0, 4.0, 8.0, 16.0];
+        assert_eq!(p.cost(&costs), 21.0);
+        assert!(p.contains(EdgeId(2)));
+        assert!(!p.contains(EdgeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn rejects_discontiguous() {
+        let g = braess();
+        let _ = Path::new(&g, vec![EdgeId(0), EdgeId(4)]);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let g = braess();
+        let err = all_simple_paths(&g, NodeId(0), NodeId(3), 2).unwrap_err();
+        assert_eq!(err.max_paths, 2);
+    }
+
+    #[test]
+    fn no_paths_when_disconnected() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let paths = all_simple_paths(&g, NodeId(0), NodeId(2), 10).unwrap();
+        assert!(paths.is_empty());
+    }
+}

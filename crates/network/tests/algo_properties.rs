@@ -1,0 +1,144 @@
+//! Cross-algorithm property tests: Dijkstra vs Bellman–Ford, Dinic vs a
+//! brute-force max-flow oracle, and decomposition round-trips on random
+//! graphs.
+
+use proptest::prelude::*;
+use sopt_network::flow::{decompose, EdgeFlow};
+use sopt_network::graph::{DiGraph, NodeId};
+use sopt_network::maxflow::max_flow;
+use sopt_network::path::all_simple_paths;
+use sopt_network::spath::{bellman_ford, dijkstra};
+
+/// A random connected-ish layered DAG plus random extra edges.
+fn random_graph() -> impl Strategy<Value = (DiGraph, Vec<f64>)> {
+    (2usize..8, 0usize..10, any::<u64>()).prop_map(|(n, extra, seed)| {
+        // Deterministic pseudo-random edges from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut g = DiGraph::with_nodes(n);
+        let mut costs = Vec::new();
+        // Spine 0→1→…→n-1 keeps the sink reachable.
+        for v in 0..n - 1 {
+            g.add_edge(NodeId(v as u32), NodeId(v as u32 + 1));
+            costs.push((next() % 1000) as f64 / 100.0);
+        }
+        for _ in 0..extra {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b));
+                costs.push((next() % 1000) as f64 / 100.0);
+            }
+        }
+        (g, costs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford((g, costs) in random_graph()) {
+        let sp_d = dijkstra(&g, &costs, NodeId(0));
+        let sp_b = bellman_ford(&g, &costs, NodeId(0)).expect("no negative cycles");
+        for v in 0..g.num_nodes() {
+            let (a, b) = (sp_d.dist[v], sp_b.dist[v]);
+            prop_assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                "node {v}: dijkstra {a} vs bellman-ford {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dijkstra_parent_path_realises_dist((g, costs) in random_graph()) {
+        let sp = dijkstra(&g, &costs, NodeId(0));
+        for v in 1..g.num_nodes() {
+            if let Some(p) = sp.path_to(&g, NodeId(v as u32)) {
+                prop_assert!((p.cost(&costs) - sp.dist[v]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dinic_matches_path_oracle((g, caps) in random_graph()) {
+        let s = NodeId(0);
+        let t = NodeId((g.num_nodes() - 1) as u32);
+        let r = max_flow(&g, &caps, s, t);
+        // Oracle: LP duality lite — max-flow equals min s-t cut; enumerate all
+        // cuts for these tiny graphs.
+        let n = g.num_nodes();
+        let mut best_cut = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            if mask & 1 == 0 || mask & (1 << t.0) != 0 {
+                continue; // s must be inside, t outside
+            }
+            let mut cut = 0.0;
+            for e in g.edge_ids() {
+                let edge = g.edge(e);
+                if mask & (1 << edge.from.0) != 0 && mask & (1 << edge.to.0) == 0 {
+                    cut += caps[e.idx()];
+                }
+            }
+            best_cut = best_cut.min(cut);
+        }
+        prop_assert!((r.value - best_cut).abs() < 1e-6, "flow {} vs min cut {}", r.value, best_cut);
+        prop_assert!(r.flow.is_st_flow(&g, s, t, r.value, 1e-6));
+        // Flow respects capacities.
+        for e in g.edge_ids() {
+            prop_assert!(r.flow.get(e) <= caps[e.idx()] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn decomposition_reconstructs_maxflow((g, caps) in random_graph()) {
+        let s = NodeId(0);
+        let t = NodeId((g.num_nodes() - 1) as u32);
+        let r = max_flow(&g, &caps, s, t);
+        let d = decompose(&g, &r.flow, s, t);
+        prop_assert!((d.path_value() - r.value).abs() < 1e-6);
+        let mut back = EdgeFlow::zeros(g.num_edges());
+        for (p, a) in &d.paths {
+            prop_assert!(*a > 0.0);
+            prop_assert_eq!(p.source(&g), s);
+            prop_assert_eq!(p.sink(&g), t);
+            back.add_path(p, *a);
+        }
+        for (cycle, a) in &d.cycles {
+            for &e in cycle {
+                back.0[e.idx()] += *a;
+            }
+        }
+        for e in g.edge_ids() {
+            prop_assert!((back.get(e) - r.flow.get(e)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn simple_paths_are_simple_and_exhaustive((g, _) in random_graph()) {
+        let s = NodeId(0);
+        let t = NodeId((g.num_nodes() - 1) as u32);
+        if let Ok(paths) = all_simple_paths(&g, s, t, 5000) {
+            // Every enumerated path is simple and s→t.
+            for p in &paths {
+                let nodes = p.nodes(&g);
+                prop_assert_eq!(nodes[0], s);
+                prop_assert_eq!(*nodes.last().unwrap(), t);
+                let mut seen = std::collections::HashSet::new();
+                for v in nodes {
+                    prop_assert!(seen.insert(v), "repeated node in {:?}", p);
+                }
+            }
+            // No duplicates.
+            let mut set = std::collections::HashSet::new();
+            for p in &paths {
+                prop_assert!(set.insert(p.edges().to_vec()));
+            }
+        }
+    }
+}

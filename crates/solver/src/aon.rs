@@ -1,0 +1,62 @@
+//! All-or-nothing assignment: the Frank–Wolfe linearised subproblem.
+
+use sopt_network::graph::NodeId;
+use sopt_network::flow::EdgeFlow;
+use sopt_network::spath::{dijkstra, ShortestPaths};
+use sopt_network::DiGraph;
+
+/// Route the whole `rate` along one shortest `s→t` path under `edge_costs`.
+///
+/// Returns the assignment and the shortest-path tree (reused by callers for
+/// gap computation). Panics if `t` is unreachable.
+pub fn all_or_nothing(
+    g: &DiGraph,
+    edge_costs: &[f64],
+    s: NodeId,
+    t: NodeId,
+    rate: f64,
+) -> (EdgeFlow, ShortestPaths) {
+    let sp = dijkstra(g, edge_costs, s);
+    let path = sp
+        .path_to(g, t)
+        .unwrap_or_else(|| panic!("sink {t} unreachable from source {s}"));
+    let mut flow = EdgeFlow::zeros(g.num_edges());
+    flow.add_path(&path, rate);
+    (flow, sp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sopt_network::graph::EdgeId;
+
+    #[test]
+    fn routes_everything_on_cheapest() {
+        let mut g = DiGraph::with_nodes(2);
+        let e0 = g.add_edge(NodeId(0), NodeId(1));
+        let e1 = g.add_edge(NodeId(0), NodeId(1));
+        let (f, sp) = all_or_nothing(&g, &[2.0, 1.0], NodeId(0), NodeId(1), 3.0);
+        assert_eq!(f.get(e0), 0.0);
+        assert_eq!(f.get(e1), 3.0);
+        assert_eq!(sp.dist[1], 1.0);
+    }
+
+    #[test]
+    fn multi_hop_path() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(2));
+        let (f, _) = all_or_nothing(&g, &[1.0, 1.0, 5.0], NodeId(0), NodeId(2), 1.0);
+        assert_eq!(f.get(EdgeId(0)), 1.0);
+        assert_eq!(f.get(EdgeId(1)), 1.0);
+        assert_eq!(f.get(EdgeId(2)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn unreachable_sink_panics() {
+        let g = DiGraph::with_nodes(2);
+        let _ = all_or_nothing(&g, &[], NodeId(0), NodeId(1), 1.0);
+    }
+}

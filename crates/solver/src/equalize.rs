@@ -1,0 +1,279 @@
+//! The parallel-link equalizer: exact Nash and optimum assignments on
+//! `(M, r)` systems of parallel links.
+//!
+//! A Nash assignment satisfies Remark 4.1: every loaded link has latency
+//! equal to a common `L_N`, every empty link has `ℓ(0) ≥ L_N`. The optimum
+//! satisfies the same conditions with marginal costs. Both are computed by
+//! one bisection on the level `L`:
+//!
+//! `cap(L) = Σ_i sup{ x : g_i(x) ≤ L }` is nondecreasing in `L` (with jumps
+//! to `+∞` at constant-latency levels); the equilibrium level is
+//! `L* = inf { L : cap(L) ≥ r }`. Strictly increasing links then carry their
+//! inverse at `L*`; constant links at the level absorb the residual (split
+//! equally — any split is an equilibrium, which is exactly the non-uniqueness
+//! the paper's Remark 2.5 sidesteps by assuming strict increase).
+
+use sopt_latency::Latency;
+
+use crate::objective::CostModel;
+use crate::roots::bisect_predicate;
+
+/// Result of [`equalize`].
+#[derive(Clone, Debug)]
+pub struct EqualizeResult {
+    /// Per-link flows summing to the rate.
+    pub flows: Vec<f64>,
+    /// The common level `L*`: latency (Wardrop) or marginal cost (optimum)
+    /// of every loaded link; empty links have `g(0) ≥ L*`.
+    pub level: f64,
+}
+
+/// Failure modes of [`equalize`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EqualizeError {
+    /// Total link capacity (e.g. `Σ c_i` for M/M/1 links) cannot carry the
+    /// rate: the equilibrium latency would be infinite.
+    Infeasible {
+        /// Sum of finite link capacities.
+        total_capacity: f64,
+    },
+    /// No links.
+    Empty,
+}
+
+impl std::fmt::Display for EqualizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EqualizeError::Infeasible { total_capacity } => write!(
+                f,
+                "rate exceeds total link capacity {total_capacity}; no finite-latency assignment"
+            ),
+            EqualizeError::Empty => write!(f, "no links"),
+        }
+    }
+}
+
+impl std::error::Error for EqualizeError {}
+
+/// Fraction of total capacity beyond which we declare infeasibility.
+const CAPACITY_MARGIN: f64 = 1.0 - 1e-12;
+
+/// Compute the common-level assignment of `rate` over `links` under the
+/// given [`CostModel`]. See the module docs.
+pub fn equalize<L: Latency>(
+    links: &[L],
+    rate: f64,
+    model: CostModel,
+) -> Result<EqualizeResult, EqualizeError> {
+    if links.is_empty() {
+        return Err(EqualizeError::Empty);
+    }
+    assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and ≥ 0");
+
+    let g0: Vec<f64> = links.iter().map(|l| model.edge_gradient(l, 0.0)).collect();
+    let min_g0 = g0.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    if rate == 0.0 {
+        return Ok(EqualizeResult { flows: vec![0.0; links.len()], level: min_g0 });
+    }
+
+    // Feasibility: the rate must fit strictly below total capacity.
+    let total_capacity: f64 = links.iter().map(|l| l.capacity()).sum();
+    if total_capacity.is_finite() && rate >= total_capacity * CAPACITY_MARGIN {
+        return Err(EqualizeError::Infeasible { total_capacity });
+    }
+
+    let cap_at = |level: f64| -> f64 {
+        links.iter().map(|l| model.max_flow_at(l, level)).sum()
+    };
+
+    // Bracket the level: start just above the cheapest empty-link cost and
+    // grow until the system can carry the rate.
+    let lo = min_g0;
+    let mut hi = (min_g0.abs().max(1.0)) * 2.0 + min_g0;
+    let mut grow = 0;
+    while cap_at(hi) < rate {
+        hi = hi * 2.0 + 1.0;
+        grow += 1;
+        assert!(
+            grow < 400,
+            "equalizer bracket failed to grow: rate {rate} unreachable (capacities {total_capacity})"
+        );
+    }
+    let level = bisect_predicate(lo, hi, |y| cap_at(y) >= rate);
+
+    // Assign: strictly-increasing links carry their inverse at the level;
+    // constant-like links at the level share the residual equally.
+    let raw: Vec<f64> = links.iter().map(|l| model.max_flow_at(l, level)).collect();
+    let unbounded: Vec<usize> =
+        (0..links.len()).filter(|&i| raw[i].is_infinite()).collect();
+    let finite_sum: f64 = raw.iter().filter(|x| x.is_finite()).sum();
+
+    let mut flows = vec![0.0; links.len()];
+    if unbounded.is_empty() {
+        // Continuous case: polish with proportional rescale of the loaded
+        // links (bisection already puts us within ~1e-13 relative).
+        for (i, &x) in raw.iter().enumerate() {
+            flows[i] = x;
+        }
+        if finite_sum > 0.0 {
+            let scale = rate / finite_sum;
+            for f in &mut flows {
+                *f *= scale;
+            }
+        }
+    } else {
+        let residual = (rate - finite_sum).max(0.0);
+        let share = residual / unbounded.len() as f64;
+        for (i, &x) in raw.iter().enumerate() {
+            flows[i] = if x.is_finite() { x } else { share };
+        }
+        // Tiny mismatch from the finite part is absorbed by the constants:
+        let total: f64 = flows.iter().sum();
+        let slack = rate - total;
+        if slack.abs() > 0.0 {
+            let share_fix = slack / unbounded.len() as f64;
+            for &i in &unbounded {
+                flows[i] = (flows[i] + share_fix).max(0.0);
+            }
+        }
+    }
+
+    Ok(EqualizeResult { flows, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sopt_latency::LatencyFn;
+
+    fn pigou() -> Vec<LatencyFn> {
+        vec![LatencyFn::identity(), LatencyFn::constant(1.0)]
+    }
+
+    #[test]
+    fn pigou_nash_floods_fast_link() {
+        let r = equalize(&pigou(), 1.0, CostModel::Wardrop).unwrap();
+        assert!((r.flows[0] - 1.0).abs() < 1e-9, "{:?}", r);
+        assert!(r.flows[1].abs() < 1e-9);
+        assert!((r.level - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pigou_optimum_balances() {
+        let r = equalize(&pigou(), 1.0, CostModel::SystemOptimum).unwrap();
+        assert!((r.flows[0] - 0.5).abs() < 1e-9, "{:?}", r);
+        assert!((r.flows[1] - 0.5).abs() < 1e-9);
+        assert!((r.level - 1.0).abs() < 1e-9); // marginal 2·(1/2) = 1 = constant
+    }
+
+    #[test]
+    fn fig4_nash_level_is_32_over_77() {
+        // Paper Fig. 4: ℓ1=x, ℓ2=3/2·x, ℓ3=2x, ℓ4=5/2·x+1/6, ℓ5≡0.7, r=1.
+        let links = vec![
+            LatencyFn::affine(1.0, 0.0),
+            LatencyFn::affine(1.5, 0.0),
+            LatencyFn::affine(2.0, 0.0),
+            LatencyFn::affine(2.5, 1.0 / 6.0),
+            LatencyFn::constant(0.7),
+        ];
+        let r = equalize(&links, 1.0, CostModel::Wardrop).unwrap();
+        let expect = 32.0 / 77.0;
+        assert!((r.level - expect).abs() < 1e-9, "level {} ≠ {expect}", r.level);
+        assert!(r.flows[4].abs() < 1e-9, "constant link stays empty");
+        assert!((r.flows[0] - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_optimum_loads_constant_link() {
+        let links = vec![
+            LatencyFn::affine(1.0, 0.0),
+            LatencyFn::affine(1.5, 0.0),
+            LatencyFn::affine(2.0, 0.0),
+            LatencyFn::affine(2.5, 1.0 / 6.0),
+            LatencyFn::constant(0.7),
+        ];
+        let r = equalize(&links, 1.0, CostModel::SystemOptimum).unwrap();
+        // Closed form: μ = 0.7, o = (0.35, 7/30, 0.175, 8/75, 0.135).
+        let expect = [0.35, 7.0 / 30.0, 0.175, 8.0 / 75.0, 0.135];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!((r.flows[i] - e).abs() < 1e-9, "link {i}: {} ≠ {e}", r.flows[i]);
+        }
+        assert!((r.level - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_holds() {
+        let links = vec![
+            LatencyFn::affine(1.0, 0.3),
+            LatencyFn::mm1(4.0),
+            LatencyFn::monomial(2.0, 3),
+        ];
+        for &rate in &[0.1, 1.0, 2.5] {
+            let r = equalize(&links, rate, CostModel::Wardrop).unwrap();
+            let total: f64 = r.flows.iter().sum();
+            assert!((total - rate).abs() < 1e-9 * rate.max(1.0));
+            // Loaded links sit at the level, empty above it.
+            for (f, l) in r.flows.iter().zip(&links) {
+                if *f > 1e-9 {
+                    assert!((l.value(*f) - r.level).abs() < 1e-7, "{l:?}");
+                } else {
+                    assert!(l.value(0.0) >= r.level - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mm1_infeasible_rate() {
+        let links = vec![LatencyFn::mm1(1.0), LatencyFn::mm1(2.0)];
+        let err = equalize(&links, 3.5, CostModel::Wardrop).unwrap_err();
+        assert_eq!(err, EqualizeError::Infeasible { total_capacity: 3.0 });
+    }
+
+    #[test]
+    fn zero_rate_gives_zero_flows() {
+        let links = vec![LatencyFn::affine(1.0, 0.5), LatencyFn::affine(2.0, 0.1)];
+        let r = equalize(&links, 0.0, CostModel::Wardrop).unwrap();
+        assert_eq!(r.flows, vec![0.0, 0.0]);
+        assert!((r.level - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_system_errors() {
+        let links: Vec<LatencyFn> = vec![];
+        assert_eq!(equalize(&links, 1.0, CostModel::Wardrop).unwrap_err(), EqualizeError::Empty);
+    }
+
+    #[test]
+    fn two_identical_constants_split_equally() {
+        let links = vec![
+            LatencyFn::constant(1.0),
+            LatencyFn::constant(1.0),
+            LatencyFn::affine(1.0, 2.0), // too expensive at this level
+        ];
+        let r = equalize(&links, 2.0, CostModel::Wardrop).unwrap();
+        assert!((r.flows[0] - 1.0).abs() < 1e-9);
+        assert!((r.flows[1] - 1.0).abs() < 1e-9);
+        assert!(r.flows[2].abs() < 1e-12);
+        assert!((r.level - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_constant_and_linear() {
+        // ℓ1 = x, ℓ2 ≡ 2, rate 5: Nash level 2, x1 = 2, x2 = 3.
+        let links = vec![LatencyFn::identity(), LatencyFn::constant(2.0)];
+        let r = equalize(&links, 5.0, CostModel::Wardrop).unwrap();
+        assert!((r.flows[0] - 2.0).abs() < 1e-9);
+        assert!((r.flows[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_system_scales() {
+        let links: Vec<LatencyFn> =
+            (1..=500).map(|i| LatencyFn::affine(i as f64 / 100.0, (i % 7) as f64 / 10.0)).collect();
+        let r = equalize(&links, 42.0, CostModel::SystemOptimum).unwrap();
+        let total: f64 = r.flows.iter().sum();
+        assert!((total - 42.0).abs() < 1e-7);
+    }
+}

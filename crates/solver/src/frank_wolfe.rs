@@ -1,0 +1,492 @@
+//! Frank–Wolfe (convex combinations) traffic assignment with conjugate
+//! direction acceleration.
+//!
+//! Minimises the separable convex objective selected by [`CostModel`] over
+//! the feasible (multi)commodity flows of a network instance:
+//!
+//! * linearised subproblem = all-or-nothing shortest-path assignment
+//!   (Dijkstra with current gradient as edge costs);
+//! * exact bisection line search along the direction;
+//! * optional conjugate direction (Mitradjieva–Lindberg CFW) — plain FW
+//!   converges sublinearly and stalls around 1e-6 relative gap, CFW reaches
+//!   1e-12 on the paper's nets in tens of iterations
+//!   (`benches/frank_wolfe.rs` measures the gap-vs-iteration ablation);
+//! * the *relative gap* `Σc·(f−y) / Σc·f` certifies convergence: it bounds
+//!   the objective suboptimality fraction via convexity.
+
+use sopt_latency::{Latency, LatencyFn};
+use sopt_network::flow::EdgeFlow;
+use sopt_network::graph::NodeId;
+use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
+use sopt_network::DiGraph;
+
+use crate::aon::all_or_nothing;
+use crate::line_search::{exact_step, max_step};
+use crate::objective::CostModel;
+
+/// Tuning knobs for the Frank–Wolfe solvers.
+#[derive(Clone, Copy, Debug)]
+pub struct FwOptions {
+    /// Stop when the relative gap falls below this.
+    pub rel_gap: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Use conjugate directions (recommended; `false` = textbook FW).
+    pub conjugate: bool,
+    /// Drop the conjugate memory every this many iterations (`0` = never).
+    /// Periodic restarts break the rare zigzag degeneration of CFW near
+    /// kinked optima; 256 is a good default.
+    pub restart_period: usize,
+}
+
+impl Default for FwOptions {
+    fn default() -> Self {
+        // The FW phase only needs to deliver a good warm start: the path
+        // polish finishes the tail, so a moderate iteration budget wins.
+        Self { rel_gap: 1e-10, max_iters: 2_000, conjugate: true, restart_period: 256 }
+    }
+}
+
+/// Output of the Frank–Wolfe solvers.
+#[derive(Clone, Debug)]
+pub struct FwResult {
+    /// Combined edge flow (sum over commodities).
+    pub flow: EdgeFlow,
+    /// Per-commodity edge flows.
+    pub per_commodity: Vec<EdgeFlow>,
+    /// Final objective value (Beckmann potential or total cost).
+    pub objective: f64,
+    /// Final relative gap.
+    pub rel_gap: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether `rel_gap` reached the target.
+    pub converged: bool,
+}
+
+/// Solve a single-commodity instance. See [`solve_multicommodity`].
+pub fn solve_assignment(inst: &NetworkInstance, model: CostModel, opts: &FwOptions) -> FwResult {
+    solve_inner(
+        &inst.graph,
+        &inst.latencies,
+        &[(inst.source, inst.sink, inst.rate)],
+        model,
+        opts,
+    )
+}
+
+/// Solve a k-commodity instance: per-commodity all-or-nothing directions
+/// with a common exact step in the combined flow space.
+pub fn solve_multicommodity(
+    inst: &MultiCommodityInstance,
+    model: CostModel,
+    opts: &FwOptions,
+) -> FwResult {
+    let demands: Vec<(NodeId, NodeId, f64)> =
+        inst.commodities.iter().map(|c| (c.source, c.sink, c.rate)).collect();
+    solve_inner(&inst.graph, &inst.latencies, &demands, model, opts)
+}
+
+fn solve_inner(
+    graph: &DiGraph,
+    latencies: &[LatencyFn],
+    demands: &[(NodeId, NodeId, f64)],
+    model: CostModel,
+    opts: &FwOptions,
+) -> FwResult {
+    let m = graph.num_edges();
+    let k = demands.len();
+    let total_rate: f64 = demands.iter().map(|d| d.2).sum();
+
+    // Degenerate but legal (e.g. a fully-preloaded follower instance).
+    if total_rate <= 0.0 {
+        return FwResult {
+            flow: EdgeFlow::zeros(m),
+            per_commodity: vec![EdgeFlow::zeros(m); k],
+            objective: 0.0,
+            rel_gap: 0.0,
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    let grad = |f: &[f64], out: &mut Vec<f64>| {
+        out.clear();
+        out.extend(latencies.iter().zip(f).map(|(l, &x)| model.edge_gradient(l, x)));
+    };
+
+    // Initialise: AON at empty-network costs.
+    let mut costs = Vec::with_capacity(m);
+    grad(&vec![0.0; m], &mut costs);
+    let mut per: Vec<EdgeFlow> = Vec::with_capacity(k);
+    for &(s, t, r) in demands {
+        // Guard M/M/1 poles: if the single cheapest path cannot carry the
+        // whole commodity within capacities, split the initial assignment by
+        // short capacity-respecting steps from zero instead. Simplest robust
+        // init: route greedily in `CHUNKS` equal slices, recomputing costs.
+        per.push(EdgeFlow::zeros(m));
+        const CHUNKS: usize = 8;
+        for _ in 0..CHUNKS {
+            let f_total: Vec<f64> = combined(&per, m);
+            grad(&f_total, &mut costs);
+            // Saturated edges (≥99.99% of capacity) get prohibitive cost so
+            // the init never steps over a pole.
+            for (c, (l, &fe)) in costs.iter_mut().zip(latencies.iter().zip(&f_total)) {
+                let cap = l.capacity();
+                if cap.is_finite() && fe >= cap * 0.9999 {
+                    *c = f64::MAX / 1e6;
+                }
+            }
+            let (y, _) = all_or_nothing(graph, &costs, s, t, r / CHUNKS as f64);
+            let last = per.last_mut().unwrap();
+            for e in 0..m {
+                last.0[e] += y.0[e];
+            }
+        }
+    }
+
+    let mut f: Vec<f64> = combined(&per, m);
+    // Conjugate-FW state: previous target point per commodity.
+    let mut s_bar: Option<Vec<EdgeFlow>> = None;
+
+    let mut rel_gap = f64::INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for iter in 0..opts.max_iters {
+        iterations = iter + 1;
+        if opts.restart_period > 0 && iter % opts.restart_period == 0 {
+            s_bar = None;
+        }
+        grad(&f, &mut costs);
+
+        // Per-commodity all-or-nothing targets.
+        let mut ys: Vec<EdgeFlow> = Vec::with_capacity(k);
+        for &(s, t, r) in demands {
+            let (y, _) = all_or_nothing(graph, &costs, s, t, r);
+            ys.push(y);
+        }
+        let y: Vec<f64> = combined(&ys, m);
+
+        // Relative gap.
+        let cf: f64 = costs.iter().zip(&f).map(|(c, x)| c * x).sum();
+        let cy: f64 = costs.iter().zip(&y).map(|(c, x)| c * x).sum();
+        let gap = cf - cy;
+        rel_gap = if cf.abs() > 1e-300 { gap / cf } else { 0.0 };
+        if rel_gap <= opts.rel_gap {
+            converged = true;
+            break;
+        }
+
+        // Direction point: conjugate combination of previous target and y.
+        let target: Vec<EdgeFlow> = if opts.conjugate {
+            match &s_bar {
+                Some(prev) => {
+                    let a = conjugate_weight(latencies, model, &f, &combined(prev, m), &y);
+                    ys.iter()
+                        .zip(prev)
+                        .map(|(yi, pi)| {
+                            EdgeFlow(
+                                yi.0.iter().zip(&pi.0).map(|(ye, pe)| a * pe + (1.0 - a) * ye).collect(),
+                            )
+                        })
+                        .collect()
+                }
+                None => ys.clone(),
+            }
+        } else {
+            ys.clone()
+        };
+
+        let t_comb: Vec<f64> = combined(&target, m);
+        let mut d: Vec<f64> = t_comb.iter().zip(&f).map(|(t, f)| t - f).collect();
+
+        let mut gamma_max = max_step(latencies, &f, &d);
+        let mut gamma = exact_step(latencies, model, &f, &d, gamma_max);
+        if gamma <= 0.0 && opts.conjugate {
+            // Conjugate direction degenerated; fall back to plain FW.
+            d = y.iter().zip(&f).map(|(y, f)| y - f).collect();
+            gamma_max = max_step(latencies, &f, &d);
+            gamma = exact_step(latencies, model, &f, &d, gamma_max);
+            s_bar = None;
+        } else {
+            s_bar = Some(target.clone());
+        }
+        if gamma <= 0.0 {
+            // Numerically stationary.
+            break;
+        }
+
+        // Move every commodity by the same step toward its target.
+        match &s_bar {
+            Some(tgt) => {
+                for (pi, ti) in per.iter_mut().zip(tgt) {
+                    for e in 0..m {
+                        pi.0[e] += gamma * (ti.0[e] - pi.0[e]);
+                    }
+                }
+            }
+            None => {
+                for (pi, yi) in per.iter_mut().zip(&ys) {
+                    for e in 0..m {
+                        pi.0[e] += gamma * (yi.0[e] - pi.0[e]);
+                    }
+                }
+            }
+        }
+        f = combined(&per, m);
+        // Clean tiny negatives from floating error.
+        for x in &mut f {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+
+    // Tail phase: Frank–Wolfe zigzags sublinearly near low-dimensional
+    // optimal faces; finish with path-based column generation + pairwise
+    // equilibration, warm-started from the FW point (see `path_polish`).
+    if !converged {
+        let pr = crate::path_polish::polish_to_equilibrium(
+            graph,
+            latencies,
+            demands,
+            model,
+            &mut per,
+            opts.rel_gap,
+            2_000,
+        );
+        rel_gap = pr.rel_gap;
+        converged = pr.converged;
+        iterations += pr.rounds;
+        f = combined(&per, m);
+    }
+
+    let objective: f64 =
+        latencies.iter().zip(&f).map(|(l, &x)| model.edge_objective(l, x)).sum();
+    FwResult {
+        flow: EdgeFlow(f),
+        per_commodity: per,
+        objective,
+        rel_gap,
+        iterations,
+        converged,
+    }
+}
+
+fn combined(per: &[EdgeFlow], m: usize) -> Vec<f64> {
+    let mut f = vec![0.0; m];
+    for p in per {
+        for (fe, pe) in f.iter_mut().zip(&p.0) {
+            *fe += pe;
+        }
+    }
+    f
+}
+
+/// Conjugacy weight `a` of Mitradjieva–Lindberg: choose the target
+/// `a·s_prev + (1−a)·y` whose direction is Hessian-conjugate to the previous
+/// direction `s_prev − f`. Clamped to `[0, 0.999]` with a plain-FW fallback
+/// when the curvature degenerates.
+fn conjugate_weight(
+    latencies: &[LatencyFn],
+    model: CostModel,
+    f: &[f64],
+    s_prev: &[f64],
+    y: &[f64],
+) -> f64 {
+    let mut num = 0.0; // d_fwᵀ H d_prev
+    let mut den_part = 0.0; // d_prevᵀ H d_prev
+    for i in 0..f.len() {
+        let h = model.edge_curvature(&latencies[i], f[i]).max(0.0);
+        let dp = s_prev[i] - f[i];
+        let df = y[i] - f[i];
+        num += h * df * dp;
+        den_part += h * dp * dp;
+    }
+    let den = num - den_part;
+    if den.abs() < 1e-300 {
+        return 0.0;
+    }
+    let a = num / den;
+    a.clamp(0.0, 0.999)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equalize::equalize;
+    use sopt_network::instance::Commodity;
+
+    fn two_node(lats: Vec<LatencyFn>, rate: f64) -> NetworkInstance {
+        let mut g = DiGraph::with_nodes(2);
+        for _ in 0..lats.len() {
+            g.add_edge(NodeId(0), NodeId(1));
+        }
+        NetworkInstance::new(g, lats, NodeId(0), NodeId(1), rate)
+    }
+
+    fn braess_classic() -> NetworkInstance {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1)); // s→v: x
+        g.add_edge(NodeId(0), NodeId(2)); // s→w: 1
+        g.add_edge(NodeId(1), NodeId(2)); // v→w: 0
+        g.add_edge(NodeId(1), NodeId(3)); // v→t: 1
+        g.add_edge(NodeId(2), NodeId(3)); // w→t: x
+        NetworkInstance::new(
+            g,
+            vec![
+                LatencyFn::identity(),
+                LatencyFn::constant(1.0),
+                LatencyFn::constant(0.0),
+                LatencyFn::constant(1.0),
+                LatencyFn::identity(),
+            ],
+            NodeId(0),
+            NodeId(3),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn pigou_wardrop() {
+        let inst = two_node(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let r = solve_assignment(&inst, CostModel::Wardrop, &FwOptions::default());
+        assert!(r.converged, "rel_gap {}", r.rel_gap);
+        assert!((r.flow.0[0] - 1.0).abs() < 1e-6, "{:?}", r.flow);
+        assert!(r.flow.0[1] < 1e-6);
+    }
+
+    #[test]
+    fn pigou_optimum() {
+        let inst = two_node(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let r = solve_assignment(&inst, CostModel::SystemOptimum, &FwOptions::default());
+        assert!(r.converged);
+        assert!((r.flow.0[0] - 0.5).abs() < 1e-6, "{:?}", r.flow);
+        assert!((r.flow.0[1] - 0.5).abs() < 1e-6);
+        assert!((inst.cost(r.flow.as_slice()) - 0.75).abs() < 1e-8);
+    }
+
+    #[test]
+    fn braess_nash_floods_middle() {
+        let inst = braess_classic();
+        let r = solve_assignment(&inst, CostModel::Wardrop, &FwOptions::default());
+        assert!(r.converged, "rel_gap {}", r.rel_gap);
+        let f = r.flow.as_slice();
+        assert!((f[0] - 1.0).abs() < 1e-6, "{f:?}"); // s→v
+        assert!((f[2] - 1.0).abs() < 1e-6, "{f:?}"); // middle
+        assert!((f[4] - 1.0).abs() < 1e-6, "{f:?}"); // w→t
+        assert!((inst.cost(f) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn braess_optimum_avoids_middle() {
+        let inst = braess_classic();
+        let r = solve_assignment(&inst, CostModel::SystemOptimum, &FwOptions::default());
+        assert!(r.converged);
+        let f = r.flow.as_slice();
+        assert!((f[0] - 0.5).abs() < 1e-6, "{f:?}");
+        assert!(f[2].abs() < 1e-6, "{f:?}");
+        assert!((inst.cost(f) - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn matches_equalizer_on_parallel_links() {
+        let lats = vec![
+            LatencyFn::affine(1.0, 0.0),
+            LatencyFn::affine(1.5, 0.0),
+            LatencyFn::affine(2.5, 1.0 / 6.0),
+            LatencyFn::mm1(4.0),
+        ];
+        let inst = two_node(lats.clone(), 2.0);
+        for model in [CostModel::Wardrop, CostModel::SystemOptimum] {
+            let fw = solve_assignment(&inst, model, &FwOptions::default());
+            let eq = equalize(&lats, 2.0, model).unwrap();
+            assert!(fw.converged);
+            for i in 0..lats.len() {
+                assert!(
+                    (fw.flow.0[i] - eq.flows[i]).abs() < 1e-5,
+                    "{model:?} link {i}: FW {} vs equalize {}",
+                    fw.flow.0[i],
+                    eq.flows[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plain_fw_converges_slower_but_agrees() {
+        let inst = braess_classic();
+        let fast = solve_assignment(&inst, CostModel::Wardrop, &FwOptions::default());
+        let slow = solve_assignment(
+            &inst,
+            CostModel::Wardrop,
+            &FwOptions { conjugate: false, rel_gap: 1e-6, max_iters: 200_000, ..FwOptions::default() },
+        );
+        assert!(slow.converged);
+        for e in 0..5 {
+            assert!((fast.flow.0[e] - slow.flow.0[e]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn multicommodity_shares_edges() {
+        // Two commodities over a shared middle edge.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(2)); // a→c: x
+        g.add_edge(NodeId(1), NodeId(2)); // b→c: x
+        g.add_edge(NodeId(2), NodeId(3)); // c→d: x (shared)
+        let inst = MultiCommodityInstance::new(
+            g,
+            vec![LatencyFn::identity(), LatencyFn::identity(), LatencyFn::identity()],
+            vec![
+                Commodity { source: NodeId(0), sink: NodeId(3), rate: 1.0 },
+                Commodity { source: NodeId(1), sink: NodeId(3), rate: 2.0 },
+            ],
+        );
+        let r = solve_multicommodity(&inst, CostModel::Wardrop, &FwOptions::default());
+        assert!(r.converged);
+        assert!((r.flow.0[2] - 3.0).abs() < 1e-9);
+        assert!((r.per_commodity[0].0[0] - 1.0).abs() < 1e-9);
+        assert!((r.per_commodity[1].0[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_trivial() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        let inst = NetworkInstance {
+            graph: g,
+            latencies: vec![LatencyFn::identity()],
+            source: NodeId(0),
+            sink: NodeId(1),
+            rate: 0.0,
+        };
+        let r = solve_assignment(&inst, CostModel::Wardrop, &FwOptions::default());
+        assert!(r.converged);
+        assert_eq!(r.flow.0[0], 0.0);
+    }
+
+    #[test]
+    fn mm1_network_stays_within_capacity() {
+        // Single path with a tight M/M/1 edge; AON init must not overload it.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1)); // mm1 cap 2
+        g.add_edge(NodeId(0), NodeId(1)); // affine fallback
+        g.add_edge(NodeId(1), NodeId(2));
+        let inst = NetworkInstance::new(
+            g,
+            vec![LatencyFn::mm1(2.0), LatencyFn::affine(1.0, 0.2), LatencyFn::affine(0.1, 0.0)],
+            NodeId(0),
+            NodeId(2),
+            3.0,
+        );
+        let r = solve_assignment(&inst, CostModel::Wardrop, &FwOptions::default());
+        assert!(r.converged, "rel_gap {}", r.rel_gap);
+        assert!(r.flow.0[0] < 2.0);
+        // Wardrop: both parallel edges loaded ⇒ equal latency.
+        let l0 = LatencyFn::mm1(2.0).value(r.flow.0[0]);
+        let l1 = LatencyFn::affine(1.0, 0.2).value(r.flow.0[1]);
+        assert!((l0 - l1).abs() < 1e-6, "{l0} vs {l1}");
+    }
+}

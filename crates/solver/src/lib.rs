@@ -1,0 +1,39 @@
+//! # sopt-solver — convex flow solvers
+//!
+//! The paper assumes (Remark 4.5) that optimum and Nash flows "can be
+//! efficiently computed". The Rust optimisation ecosystem offers no such
+//! solver, so this crate builds the two the reproduction needs from scratch:
+//!
+//! * **Parallel-link equalizer** ([`equalize`]) — exact solution of the
+//!   common-level conditions: a Nash equilibrium equalises *latencies*
+//!   across loaded links (Remark 4.1); a system optimum equalises *marginal
+//!   costs* (KKT of `min Σ x_i ℓ_i(x_i)`). One bisection on the level with
+//!   per-link closed-form inverses, plus a Newton polish; constant latencies
+//!   (which absorb unbounded flow at their level) handled exactly.
+//! * **Frank–Wolfe family** ([`frank_wolfe`]) — convex-combinations method
+//!   for general (multi)networks, minimising either the Beckmann potential
+//!   `Σ ∫₀^{f_e} ℓ_e` (Wardrop/Nash) or the total cost `Σ f_e ℓ_e(f_e)`
+//!   (system optimum), with all-or-nothing subproblems via Dijkstra, exact
+//!   bisection line search, and the conjugate direction acceleration of
+//!   Mitradjieva–Lindberg (ablation: `benches/frank_wolfe.rs`).
+//! * **Path-based projected gradient** ([`pgd`]) — an independent
+//!   lower-precision solver over enumerated paths, used to cross-validate
+//!   Frank–Wolfe in tests.
+//!
+//! Shared numeric kernels live in [`roots`]; [`sweep`] provides the
+//! crossbeam-based parallel parameter sweeps used by benches and the
+//! experiments binary.
+
+pub mod aon;
+pub mod equalize;
+pub mod frank_wolfe;
+pub mod line_search;
+pub mod objective;
+pub mod path_polish;
+pub mod pgd;
+pub mod roots;
+pub mod sweep;
+
+pub use equalize::{equalize, EqualizeError, EqualizeResult};
+pub use frank_wolfe::{solve_assignment, solve_multicommodity, FwOptions, FwResult};
+pub use objective::CostModel;

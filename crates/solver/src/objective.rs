@@ -1,0 +1,95 @@
+//! The two convex objectives whose minimisers are the two equilibria.
+
+use sopt_latency::Latency;
+
+/// Which equilibrium a solver computes.
+///
+/// Both are minimisers of a separable convex objective `Σ_e F_e(f_e)` over
+/// feasible flows (Beckmann's transformation):
+///
+/// * [`CostModel::Wardrop`] — `F_e = ∫₀^x ℓ_e`, whose minimiser is the Nash
+///   equilibrium (all used paths have equal, minimal latency);
+/// * [`CostModel::SystemOptimum`] — `F_e = x·ℓ_e(x)`, whose minimiser is the
+///   optimum `O` (all used paths have equal, minimal *marginal* cost).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostModel {
+    /// Selfish routing: minimise the Beckmann potential.
+    Wardrop,
+    /// Centralised routing: minimise total cost.
+    SystemOptimum,
+}
+
+impl CostModel {
+    /// The per-edge objective term `F_e(x)`.
+    #[inline]
+    pub fn edge_objective<L: Latency>(self, l: &L, x: f64) -> f64 {
+        match self {
+            CostModel::Wardrop => l.integral(x),
+            CostModel::SystemOptimum => {
+                if x == 0.0 {
+                    0.0
+                } else {
+                    x * l.value(x)
+                }
+            }
+        }
+    }
+
+    /// The per-edge gradient `F'_e(x)` — the "cost" a solver equalises:
+    /// latency for Wardrop, marginal cost for the optimum.
+    #[inline]
+    pub fn edge_gradient<L: Latency>(self, l: &L, x: f64) -> f64 {
+        match self {
+            CostModel::Wardrop => l.value(x),
+            CostModel::SystemOptimum => l.marginal(x),
+        }
+    }
+
+    /// The per-edge curvature `F''_e(x)` (used by conjugate Frank–Wolfe).
+    #[inline]
+    pub fn edge_curvature<L: Latency>(self, l: &L, x: f64) -> f64 {
+        match self {
+            CostModel::Wardrop => l.derivative(x),
+            CostModel::SystemOptimum => l.marginal_derivative(x),
+        }
+    }
+
+    /// The link-capacity profile at cost level `y`:
+    /// `sup { x : F'_e(x) ≤ y }`.
+    #[inline]
+    pub fn max_flow_at<L: Latency>(self, l: &L, y: f64) -> f64 {
+        match self {
+            CostModel::Wardrop => l.max_flow_at_latency(y),
+            CostModel::SystemOptimum => l.max_flow_at_marginal(y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sopt_latency::Affine;
+
+    #[test]
+    fn wardrop_uses_latency() {
+        let l = Affine::new(2.0, 1.0);
+        assert_eq!(CostModel::Wardrop.edge_gradient(&l, 1.0), 3.0);
+        assert_eq!(CostModel::Wardrop.edge_objective(&l, 1.0), 2.0);
+        assert_eq!(CostModel::Wardrop.edge_curvature(&l, 1.0), 2.0);
+    }
+
+    #[test]
+    fn optimum_uses_marginal() {
+        let l = Affine::new(2.0, 1.0);
+        assert_eq!(CostModel::SystemOptimum.edge_gradient(&l, 1.0), 5.0);
+        assert_eq!(CostModel::SystemOptimum.edge_objective(&l, 1.0), 3.0);
+        assert_eq!(CostModel::SystemOptimum.edge_curvature(&l, 1.0), 4.0);
+    }
+
+    #[test]
+    fn max_flow_at_level_dispatch() {
+        let l = Affine::new(1.0, 0.0);
+        assert_eq!(CostModel::Wardrop.max_flow_at(&l, 2.0), 2.0);
+        assert_eq!(CostModel::SystemOptimum.max_flow_at(&l, 2.0), 1.0);
+    }
+}

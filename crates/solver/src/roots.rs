@@ -1,0 +1,142 @@
+//! Scalar numeric kernels: monotone bisection and convex minimisation.
+
+/// Iteration cap for all scalar searches (enough for f64 resolution).
+pub const MAX_ITER: usize = 200;
+
+/// Smallest `x ∈ [lo, hi]` with `pred(x)` true, for a monotone predicate
+/// (false … false true … true). Requires `pred(hi)`; if `pred(lo)` already
+/// holds, returns `lo`. The result is the `hi` end of the final bracket, so
+/// the predicate holds at the returned point.
+pub fn bisect_predicate(mut lo: f64, mut hi: f64, pred: impl Fn(f64) -> bool) -> f64 {
+    debug_assert!(lo <= hi);
+    if pred(lo) {
+        return lo;
+    }
+    debug_assert!(pred(hi), "predicate must hold at the upper bracket");
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break; // f64 exhausted
+        }
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Root of a nondecreasing function `f` on `[lo, hi]` with `f(lo) ≤ 0 ≤
+/// f(hi)`; returns a point within `tol` of the sign change.
+pub fn bisect_root(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> f64 {
+    debug_assert!(lo <= hi);
+    if f(lo) > 0.0 {
+        return lo;
+    }
+    if f(hi) < 0.0 {
+        return hi;
+    }
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= tol || mid <= lo || mid >= hi {
+            break;
+        }
+        if f(mid) <= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Golden-section minimisation of a (quasi-)convex `f` on `[lo, hi]`.
+/// Returns `(argmin, min)` within `tol` of the true minimiser. Robust to the
+/// piecewise-smooth convex objectives of Theorem 2.4 (kinks where the loaded
+/// link set changes).
+pub fn golden_min(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> (f64, f64) {
+    debug_assert!(lo <= hi);
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..MAX_ITER {
+        if hi - lo <= tol {
+            break;
+        }
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let xm = 0.5 * (lo + hi);
+    let fm = f(xm);
+    // Return the best of the probes (guards near-flat objectives).
+    if f1 <= fm && f1 <= f2 {
+        (x1, f1)
+    } else if f2 <= fm {
+        (x2, f2)
+    } else {
+        (xm, fm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_threshold() {
+        let x = bisect_predicate(0.0, 10.0, |x| x >= std::f64::consts::PI);
+        assert!((x - std::f64::consts::PI).abs() < 1e-12);
+        assert!(x >= std::f64::consts::PI);
+    }
+
+    #[test]
+    fn predicate_already_true() {
+        assert_eq!(bisect_predicate(2.0, 5.0, |x| x >= 1.0), 2.0);
+    }
+
+    #[test]
+    fn root_of_cubic() {
+        let r = bisect_root(0.0, 4.0, 1e-14, |x| x * x * x - 8.0);
+        assert!((r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn root_clamps_when_no_sign_change() {
+        assert_eq!(bisect_root(1.0, 2.0, 1e-12, |x| x), 1.0);
+        assert_eq!(bisect_root(-2.0, -1.0, 1e-12, |x| x), -1.0);
+    }
+
+    #[test]
+    fn golden_quadratic() {
+        let (x, v) = golden_min(-10.0, 10.0, 1e-12, |x| (x - 3.0) * (x - 3.0) + 1.0);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_piecewise_kink() {
+        // Convex with a kink at 1: min there.
+        let (x, _) = golden_min(0.0, 5.0, 1e-12, |x| (x - 1.0).abs() + 0.5 * x);
+        assert!((x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_boundary_minimum() {
+        let (x, _) = golden_min(0.0, 2.0, 1e-12, |x| x);
+        assert!(x < 1e-6);
+    }
+}

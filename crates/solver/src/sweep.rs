@@ -1,0 +1,94 @@
+//! Parallel parameter sweeps (crossbeam scoped threads).
+//!
+//! Experiment tables and benches evaluate many `(instance, α)` points; each
+//! point is independent, so we fan out across cores with order-preserving
+//! collection. Work is distributed by an atomic cursor, so uneven point
+//! costs (e.g. brute-force strategy search vs closed forms) balance
+//! automatically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Map `f` over `items` in parallel, preserving order of results.
+///
+/// Spawns at most `available_parallelism` threads (or 1 for short inputs);
+/// deterministic output: result `i` always corresponds to `items[i]`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * x);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = vec![];
+        assert!(par_map(&items, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            // Simulate uneven cost.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().enumerate().all(|(i, (x, _))| *x == i as u64));
+    }
+}

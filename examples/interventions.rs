@@ -1,0 +1,62 @@
+//! Comparing every intervention the paper's introduction lists, on one
+//! instance: do nothing, LLF, SCALE, the exact OpTop strategy, and
+//! marginal-cost tolls.
+//!
+//! ```text
+//! cargo run --example interventions
+//! ```
+//!
+//! Prints the full anarchy-value curve `α ↦ ϱ(M, r, α)` (Expression (2))
+//! with the Corollary 2.2 crossover at `β_M`, then the E15-style comparison
+//! of the two optimum-restoring mechanisms.
+
+use stackopt::core::curve::anarchy_curve;
+use stackopt::core::llf::llf;
+use stackopt::core::optop::optop;
+use stackopt::core::scale::scale;
+use stackopt::core::tolls::marginal_cost_tolls;
+use stackopt::instances::fig4::fig4_links;
+
+fn main() {
+    let links = fig4_links();
+    let ot = optop(&links);
+    println!("instance: the paper's Fig. 4 five-link system, r = 1");
+    println!(
+        "C(N) = {:.4}   C(O) = {:.4}   coordination ratio = {:.4}   β_M = {:.4}\n",
+        ot.nash_cost,
+        ot.optimum_cost,
+        ot.nash_cost / ot.optimum_cost,
+        ot.beta
+    );
+
+    println!("anarchy-value curve (oracle per point; exact from β on — Corollary 2.2):");
+    println!("{:>6} {:>10} {:>12} {:>12}  {:<22}", "α", "best", "LLF", "SCALE", "oracle");
+    let alphas: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
+    let curve = anarchy_curve(&links, &alphas);
+    for p in &curve.points {
+        let (_, c_llf) = llf(&links, p.alpha);
+        let (_, c_scale) = scale(&links, p.alpha);
+        println!(
+            "{:>6.2} {:>10.6} {:>12.6} {:>12.6}  {:<22}",
+            p.alpha,
+            p.ratio,
+            c_llf / curve.optimum_cost,
+            c_scale / curve.optimum_cost,
+            format!("{:?}", p.oracle),
+        );
+    }
+
+    let tolls = marginal_cost_tolls(&links);
+    let tolled_nash = tolls.tolled.nash();
+    println!("\nmarginal-cost tolls τ = o·ℓ'(o): {:?}", tolls.tolls);
+    println!(
+        "tolled Nash latency-cost = {:.6} (= C(O)); revenue collected = {:.4}",
+        links.cost(tolled_nash.flows()),
+        tolls.revenue
+    );
+    println!(
+        "\nsummary: the Leader buys the optimum with control over β = {:.3} of the flow;\n\
+         the toll designer buys it with {:.3} revenue extracted from the users.",
+        ot.beta, tolls.revenue
+    );
+}

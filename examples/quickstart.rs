@@ -1,0 +1,60 @@
+//! Quickstart: the paper's Pigou example (Figs. 1–3) end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the whole API surface on the smallest interesting instance:
+//! equilibria, the coordination ratio, the price of optimum β via OpTop,
+//! and the baseline strategies.
+
+use stackopt::core::llf::llf;
+use stackopt::core::scale::scale;
+use stackopt::core::optop::optop;
+use stackopt::equilibrium::cost::coordination_ratio;
+use stackopt::prelude::*;
+
+fn main() {
+    // Pigou's network: a fast link ℓ₁(x) = x and a constant link ℓ₂ ≡ 1,
+    // shared by a unit of infinitely divisible selfish traffic.
+    let links = ParallelLinks::new(
+        vec![LatencyFn::identity(), LatencyFn::constant(1.0)],
+        1.0,
+    );
+
+    // Selfish play floods the fast link (Fig. 1-down)…
+    let nash = links.nash();
+    println!("Nash assignment N   = {:?}", nash.flows());
+    println!("common latency L_N  = {:.4}", nash.level());
+    let c_nash = links.cost(nash.flows());
+    println!("C(N)                = {c_nash:.4}");
+
+    // …while the optimum balances the links (Fig. 1-up).
+    let opt = links.optimum();
+    println!("Optimum O           = {:?}", opt.flows());
+    let c_opt = links.cost(opt.flows());
+    println!("C(O)                = {c_opt:.4}");
+    println!(
+        "coordination ratio  = {:.4}  (the worst case 4/3 for linear latencies)",
+        coordination_ratio(c_nash, c_opt)
+    );
+
+    // The price of optimum: how much flow must a Leader control to *enforce*
+    // C(O)? OpTop answers β = 1/2 with strategy S = ⟨0, 1/2⟩ (Fig. 2).
+    let result = optop(&links);
+    println!("\nOpTop:");
+    println!("  β_M               = {:.4}", result.beta);
+    println!("  optimal strategy  = {:?}", result.strategy);
+    let induced = links.induced(&result.strategy);
+    println!("  induced S+T       = {:?}  (the optimum, Fig. 3)", induced.total);
+    println!("  C(S+T)            = {:.4}", links.cost(&induced.total));
+
+    // Baselines at α = β: LLF happens to match here; SCALE wastes control
+    // on the fast link and stays suboptimal.
+    let (_, llf_cost) = llf(&links, result.beta);
+    let (_, scale_cost) = scale(&links, result.beta);
+    println!("\nBaselines at α = β = {:.2}:", result.beta);
+    println!("  LLF   cost = {llf_cost:.4}");
+    println!("  SCALE cost = {scale_cost:.4}");
+    println!("  OpTop cost = {c_opt:.4}  <- approximation guarantee exactly 1");
+}

@@ -1,0 +1,155 @@
+//! `sopt` — command-line access to the price of optimum.
+//!
+//! ```text
+//! sopt beta     --links "x, 1.0" [--rate 1.0]
+//! sopt curve    --links "x+0.1, x+0.5" [--rate 1.0] [--steps 10]
+//! sopt equilib  --links "x, 1.0" [--rate 1.0]
+//! sopt tolls    --links "x, 1.0" [--rate 1.0]
+//! sopt llf      --links "x, 1.0" --alpha 0.4 [--rate 1.0]
+//! ```
+//!
+//! The links spec language is documented in [`stackopt::spec`]
+//! (`x`, `2x+0.3`, `0.7`, `x^3`, `mm1:2.0`, `bpr:1,0.15,10,4`).
+
+use std::process::ExitCode;
+
+use stackopt::core::curve::anarchy_curve;
+use stackopt::core::llf::llf;
+use stackopt::core::optop::optop;
+use stackopt::core::tolls::marginal_cost_tolls;
+use stackopt::equilibrium::parallel::ParallelLinks;
+use stackopt::spec::parse_links;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sopt beta    --links SPEC [--rate R]           minimum Leader portion β_M + strategy
+  sopt curve   --links SPEC [--rate R] [--steps N]  anarchy value vs α
+  sopt equilib --links SPEC [--rate R]           Nash and optimum assignments
+  sopt tolls   --links SPEC [--rate R]           marginal-cost tolls
+  sopt llf     --links SPEC --alpha A [--rate R] LLF strategy at portion A
+
+SPEC is comma-separated latencies: x | 2x+0.3 | 0.7 | x^3 | mm1:2.0 | bpr:t0,b,c,p
+example: sopt beta --links 'x, 1.0'";
+
+struct Args {
+    links: String,
+    rate: f64,
+    steps: usize,
+    alpha: Option<f64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut links = None;
+    let mut rate: f64 = 1.0;
+    let mut steps = 10;
+    let mut alpha = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i - 1).ok_or_else(|| "missing value after flag".to_string())
+        };
+        match args[i].as_str() {
+            "--links" => {
+                i += 1;
+                links = Some(take(&mut i)?.clone());
+            }
+            "--rate" => {
+                i += 1;
+                rate = take(&mut i)?.parse().map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--steps" => {
+                i += 1;
+                steps = take(&mut i)?.parse().map_err(|e| format!("--steps: {e}"))?;
+            }
+            "--alpha" => {
+                i += 1;
+                alpha = Some(take(&mut i)?.parse().map_err(|e| format!("--alpha: {e}"))?);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let links = links.ok_or("--links is required")?;
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err(format!("rate must be positive, got {rate}"));
+    }
+    Ok(Args { links, rate, steps, alpha })
+}
+
+fn build(args: &Args) -> Result<ParallelLinks, String> {
+    Ok(ParallelLinks::new(parse_links(&args.links)?, args.rate))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no command given".into());
+    };
+    let args = parse_args(rest)?;
+    let links = build(&args)?;
+
+    match cmd.as_str() {
+        "beta" => {
+            let r = optop(&links);
+            println!("m        = {}", links.m());
+            println!("rate     = {}", links.rate());
+            println!("C(N)     = {:.6}", r.nash_cost);
+            println!("C(O)     = {:.6}", r.optimum_cost);
+            println!("beta     = {:.6}", r.beta);
+            println!("strategy = {:?}", r.strategy);
+            println!("C(S+T)   = {:.6}", links.induced_cost(&r.strategy));
+        }
+        "curve" => {
+            let alphas: Vec<f64> =
+                (0..=args.steps).map(|k| k as f64 / args.steps as f64).collect();
+            let c = anarchy_curve(&links, &alphas);
+            println!("beta = {:.6}   C(N)/C(O) = {:.6}", c.beta, c.nash_cost / c.optimum_cost);
+            println!("{:>8} {:>12} {:>10}  oracle", "alpha", "C(S+T)", "ratio");
+            for p in &c.points {
+                println!(
+                    "{:>8.3} {:>12.6} {:>10.6}  {:?}",
+                    p.alpha, p.cost, p.ratio, p.oracle
+                );
+            }
+        }
+        "equilib" => {
+            let n = links.nash();
+            let o = links.optimum();
+            println!("Nash    (latency {:.6}): {:?}", n.level(), n.flows());
+            println!("Optimum (marginal {:.6}): {:?}", o.level(), o.flows());
+            println!("C(N) = {:.6}   C(O) = {:.6}", links.cost(n.flows()), links.cost(o.flows()));
+        }
+        "tolls" => {
+            let t = marginal_cost_tolls(&links);
+            println!("tolls    = {:?}", t.tolls);
+            println!("optimum  = {:?}", t.optimum);
+            println!("revenue  = {:.6}", t.revenue);
+            let tolled_nash = t.tolled.nash();
+            println!("tolled Nash = {:?} (≈ optimum)", tolled_nash.flows());
+        }
+        "llf" => {
+            let alpha = args.alpha.ok_or("llf requires --alpha")?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err(format!("--alpha must lie in [0,1], got {alpha}"));
+            }
+            let (s, cost) = llf(&links, alpha);
+            let r = optop(&links);
+            println!("strategy = {s:?}");
+            println!("C(S+T)   = {cost:.6}   C(O) = {:.6}   ratio = {:.6}", r.optimum_cost, cost / r.optimum_cost);
+            println!("bound 1/alpha = {:.6}", 1.0 / alpha);
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}

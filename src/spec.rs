@@ -1,0 +1,193 @@
+//! Text specifications for instances — the CLI's input language.
+//!
+//! A *links spec* is a comma-separated list of latency expressions:
+//!
+//! | form | meaning |
+//! |---|---|
+//! | `x` | `ℓ(x) = x` |
+//! | `2.5x` | `ℓ(x) = 2.5·x` |
+//! | `2x+0.3` | `ℓ(x) = 2x + 0.3` |
+//! | `0.7` | `ℓ ≡ 0.7` |
+//! | `x^3`, `2x^4` | monomials |
+//! | `mm1:2.0` | M/M/1 with capacity 2 |
+//! | `bpr:1,0.15,10,4` | BPR `t₀(1 + b(x/c)^p)` |
+//!
+//! Example: `"x, 1.0"` is Pigou's network.
+
+use sopt_latency::LatencyFn;
+
+/// Parse a single latency expression. Errors carry a human-readable reason.
+pub fn parse_latency(s: &str) -> Result<LatencyFn, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("empty latency expression".into());
+    }
+    if let Some(rest) = s.strip_prefix("mm1:") {
+        let c: f64 = rest.trim().parse().map_err(|e| format!("mm1 capacity: {e}"))?;
+        if c <= 0.0 {
+            return Err(format!("mm1 capacity must be positive, got {c}"));
+        }
+        return Ok(LatencyFn::mm1(c));
+    }
+    if let Some(rest) = s.strip_prefix("bpr:") {
+        let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+        if parts.len() != 4 {
+            return Err(format!("bpr needs t0,b,c,p — got {} fields", parts.len()));
+        }
+        let t0: f64 = parts[0].parse().map_err(|e| format!("bpr t0: {e}"))?;
+        let b: f64 = parts[1].parse().map_err(|e| format!("bpr b: {e}"))?;
+        let c: f64 = parts[2].parse().map_err(|e| format!("bpr c: {e}"))?;
+        let p: u32 = parts[3].parse().map_err(|e| format!("bpr p: {e}"))?;
+        return Ok(LatencyFn::bpr(t0, b, c, p));
+    }
+    // Affine / monomial / constant: [coef]x[^k][+b] | const
+    if let Some(xpos) = s.find('x') {
+        let coef_str = s[..xpos].trim();
+        let coef: f64 = if coef_str.is_empty() {
+            1.0
+        } else {
+            coef_str.parse().map_err(|e| format!("coefficient '{coef_str}': {e}"))?
+        };
+        if coef < 0.0 {
+            return Err(format!("negative coefficient {coef}"));
+        }
+        let rest = s[xpos + 1..].trim();
+        if rest.is_empty() {
+            return Ok(LatencyFn::affine(coef, 0.0));
+        }
+        if let Some(exp) = rest.strip_prefix('^') {
+            // Monomial with optional +b: "x^3", "x^3+0.5".
+            let (kstr, b) = match exp.find('+') {
+                Some(plus) => (&exp[..plus], Some(exp[plus + 1..].trim())),
+                None => (exp, None),
+            };
+            let k: u32 = kstr.trim().parse().map_err(|e| format!("exponent '{kstr}': {e}"))?;
+            if k == 0 {
+                return Err("exponent must be ≥ 1 (use a constant instead)".into());
+            }
+            let base = if k == 1 {
+                LatencyFn::affine(coef, 0.0)
+            } else {
+                LatencyFn::monomial(coef, k)
+            };
+            return match b {
+                None => Ok(base),
+                Some(bs) => {
+                    let b: f64 = bs.parse().map_err(|e| format!("intercept '{bs}': {e}"))?;
+                    if b < 0.0 {
+                        return Err(format!("negative intercept {b}"));
+                    }
+                    Ok(base.tolled(b))
+                }
+            };
+        }
+        if let Some(bs) = rest.strip_prefix('+') {
+            let b: f64 = bs.trim().parse().map_err(|e| format!("intercept '{bs}': {e}"))?;
+            if b < 0.0 {
+                return Err(format!("negative intercept {b}"));
+            }
+            return Ok(LatencyFn::affine(coef, b));
+        }
+        return Err(format!("cannot parse '{s}' after the x"));
+    }
+    // No 'x': a constant.
+    let c: f64 = s.parse().map_err(|e| format!("constant '{s}': {e}"))?;
+    if c < 0.0 {
+        return Err(format!("negative constant {c}"));
+    }
+    Ok(LatencyFn::constant(c))
+}
+
+/// Parse a comma-separated links spec into latency functions.
+pub fn parse_links(spec: &str) -> Result<Vec<LatencyFn>, String> {
+    let lats: Result<Vec<_>, _> = split_top_level(spec).iter().map(|s| parse_latency(s)).collect();
+    let lats = lats?;
+    if lats.is_empty() {
+        return Err("no links in spec".into());
+    }
+    Ok(lats)
+}
+
+/// Split on commas, but not inside `bpr:…` argument lists.
+fn split_top_level(spec: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut bpr_args_left = 0usize;
+    for part in spec.split(',') {
+        if bpr_args_left > 0 {
+            cur.push(',');
+            cur.push_str(part);
+            bpr_args_left -= 1;
+            if bpr_args_left == 0 {
+                out.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        if part.trim_start().starts_with("bpr:") {
+            cur = part.to_string();
+            bpr_args_left = 3; // t0 already captured; b, c, p follow
+        } else {
+            out.push(part.to_string());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sopt_latency::Latency;
+
+    #[test]
+    fn parses_pigou() {
+        let lats = parse_links("x, 1.0").unwrap();
+        assert_eq!(lats.len(), 2);
+        assert_eq!(lats[0], LatencyFn::identity());
+        assert_eq!(lats[1], LatencyFn::constant(1.0));
+    }
+
+    #[test]
+    fn parses_affine_forms() {
+        assert_eq!(parse_latency("2x+0.3").unwrap(), LatencyFn::affine(2.0, 0.3));
+        assert_eq!(parse_latency("2.5x").unwrap(), LatencyFn::affine(2.5, 0.0));
+        assert_eq!(parse_latency(" x + 1 ").unwrap(), LatencyFn::affine(1.0, 1.0));
+    }
+
+    #[test]
+    fn parses_monomials() {
+        assert_eq!(parse_latency("x^3").unwrap(), LatencyFn::monomial(1.0, 3));
+        assert_eq!(parse_latency("2x^4").unwrap(), LatencyFn::monomial(2.0, 4));
+        // x^1 normalises to affine.
+        assert_eq!(parse_latency("3x^1").unwrap(), LatencyFn::affine(3.0, 0.0));
+        // Monomial plus intercept evaluates correctly.
+        let l = parse_latency("x^2+1").unwrap();
+        assert!((l.value(2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_queueing_and_bpr() {
+        assert_eq!(parse_latency("mm1:2.0").unwrap(), LatencyFn::mm1(2.0));
+        assert_eq!(
+            parse_latency("bpr:1,0.15,10,4").unwrap(),
+            LatencyFn::bpr(1.0, 0.15, 10.0, 4)
+        );
+        // bpr embedded in a list.
+        let lats = parse_links("x, bpr:1,0.15,10,4, 0.7").unwrap();
+        assert_eq!(lats.len(), 3);
+        assert_eq!(lats[1], LatencyFn::bpr(1.0, 0.15, 10.0, 4));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_latency("").is_err());
+        assert!(parse_latency("-1").is_err());
+        assert!(parse_latency("x^0").is_err());
+        assert!(parse_latency("2x-1").is_err());
+        assert!(parse_latency("mm1:-3").is_err());
+        assert!(parse_latency("bpr:1,2").is_err());
+        assert!(parse_links("").is_err());
+    }
+}

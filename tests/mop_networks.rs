@@ -1,0 +1,101 @@
+//! Randomized end-to-end MOP validation on layered networks: the strategy
+//! must induce the optimum and β must be minimal along the scaling ray.
+
+use stackopt::core::mop::{mop, mop_greedy};
+use stackopt::equilibrium::certify::certify_network;
+use stackopt::equilibrium::network::induced_network;
+use stackopt::instances::random::random_layered_network;
+use stackopt::solver::frank_wolfe::FwOptions;
+use stackopt::solver::objective::CostModel;
+
+fn opts() -> FwOptions {
+    FwOptions { rel_gap: 1e-10, ..FwOptions::default() }
+}
+
+#[test]
+fn mop_induces_optimum_on_random_layered_nets() {
+    for seed in 0..8u64 {
+        let inst = random_layered_network(3, 3, 2.0, seed);
+        let r = mop(&inst, &opts());
+        assert!((0.0..=1.0 + 1e-6).contains(&r.beta), "seed {seed}: β = {}", r.beta);
+
+        // The optimum itself is certified.
+        certify_network(&inst, &r.optimum, CostModel::SystemOptimum, 1e-4)
+            .unwrap_or_else(|e| panic!("seed {seed}: optimum not certified: {e}"));
+
+        // Leader + induced followers = optimum cost.
+        let follower = induced_network(&inst, &r.leader, r.leader_value, &opts());
+        let total: Vec<f64> = r
+            .leader
+            .as_slice()
+            .iter()
+            .zip(follower.flow.as_slice())
+            .map(|(a, b)| a + b)
+            .collect();
+        let cost = inst.cost(&total);
+        assert!(
+            (cost - r.optimum_cost).abs() < 2e-4 * r.optimum_cost.max(1.0),
+            "seed {seed}: induced {cost} vs C(O) {}",
+            r.optimum_cost
+        );
+    }
+}
+
+#[test]
+fn mop_beta_never_exceeds_greedy_on_random_nets() {
+    for seed in 0..8u64 {
+        let inst = random_layered_network(3, 3, 2.0, seed);
+        let exact = mop(&inst, &opts());
+        let greedy = mop_greedy(&inst, &opts());
+        assert!(
+            exact.beta <= greedy.beta + 1e-6,
+            "seed {seed}: exact β {} > greedy β {}",
+            exact.beta,
+            greedy.beta
+        );
+    }
+}
+
+#[test]
+fn mop_leader_and_free_parts_partition_optimum() {
+    for seed in [2u64, 5, 11] {
+        let inst = random_layered_network(2, 4, 1.5, seed);
+        let r = mop(&inst, &opts());
+        for e in 0..inst.num_edges() {
+            let o = r.optimum.as_slice()[e];
+            let fr = r.free_flow.as_slice()[e];
+            let ld = r.leader.as_slice()[e];
+            assert!(fr >= -1e-9 && ld >= -1e-9, "seed {seed} edge {e}");
+            assert!(fr <= o + 1e-6, "seed {seed} edge {e}: free exceeds optimum");
+            assert!((fr + ld - o).abs() < 1e-6, "seed {seed} edge {e}: partition broken");
+        }
+        assert!((r.free_value + r.leader_value - inst.rate).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn scaled_down_mop_strategy_misses_optimum() {
+    // Minimality along the ray: 80% of the MOP strategy cannot induce C(O)
+    // whenever β > 0 and the instance is not already optimal at Nash.
+    for seed in 0..8u64 {
+        let inst = random_layered_network(3, 3, 2.0, seed);
+        let r = mop(&inst, &opts());
+        if r.beta < 0.05 {
+            continue;
+        }
+        let scaled: Vec<f64> = r.leader.as_slice().iter().map(|x| x * 0.8).collect();
+        let follower = induced_network(
+            &inst,
+            &stackopt::network::flow::EdgeFlow(scaled.clone()),
+            r.leader_value * 0.8,
+            &opts(),
+        );
+        let total: Vec<f64> =
+            scaled.iter().zip(follower.flow.as_slice()).map(|(a, b)| a + b).collect();
+        let cost = inst.cost(&total);
+        assert!(
+            cost >= r.optimum_cost - 1e-6,
+            "seed {seed}: scaled strategy beat the optimum?!"
+        );
+    }
+}
