@@ -18,9 +18,7 @@ fn affine_links(m: usize) -> Vec<LatencyFn> {
 /// through bracket-growth + bisection instead of the affine closed form.
 fn polynomial_links(m: usize) -> Vec<LatencyFn> {
     (0..m)
-        .map(|i| {
-            LatencyFn::polynomial(vec![(i % 7) as f64 * 0.2, 0.5 + (i % 13) as f64 * 0.25])
-        })
+        .map(|i| LatencyFn::polynomial(vec![(i % 7) as f64 * 0.2, 0.5 + (i % 13) as f64 * 0.25]))
         .collect()
 }
 

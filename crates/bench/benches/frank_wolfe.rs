@@ -15,11 +15,21 @@ fn bench_conjugate_ablation(c: &mut Criterion) {
     // Plain FW stalls sublinearly: compare at an achievable gap.
     let gap = 1e-6;
     group.bench_function("plain_fw", |b| {
-        let opts = FwOptions { conjugate: false, rel_gap: gap, max_iters: 1_000_000, ..FwOptions::default() };
+        let opts = FwOptions {
+            conjugate: false,
+            rel_gap: gap,
+            max_iters: 1_000_000,
+            ..FwOptions::default()
+        };
         b.iter(|| solve_assignment(black_box(&inst), CostModel::Wardrop, &opts))
     });
     group.bench_function("conjugate_fw", |b| {
-        let opts = FwOptions { conjugate: true, rel_gap: gap, max_iters: 1_000_000, ..FwOptions::default() };
+        let opts = FwOptions {
+            conjugate: true,
+            rel_gap: gap,
+            max_iters: 1_000_000,
+            ..FwOptions::default()
+        };
         b.iter(|| solve_assignment(black_box(&inst), CostModel::Wardrop, &opts))
     });
     group.finish();
@@ -31,7 +41,10 @@ fn bench_network_scaling(c: &mut Criterion) {
     for &(layers, width) in &[(2usize, 3usize), (4, 4), (6, 6), (8, 8)] {
         let inst = random_layered_network(layers, width, 5.0, 42);
         let edges = inst.num_edges();
-        let opts = FwOptions { rel_gap: 1e-8, ..FwOptions::default() };
+        let opts = FwOptions {
+            rel_gap: 1e-8,
+            ..FwOptions::default()
+        };
         group.bench_with_input(
             BenchmarkId::new("wardrop", format!("{layers}x{width}_{edges}e")),
             &inst,
@@ -40,9 +53,7 @@ fn bench_network_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("optimum", format!("{layers}x{width}_{edges}e")),
             &inst,
-            |b, inst| {
-                b.iter(|| solve_assignment(black_box(inst), CostModel::SystemOptimum, &opts))
-            },
+            |b, inst| b.iter(|| solve_assignment(black_box(inst), CostModel::SystemOptimum, &opts)),
         );
     }
     group.finish();

@@ -11,7 +11,10 @@ use std::hint::black_box;
 fn bench_mop_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("mop_scaling");
     group.sample_size(10);
-    let opts = FwOptions { rel_gap: 1e-8, ..FwOptions::default() };
+    let opts = FwOptions {
+        rel_gap: 1e-8,
+        ..FwOptions::default()
+    };
     for &(layers, width) in &[(2usize, 3usize), (4, 4), (6, 6)] {
         let inst = random_layered_network(layers, width, 5.0, 23);
         let edges = inst.num_edges();

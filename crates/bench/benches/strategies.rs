@@ -35,5 +35,9 @@ fn bench_induced_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategy_construction, bench_induced_evaluation);
+criterion_group!(
+    benches,
+    bench_strategy_construction,
+    bench_induced_evaluation
+);
 criterion_main!(benches);

@@ -89,7 +89,12 @@ pub fn e10_poa_bounds() {
         f(max_ratio),
         f(4.0 / 3.0),
     ]);
-    t.row(["Pigou (worst case)".to_string(), "1".to_string(), f(pigou), f(4.0 / 3.0)]);
+    t.row([
+        "Pigou (worst case)".to_string(),
+        "1".to_string(),
+        f(pigou),
+        f(4.0 / 3.0),
+    ]);
     t.print();
     assert!(max_ratio <= 4.0 / 3.0 + 1e-6);
     assert!((pigou - 4.0 / 3.0).abs() < 1e-9);
@@ -104,10 +109,7 @@ pub fn e10_poa_bounds() {
     for &util in &[0.5, 0.9, 0.99, 0.999, 0.9999] {
         let c = 1.0 / util; // rate 1, capacity c
         let bypass = 1.0 / (c - 1.0);
-        let links = ParallelLinks::new(
-            vec![LatencyFn::mm1(c), LatencyFn::constant(bypass)],
-            1.0,
-        );
+        let links = ParallelLinks::new(vec![LatencyFn::mm1(c), LatencyFn::constant(bypass)], 1.0);
         let cn = links.cost(links.nash().flows());
         let co = links.cost(links.optimum().flows());
         t.row([format!("{util}"), f(cn), f(co), f(cn / co)]);

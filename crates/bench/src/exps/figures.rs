@@ -23,16 +23,35 @@ pub fn e1_pigou() {
     let induced = links.induced(&r.strategy);
 
     let mut t = Table::new(["quantity", "paper", "measured"]);
-    t.row(["C(N)".to_string(), f(e.nash_cost), f(links.cost(nash.flows()))]);
-    t.row(["C(O)".to_string(), f(e.optimum_cost), f(links.cost(opt.flows()))]);
+    t.row([
+        "C(N)".to_string(),
+        f(e.nash_cost),
+        f(links.cost(nash.flows())),
+    ]);
+    t.row([
+        "C(O)".to_string(),
+        f(e.optimum_cost),
+        f(links.cost(opt.flows())),
+    ]);
     t.row([
         "coordination ratio".to_string(),
         f(e.coordination_ratio),
-        f(coordination_ratio(links.cost(nash.flows()), links.cost(opt.flows()))),
+        f(coordination_ratio(
+            links.cost(nash.flows()),
+            links.cost(opt.flows()),
+        )),
     ]);
     t.row(["β_M".to_string(), f(e.beta), f(r.beta)]);
-    t.row(["strategy s₂".to_string(), f(e.strategy[1]), f(r.strategy[1])]);
-    t.row(["C(S+T)".to_string(), f(e.optimum_cost), f(links.cost(&induced.total))]);
+    t.row([
+        "strategy s₂".to_string(),
+        f(e.strategy[1]),
+        f(r.strategy[1]),
+    ]);
+    t.row([
+        "C(S+T)".to_string(),
+        f(e.optimum_cost),
+        f(links.cost(&induced.total)),
+    ]);
     t.print();
 
     assert!((r.beta - e.beta).abs() < 1e-9);
@@ -46,10 +65,21 @@ pub fn e2_optop_trace() {
     let e = fig4_expected();
     let r = optop(&links);
 
-    let mut t = Table::new(["link", "ℓ_i", "Nash n_i", "Opt o_i", "state", "strategy s_i"]);
+    let mut t = Table::new([
+        "link",
+        "ℓ_i",
+        "Nash n_i",
+        "Opt o_i",
+        "state",
+        "strategy s_i",
+    ]);
     let names = ["x", "3x/2", "2x", "5x/2+1/6", "0.7"];
     for (i, name) in names.iter().enumerate() {
-        let state = if r.rounds[0].frozen.contains(&i) { "under-loaded → frozen" } else { "over-loaded" };
+        let state = if r.rounds[0].frozen.contains(&i) {
+            "under-loaded → frozen"
+        } else {
+            "over-loaded"
+        };
         t.row([
             format!("M{}", i + 1),
             name.to_string(),
@@ -63,7 +93,11 @@ pub fn e2_optop_trace() {
     println!(
         "rounds: {}   frozen in round 1: {:?} (paper: {{M4, M5}})",
         r.rounds.len(),
-        r.rounds[0].frozen.iter().map(|i| format!("M{}", i + 1)).collect::<Vec<_>>()
+        r.rounds[0]
+            .frozen
+            .iter()
+            .map(|i| format!("M{}", i + 1))
+            .collect::<Vec<_>>()
     );
     println!("β_M = {} (closed form {})", f(r.beta), f(e.beta));
     let induced = links.induced(&r.strategy);
@@ -82,7 +116,14 @@ pub fn e3_fig7_mop() {
     println!("\n=== E3: MOP on the Fig. 7 instance ===");
     let opts = FwOptions::default();
     let mut t = Table::new([
-        "ε", "β (paper)", "β (measured)", "r' (paper)", "r' (measured)", "C(N)", "C(O)", "C(S+T)",
+        "ε",
+        "β (paper)",
+        "β (measured)",
+        "r' (paper)",
+        "r' (measured)",
+        "C(N)",
+        "C(O)",
+        "C(S+T)",
     ]);
     for &eps in &[0.0, 0.01, 0.05, 0.1, 0.2] {
         let inst = fig7_instance(eps);

@@ -39,15 +39,27 @@ pub fn e6_theorem24_vs_brute() {
             hard_points += 1;
         }
     }
-    let mut t = Table::new(["points", "hard-side points", "worst exact − brute", "verdict"]);
+    let mut t = Table::new([
+        "points",
+        "hard-side points",
+        "worst exact − brute",
+        "verdict",
+    ]);
     t.row([
         rows.len().to_string(),
         hard_points.to_string(),
         format!("{worst_excess:.2e}"),
-        if worst_excess <= 1e-5 { "Theorem 2.4 optimal".to_string() } else { "MISMATCH".into() },
+        if worst_excess <= 1e-5 {
+            "Theorem 2.4 optimal".to_string()
+        } else {
+            "MISMATCH".into()
+        },
     ]);
     t.print();
-    assert!(worst_excess <= 1e-5, "Theorem 2.4 lost to brute force by {worst_excess}");
+    assert!(
+        worst_excess <= 1e-5,
+        "Theorem 2.4 lost to brute force by {worst_excess}"
+    );
     assert!(hard_points > 0);
 
     // The knapsack-flavoured family specifically.
@@ -69,13 +81,23 @@ pub fn e6_theorem24_vs_brute() {
 pub fn e7_beta_minimality() {
     println!("\n=== E7: minimality of the price of optimum β_M ===");
     let mut t = Table::new([
-        "instance", "β_M", "best(0.75β)/C(O)", "best(0.9β)/C(O)", "best(β)/C(O)",
+        "instance",
+        "β_M",
+        "best(0.75β)/C(O)",
+        "best(0.9β)/C(O)",
+        "best(β)/C(O)",
     ]);
     let common: Vec<(String, ParallelLinks)> = vec![
         ("pigou".into(), pigou_links()),
         ("fig4".into(), fig4_links()),
-        ("common-slope m=3 #1".into(), random_common_slope(3, 1.0, 17)),
-        ("common-slope m=4 #2".into(), random_common_slope(4, 1.0, 99)),
+        (
+            "common-slope m=3 #1".into(),
+            random_common_slope(3, 1.0, 17),
+        ),
+        (
+            "common-slope m=4 #2".into(),
+            random_common_slope(4, 1.0, 99),
+        ),
     ];
     for (name, links) in &common {
         let ot = optop(links);
@@ -83,13 +105,13 @@ pub fn e7_beta_minimality() {
             // Use the exact algorithm where applicable, else brute force.
             let all_affine_common = links.latencies().iter().all(|l| {
                 matches!(l, sopt_latency::LatencyFn::Affine(a)
-                    if {
-                        let first = links.latencies().iter().find_map(|x| match x {
-                            sopt_latency::LatencyFn::Affine(y) => Some(y.a),
-                            _ => None,
-                        }).unwrap_or(a.a);
-                        (a.a - first).abs() < 1e-12
-                    })
+                if {
+                    let first = links.latencies().iter().find_map(|x| match x {
+                        sopt_latency::LatencyFn::Affine(y) => Some(y.a),
+                        _ => None,
+                    }).unwrap_or(a.a);
+                    (a.a - first).abs() < 1e-12
+                })
             });
             if all_affine_common {
                 linear_optimal_strategy(links, alpha).cost
@@ -102,9 +124,15 @@ pub fn e7_beta_minimality() {
         let r90 = best_at(0.90 * ot.beta) / co;
         let r100 = best_at(ot.beta) / co;
         t.row([name.clone(), f(ot.beta), f(r75), f(r90), f(r100)]);
-        assert!(r100 < 1.0 + 1e-4, "{name}: at β the optimum must be enforced");
+        assert!(
+            r100 < 1.0 + 1e-4,
+            "{name}: at β the optimum must be enforced"
+        );
         if ot.beta > 1e-9 && ot.nash_cost > co * (1.0 + 1e-6) {
-            assert!(r90 > 1.0 + 1e-7, "{name}: below β the optimum must be unreachable");
+            assert!(
+                r90 > 1.0 + 1e-7,
+                "{name}: below β the optimum must be unreachable"
+            );
         }
     }
     t.print();
@@ -115,7 +143,10 @@ pub fn e7_beta_minimality() {
 pub fn e13_threshold() {
     println!("\n=== E13: improvement thresholds (footnote 6, [43]) ===");
     let mut t = Table::new([
-        "instance", "lower bound min{n_i<o_i}/r", "empirical threshold", "consistent?",
+        "instance",
+        "lower bound min{n_i<o_i}/r",
+        "empirical threshold",
+        "consistent?",
     ]);
     let mut instances: Vec<(String, ParallelLinks)> = vec![(
         "two-link b=(0,0.2)".into(),
@@ -128,17 +159,22 @@ pub fn e13_threshold() {
         ),
     )];
     for seed in [5u64, 23, 41] {
-        instances.push((format!("common-slope m=3 seed {seed}"), random_common_slope(3, 1.0, seed)));
+        instances.push((
+            format!("common-slope m=3 seed {seed}"),
+            random_common_slope(3, 1.0, seed),
+        ));
     }
     for (name, links) in &instances {
         let lb = improvement_threshold_lower_bound(links);
-        let emp = empirical_improvement_threshold(
-            links,
-            |l, a| linear_optimal_strategy(l, a).cost,
-            1e-9,
-        );
+        let emp =
+            empirical_improvement_threshold(links, |l, a| linear_optimal_strategy(l, a).cost, 1e-9);
         let ok = emp >= lb - 1e-6;
-        t.row([name.clone(), f(lb), f(emp), if ok { "yes".to_string() } else { "NO".into() }]);
+        t.row([
+            name.clone(),
+            f(lb),
+            f(emp),
+            if ok { "yes".to_string() } else { "NO".into() },
+        ]);
         assert!(ok, "{name}: empirical {emp} below bound {lb}");
     }
     t.print();

@@ -24,8 +24,16 @@ fn disjoint_pigous() -> MultiCommodityInstance {
             LatencyFn::constant(1.0),
         ],
         vec![
-            Commodity { source: NodeId(0), sink: NodeId(1), rate: 1.0 },
-            Commodity { source: NodeId(2), sink: NodeId(3), rate: 1.0 },
+            Commodity {
+                source: NodeId(0),
+                sink: NodeId(1),
+                rate: 1.0,
+            },
+            Commodity {
+                source: NodeId(2),
+                sink: NodeId(3),
+                rate: 1.0,
+            },
         ],
     )
 }
@@ -47,8 +55,16 @@ fn shared_bottleneck() -> MultiCommodityInstance {
             LatencyFn::constant(2.0),
         ],
         vec![
-            Commodity { source: NodeId(0), sink: NodeId(3), rate: 1.0 },
-            Commodity { source: NodeId(1), sink: NodeId(3), rate: 1.0 },
+            Commodity {
+                source: NodeId(0),
+                sink: NodeId(3),
+                rate: 1.0,
+            },
+            Commodity {
+                source: NodeId(1),
+                sink: NodeId(3),
+                rate: 1.0,
+            },
         ],
     )
 }
@@ -74,9 +90,21 @@ fn three_commodity_grid() -> MultiCommodityInstance {
         g,
         lats,
         vec![
-            Commodity { source: NodeId(0), sink: NodeId(5), rate: 0.8 },
-            Commodity { source: NodeId(1), sink: NodeId(5), rate: 0.6 },
-            Commodity { source: NodeId(2), sink: NodeId(5), rate: 1.0 },
+            Commodity {
+                source: NodeId(0),
+                sink: NodeId(5),
+                rate: 0.8,
+            },
+            Commodity {
+                source: NodeId(1),
+                sink: NodeId(5),
+                rate: 0.6,
+            },
+            Commodity {
+                source: NodeId(2),
+                sink: NodeId(5),
+                rate: 1.0,
+            },
         ],
     )
 }
@@ -91,7 +119,14 @@ pub fn e11_multicommodity() {
         ("layered grid, k=3".into(), three_commodity_grid()),
     ];
     let mut t = Table::new([
-        "instance", "k", "β (strong)", "β (weak)", "α_i per commodity", "C(N)", "C(O)", "C(S+T)",
+        "instance",
+        "k",
+        "β (strong)",
+        "β (weak)",
+        "α_i per commodity",
+        "C(N)",
+        "C(O)",
+        "C(S+T)",
     ]);
     for (name, inst) in &instances {
         let r = mop_multi(inst, &opts);
@@ -122,7 +157,10 @@ pub fn e11_multicommodity() {
             f(r.optimum_cost),
             f(c_induced),
         ]);
-        assert!(r.weak_beta() >= r.beta - 1e-9, "{name}: weak β must dominate strong β");
+        assert!(
+            r.weak_beta() >= r.beta - 1e-9,
+            "{name}: weak β must dominate strong β"
+        );
         assert!(
             (c_induced - r.optimum_cost).abs() < 2e-4 * r.optimum_cost.max(1.0),
             "{name}: induced {c_induced} vs C(O) {}",

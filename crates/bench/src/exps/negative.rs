@@ -56,10 +56,17 @@ fn best_strategy_cost(k: u32, alpha: f64, grid: usize, opts: &FwOptions) -> f64 
 /// E5: sweep the degree `k` at fixed α = 0.3.
 pub fn e5_unbounded_stackelberg() {
     println!("\n=== E5: the Ex 6.5.1 x^k family — unbounded anarchy vs MOP (Remark 3.1) ===");
-    let opts = FwOptions { rel_gap: 1e-8, ..FwOptions::default() };
+    let opts = FwOptions {
+        rel_gap: 1e-8,
+        ..FwOptions::default()
+    };
     let alpha = 0.3;
     let mut t = Table::new([
-        "k", "C(N)/C(O)", "β_G(k)", "best C(S+T)/C(O) @ α=0.3", "regime",
+        "k",
+        "C(N)/C(O)",
+        "β_G(k)",
+        "best C(S+T)/C(O) @ α=0.3",
+        "regime",
     ]);
     let mut anarchy_prev = 0.0;
     let mut saw_hard = false;
@@ -88,10 +95,19 @@ pub fn e5_unbounded_stackelberg() {
         };
         assert!(anarchy > anarchy_prev, "anarchy must grow with k");
         anarchy_prev = anarchy;
-        t.row([k.to_string(), f(anarchy), f(beta), f(best), regime.to_string()]);
+        t.row([
+            k.to_string(),
+            f(anarchy),
+            f(beta),
+            f(best),
+            regime.to_string(),
+        ]);
     }
     t.print();
-    assert!(saw_hard && saw_easy, "the sweep must straddle the β crossover");
+    assert!(
+        saw_hard && saw_easy,
+        "the sweep must straddle the β crossover"
+    );
     println!("(the plain anarchy value is unbounded in k — no 4/3-style comfort on s–t");
     println!(" nets — yet MOP's guarantee is exactly 1 once the Leader holds β_G;");
     println!(" below β_G the optimum is strictly unreachable, Corollary 2.3's crossover)");

@@ -24,7 +24,11 @@ mod tests {
     #[test]
     fn aloof_cost_is_nash_cost() {
         let links = ParallelLinks::new(
-            vec![LatencyFn::affine(1.0, 0.0), LatencyFn::mm1(3.0), LatencyFn::constant(0.9)],
+            vec![
+                LatencyFn::affine(1.0, 0.0),
+                LatencyFn::mm1(3.0),
+                LatencyFn::constant(0.9),
+            ],
             1.5,
         );
         let (s, c) = aloof(&links);

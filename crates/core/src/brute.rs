@@ -26,7 +26,12 @@ pub struct BruteOptions {
 
 impl Default for BruteOptions {
     fn default() -> Self {
-        Self { grid: 200, restarts: 64, refine_sweeps: 60, seed: 0x5eed }
+        Self {
+            grid: 200,
+            restarts: 64,
+            refine_sweeps: 60,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -159,8 +164,7 @@ mod tests {
 
     #[test]
     fn pigou_brute_matches_optop_at_beta() {
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         let (s, c) = brute_force_optimal(&links, 0.5, &BruteOptions::default());
         assert!((c - 0.75).abs() < 1e-6, "cost {c}");
         assert!((s[1] - 0.5).abs() < 1e-3, "{s:?}");
@@ -168,8 +172,7 @@ mod tests {
 
     #[test]
     fn zero_alpha_is_nash() {
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         let (_, c) = brute_force_optimal(&links, 0.0, &BruteOptions::default());
         assert!((c - 1.0).abs() < 1e-9);
     }
@@ -213,10 +216,7 @@ mod tests {
     #[test]
     fn mm1_capacity_probes_are_safe() {
         // Strategy space touches the M/M/1 capacity; eval must not panic.
-        let links = ParallelLinks::new(
-            vec![LatencyFn::mm1(0.6), LatencyFn::affine(1.0, 0.0)],
-            1.0,
-        );
+        let links = ParallelLinks::new(vec![LatencyFn::mm1(0.6), LatencyFn::affine(1.0, 0.0)], 1.0);
         let (_, c) = brute_force_optimal(&links, 0.9, &BruteOptions::default());
         assert!(c.is_finite());
     }

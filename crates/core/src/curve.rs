@@ -86,7 +86,10 @@ pub fn anarchy_curve(links: &ParallelLinks, alphas: &[f64]) -> AnarchyCurve {
     for &alpha in &sorted {
         assert!((0.0..=1.0).contains(&alpha), "α must lie in [0, 1]");
         let (cost, oracle) = if exact_class {
-            (linear_optimal_strategy(links, alpha).cost, CurveOracle::Exact)
+            (
+                linear_optimal_strategy(links, alpha).cost,
+                CurveOracle::Exact,
+            )
         } else if alpha >= ot.beta {
             // Corollary 2.2: pad the OpTop strategy with mimicking flow.
             let strategy = pad(&ot.strategy, &ot.optimum, alpha * links.rate());
@@ -98,7 +101,10 @@ pub fn anarchy_curve(links: &ParallelLinks, alphas: &[f64]) -> AnarchyCurve {
             let (_, c_llf) = llf(links, alpha);
             let (_, c_scale) = scale(links, alpha);
             // Proportional Nash (useless strategy) anchors at C(N).
-            (c_llf.min(c_scale).min(ot.nash_cost), CurveOracle::HeuristicUpperBound)
+            (
+                c_llf.min(c_scale).min(ot.nash_cost),
+                CurveOracle::HeuristicUpperBound,
+            )
         };
         points.push(CurvePoint {
             alpha,
@@ -118,13 +124,20 @@ pub fn anarchy_curve(links: &ParallelLinks, alphas: &[f64]) -> AnarchyCurve {
 fn pad(strategy: &[f64], optimum: &[f64], budget: f64) -> Vec<f64> {
     let used: f64 = strategy.iter().sum();
     let surplus = (budget - used).max(0.0);
-    let remaining: Vec<f64> =
-        optimum.iter().zip(strategy).map(|(o, s)| (o - s).max(0.0)).collect();
+    let remaining: Vec<f64> = optimum
+        .iter()
+        .zip(strategy)
+        .map(|(o, s)| (o - s).max(0.0))
+        .collect();
     let total: f64 = remaining.iter().sum();
     if surplus <= 0.0 || total <= 0.0 {
         return strategy.to_vec();
     }
-    strategy.iter().zip(&remaining).map(|(s, r)| s + surplus * r / total).collect()
+    strategy
+        .iter()
+        .zip(&remaining)
+        .map(|(s, r)| s + surplus * r / total)
+        .collect()
 }
 
 #[cfg(test)]
@@ -137,8 +150,7 @@ mod tests {
 
     #[test]
     fn pigou_curve_shape() {
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         let c = anarchy_curve(&links, &alphas());
         assert!((c.beta - 0.5).abs() < 1e-9);
         // Starts at the coordination ratio 4/3…
@@ -150,7 +162,12 @@ mod tests {
         // …and exactly 1 from β on.
         for p in &c.points {
             if p.alpha >= c.beta - 1e-12 {
-                assert!((p.ratio - 1.0).abs() < 1e-6, "α={}: ratio {}", p.alpha, p.ratio);
+                assert!(
+                    (p.ratio - 1.0).abs() < 1e-6,
+                    "α={}: ratio {}",
+                    p.alpha,
+                    p.ratio
+                );
             } else {
                 assert!(p.ratio > 1.0 - 1e-9);
             }
@@ -188,7 +205,11 @@ mod tests {
     #[test]
     fn curve_never_beats_optimum_nor_loses_to_nash() {
         let links = ParallelLinks::new(
-            vec![LatencyFn::affine(2.0, 0.0), LatencyFn::affine(2.0, 0.3), LatencyFn::affine(2.0, 0.9)],
+            vec![
+                LatencyFn::affine(2.0, 0.0),
+                LatencyFn::affine(2.0, 0.3),
+                LatencyFn::affine(2.0, 0.9),
+            ],
             1.0,
         );
         let c = anarchy_curve(&links, &alphas());

@@ -4,16 +4,16 @@
 //!
 //! | Paper artefact | Module |
 //! |---|---|
-//! | Algorithm **OpTop** + Corollary 2.2 (minimum Leader portion `β_M` and optimal strategy on parallel links) | [`optop`] |
-//! | Algorithm **MOP** + Corollary 2.3 (s–t networks) | [`mop`] |
-//! | Theorem 2.1 (k commodities) | [`mop_multi`] |
+//! | Algorithm **OpTop** + Corollary 2.2 (minimum Leader portion `β_M` and optimal strategy on parallel links) | [`optop`](mod@optop) |
+//! | Algorithm **MOP** + Corollary 2.3 (s–t networks) | [`mop`](mod@mop) |
+//! | Theorem 2.1 (k commodities) | [`mop_multi`](mod@mop_multi) |
 //! | Theorem 2.4 (poly-time optimal strategy for `α < β_M`, common-slope linear links) | [`linear_optimal`] |
 //! | Lemma 6.1 (swap argument, Figs. 8–10) | [`theorems`] |
 //! | Proposition 7.1, Theorem 7.2, Theorem 7.4/Lemma 7.5 | [`theorems`] |
 //! | Footnote 6 / Sharma–Williamson improvement threshold | [`threshold`] |
-//! | Baselines: LLF ([37]), SCALE ([18]), Aloof, brute force | [`llf`], [`scale`], [`aloof`], [`brute`] |
+//! | Baselines: LLF (\[37\]), SCALE (\[18\]), Aloof, brute force | [`llf`], [`scale`], [`aloof`], [`brute`] |
 //! | Expression (2) as a curve `α ↦ ϱ(M,r,α)` | [`curve`] |
-//! | Marginal-cost pricing (intro's pricing-policy alternative [4]) | [`tolls`] |
+//! | Marginal-cost pricing (intro's pricing-policy alternative \[4\]) | [`tolls`] |
 //!
 //! The headline API:
 //!

@@ -128,17 +128,20 @@ pub fn linear_optimal_strategy(links: &ParallelLinks, alpha: f64) -> LinearOptim
     // Baseline candidate: the useless strategy (Theorem 7.2) inducing C(N).
     // Mimic followers proportionally so s_j ≤ n_j and Σs = αr.
     let mut best_cost = nash_cost;
-    let mut best_strategy: Vec<f64> =
-        nash_flows.iter().map(|n| n * budget / r).collect();
+    let mut best_strategy: Vec<f64> = nash_flows.iter().map(|n| n * budget / r).collect();
     let mut best_kind = SolutionKind::Aloof;
 
     for i0 in 1..m {
         let prefix: Vec<usize> = order[..i0].to_vec();
         let suffix: Vec<usize> = order[i0..].to_vec();
-        let prefix_lats: Vec<LatencyFn> =
-            prefix.iter().map(|&g| links.latencies()[g].clone()).collect();
-        let suffix_lats: Vec<LatencyFn> =
-            suffix.iter().map(|&g| links.latencies()[g].clone()).collect();
+        let prefix_lats: Vec<LatencyFn> = prefix
+            .iter()
+            .map(|&g| links.latencies()[g].clone())
+            .collect();
+        let suffix_lats: Vec<LatencyFn> = suffix
+            .iter()
+            .map(|&g| links.latencies()[g].clone())
+            .collect();
 
         // Partial states as functions of ε.
         let state = |eps: f64| -> Option<(Vec<f64>, f64, Vec<f64>)> {
@@ -149,7 +152,9 @@ pub fn linear_optimal_strategy(links: &ParallelLinks, alpha: f64) -> LinearOptim
             Some((nash_p.flows, nash_p.level, opt_s.flows))
         };
         let feasible = |eps: f64| -> bool {
-            let Some((pflows, plevel, sflows)) = state(eps) else { return false };
+            let Some((pflows, plevel, sflows)) = state(eps) else {
+                return false;
+            };
             // (i) every prefix link loaded;
             if pflows.iter().any(|&x| x <= TOL * r.max(1.0)) {
                 return false;
@@ -198,8 +203,7 @@ pub fn linear_optimal_strategy(links: &ParallelLinks, alpha: f64) -> LinearOptim
                 None => f64::INFINITY,
             }
         };
-        let (eps_star, cost_star) =
-            golden_min(eps_lo, eps_hi, 1e-13 * budget.max(1.0), cost_at);
+        let (eps_star, cost_star) = golden_min(eps_lo, eps_hi, 1e-13 * budget.max(1.0), cost_at);
 
         if cost_star < best_cost - 1e-12 * best_cost.abs().max(1.0) {
             // Materialise the strategy: optimal loads on the suffix, a
@@ -216,7 +220,10 @@ pub fn linear_optimal_strategy(links: &ParallelLinks, alpha: f64) -> LinearOptim
             }
             best_cost = cost_star;
             best_strategy = strategy;
-            best_kind = SolutionKind::Partition { i0, epsilon: eps_star };
+            best_kind = SolutionKind::Partition {
+                i0,
+                epsilon: eps_star,
+            };
         }
     }
 
@@ -236,8 +243,11 @@ pub fn linear_optimal_strategy(links: &ParallelLinks, alpha: f64) -> LinearOptim
 fn pad_with_mimicking(optop_strategy: &[f64], optimum: &[f64], budget: f64) -> Vec<f64> {
     let used: f64 = optop_strategy.iter().sum();
     let surplus = (budget - used).max(0.0);
-    let remaining: Vec<f64> =
-        optimum.iter().zip(optop_strategy).map(|(o, s)| (o - s).max(0.0)).collect();
+    let remaining: Vec<f64> = optimum
+        .iter()
+        .zip(optop_strategy)
+        .map(|(o, s)| (o - s).max(0.0))
+        .collect();
     let total_remaining: f64 = remaining.iter().sum();
     if surplus <= 0.0 || total_remaining <= 0.0 {
         return optop_strategy.to_vec();
@@ -288,7 +298,11 @@ mod tests {
             assert!((total - alpha).abs() < 1e-7, "α={alpha}: Σs = {total}");
             // Consistency: evaluating the strategy reproduces the cost.
             let eval = links.induced_cost(&r.strategy);
-            assert!((eval - r.cost).abs() < 1e-6, "α={alpha}: predicted {} vs induced {eval}", r.cost);
+            assert!(
+                (eval - r.cost).abs() < 1e-6,
+                "α={alpha}: predicted {} vs induced {eval}",
+                r.cost
+            );
         }
     }
 
@@ -324,7 +338,12 @@ mod tests {
         let links = two_links();
         let beta = optop(&links).beta;
         let r = linear_optimal_strategy(&links, beta * 0.8);
-        assert!(r.cost > r.optimum_cost + 1e-9, "cost {} vs C(O) {}", r.cost, r.optimum_cost);
+        assert!(
+            r.cost > r.optimum_cost + 1e-9,
+            "cost {} vs C(O) {}",
+            r.cost,
+            r.optimum_cost
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! **LLF** — Largest Latency First (Roughgarden [37]), the classical
+//! **LLF** — Largest Latency First (Roughgarden \[37\]), the classical
 //! Stackelberg heuristic the paper benchmarks its exact results against.
 //!
 //! Compute the global optimum `O`, then let the Leader saturate links at

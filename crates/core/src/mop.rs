@@ -171,7 +171,13 @@ mod tests {
         let eps = 0.05;
         let r = mop(&fig7(eps), &FwOptions::default());
         let o = r.optimum.as_slice();
-        let expect = [0.75 - eps, 0.25 + eps, 0.5 - 2.0 * eps, 0.25 + eps, 0.75 - eps];
+        let expect = [
+            0.75 - eps,
+            0.25 + eps,
+            0.5 - 2.0 * eps,
+            0.25 + eps,
+            0.75 - eps,
+        ];
         for (i, (&got, &want)) in o.iter().zip(&expect).enumerate() {
             assert!((got - want).abs() < 1e-5, "edge {i}: {got} ≠ {want}");
         }
@@ -182,7 +188,11 @@ mod tests {
         for &eps in &[0.0, 0.01, 0.05, 0.1] {
             let r = mop(&fig7(eps), &FwOptions::default());
             let want = 0.5 + 2.0 * eps;
-            assert!((r.beta - want).abs() < 1e-4, "ε={eps}: β = {} ≠ {want}", r.beta);
+            assert!(
+                (r.beta - want).abs() < 1e-4,
+                "ε={eps}: β = {} ≠ {want}",
+                r.beta
+            );
             // The shortest path is the middle path with flow 1/2 − 2ε.
             assert!((r.free_value - (0.5 - 2.0 * eps)).abs() < 1e-4);
         }
@@ -193,7 +203,10 @@ mod tests {
         let r = mop(&fig7(0.05), &FwOptions::default());
         // Shortest subnetwork must contain s→v, v→w, w→t; not s→w or v→t.
         let ids: Vec<u32> = r.shortest_edges.iter().map(|e| e.0).collect();
-        assert!(ids.contains(&0) && ids.contains(&2) && ids.contains(&4), "{ids:?}");
+        assert!(
+            ids.contains(&0) && ids.contains(&2) && ids.contains(&4),
+            "{ids:?}"
+        );
         assert!(!ids.contains(&1) && !ids.contains(&3), "{ids:?}");
     }
 
@@ -269,7 +282,11 @@ mod tests {
     fn leader_flow_is_feasible() {
         let inst = fig7(0.02);
         let r = mop(&inst, &FwOptions::default());
-        assert!(r.leader.is_st_flow(&inst.graph, inst.source, inst.sink, r.leader_value, 1e-4));
-        assert!(r.free_flow.is_st_flow(&inst.graph, inst.source, inst.sink, r.free_value, 1e-4));
+        assert!(r
+            .leader
+            .is_st_flow(&inst.graph, inst.source, inst.sink, r.leader_value, 1e-4));
+        assert!(r
+            .free_flow
+            .is_st_flow(&inst.graph, inst.source, inst.sink, r.free_value, 1e-4));
     }
 }

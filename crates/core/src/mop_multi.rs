@@ -152,8 +152,16 @@ mod tests {
                 LatencyFn::constant(1.0),
             ],
             vec![
-                Commodity { source: NodeId(0), sink: NodeId(1), rate: 1.0 },
-                Commodity { source: NodeId(2), sink: NodeId(3), rate: 1.0 },
+                Commodity {
+                    source: NodeId(0),
+                    sink: NodeId(1),
+                    rate: 1.0,
+                },
+                Commodity {
+                    source: NodeId(2),
+                    sink: NodeId(3),
+                    rate: 1.0,
+                },
             ],
         )
     }
@@ -183,7 +191,11 @@ mod tests {
             .map(|(a, b)| a + b)
             .collect();
         let cost = inst.cost(&total);
-        assert!((cost - r.optimum_cost).abs() < 1e-5, "{cost} vs {}", r.optimum_cost);
+        assert!(
+            (cost - r.optimum_cost).abs() < 1e-5,
+            "{cost} vs {}",
+            r.optimum_cost
+        );
     }
 
     #[test]
@@ -207,8 +219,16 @@ mod tests {
                 LatencyFn::constant(2.0),
             ],
             vec![
-                Commodity { source: NodeId(0), sink: NodeId(3), rate: 1.0 },
-                Commodity { source: NodeId(1), sink: NodeId(3), rate: 1.0 },
+                Commodity {
+                    source: NodeId(0),
+                    sink: NodeId(3),
+                    rate: 1.0,
+                },
+                Commodity {
+                    source: NodeId(1),
+                    sink: NodeId(3),
+                    rate: 1.0,
+                },
             ],
         );
         let r = mop_multi(&inst, &FwOptions::default());
@@ -250,7 +270,11 @@ mod tests {
         let mc = MultiCommodityInstance::new(
             g.clone(),
             latencies.clone(),
-            vec![Commodity { source: NodeId(0), sink: NodeId(1), rate: 1.0 }],
+            vec![Commodity {
+                source: NodeId(0),
+                sink: NodeId(1),
+                rate: 1.0,
+            }],
         );
         let multi = mop_multi(&mc, &FwOptions::default());
         let single = crate::mop::mop(

@@ -159,13 +159,15 @@ mod tests {
 
     #[test]
     fn pigou_beta_is_half() {
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         let r = optop(&links);
         assert!((r.beta - 0.5).abs() < 1e-9, "β = {}", r.beta);
         assert_eq!(r.strategy.len(), 2);
         assert!(r.strategy[0].abs() < 1e-12, "fast link uncontrolled");
-        assert!((r.strategy[1] - 0.5).abs() < 1e-9, "slow link frozen at o₂ = 1/2");
+        assert!(
+            (r.strategy[1] - 0.5).abs() < 1e-9,
+            "slow link frozen at o₂ = 1/2"
+        );
         // The strategy enforces the optimum.
         let cost = links.induced_cost(&r.strategy);
         assert!((cost - r.optimum_cost).abs() < 1e-9);
@@ -179,11 +181,19 @@ mod tests {
         let links = fig4_links();
         let r = optop(&links);
         assert_eq!(r.rounds.len(), 2, "one freeze round + terminal round");
-        assert_eq!(r.rounds[0].frozen, vec![3, 4], "M4, M5 under-loaded (Fig 4)");
+        assert_eq!(
+            r.rounds[0].frozen,
+            vec![3, 4],
+            "M4, M5 under-loaded (Fig 4)"
+        );
         assert!(r.rounds[1].frozen.is_empty());
         // β = o4 + o5 = 8/75 + 27/200.
         let expected_beta = 8.0 / 75.0 + 0.135;
-        assert!((r.beta - expected_beta).abs() < 1e-9, "β = {} ≠ {expected_beta}", r.beta);
+        assert!(
+            (r.beta - expected_beta).abs() < 1e-9,
+            "β = {} ≠ {expected_beta}",
+            r.beta
+        );
         // Terminal round: remaining Nash == remaining optimum (Fig 6).
         let last = &r.rounds[1];
         for (n, o) in last.nash.iter().zip(&last.optimum) {
@@ -201,11 +211,20 @@ mod tests {
         let r = optop(&links);
         let ind = links.induced(&r.strategy);
         for (i, (&tot, &o)) in ind.total.iter().zip(&r.optimum).enumerate() {
-            assert!((tot - o).abs() < 1e-7, "link {i}: induced {tot} ≠ optimum {o}");
+            assert!(
+                (tot - o).abs() < 1e-7,
+                "link {i}: induced {tot} ≠ optimum {o}"
+            );
         }
         // The combined flow satisfies the optimality certificate.
-        certify_parallel(links.latencies(), &ind.total, 1.0, CostModel::SystemOptimum, 1e-6)
-            .expect("induced optimum certified");
+        certify_parallel(
+            links.latencies(),
+            &ind.total,
+            1.0,
+            CostModel::SystemOptimum,
+            1e-6,
+        )
+        .expect("induced optimum certified");
     }
 
     #[test]
@@ -223,13 +242,21 @@ mod tests {
     fn mm1_system_beta() {
         // Distinct M/M/1 links (Korilis–Lazar–Orda setting).
         let links = ParallelLinks::new(
-            vec![LatencyFn::mm1(4.0), LatencyFn::mm1(2.0), LatencyFn::mm1(1.0)],
+            vec![
+                LatencyFn::mm1(4.0),
+                LatencyFn::mm1(2.0),
+                LatencyFn::mm1(1.0),
+            ],
             2.0,
         );
         let r = optop(&links);
         assert!(r.beta >= 0.0 && r.beta < 1.0);
         let cost = links.induced_cost(&r.strategy);
-        assert!((cost - r.optimum_cost).abs() < 1e-6, "induced {cost} vs C(O) {}", r.optimum_cost);
+        assert!(
+            (cost - r.optimum_cost).abs() < 1e-6,
+            "induced {cost} vs C(O) {}",
+            r.optimum_cost
+        );
     }
 
     #[test]
@@ -266,6 +293,10 @@ mod tests {
         let r = optop(&links);
         let short: Vec<f64> = r.strategy.iter().map(|s| s * 0.9).collect();
         let cost = links.induced_cost(&short);
-        assert!(cost > r.optimum_cost + 1e-6, "cost {cost} vs C(O) {}", r.optimum_cost);
+        assert!(
+            cost > r.optimum_cost + 1e-6,
+            "cost {cost} vs C(O) {}",
+            r.optimum_cost
+        );
     }
 }

@@ -1,5 +1,5 @@
 //! **SCALE** — the Leader plays a scaled optimum `S = α·O`
-//! (Karakostas–Kolliopoulos [18]; also studied by Correa–Stier-Moses [5]).
+//! (Karakostas–Kolliopoulos \[18\]; also studied by Correa–Stier-Moses \[5\]).
 //! Simple, topology-agnostic, and the natural baseline for MOP on networks.
 
 use sopt_equilibrium::parallel::ParallelLinks;
@@ -46,8 +46,7 @@ mod tests {
 
     #[test]
     fn scale_strategy_is_alpha_times_optimum() {
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         let s = scale_strategy(&links, 0.4);
         assert!((s[0] - 0.2).abs() < 1e-9);
         assert!((s[1] - 0.2).abs() < 1e-9);
@@ -78,8 +77,7 @@ mod tests {
     fn scale_on_pigou_wastes_control() {
         // SCALE puts α/2 on the fast link where it is useless: with α = 1/2
         // the induced cost stays above the optimum that OpTop achieves.
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         let (_, c) = scale(&links, 0.5);
         assert!(c > 0.75 + 1e-6, "SCALE should be suboptimal at α = β: {c}");
     }

@@ -16,12 +16,18 @@ impl ParallelStrategy {
     /// Wrap flows, computing `α` from the instance rate.
     pub fn new(flows: Vec<f64>, rate: f64) -> Self {
         let total: f64 = flows.iter().sum();
-        Self { flows, alpha: total / rate }
+        Self {
+            flows,
+            alpha: total / rate,
+        }
     }
 
     /// The do-nothing strategy (everything left to the Followers).
     pub fn aloof(m: usize) -> Self {
-        Self { flows: vec![0.0; m], alpha: 0.0 }
+        Self {
+            flows: vec![0.0; m],
+            alpha: 0.0,
+        }
     }
 }
 
@@ -60,8 +66,7 @@ mod tests {
 
     #[test]
     fn evaluate_pigou_strategies() {
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         let aloof = evaluate(&links, &[0.0, 0.0]);
         assert!((aloof.cost - 1.0).abs() < 1e-9);
         assert_eq!(aloof.strategy.alpha, 0.0);

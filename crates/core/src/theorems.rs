@@ -92,7 +92,12 @@ pub fn swap_reassignment(a: f64, b1: f64, b2: f64, s1: f64, load2: f64) -> SwapO
     let new2 = s1 - epsilon;
     debug_assert!(new2 >= -1e-12, "slide cannot exceed the moved load");
     let after = new1 * (a * new1 + b1) + new2 * (a * new2 + b2);
-    SwapOutcome { before, after, epsilon, new_loads: (new1, new2) }
+    SwapOutcome {
+        before,
+        after,
+        epsilon,
+        new_loads: (new1, new2),
+    }
 }
 
 #[cfg(test)]

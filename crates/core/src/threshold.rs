@@ -1,5 +1,5 @@
 //! The improvement threshold — footnote 6 of the paper, after
-//! Sharma–Williamson [43]: the minimum portion a Leader must control to
+//! Sharma–Williamson \[43\]: the minimum portion a Leader must control to
 //! achieve `C(S+T) < C(N)` at all.
 //!
 //! [43, Eq. (1)]: any strategy inducing cost `< C(N)` must control at least
@@ -59,8 +59,7 @@ mod tests {
     #[test]
     fn pigou_threshold_is_zero() {
         // Under-loaded slow link has Nash load 0: any α > 0 helps.
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         assert!(improvement_threshold_lower_bound(&links) < 1e-12);
     }
 

@@ -1,5 +1,5 @@
 //! Marginal-cost pricing — the classical alternative to Stackelberg control
-//! (the paper's introduction lists pricing policies [4] among the
+//! (the paper's introduction lists pricing policies \[4\] among the
 //! methodologies that "bring the system to fixed points closer to its
 //! optimum").
 //!
@@ -38,11 +38,20 @@ pub fn marginal_cost_tolls(links: &ParallelLinks) -> ParallelTolls {
         .zip(&optimum)
         .map(|(l, &o)| o * l.derivative(o))
         .collect();
-    let tolled_lats: Vec<LatencyFn> =
-        links.latencies().iter().zip(&tolls).map(|(l, &t)| l.tolled(t)).collect();
+    let tolled_lats: Vec<LatencyFn> = links
+        .latencies()
+        .iter()
+        .zip(&tolls)
+        .map(|(l, &t)| l.tolled(t))
+        .collect();
     let tolled = ParallelLinks::new(tolled_lats, links.rate());
     let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
-    ParallelTolls { tolls, tolled, optimum, revenue }
+    ParallelTolls {
+        tolls,
+        tolled,
+        optimum,
+        revenue,
+    }
 }
 
 /// Marginal-cost tolls on a network instance.
@@ -69,8 +78,12 @@ pub fn marginal_cost_tolls_network(inst: &NetworkInstance, opts: &FwOptions) -> 
         .zip(&optimum)
         .map(|(l, &o)| o * l.derivative(o))
         .collect();
-    let latencies: Vec<LatencyFn> =
-        inst.latencies.iter().zip(&tolls).map(|(l, &t)| l.tolled(t)).collect();
+    let latencies: Vec<LatencyFn> = inst
+        .latencies
+        .iter()
+        .zip(&tolls)
+        .map(|(l, &t)| l.tolled(t))
+        .collect();
     let tolled = NetworkInstance::new(
         inst.graph.clone(),
         latencies,
@@ -79,7 +92,12 @@ pub fn marginal_cost_tolls_network(inst: &NetworkInstance, opts: &FwOptions) -> 
         inst.rate,
     );
     let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
-    NetworkTolls { tolls, tolled, optimum, revenue }
+    NetworkTolls {
+        tolls,
+        tolled,
+        optimum,
+        revenue,
+    }
 }
 
 #[cfg(test)]
@@ -92,14 +110,16 @@ mod tests {
     #[test]
     fn pigou_toll_restores_optimum() {
         // Toll on the fast link: τ₁ = o₁·1 = 1/2; the constant link gets 0.
-        let links =
-            ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
         let t = marginal_cost_tolls(&links);
         assert!((t.tolls[0] - 0.5).abs() < 1e-9);
         assert!(t.tolls[1].abs() < 1e-12);
         let tolled_nash = t.tolled.nash();
         for (got, want) in tolled_nash.flows().iter().zip(&t.optimum) {
-            assert!((got - want).abs() < 1e-7, "tolled Nash {got} vs optimum {want}");
+            assert!(
+                (got - want).abs() < 1e-7,
+                "tolled Nash {got} vs optimum {want}"
+            );
         }
         // The *latency* cost at the tolled equilibrium equals C(O).
         assert!((links.cost(tolled_nash.flows()) - 0.75).abs() < 1e-7);

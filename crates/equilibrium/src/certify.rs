@@ -28,7 +28,11 @@ pub struct CertifyError {
 
 impl std::fmt::Display for CertifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "equilibrium certificate failed: {} (violation {:.3e})", self.detail, self.violation)
+        write!(
+            f,
+            "equilibrium certificate failed: {} (violation {:.3e})",
+            self.detail, self.violation
+        )
     }
 }
 
@@ -58,7 +62,10 @@ pub fn certify_parallel(
         });
     }
     if let Some((i, &f)) = flows.iter().enumerate().find(|(_, f)| **f < -tol) {
-        return Err(CertifyError { detail: format!("negative flow {f} on link {i}"), violation: -f });
+        return Err(CertifyError {
+            detail: format!("negative flow {f} on link {i}"),
+            violation: -f,
+        });
     }
     // One-sided cost intervals. `edge_gradient` evaluates the right-sided
     // derivative at kinks; the left side is probed just below the flow.
@@ -77,7 +84,9 @@ pub fn certify_parallel(
             let mut probe_r = f + delta;
             let cap = sopt_latency::Latency::capacity(l);
             if cap.is_finite() {
-                probe_r = probe_r.min(cap * (1.0 - 1e-12)).max(f.min(cap * (1.0 - 1e-12)));
+                probe_r = probe_r
+                    .min(cap * (1.0 - 1e-12))
+                    .max(f.min(cap * (1.0 - 1e-12)));
             }
             let left = model.edge_gradient(l, probe_l);
             let right = model.edge_gradient(l, probe_r);
@@ -150,9 +159,18 @@ pub fn certify_multicommodity(
 
     for (ci, (flow, com)) in per_commodity.iter().zip(&inst.commodities).enumerate() {
         // Conservation.
-        if !flow.is_st_flow(&inst.graph, com.source, com.sink, com.rate, tol * com.rate.max(1.0)) {
+        if !flow.is_st_flow(
+            &inst.graph,
+            com.source,
+            com.sink,
+            com.rate,
+            tol * com.rate.max(1.0),
+        ) {
             return Err(CertifyError {
-                detail: format!("commodity {ci}: not a feasible {}→{} flow of value {}", com.source, com.sink, com.rate),
+                detail: format!(
+                    "commodity {ci}: not a feasible {}→{} flow of value {}",
+                    com.source, com.sink, com.rate
+                ),
                 violation: f64::NAN,
             });
         }
@@ -244,7 +262,8 @@ mod tests {
         let nash = solve_assignment(&inst, CostModel::Wardrop, &opts);
         certify_network(&inst, &nash.flow, CostModel::Wardrop, 1e-5).expect("nash certified");
         let opt = solve_assignment(&inst, CostModel::SystemOptimum, &opts);
-        certify_network(&inst, &opt.flow, CostModel::SystemOptimum, 1e-5).expect("optimum certified");
+        certify_network(&inst, &opt.flow, CostModel::SystemOptimum, 1e-5)
+            .expect("optimum certified");
         // Cross-check: the Nash flow is not optimal and vice versa.
         assert!(certify_network(&inst, &nash.flow, CostModel::SystemOptimum, 1e-5).is_err());
         assert!(certify_network(&inst, &opt.flow, CostModel::Wardrop, 1e-5).is_err());

@@ -16,7 +16,11 @@ pub fn total_cost(latencies: &[LatencyFn], flows: &[f64]) -> f64 {
 /// feasible flows is the Nash equilibrium.
 pub fn beckmann_potential(latencies: &[LatencyFn], flows: &[f64]) -> f64 {
     assert_eq!(latencies.len(), flows.len());
-    latencies.iter().zip(flows).map(|(l, &x)| l.integral(x)).sum()
+    latencies
+        .iter()
+        .zip(flows)
+        .map(|(l, &x)| l.integral(x))
+        .sum()
 }
 
 /// The coordination ratio / price of anarchy `ϱ = C(N)/C(O)` (Expression (1)

@@ -150,8 +150,12 @@ mod tests {
         assert!(ind.converged);
         // All follower flow uses the middle path.
         assert!((ind.flow.0[2] - 0.5).abs() < 1e-5, "{:?}", ind.flow);
-        let total: Vec<f64> =
-            leader.as_slice().iter().zip(ind.flow.as_slice()).map(|(a, b)| a + b).collect();
+        let total: Vec<f64> = leader
+            .as_slice()
+            .iter()
+            .zip(ind.flow.as_slice())
+            .map(|(a, b)| a + b)
+            .collect();
         // C(S+T) = 2(3/4)² + 2·(1/4)·1 = 9/8 + 1/2 = 13/8.
         assert!((inst.cost(&total) - 13.0 / 8.0).abs() < 1e-5);
     }

@@ -99,23 +99,31 @@ impl ParallelLinks {
     /// total link capacity (M/M/1 saturation).
     pub fn try_nash(&self) -> Result<ParallelProfile, EqualizeError> {
         let r = equalize(&self.latencies, self.rate, CostModel::Wardrop)?;
-        Ok(ParallelProfile { flows: r.flows, level: r.level })
+        Ok(ParallelProfile {
+            flows: r.flows,
+            level: r.level,
+        })
     }
 
     /// Nash assignment `N`; panics on infeasible instances.
     pub fn nash(&self) -> ParallelProfile {
-        self.try_nash().expect("Nash equilibrium exists (rate within capacity)")
+        self.try_nash()
+            .expect("Nash equilibrium exists (rate within capacity)")
     }
 
     /// Optimum assignment `O`. Errors on capacity saturation.
     pub fn try_optimum(&self) -> Result<ParallelProfile, EqualizeError> {
         let r = equalize(&self.latencies, self.rate, CostModel::SystemOptimum)?;
-        Ok(ParallelProfile { flows: r.flows, level: r.level })
+        Ok(ParallelProfile {
+            flows: r.flows,
+            level: r.level,
+        })
     }
 
     /// Optimum assignment `O`; panics on infeasible instances.
     pub fn optimum(&self) -> ParallelProfile {
-        self.try_optimum().expect("optimum exists (rate within capacity)")
+        self.try_optimum()
+            .expect("optimum exists (rate within capacity)")
     }
 
     /// The equilibrium induced by Stackelberg strategy `S` (Remark 4.2):
@@ -136,21 +144,36 @@ impl ParallelLinks {
         // A preload at or above a link's capacity (M/M/1) means infinite
         // latency: report infeasibility rather than panicking, so strategy
         // searches can probe the boundary.
-        if self.latencies.iter().zip(strategy).any(|(l, &s)| s >= l.capacity() * (1.0 - 1e-12)) {
+        if self
+            .latencies
+            .iter()
+            .zip(strategy)
+            .any(|(l, &s)| s >= l.capacity() * (1.0 - 1e-12))
+        {
             let total_capacity: f64 = self.latencies.iter().map(|l| l.capacity()).sum();
             return Err(EqualizeError::Infeasible { total_capacity });
         }
-        let shifted: Vec<LatencyFn> =
-            self.latencies.iter().zip(strategy).map(|(l, &s)| l.preloaded(s.max(0.0))).collect();
+        let shifted: Vec<LatencyFn> = self
+            .latencies
+            .iter()
+            .zip(strategy)
+            .map(|(l, &s)| l.preloaded(s.max(0.0)))
+            .collect();
         let remaining = (self.rate - beta_r).max(0.0);
         let r = equalize(&shifted, remaining, CostModel::Wardrop)?;
         let total: Vec<f64> = strategy.iter().zip(&r.flows).map(|(s, t)| s + t).collect();
-        Ok(Induced { strategy: strategy.to_vec(), follower: r.flows, total, level: r.level })
+        Ok(Induced {
+            strategy: strategy.to_vec(),
+            follower: r.flows,
+            total,
+            level: r.level,
+        })
     }
 
     /// Induced equilibrium; panics on infeasible instances.
     pub fn induced(&self, strategy: &[f64]) -> Induced {
-        self.try_induced(strategy).expect("induced equilibrium exists")
+        self.try_induced(strategy)
+            .expect("induced equilibrium exists")
     }
 
     /// Cost of the Stackelberg equilibrium `C(S + T)` for strategy `S`.
@@ -192,7 +215,11 @@ mod tests {
     #[test]
     fn empty_strategy_reproduces_nash() {
         let links = ParallelLinks::new(
-            vec![LatencyFn::affine(1.0, 0.0), LatencyFn::affine(2.0, 0.1), LatencyFn::mm1(3.0)],
+            vec![
+                LatencyFn::affine(1.0, 0.0),
+                LatencyFn::affine(2.0, 0.1),
+                LatencyFn::mm1(3.0),
+            ],
             1.5,
         );
         let n = links.nash();
@@ -213,7 +240,11 @@ mod tests {
     #[test]
     fn subsystem_extracts_links() {
         let links = ParallelLinks::new(
-            vec![LatencyFn::affine(1.0, 0.0), LatencyFn::affine(2.0, 0.0), LatencyFn::constant(0.7)],
+            vec![
+                LatencyFn::affine(1.0, 0.0),
+                LatencyFn::affine(2.0, 0.0),
+                LatencyFn::constant(0.7),
+            ],
             1.0,
         );
         let sub = links.subsystem(&[0, 2], 0.5);

@@ -69,7 +69,10 @@ mod tests {
         }
         let o = links.optimum();
         for i in 0..5 {
-            assert!((o.flows()[i] - e.optimum[i]).abs() < 1e-9, "optimum link {i}");
+            assert!(
+                (o.flows()[i] - e.optimum[i]).abs() < 1e-9,
+                "optimum link {i}"
+            );
         }
     }
 

@@ -1,6 +1,6 @@
 //! Knapsack-flavoured hard instances, in the spirit of the weak NP-hardness
 //! reduction for optimal Stackelberg strategies ([40, Thm 6.1]; see also the
-//! multidimensional-knapsack discussion of Kumar–Marathe [23] quoted in the
+//! multidimensional-knapsack discussion of Kumar–Marathe \[23\] quoted in the
 //! paper's §7.3).
 //!
 //! The reduction's difficulty is *subset selection*: the Leader must decide
@@ -20,8 +20,10 @@ use sopt_latency::LatencyFn;
 /// given integer weights, rate `r = 1`.
 pub fn weight_instance(weights: &[u32], scale: f64) -> ParallelLinks {
     assert!(!weights.is_empty() && scale > 0.0);
-    let lats: Vec<LatencyFn> =
-        weights.iter().map(|&w| LatencyFn::affine(1.0, w as f64 / scale)).collect();
+    let lats: Vec<LatencyFn> = weights
+        .iter()
+        .map(|&w| LatencyFn::affine(1.0, w as f64 / scale))
+        .collect();
     ParallelLinks::new(lats, 1.0)
 }
 
@@ -66,8 +68,7 @@ mod tests {
             let links = random_weight_instance(3, 8, seed);
             for &alpha in &[0.15, 0.35] {
                 let exact = linear_optimal_strategy(&links, alpha);
-                let (_, brute) =
-                    brute_force_optimal(&links, alpha, &BruteOptions::default());
+                let (_, brute) = brute_force_optimal(&links, alpha, &BruteOptions::default());
                 assert!(
                     exact.cost <= brute + 1e-5,
                     "seed {seed}, α={alpha}: Theorem 2.4 cost {} > brute {brute}",

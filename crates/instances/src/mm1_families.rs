@@ -18,7 +18,10 @@ pub fn appealing_group(
     rate: f64,
 ) -> ParallelLinks {
     assert!(fast + slow >= 1);
-    assert!(fast_cap > slow_cap, "the fast group must be the appealing one");
+    assert!(
+        fast_cap > slow_cap,
+        "the fast group must be the appealing one"
+    );
     let mut lats = Vec::with_capacity(fast + slow);
     lats.extend(std::iter::repeat_n(LatencyFn::mm1(fast_cap), fast));
     lats.extend(std::iter::repeat_n(LatencyFn::mm1(slow_cap), slow));
@@ -35,8 +38,9 @@ pub fn identical_links(m: usize, cap: f64, rate: f64) -> ParallelLinks {
 /// where no group dominates and `β_M` stays substantial.
 pub fn spread_links(m: usize, base: f64, ratio: f64, rate: f64) -> ParallelLinks {
     assert!(m >= 1 && base > 0.0 && ratio > 1.0);
-    let lats: Vec<LatencyFn> =
-        (0..m).map(|i| LatencyFn::mm1(base * ratio.powi(i as i32))).collect();
+    let lats: Vec<LatencyFn> = (0..m)
+        .map(|i| LatencyFn::mm1(base * ratio.powi(i as i32)))
+        .collect();
     ParallelLinks::new(lats, rate)
 }
 

@@ -19,8 +19,14 @@ pub struct Affine {
 impl Affine {
     /// Create `ℓ(x) = a·x + b`. Panics if `a < 0`, `b < 0`, or non-finite.
     pub fn new(a: f64, b: f64) -> Self {
-        assert!(a.is_finite() && b.is_finite(), "affine coefficients must be finite");
-        assert!(a >= 0.0 && b >= 0.0, "affine latency requires a ≥ 0 and b ≥ 0");
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "affine coefficients must be finite"
+        );
+        assert!(
+            a >= 0.0 && b >= 0.0,
+            "affine latency requires a ≥ 0 and b ≥ 0"
+        );
         Self { a, b }
     }
 

@@ -1,5 +1,5 @@
 //! Bureau of Public Roads (BPR) latencies `ℓ(x) = t₀·(1 + b·(x/c)^p)` — the
-//! classical traffic-assignment volume-delay curve (Patriksson [34]), used by
+//! classical traffic-assignment volume-delay curve (Patriksson \[34\]), used by
 //! the `traffic_sweep` example as the realistic road-network workload the
 //! paper's introduction motivates.
 
@@ -23,7 +23,10 @@ pub struct Bpr {
 impl Bpr {
     /// Create a BPR latency. Panics on nonpositive `t₀`/`c`, negative `b`, or `p = 0`.
     pub fn new(t0: f64, b: f64, c: f64, p: u32) -> Self {
-        assert!(t0.is_finite() && t0 > 0.0, "BPR free-flow time must be positive");
+        assert!(
+            t0.is_finite() && t0 > 0.0,
+            "BPR free-flow time must be positive"
+        );
         assert!(b.is_finite() && b >= 0.0, "BPR coefficient must be ≥ 0");
         assert!(c.is_finite() && c > 0.0, "BPR capacity must be positive");
         assert!(p >= 1, "BPR power must be ≥ 1");

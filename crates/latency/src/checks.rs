@@ -10,16 +10,45 @@ use crate::traits::Latency;
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Violation {
     /// `ℓ(x) < 0` at the given load.
-    Negative { x: f64, value: f64 },
+    Negative {
+        /// Load at which the violation was observed.
+        x: f64,
+        /// The offending (negative) latency value.
+        value: f64,
+    },
     /// `ℓ` decreased between two sample points.
-    Decreasing { x0: f64, x1: f64 },
+    Decreasing {
+        /// Left sample point.
+        x0: f64,
+        /// Right sample point, with `ℓ(x1) < ℓ(x0)`.
+        x1: f64,
+    },
     /// `(x·ℓ(x))'' < 0`, i.e. the link cost is not convex, detected via a
     /// negative marginal-cost slope between two sample points.
-    NonConvexCost { x0: f64, x1: f64 },
+    NonConvexCost {
+        /// Left sample point.
+        x0: f64,
+        /// Right sample point, with a lower marginal cost than `x0`.
+        x1: f64,
+    },
     /// Derivative disagrees with a central finite difference of `value`.
-    BadDerivative { x: f64, analytic: f64, numeric: f64 },
+    BadDerivative {
+        /// Load at which the violation was observed.
+        x: f64,
+        /// The closed-form derivative reported by the latency.
+        analytic: f64,
+        /// The central finite-difference estimate it disagrees with.
+        numeric: f64,
+    },
     /// Integral disagrees with a finite-difference reconstruction.
-    BadIntegral { x: f64, analytic: f64, numeric: f64 },
+    BadIntegral {
+        /// Load at which the violation was observed.
+        x: f64,
+        /// The closed-form Beckmann integral reported by the latency.
+        analytic: f64,
+        /// The finite-difference reconstruction it disagrees with.
+        numeric: f64,
+    },
 }
 
 /// Certify standardness of `l` on `[0, x_max]` with `n` samples.
@@ -28,7 +57,11 @@ pub enum Violation {
 pub fn check_standard<L: Latency>(l: &L, x_max: f64, n: usize) -> Vec<Violation> {
     let mut violations = Vec::new();
     let cap = l.capacity();
-    let hi = if cap.is_finite() { x_max.min(cap * 0.99) } else { x_max };
+    let hi = if cap.is_finite() {
+        x_max.min(cap * 0.99)
+    } else {
+        x_max
+    };
     let n = n.max(2);
     let step = hi / (n - 1) as f64;
     let tol = 1e-7;
@@ -54,7 +87,11 @@ pub fn check_standard<L: Latency>(l: &L, x_max: f64, n: usize) -> Vec<Violation>
             let scale = ana.abs().max(num.abs()).max(1.0);
             let tol = 1e-4 * scale;
             if num < d_lo - tol || num > d_hi + tol {
-                violations.push(Violation::BadDerivative { x, analytic: ana, numeric: num });
+                violations.push(Violation::BadDerivative {
+                    x,
+                    analytic: ana,
+                    numeric: num,
+                });
             }
         }
         // integral vs trapezoid reconstruction over one step
@@ -69,11 +106,19 @@ pub fn check_standard<L: Latency>(l: &L, x_max: f64, n: usize) -> Vec<Violation>
             // curvature term additionally covers steep poles (M/M/1) where
             // the one-sided derivatives understate the interior variation.
             let djump = (l.derivative(x) - l.derivative(x0)).abs();
-            let curv = l.second_derivative(x0).abs().max(l.second_derivative(x).abs());
-            let bound =
-                (djump * step * step / 4.0).max(step * step * step * curv).max(1e-5 * scale);
+            let curv = l
+                .second_derivative(x0)
+                .abs()
+                .max(l.second_derivative(x).abs());
+            let bound = (djump * step * step / 4.0)
+                .max(step * step * step * curv)
+                .max(1e-5 * scale);
             if (ana - trap).abs() > bound + 1e-6 * scale {
-                violations.push(Violation::BadIntegral { x, analytic: ana, numeric: trap });
+                violations.push(Violation::BadIntegral {
+                    x,
+                    analytic: ana,
+                    numeric: trap,
+                });
             }
         }
     }
@@ -98,7 +143,7 @@ pub fn assert_standard<L: Latency>(l: &L, x_max: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Affine, Bpr, Constant, LatencyFn, MM1, Monomial, Polynomial};
+    use crate::{Affine, Bpr, Constant, LatencyFn, Monomial, Polynomial, MM1};
 
     #[test]
     fn all_families_standard() {

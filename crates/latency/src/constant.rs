@@ -3,7 +3,7 @@
 //! Constants appear in the paper's own examples (Pigou's slow link `ℓ₂ ≡ 1`,
 //! Fig. 4's `ℓ₅ ≡ 7/10`, the Braess middle edge `ℓ ≡ 0`) even though the
 //! uniqueness statements (Remark 2.5) are phrased for strictly increasing
-//! latencies; the journal version points to [16] for the extension that keeps
+//! latencies; the journal version points to \[16\] for the extension that keeps
 //! optimum edge flows unique in the presence of constant edges.
 
 use crate::traits::Latency;
@@ -18,7 +18,10 @@ pub struct Constant {
 impl Constant {
     /// Create `ℓ(x) ≡ c`. Panics on negative or non-finite `c`.
     pub fn new(c: f64) -> Self {
-        assert!(c.is_finite() && c >= 0.0, "constant latency must be finite and ≥ 0");
+        assert!(
+            c.is_finite() && c >= 0.0,
+            "constant latency must be finite and ≥ 0"
+        );
         Self { c }
     }
 

@@ -15,7 +15,12 @@ const MAX_ITER: usize = 200;
 /// * non-strict (`constant-like`) `f` with `f(0) ≤ y` → `+∞` (the link
 ///   absorbs unbounded flow at this level);
 /// * otherwise the unique preimage, found by bracket growth + bisection.
-pub fn max_flow_generic(y: f64, capacity: f64, strictly_increasing: bool, f: impl Fn(f64) -> f64) -> f64 {
+pub fn max_flow_generic(
+    y: f64,
+    capacity: f64,
+    strictly_increasing: bool,
+    f: impl Fn(f64) -> f64,
+) -> f64 {
     let f0 = f(0.0);
     if y < f0 {
         return 0.0;

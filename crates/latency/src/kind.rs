@@ -6,7 +6,7 @@
 //! over `dyn Trait` in hot paths).
 
 use crate::{
-    Affine, Bpr, Constant, Latency, MM1, Monomial, Offset, PiecewiseLinear, Polynomial, Shifted,
+    Affine, Bpr, Constant, Latency, Monomial, Offset, PiecewiseLinear, Polynomial, Shifted, MM1,
 };
 
 /// Any latency function supported by the workspace.
@@ -89,7 +89,11 @@ impl LatencyFn {
             LatencyFn::Constant(l) => LatencyFn::Constant(*l),
             // 1/(c − s − x): an M/M/1 with reduced capacity.
             LatencyFn::MM1(l) => {
-                assert!(s < l.c, "preload {s} must stay below M/M/1 capacity {}", l.c);
+                assert!(
+                    s < l.c,
+                    "preload {s} must stay below M/M/1 capacity {}",
+                    l.c
+                );
                 LatencyFn::mm1(l.c - s)
             }
             // Flatten nested shifts so chains of preloads stay O(1) deep.

@@ -7,7 +7,7 @@
 //! assume strictly increasing latencies (Remark 2.5) so that Nash and optimum
 //! edge flows are unique; constant latencies (Pigou's `ℓ≡1`, Fig. 4's
 //! `ℓ₅≡0.7`, the Braess middle edge `ℓ≡0`) are supported as the extension
-//! discussed in the paper's Remark 2.5/[16].
+//! discussed in the paper's Remark 2.5/\[16\].
 //!
 //! This crate provides:
 //!

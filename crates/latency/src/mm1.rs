@@ -1,6 +1,6 @@
 //! M/M/1 queueing latencies `ℓ(x) = 1/(c − x)`.
 //!
-//! The paper (§2, citing Korilis–Lazar–Orda [20]) discusses systems of
+//! The paper (§2, citing Korilis–Lazar–Orda \[20\]) discusses systems of
 //! distinct M/M/1 links, observing that the price of optimum `β_M` "may be
 //! significantly small" when the system contains small groups of highly
 //! appealing links or large groups of identical links — Experiment E9

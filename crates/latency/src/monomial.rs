@@ -19,8 +19,14 @@ pub struct Monomial {
 impl Monomial {
     /// Create `ℓ(x) = c·x^k`. Panics unless `c > 0`, finite, and `k ≥ 1`.
     pub fn new(c: f64, k: u32) -> Self {
-        assert!(c.is_finite() && c > 0.0, "monomial coefficient must be positive");
-        assert!(k >= 1, "monomial degree must be ≥ 1 (use Constant for k = 0)");
+        assert!(
+            c.is_finite() && c > 0.0,
+            "monomial coefficient must be positive"
+        );
+        assert!(
+            k >= 1,
+            "monomial degree must be ≥ 1 (use Constant for k = 0)"
+        );
         Self { c, k }
     }
 }

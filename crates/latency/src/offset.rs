@@ -22,7 +22,10 @@ impl<L: Latency> Offset<L> {
     /// Create `ℓ̂(x) = inner(x) + offset`. Panics on negative or non-finite
     /// offsets.
     pub fn new(inner: L, offset: f64) -> Self {
-        assert!(offset.is_finite() && offset >= 0.0, "offset must be finite and ≥ 0");
+        assert!(
+            offset.is_finite() && offset >= 0.0,
+            "offset must be finite and ≥ 0"
+        );
         Self { inner, offset }
     }
 }

@@ -1,6 +1,6 @@
 //! Piecewise-linear latencies — the workhorse class of applied traffic
 //! assignment (piecewise linearisation of arbitrary standard latencies,
-//! Patriksson [34]) and a stress test for the equalizer's level inversion.
+//! Patriksson \[34\]) and a stress test for the equalizer's level inversion.
 
 use crate::traits::Latency;
 
@@ -31,10 +31,16 @@ impl PiecewiseLinear {
         let mut breaks = Vec::with_capacity(segments.len());
         let mut slopes = Vec::with_capacity(segments.len());
         for (i, &(x, a)) in segments.iter().enumerate() {
-            assert!(x.is_finite() && a.is_finite() && a >= 0.0, "invalid segment ({x}, {a})");
+            assert!(
+                x.is_finite() && a.is_finite() && a >= 0.0,
+                "invalid segment ({x}, {a})"
+            );
             if i > 0 {
                 assert!(x > breaks[i - 1], "breakpoints must strictly increase");
-                assert!(a >= slopes[i - 1], "slopes must be nondecreasing (convexity)");
+                assert!(
+                    a >= slopes[i - 1],
+                    "slopes must be nondecreasing (convexity)"
+                );
             }
             breaks.push(x);
             slopes.push(a);
@@ -46,7 +52,12 @@ impl PiecewiseLinear {
             v += slopes[i - 1] * (breaks[i] - breaks[i - 1]);
             values.push(v);
         }
-        Self { breaks, slopes, b, values }
+        Self {
+            breaks,
+            slopes,
+            b,
+            values,
+        }
     }
 
     /// The segment index containing load `x`.
@@ -105,7 +116,11 @@ impl Latency for PiecewiseLinear {
         // Find the segment whose value range contains y.
         let n = self.breaks.len();
         for i in 0..n {
-            let hi = if i + 1 < n { self.values[i + 1] } else { f64::INFINITY };
+            let hi = if i + 1 < n {
+                self.values[i + 1]
+            } else {
+                f64::INFINITY
+            };
             if y <= hi || i + 1 == n {
                 if self.slopes[i] == 0.0 {
                     // Flat at level y: unbounded within the segment only if

@@ -26,7 +26,10 @@ impl<L: Latency> Shifted<L> {
     /// Create `ℓ̃(x) = inner(x + shift)`. Panics if `shift < 0`, non-finite,
     /// or at/above the inner capacity.
     pub fn new(inner: L, shift: f64) -> Self {
-        assert!(shift.is_finite() && shift >= 0.0, "shift must be finite and ≥ 0");
+        assert!(
+            shift.is_finite() && shift >= 0.0,
+            "shift must be finite and ≥ 0"
+        );
         assert!(
             shift < inner.capacity(),
             "shift {shift} must lie strictly below the link capacity {}",
@@ -92,7 +95,7 @@ mod tests {
     #[test]
     fn marginal_is_follower_side() {
         let l = Shifted::new(Affine::new(1.0, 0.0), 1.0); // ℓ̃(x) = x + 1
-        // follower marginal: ℓ̃ + xℓ̃' = (x+1) + x = 2x + 1; at x=1 → 3
+                                                          // follower marginal: ℓ̃ + xℓ̃' = (x+1) + x = 2x + 1; at x=1 → 3
         assert!((l.marginal(1.0) - 3.0).abs() < 1e-12);
         // NOT the shifted marginal ℓ*(x+1) = 2(x+1) = 4.
     }

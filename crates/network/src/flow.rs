@@ -175,7 +175,11 @@ fn trace(g: &DiGraph, residual: &mut EdgeFlow, s: NodeId, t: NodeId) -> Trace {
         let v = g.edge(e).to;
         if v == t && !walk.is_empty() {
             let amount = strip(residual, &walk);
-            return if s == t { Trace::Cycle(walk, amount) } else { Trace::Path(walk, amount) };
+            return if s == t {
+                Trace::Cycle(walk, amount)
+            } else {
+                Trace::Path(walk, amount)
+            };
         }
         if let Some(pos) = visited_at[v.idx()] {
             // Closed a cycle: strip only the cycle segment.

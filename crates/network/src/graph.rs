@@ -61,7 +61,11 @@ pub struct DiGraph {
 impl DiGraph {
     /// An empty graph with `n` isolated nodes `v0..v(n-1)`.
     pub fn with_nodes(n: usize) -> Self {
-        Self { edges: Vec::new(), out: vec![Vec::new(); n], inc: vec![Vec::new(); n] }
+        Self {
+            edges: Vec::new(),
+            out: vec![Vec::new(); n],
+            inc: vec![Vec::new(); n],
+        }
     }
 
     /// Append a new isolated node.

@@ -32,7 +32,13 @@ impl NetworkInstance {
         assert!(source.idx() < graph.num_nodes() && sink.idx() < graph.num_nodes());
         assert_ne!(source, sink, "source and sink must differ");
         assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
-        Self { graph, latencies, source, sink, rate }
+        Self {
+            graph,
+            latencies,
+            source,
+            sink,
+            rate,
+        }
     }
 
     /// Number of edges.
@@ -56,7 +62,10 @@ impl NetworkInstance {
 
     /// Per-edge latencies evaluated at a flow (the MOP edge costs `ℓ_e(o_e)`).
     pub fn edge_costs(&self, flow: &[f64]) -> Vec<f64> {
-        flow.iter().zip(&self.latencies).map(|(&f, l)| l.value(f)).collect()
+        flow.iter()
+            .zip(&self.latencies)
+            .map(|(&f, l)| l.value(f))
+            .collect()
     }
 
     /// The instance seen by Followers after a Leader preload: the
@@ -115,7 +124,11 @@ impl MultiCommodityInstance {
             assert_ne!(c.source, c.sink);
             assert!(c.rate.is_finite() && c.rate > 0.0);
         }
-        Self { graph, latencies, commodities }
+        Self {
+            graph,
+            latencies,
+            commodities,
+        }
     }
 
     /// Total demand `r = Σ r_i`.
@@ -196,8 +209,16 @@ mod tests {
             g,
             vec![LatencyFn::identity(), LatencyFn::identity()],
             vec![
-                Commodity { source: NodeId(0), sink: NodeId(1), rate: 1.0 },
-                Commodity { source: NodeId(0), sink: NodeId(2), rate: 2.0 },
+                Commodity {
+                    source: NodeId(0),
+                    sink: NodeId(1),
+                    rate: 1.0,
+                },
+                Commodity {
+                    source: NodeId(0),
+                    sink: NodeId(2),
+                    rate: 2.0,
+                },
             ],
         );
         assert_eq!(inst.total_rate(), 3.0);

@@ -39,7 +39,11 @@ pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResul
 
     let n = g.num_nodes();
     // Tolerance scaled to the instance.
-    let cap_scale = caps.iter().cloned().filter(|c| c.is_finite()).fold(0.0f64, f64::max);
+    let cap_scale = caps
+        .iter()
+        .cloned()
+        .filter(|c| c.is_finite())
+        .fold(0.0f64, f64::max);
     let eps = 1e-12 * cap_scale.max(1.0);
 
     // Build residual arcs: forward at even indices, reverse at odd.
@@ -48,8 +52,16 @@ pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResul
     for e in g.edge_ids() {
         let edge = g.edge(e);
         let a = arcs.len() as u32;
-        arcs.push(Arc { to: edge.to.0, cap: caps[e.idx()], orig: Some(e) });
-        arcs.push(Arc { to: edge.from.0, cap: 0.0, orig: None });
+        arcs.push(Arc {
+            to: edge.to.0,
+            cap: caps[e.idx()],
+            orig: Some(e),
+        });
+        arcs.push(Arc {
+            to: edge.from.0,
+            cap: 0.0,
+            orig: None,
+        });
         adj[edge.from.idx()].push(a);
         adj[edge.to.idx()].push(a + 1);
     }
@@ -77,7 +89,16 @@ pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResul
         it.iter_mut().for_each(|i| *i = 0);
         // Blocking flow via iterative DFS.
         loop {
-            let pushed = dfs_push(&mut arcs, &adj, &level, &mut it, s.0, t.0, f64::INFINITY, eps);
+            let pushed = dfs_push(
+                &mut arcs,
+                &adj,
+                &level,
+                &mut it,
+                s.0,
+                t.0,
+                f64::INFINITY,
+                eps,
+            );
             if pushed <= eps {
                 break;
             }

@@ -109,7 +109,9 @@ fn dfs(
         if paths.len() >= max_paths {
             return Err(TooManyPaths { max_paths });
         }
-        paths.push(Path { edges: stack.clone() });
+        paths.push(Path {
+            edges: stack.clone(),
+        });
         return Ok(());
     }
     on_stack[u.idx()] = true;
@@ -155,7 +157,10 @@ mod tests {
     fn path_nodes_and_cost() {
         let g = braess();
         let p = Path::new(&g, vec![EdgeId(0), EdgeId(2), EdgeId(4)]);
-        assert_eq!(p.nodes(&g), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            p.nodes(&g),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
         assert_eq!(p.source(&g), NodeId(0));
         assert_eq!(p.sink(&g), NodeId(3));
         let costs = [1.0, 2.0, 4.0, 8.0, 16.0];

@@ -98,7 +98,10 @@ pub fn bellman_ford(g: &DiGraph, edge_costs: &[f64], s: NodeId) -> Option<Shorte
         for e in g.edge_ids() {
             let Edge { from, to } = {
                 let edge = g.edge(e);
-                Edge { from: edge.from, to: edge.to }
+                Edge {
+                    from: edge.from,
+                    to: edge.to,
+                }
             };
             if dist[from.idx()].is_finite() {
                 let nd = dist[from.idx()] + edge_costs[e.idx()];
@@ -142,7 +145,13 @@ pub fn shortest_dag_edges(
 }
 
 /// Does `path` realise the shortest `s→t` distance under `edge_costs`?
-pub fn is_shortest_path(path: &Path, edge_costs: &[f64], sp: &ShortestPaths, g: &DiGraph, tol: f64) -> bool {
+pub fn is_shortest_path(
+    path: &Path,
+    edge_costs: &[f64],
+    sp: &ShortestPaths,
+    g: &DiGraph,
+    tol: f64,
+) -> bool {
     let t = path.sink(g);
     (path.cost(edge_costs) - sp.dist[t.idx()]).abs() <= tol
 }

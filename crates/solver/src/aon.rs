@@ -1,7 +1,7 @@
 //! All-or-nothing assignment: the Frank–Wolfe linearised subproblem.
 
-use sopt_network::graph::NodeId;
 use sopt_network::flow::EdgeFlow;
+use sopt_network::graph::NodeId;
 use sopt_network::spath::{dijkstra, ShortestPaths};
 use sopt_network::DiGraph;
 

@@ -68,13 +68,19 @@ pub fn equalize<L: Latency>(
     if links.is_empty() {
         return Err(EqualizeError::Empty);
     }
-    assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and ≥ 0");
+    assert!(
+        rate.is_finite() && rate >= 0.0,
+        "rate must be finite and ≥ 0"
+    );
 
     let g0: Vec<f64> = links.iter().map(|l| model.edge_gradient(l, 0.0)).collect();
     let min_g0 = g0.iter().cloned().fold(f64::INFINITY, f64::min);
 
     if rate == 0.0 {
-        return Ok(EqualizeResult { flows: vec![0.0; links.len()], level: min_g0 });
+        return Ok(EqualizeResult {
+            flows: vec![0.0; links.len()],
+            level: min_g0,
+        });
     }
 
     // Feasibility: the rate must fit strictly below total capacity.
@@ -83,9 +89,7 @@ pub fn equalize<L: Latency>(
         return Err(EqualizeError::Infeasible { total_capacity });
     }
 
-    let cap_at = |level: f64| -> f64 {
-        links.iter().map(|l| model.max_flow_at(l, level)).sum()
-    };
+    let cap_at = |level: f64| -> f64 { links.iter().map(|l| model.max_flow_at(l, level)).sum() };
 
     // Bracket the level: start just above the cheapest empty-link cost and
     // grow until the system can carry the rate.
@@ -105,8 +109,7 @@ pub fn equalize<L: Latency>(
     // Assign: strictly-increasing links carry their inverse at the level;
     // constant-like links at the level share the residual equally.
     let raw: Vec<f64> = links.iter().map(|l| model.max_flow_at(l, level)).collect();
-    let unbounded: Vec<usize> =
-        (0..links.len()).filter(|&i| raw[i].is_infinite()).collect();
+    let unbounded: Vec<usize> = (0..links.len()).filter(|&i| raw[i].is_infinite()).collect();
     let finite_sum: f64 = raw.iter().filter(|x| x.is_finite()).sum();
 
     let mut flows = vec![0.0; links.len()];
@@ -179,7 +182,11 @@ mod tests {
         ];
         let r = equalize(&links, 1.0, CostModel::Wardrop).unwrap();
         let expect = 32.0 / 77.0;
-        assert!((r.level - expect).abs() < 1e-9, "level {} ≠ {expect}", r.level);
+        assert!(
+            (r.level - expect).abs() < 1e-9,
+            "level {} ≠ {expect}",
+            r.level
+        );
         assert!(r.flows[4].abs() < 1e-9, "constant link stays empty");
         assert!((r.flows[0] - expect).abs() < 1e-9);
     }
@@ -197,7 +204,11 @@ mod tests {
         // Closed form: μ = 0.7, o = (0.35, 7/30, 0.175, 8/75, 0.135).
         let expect = [0.35, 7.0 / 30.0, 0.175, 8.0 / 75.0, 0.135];
         for (i, &e) in expect.iter().enumerate() {
-            assert!((r.flows[i] - e).abs() < 1e-9, "link {i}: {} ≠ {e}", r.flows[i]);
+            assert!(
+                (r.flows[i] - e).abs() < 1e-9,
+                "link {i}: {} ≠ {e}",
+                r.flows[i]
+            );
         }
         assert!((r.level - 0.7).abs() < 1e-9);
     }
@@ -228,7 +239,12 @@ mod tests {
     fn mm1_infeasible_rate() {
         let links = vec![LatencyFn::mm1(1.0), LatencyFn::mm1(2.0)];
         let err = equalize(&links, 3.5, CostModel::Wardrop).unwrap_err();
-        assert_eq!(err, EqualizeError::Infeasible { total_capacity: 3.0 });
+        assert_eq!(
+            err,
+            EqualizeError::Infeasible {
+                total_capacity: 3.0
+            }
+        );
     }
 
     #[test]
@@ -242,7 +258,10 @@ mod tests {
     #[test]
     fn empty_system_errors() {
         let links: Vec<LatencyFn> = vec![];
-        assert_eq!(equalize(&links, 1.0, CostModel::Wardrop).unwrap_err(), EqualizeError::Empty);
+        assert_eq!(
+            equalize(&links, 1.0, CostModel::Wardrop).unwrap_err(),
+            EqualizeError::Empty
+        );
     }
 
     #[test]
@@ -270,8 +289,9 @@ mod tests {
 
     #[test]
     fn large_system_scales() {
-        let links: Vec<LatencyFn> =
-            (1..=500).map(|i| LatencyFn::affine(i as f64 / 100.0, (i % 7) as f64 / 10.0)).collect();
+        let links: Vec<LatencyFn> = (1..=500)
+            .map(|i| LatencyFn::affine(i as f64 / 100.0, (i % 7) as f64 / 10.0))
+            .collect();
         let r = equalize(&links, 42.0, CostModel::SystemOptimum).unwrap();
         let total: f64 = r.flows.iter().sum();
         assert!((total - 42.0).abs() < 1e-7);

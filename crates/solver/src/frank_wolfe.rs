@@ -43,7 +43,12 @@ impl Default for FwOptions {
     fn default() -> Self {
         // The FW phase only needs to deliver a good warm start: the path
         // polish finishes the tail, so a moderate iteration budget wins.
-        Self { rel_gap: 1e-10, max_iters: 2_000, conjugate: true, restart_period: 256 }
+        Self {
+            rel_gap: 1e-10,
+            max_iters: 2_000,
+            conjugate: true,
+            restart_period: 256,
+        }
     }
 }
 
@@ -82,8 +87,11 @@ pub fn solve_multicommodity(
     model: CostModel,
     opts: &FwOptions,
 ) -> FwResult {
-    let demands: Vec<(NodeId, NodeId, f64)> =
-        inst.commodities.iter().map(|c| (c.source, c.sink, c.rate)).collect();
+    let demands: Vec<(NodeId, NodeId, f64)> = inst
+        .commodities
+        .iter()
+        .map(|c| (c.source, c.sink, c.rate))
+        .collect();
     solve_inner(&inst.graph, &inst.latencies, &demands, model, opts)
 }
 
@@ -112,7 +120,12 @@ fn solve_inner(
 
     let grad = |f: &[f64], out: &mut Vec<f64>| {
         out.clear();
-        out.extend(latencies.iter().zip(f).map(|(l, &x)| model.edge_gradient(l, x)));
+        out.extend(
+            latencies
+                .iter()
+                .zip(f)
+                .map(|(l, &x)| model.edge_gradient(l, x)),
+        );
     };
 
     // Initialise: AON at empty-network costs.
@@ -187,7 +200,10 @@ fn solve_inner(
                         .zip(prev)
                         .map(|(yi, pi)| {
                             EdgeFlow(
-                                yi.0.iter().zip(&pi.0).map(|(ye, pe)| a * pe + (1.0 - a) * ye).collect(),
+                                yi.0.iter()
+                                    .zip(&pi.0)
+                                    .map(|(ye, pe)| a * pe + (1.0 - a) * ye)
+                                    .collect(),
                             )
                         })
                         .collect()
@@ -262,8 +278,11 @@ fn solve_inner(
         f = combined(&per, m);
     }
 
-    let objective: f64 =
-        latencies.iter().zip(&f).map(|(l, &x)| model.edge_objective(l, x)).sum();
+    let objective: f64 = latencies
+        .iter()
+        .zip(&f)
+        .map(|(l, &x)| model.edge_objective(l, x))
+        .sum();
     FwResult {
         flow: EdgeFlow(f),
         per_commodity: per,
@@ -421,7 +440,12 @@ mod tests {
         let slow = solve_assignment(
             &inst,
             CostModel::Wardrop,
-            &FwOptions { conjugate: false, rel_gap: 1e-6, max_iters: 200_000, ..FwOptions::default() },
+            &FwOptions {
+                conjugate: false,
+                rel_gap: 1e-6,
+                max_iters: 200_000,
+                ..FwOptions::default()
+            },
         );
         assert!(slow.converged);
         for e in 0..5 {
@@ -438,10 +462,22 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(3)); // c→d: x (shared)
         let inst = MultiCommodityInstance::new(
             g,
-            vec![LatencyFn::identity(), LatencyFn::identity(), LatencyFn::identity()],
             vec![
-                Commodity { source: NodeId(0), sink: NodeId(3), rate: 1.0 },
-                Commodity { source: NodeId(1), sink: NodeId(3), rate: 2.0 },
+                LatencyFn::identity(),
+                LatencyFn::identity(),
+                LatencyFn::identity(),
+            ],
+            vec![
+                Commodity {
+                    source: NodeId(0),
+                    sink: NodeId(3),
+                    rate: 1.0,
+                },
+                Commodity {
+                    source: NodeId(1),
+                    sink: NodeId(3),
+                    rate: 2.0,
+                },
             ],
         );
         let r = solve_multicommodity(&inst, CostModel::Wardrop, &FwOptions::default());
@@ -476,7 +512,11 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(2));
         let inst = NetworkInstance::new(
             g,
-            vec![LatencyFn::mm1(2.0), LatencyFn::affine(1.0, 0.2), LatencyFn::affine(0.1, 0.0)],
+            vec![
+                LatencyFn::mm1(2.0),
+                LatencyFn::affine(1.0, 0.2),
+                LatencyFn::affine(0.1, 0.0),
+            ],
             NodeId(0),
             NodeId(2),
             3.0,

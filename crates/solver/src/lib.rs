@@ -4,7 +4,7 @@
 //! efficiently computed". The Rust optimisation ecosystem offers no such
 //! solver, so this crate builds the two the reproduction needs from scratch:
 //!
-//! * **Parallel-link equalizer** ([`equalize`]) — exact solution of the
+//! * **Parallel-link equalizer** ([`equalize`](mod@equalize)) — exact solution of the
 //!   common-level conditions: a Nash equilibrium equalises *latencies*
 //!   across loaded links (Remark 4.1); a system optimum equalises *marginal
 //!   costs* (KKT of `min Σ x_i ℓ_i(x_i)`). One bisection on the level with

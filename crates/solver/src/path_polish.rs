@@ -144,7 +144,11 @@ pub fn polish_to_equilibrium(
                 st.add_path(path.edges().to_vec());
             }
         }
-        rel_gap = if cf.abs() > 1e-300 { (cf - cy) / cf } else { 0.0 };
+        rel_gap = if cf.abs() > 1e-300 {
+            (cf - cy) / cf
+        } else {
+            0.0
+        };
         if rel_gap <= target_rel_gap {
             converged = true;
             break;
@@ -173,7 +177,9 @@ pub fn polish_to_equilibrium(
                         lo = Some((i, c));
                     }
                 }
-                let (Some((ip, cp)), Some((iq, cq))) = (hi, lo) else { break };
+                let (Some((ip, cp)), Some((iq, cq))) = (hi, lo) else {
+                    break;
+                };
                 if ip == iq || cp - cq <= 1e-16 * cp.abs().max(1.0) {
                     break;
                 }
@@ -201,7 +207,11 @@ pub fn polish_to_equilibrium(
         }
     }
 
-    PolishResult { rel_gap, converged, rounds }
+    PolishResult {
+        rel_gap,
+        converged,
+        rounds,
+    }
 }
 
 /// Exact 1-D transfer of flow from path `ip` to path `iq`: minimise the
@@ -221,8 +231,16 @@ fn transfer(
     // Symmetric difference (multiset-aware: paths are simple, so sets).
     let in_q: std::collections::HashSet<EdgeId> = q.iter().copied().collect();
     let in_p: std::collections::HashSet<EdgeId> = p.iter().copied().collect();
-    let d_minus: Vec<usize> = p.iter().filter(|e| !in_q.contains(e)).map(|e| e.idx()).collect();
-    let d_plus: Vec<usize> = q.iter().filter(|e| !in_p.contains(e)).map(|e| e.idx()).collect();
+    let d_minus: Vec<usize> = p
+        .iter()
+        .filter(|e| !in_q.contains(e))
+        .map(|e| e.idx())
+        .collect();
+    let d_plus: Vec<usize> = q
+        .iter()
+        .filter(|e| !in_p.contains(e))
+        .map(|e| e.idx())
+        .collect();
     if d_minus.is_empty() && d_plus.is_empty() {
         return;
     }
@@ -338,15 +356,7 @@ mod tests {
         let (g, lats) = braess();
         let mut per = vec![EdgeFlow::zeros(5)];
         let demands = [(NodeId(0), NodeId(3), 0.0)];
-        let r = polish_to_equilibrium(
-            &g,
-            &lats,
-            &demands,
-            CostModel::Wardrop,
-            &mut per,
-            1e-10,
-            10,
-        );
+        let r = polish_to_equilibrium(&g, &lats, &demands, CostModel::Wardrop, &mut per, 1e-10, 10);
         assert!(r.converged);
         assert!(per[0].0.iter().all(|x| *x == 0.0));
     }

@@ -65,7 +65,11 @@ pub fn path_equilibrium(
     let mut grad = vec![0.0f64; n];
     let mut iterations = 0;
     let objective = |edge: &[f64]| -> f64 {
-        inst.latencies.iter().zip(edge).map(|(l, &x)| model.edge_objective(l, x)).sum()
+        inst.latencies
+            .iter()
+            .zip(edge)
+            .map(|(l, &x)| model.edge_objective(l, x))
+            .sum()
     };
     let mut best_obj = objective(&edge);
 
@@ -203,6 +207,10 @@ mod tests {
             1.0,
         );
         let so = path_equilibrium(&inst, CostModel::SystemOptimum, 10, 50_000);
-        assert!((inst.cost(so.flow.as_slice()) - 1.5).abs() < 1e-5, "{}", inst.cost(so.flow.as_slice()));
+        assert!(
+            (inst.cost(so.flow.as_slice()) - 1.5).abs() < 1e-5,
+            "{}",
+            inst.cost(so.flow.as_slice())
+        );
     }
 }

@@ -24,7 +24,10 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }

@@ -16,7 +16,9 @@
 
 use stackopt::core::mop::mop;
 use stackopt::equilibrium::network::{induced_network, network_nash};
-use stackopt::instances::braess::{fig7_expected, fig7_instance, roughgarden_651, roughgarden_651_optimum_cost};
+use stackopt::instances::braess::{
+    fig7_expected, fig7_instance, roughgarden_651, roughgarden_651_optimum_cost,
+};
 use stackopt::solver::frank_wolfe::FwOptions;
 
 fn main() {
@@ -38,7 +40,12 @@ fn main() {
             .collect();
         println!(
             "ε={eps:.2}: O = [{}]",
-            r.optimum.as_slice().iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>().join(", ")
+            r.optimum
+                .as_slice()
+                .iter()
+                .map(|f| format!("{f:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         println!(
             "        β = {:.4} (paper: {:.4}) | C(N) = {:.4} (paper: {:.4}) | C(O) = {:.4} | C(S+T) = {:.4}",
@@ -52,7 +59,10 @@ fn main() {
     }
 
     println!("\n== Example 6.5.1: the x^k family (negative result) ==");
-    println!("{:>3} {:>10} {:>10} {:>12} {:>10}", "k", "C(N)", "C(O)", "C(N)/C(O)", "MOP β");
+    println!(
+        "{:>3} {:>10} {:>10} {:>12} {:>10}",
+        "k", "C(N)", "C(O)", "C(N)/C(O)", "MOP β"
+    );
     for k in [1u32, 2, 4, 8, 16] {
         let inst = roughgarden_651(k);
         let nash = network_nash(&inst, &opts);

@@ -30,7 +30,10 @@ fn main() {
     );
 
     println!("anarchy-value curve (oracle per point; exact from β on — Corollary 2.2):");
-    println!("{:>6} {:>10} {:>12} {:>12}  {:<22}", "α", "best", "LLF", "SCALE", "oracle");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}  {:<22}",
+        "α", "best", "LLF", "SCALE", "oracle"
+    );
     let alphas: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
     let curve = anarchy_curve(&links, &alphas);
     for p in &curve.points {

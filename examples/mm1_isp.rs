@@ -33,16 +33,31 @@ fn main() {
     println!("== The price of optimum across M/M/1 families (paper §2) ==\n");
     report("identical ×4 (cap 2)", &identical_links(4, 2.0, 3.0));
     report("identical ×16 (cap 2)", &identical_links(16, 2.0, 12.0));
-    report("appealing pair (20 vs 1×4)", &appealing_group(2, 20.0, 4, 1.0, 2.0));
-    report("appealing pair, higher load", &appealing_group(2, 20.0, 4, 1.0, 8.0));
-    report("mild spread ×6 (ratio 1.3), 63% util", &spread_links(6, 1.0, 1.3, 8.0));
-    report("mild spread ×8 (ratio 1.2), 70% util", &spread_links(8, 1.0, 1.2, 12.0));
+    report(
+        "appealing pair (20 vs 1×4)",
+        &appealing_group(2, 20.0, 4, 1.0, 2.0),
+    );
+    report(
+        "appealing pair, higher load",
+        &appealing_group(2, 20.0, 4, 1.0, 8.0),
+    );
+    report(
+        "mild spread ×6 (ratio 1.3), 63% util",
+        &spread_links(6, 1.0, 1.3, 8.0),
+    );
+    report(
+        "mild spread ×8 (ratio 1.2), 70% util",
+        &spread_links(8, 1.0, 1.2, 12.0),
+    );
 
     // Strategy comparison on the interesting (spread) instance.
     let links = spread_links(6, 1.0, 1.3, 8.0);
     let r = optop(&links);
     println!("\n== Strategy comparison on the spread instance ==");
-    println!("{:>6} {:>12} {:>12} {:>12}", "α", "LLF", "SCALE", "bound 1/α");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "α", "LLF", "SCALE", "bound 1/α"
+    );
     let c_opt = r.optimum_cost;
     for i in 1..=10 {
         let alpha = i as f64 / 10.0;

@@ -9,18 +9,15 @@
 //! and the baseline strategies.
 
 use stackopt::core::llf::llf;
-use stackopt::core::scale::scale;
 use stackopt::core::optop::optop;
+use stackopt::core::scale::scale;
 use stackopt::equilibrium::cost::coordination_ratio;
 use stackopt::prelude::*;
 
 fn main() {
     // Pigou's network: a fast link ℓ₁(x) = x and a constant link ℓ₂ ≡ 1,
     // shared by a unit of infinitely divisible selfish traffic.
-    let links = ParallelLinks::new(
-        vec![LatencyFn::identity(), LatencyFn::constant(1.0)],
-        1.0,
-    );
+    let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
 
     // Selfish play floods the fast link (Fig. 1-down)…
     let nash = links.nash();
@@ -46,7 +43,10 @@ fn main() {
     println!("  β_M               = {:.4}", result.beta);
     println!("  optimal strategy  = {:?}", result.strategy);
     let induced = links.induced(&result.strategy);
-    println!("  induced S+T       = {:?}  (the optimum, Fig. 3)", induced.total);
+    println!(
+        "  induced S+T       = {:?}  (the optimum, Fig. 3)",
+        induced.total
+    );
     println!("  C(S+T)            = {:.4}", links.cost(&induced.total));
 
     // Baselines at α = β: LLF happens to match here; SCALE wastes control

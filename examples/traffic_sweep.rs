@@ -57,15 +57,35 @@ fn main() {
     let nash = network_nash(&inst, &opts);
     let c_nash = inst.cost(nash.flow.as_slice());
     let r = mop(&inst, &opts);
-    println!("commuter network: |V| = {}, |E| = {}, demand = {}", 8, inst.num_edges(), inst.rate);
-    println!("C(N) = {c_nash:.2}   C(O) = {:.2}   anarchy value = {:.4}", r.optimum_cost, c_nash / r.optimum_cost);
-    println!("price of optimum β_G = {:.4}  (Leader must steer {:.1} of {} vehicles)", r.beta, r.leader_value, inst.rate);
+    println!(
+        "commuter network: |V| = {}, |E| = {}, demand = {}",
+        8,
+        inst.num_edges(),
+        inst.rate
+    );
+    println!(
+        "C(N) = {c_nash:.2}   C(O) = {:.2}   anarchy value = {:.4}",
+        r.optimum_cost,
+        c_nash / r.optimum_cost
+    );
+    println!(
+        "price of optimum β_G = {:.4}  (Leader must steer {:.1} of {} vehicles)",
+        r.beta, r.leader_value, inst.rate
+    );
 
     // Verify the MOP strategy enforces the optimum.
     let follower = induced_network(&inst, &r.leader, r.leader_value, &opts);
-    let total: Vec<f64> =
-        r.leader.as_slice().iter().zip(follower.flow.as_slice()).map(|(a, b)| a + b).collect();
-    println!("MOP induced cost = {:.2}  (= C(O) up to solver tolerance)\n", inst.cost(&total));
+    let total: Vec<f64> = r
+        .leader
+        .as_slice()
+        .iter()
+        .zip(follower.flow.as_slice())
+        .map(|(a, b)| a + b)
+        .collect();
+    println!(
+        "MOP induced cost = {:.2}  (= C(O) up to solver tolerance)\n",
+        inst.cost(&total)
+    );
 
     println!("SCALE sweep (Leader ships α·O, followers re-route):");
     println!("{:>6} {:>12} {:>14}", "α", "C(S+T)", "C(S+T)/C(O)");

@@ -58,7 +58,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     while i < args.len() {
         let take = |i: &mut usize| -> Result<&String, String> {
             *i += 1;
-            args.get(*i - 1).ok_or_else(|| "missing value after flag".to_string())
+            args.get(*i - 1)
+                .ok_or_else(|| "missing value after flag".to_string())
         };
         match args[i].as_str() {
             "--links" => {
@@ -84,7 +85,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     if !(rate > 0.0 && rate.is_finite()) {
         return Err(format!("rate must be positive, got {rate}"));
     }
-    Ok(Args { links, rate, steps, alpha })
+    Ok(Args {
+        links,
+        rate,
+        steps,
+        alpha,
+    })
 }
 
 fn build(args: &Args) -> Result<ParallelLinks, String> {
@@ -111,10 +117,15 @@ fn run() -> Result<(), String> {
             println!("C(S+T)   = {:.6}", links.induced_cost(&r.strategy));
         }
         "curve" => {
-            let alphas: Vec<f64> =
-                (0..=args.steps).map(|k| k as f64 / args.steps as f64).collect();
+            let alphas: Vec<f64> = (0..=args.steps)
+                .map(|k| k as f64 / args.steps as f64)
+                .collect();
             let c = anarchy_curve(&links, &alphas);
-            println!("beta = {:.6}   C(N)/C(O) = {:.6}", c.beta, c.nash_cost / c.optimum_cost);
+            println!(
+                "beta = {:.6}   C(N)/C(O) = {:.6}",
+                c.beta,
+                c.nash_cost / c.optimum_cost
+            );
             println!("{:>8} {:>12} {:>10}  oracle", "alpha", "C(S+T)", "ratio");
             for p in &c.points {
                 println!(
@@ -128,7 +139,11 @@ fn run() -> Result<(), String> {
             let o = links.optimum();
             println!("Nash    (latency {:.6}): {:?}", n.level(), n.flows());
             println!("Optimum (marginal {:.6}): {:?}", o.level(), o.flows());
-            println!("C(N) = {:.6}   C(O) = {:.6}", links.cost(n.flows()), links.cost(o.flows()));
+            println!(
+                "C(N) = {:.6}   C(O) = {:.6}",
+                links.cost(n.flows()),
+                links.cost(o.flows())
+            );
         }
         "tolls" => {
             let t = marginal_cost_tolls(&links);
@@ -146,7 +161,11 @@ fn run() -> Result<(), String> {
             let (s, cost) = llf(&links, alpha);
             let r = optop(&links);
             println!("strategy = {s:?}");
-            println!("C(S+T)   = {cost:.6}   C(O) = {:.6}   ratio = {:.6}", r.optimum_cost, cost / r.optimum_cost);
+            println!(
+                "C(S+T)   = {cost:.6}   C(O) = {:.6}   ratio = {:.6}",
+                r.optimum_cost,
+                cost / r.optimum_cost
+            );
             println!("bound 1/alpha = {:.6}", 1.0 / alpha);
         }
         other => return Err(format!("unknown command '{other}'")),

@@ -23,7 +23,10 @@ pub fn parse_latency(s: &str) -> Result<LatencyFn, String> {
         return Err("empty latency expression".into());
     }
     if let Some(rest) = s.strip_prefix("mm1:") {
-        let c: f64 = rest.trim().parse().map_err(|e| format!("mm1 capacity: {e}"))?;
+        let c: f64 = rest
+            .trim()
+            .parse()
+            .map_err(|e| format!("mm1 capacity: {e}"))?;
         if c <= 0.0 {
             return Err(format!("mm1 capacity must be positive, got {c}"));
         }
@@ -46,7 +49,9 @@ pub fn parse_latency(s: &str) -> Result<LatencyFn, String> {
         let coef: f64 = if coef_str.is_empty() {
             1.0
         } else {
-            coef_str.parse().map_err(|e| format!("coefficient '{coef_str}': {e}"))?
+            coef_str
+                .parse()
+                .map_err(|e| format!("coefficient '{coef_str}': {e}"))?
         };
         if coef < 0.0 {
             return Err(format!("negative coefficient {coef}"));
@@ -61,7 +66,10 @@ pub fn parse_latency(s: &str) -> Result<LatencyFn, String> {
                 Some(plus) => (&exp[..plus], Some(exp[plus + 1..].trim())),
                 None => (exp, None),
             };
-            let k: u32 = kstr.trim().parse().map_err(|e| format!("exponent '{kstr}': {e}"))?;
+            let k: u32 = kstr
+                .trim()
+                .parse()
+                .map_err(|e| format!("exponent '{kstr}': {e}"))?;
             if k == 0 {
                 return Err("exponent must be ≥ 1 (use a constant instead)".into());
             }
@@ -82,7 +90,10 @@ pub fn parse_latency(s: &str) -> Result<LatencyFn, String> {
             };
         }
         if let Some(bs) = rest.strip_prefix('+') {
-            let b: f64 = bs.trim().parse().map_err(|e| format!("intercept '{bs}': {e}"))?;
+            let b: f64 = bs
+                .trim()
+                .parse()
+                .map_err(|e| format!("intercept '{bs}': {e}"))?;
             if b < 0.0 {
                 return Err(format!("negative intercept {b}"));
             }
@@ -100,7 +111,10 @@ pub fn parse_latency(s: &str) -> Result<LatencyFn, String> {
 
 /// Parse a comma-separated links spec into latency functions.
 pub fn parse_links(spec: &str) -> Result<Vec<LatencyFn>, String> {
-    let lats: Result<Vec<_>, _> = split_top_level(spec).iter().map(|s| parse_latency(s)).collect();
+    let lats: Result<Vec<_>, _> = split_top_level(spec)
+        .iter()
+        .map(|s| parse_latency(s))
+        .collect();
     let lats = lats?;
     if lats.is_empty() {
         return Err("no links in spec".into());
@@ -151,9 +165,15 @@ mod tests {
 
     #[test]
     fn parses_affine_forms() {
-        assert_eq!(parse_latency("2x+0.3").unwrap(), LatencyFn::affine(2.0, 0.3));
+        assert_eq!(
+            parse_latency("2x+0.3").unwrap(),
+            LatencyFn::affine(2.0, 0.3)
+        );
         assert_eq!(parse_latency("2.5x").unwrap(), LatencyFn::affine(2.5, 0.0));
-        assert_eq!(parse_latency(" x + 1 ").unwrap(), LatencyFn::affine(1.0, 1.0));
+        assert_eq!(
+            parse_latency(" x + 1 ").unwrap(),
+            LatencyFn::affine(1.0, 1.0)
+        );
     }
 
     #[test]
@@ -181,6 +201,45 @@ mod tests {
     }
 
     #[test]
+    fn parses_constants() {
+        assert_eq!(parse_latency("0.7").unwrap(), LatencyFn::constant(0.7));
+        assert_eq!(parse_latency(" 0 ").unwrap(), LatencyFn::constant(0.0));
+        assert_eq!(parse_latency("3").unwrap(), LatencyFn::constant(3.0));
+    }
+
+    #[test]
+    fn parses_bare_and_spaced_identity() {
+        assert_eq!(parse_latency("x").unwrap(), LatencyFn::identity());
+        assert_eq!(parse_latency("  x  ").unwrap(), LatencyFn::identity());
+        assert_eq!(parse_latency("0.5x").unwrap(), LatencyFn::affine(0.5, 0.0));
+    }
+
+    #[test]
+    fn monomial_intercept_has_shifted_integral() {
+        // `x^3+0.5` must behave as ℓ(x) = x³ + 0.5 for the Beckmann
+        // integral too, not only pointwise.
+        let l = parse_latency("x^3+0.5").unwrap();
+        assert!((l.value(1.0) - 1.5).abs() < 1e-12);
+        assert!((l.integral(2.0) - (2.0f64.powi(4) / 4.0 + 0.5 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_link_specs_preserve_order_and_count() {
+        let lats = parse_links("x, 2x+0.3, x^3, mm1:2.0, 0.7").unwrap();
+        assert_eq!(lats.len(), 5);
+        assert_eq!(lats[0], LatencyFn::identity());
+        assert_eq!(lats[1], LatencyFn::affine(2.0, 0.3));
+        assert_eq!(lats[2], LatencyFn::monomial(1.0, 3));
+        assert_eq!(lats[3], LatencyFn::mm1(2.0));
+        assert_eq!(lats[4], LatencyFn::constant(0.7));
+        // Two bpr specs in one list must each absorb exactly their own args.
+        let two = parse_links("bpr:1,0.15,10,4, bpr:2,0.3,5,2").unwrap();
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0], LatencyFn::bpr(1.0, 0.15, 10.0, 4));
+        assert_eq!(two[1], LatencyFn::bpr(2.0, 0.3, 5.0, 2));
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(parse_latency("").is_err());
         assert!(parse_latency("-1").is_err());
@@ -189,5 +248,49 @@ mod tests {
         assert!(parse_latency("mm1:-3").is_err());
         assert!(parse_latency("bpr:1,2").is_err());
         assert!(parse_links("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_numbers_with_reason() {
+        // Every error carries a human-readable reason naming the bad field.
+        assert!(parse_latency("mm1:fast")
+            .unwrap_err()
+            .contains("mm1 capacity"));
+        assert!(parse_latency("mm1:0").unwrap_err().contains("positive"));
+        assert!(parse_latency("bpr:a,0.15,10,4")
+            .unwrap_err()
+            .contains("bpr t0"));
+        assert!(parse_latency("bpr:1,0.15,10,4.5")
+            .unwrap_err()
+            .contains("bpr p"));
+        assert!(parse_latency("bpr:1,0.15,10,4,9")
+            .unwrap_err()
+            .contains("fields"));
+        assert!(parse_latency("yx").unwrap_err().contains("coefficient"));
+        assert!(parse_latency("x^two").unwrap_err().contains("exponent"));
+        assert!(parse_latency("x^2+oops").unwrap_err().contains("intercept"));
+        assert!(parse_latency("x+oops").unwrap_err().contains("intercept"));
+        assert!(parse_latency("hello").unwrap_err().contains("constant"));
+    }
+
+    #[test]
+    fn rejects_negative_parameters() {
+        assert!(parse_latency("-2x").is_err());
+        assert!(parse_latency("x+-1").is_err());
+        assert!(parse_latency("x^2+-1").is_err());
+        assert!(parse_latency("-0.5").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_junk_after_x() {
+        assert!(parse_latency("x2").is_err());
+        assert!(parse_latency("x*3").is_err());
+        assert!(parse_latency("xx").is_err());
+    }
+
+    #[test]
+    fn empty_list_items_are_rejected() {
+        assert!(parse_links("x,,1.0").unwrap_err().contains("empty"));
+        assert!(parse_links(",x").is_err());
     }
 }

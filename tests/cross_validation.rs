@@ -22,7 +22,13 @@ fn as_network(links: &ParallelLinks) -> NetworkInstance {
     for _ in 0..links.m() {
         g.add_edge(NodeId(0), NodeId(1));
     }
-    NetworkInstance::new(g, links.latencies().to_vec(), NodeId(0), NodeId(1), links.rate())
+    NetworkInstance::new(
+        g,
+        links.latencies().to_vec(),
+        NodeId(0),
+        NodeId(1),
+        links.rate(),
+    )
 }
 
 /// The equalizer (closed-form inverses + bisection) and Frank–Wolfe
@@ -119,7 +125,10 @@ fn theorem_24_vs_brute_force() {
             }
         }
     }
-    assert!(hard_side_seen > 0, "the sweep must hit the hard side at least once");
+    assert!(
+        hard_side_seen > 0,
+        "the sweep must hit the hard side at least once"
+    );
 }
 
 /// LLF's 1/α guarantee and the induced-cost sandwich C(O) ≤ C(S+T) ≤ C(N)…

@@ -28,8 +28,14 @@ fn piecewise_links_equalize_and_certify() {
     let o = links.optimum();
     certify_parallel(links.latencies(), n.flows(), 1.5, CostModel::Wardrop, 1e-6)
         .expect("piecewise Nash certified");
-    certify_parallel(links.latencies(), o.flows(), 1.5, CostModel::SystemOptimum, 1e-6)
-        .expect("piecewise optimum certified");
+    certify_parallel(
+        links.latencies(),
+        o.flows(),
+        1.5,
+        CostModel::SystemOptimum,
+        1e-6,
+    )
+    .expect("piecewise optimum certified");
     assert!(links.cost(o.flows()) <= links.cost(n.flows()) + 1e-9);
 
     // OpTop runs unchanged on the piecewise class.
@@ -72,7 +78,12 @@ fn curve_crossover_matches_beta_on_fig4() {
     let curve = anarchy_curve(&links, &alphas);
     for p in &curve.points {
         if p.alpha >= curve.beta {
-            assert!((p.ratio - 1.0).abs() < 1e-5, "α={} ratio={}", p.alpha, p.ratio);
+            assert!(
+                (p.ratio - 1.0).abs() < 1e-5,
+                "α={} ratio={}",
+                p.alpha,
+                p.ratio
+            );
         }
         assert!(p.ratio >= 1.0 - 1e-9);
         assert!(p.cost <= curve.nash_cost + 1e-7);

@@ -9,7 +9,10 @@ use stackopt::solver::frank_wolfe::FwOptions;
 use stackopt::solver::objective::CostModel;
 
 fn opts() -> FwOptions {
-    FwOptions { rel_gap: 1e-10, ..FwOptions::default() }
+    FwOptions {
+        rel_gap: 1e-10,
+        ..FwOptions::default()
+    }
 }
 
 #[test]
@@ -17,7 +20,11 @@ fn mop_induces_optimum_on_random_layered_nets() {
     for seed in 0..8u64 {
         let inst = random_layered_network(3, 3, 2.0, seed);
         let r = mop(&inst, &opts());
-        assert!((0.0..=1.0 + 1e-6).contains(&r.beta), "seed {seed}: β = {}", r.beta);
+        assert!(
+            (0.0..=1.0 + 1e-6).contains(&r.beta),
+            "seed {seed}: β = {}",
+            r.beta
+        );
 
         // The optimum itself is certified.
         certify_network(&inst, &r.optimum, CostModel::SystemOptimum, 1e-4)
@@ -67,7 +74,10 @@ fn mop_leader_and_free_parts_partition_optimum() {
             let ld = r.leader.as_slice()[e];
             assert!(fr >= -1e-9 && ld >= -1e-9, "seed {seed} edge {e}");
             assert!(fr <= o + 1e-6, "seed {seed} edge {e}: free exceeds optimum");
-            assert!((fr + ld - o).abs() < 1e-6, "seed {seed} edge {e}: partition broken");
+            assert!(
+                (fr + ld - o).abs() < 1e-6,
+                "seed {seed} edge {e}: partition broken"
+            );
         }
         assert!((r.free_value + r.leader_value - inst.rate).abs() < 1e-6);
     }
@@ -90,8 +100,11 @@ fn scaled_down_mop_strategy_misses_optimum() {
             r.leader_value * 0.8,
             &opts(),
         );
-        let total: Vec<f64> =
-            scaled.iter().zip(follower.flow.as_slice()).map(|(a, b)| a + b).collect();
+        let total: Vec<f64> = scaled
+            .iter()
+            .zip(follower.flow.as_slice())
+            .map(|(a, b)| a + b)
+            .collect();
         let cost = inst.cost(&total);
         assert!(
             cost >= r.optimum_cost - 1e-6,

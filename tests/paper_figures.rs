@@ -1,8 +1,8 @@
 //! Integration tests pinning every number of the paper's worked examples
 //! (Experiments E1–E4 of DESIGN.md).
 
-use stackopt::core::optop::optop;
 use stackopt::core::mop::mop;
+use stackopt::core::optop::optop;
 use stackopt::core::theorems::swap_reassignment;
 use stackopt::equilibrium::cost::coordination_ratio;
 use stackopt::equilibrium::network::{induced_network, network_nash};
@@ -22,9 +22,7 @@ fn e1_pigou_figures() {
     let opt = links.optimum();
     assert!((links.cost(nash.flows()) - e.nash_cost).abs() < 1e-9);
     assert!((links.cost(opt.flows()) - e.optimum_cost).abs() < 1e-9);
-    assert!(
-        (coordination_ratio(e.nash_cost, e.optimum_cost) - e.coordination_ratio).abs() < 1e-12
-    );
+    assert!((coordination_ratio(e.nash_cost, e.optimum_cost) - e.coordination_ratio).abs() < 1e-12);
 
     // OpTop recovers Fig. 2's strategy and Fig. 3's induced equilibrium.
     let r = optop(&links);
@@ -57,7 +55,10 @@ fn e2_optop_walkthrough() {
     // Fig. 6: the remaining selfish flow lands on the optimum.
     let induced = links.induced(&r.strategy);
     for i in 0..5 {
-        assert!((induced.total[i] - e.optimum[i]).abs() < 1e-7, "S+T link {i}");
+        assert!(
+            (induced.total[i] - e.optimum[i]).abs() < 1e-7,
+            "S+T link {i}"
+        );
     }
     assert!((r.beta - e.beta).abs() < 1e-9);
 }
@@ -80,7 +81,10 @@ fn e3_fig7_mop() {
             );
         }
         // Fig. 7(b): shortest-path flow 1/2 − 2ε.
-        assert!((r.free_value - e.shortest_path_flow).abs() < 1e-4, "ε={eps}");
+        assert!(
+            (r.free_value - e.shortest_path_flow).abs() < 1e-4,
+            "ε={eps}"
+        );
         // Fig. 7(d): β_G = 1/2 + 2ε.
         assert!((r.beta - e.beta).abs() < 1e-4, "ε={eps}: β = {}", r.beta);
 
@@ -98,7 +102,10 @@ fn e3_fig7_mop() {
 
         // Cross-check the closed-form Nash cost 2 − 4ε.
         let nash = network_nash(&inst, &opts);
-        assert!((inst.cost(nash.flow.as_slice()) - e.nash_cost).abs() < 1e-4, "ε={eps}");
+        assert!(
+            (inst.cost(nash.flow.as_slice()) - e.nash_cost).abs() < 1e-4,
+            "ε={eps}"
+        );
     }
 }
 

@@ -1,0 +1,260 @@
+//! Offline stub of `criterion` — see `vendor/README.md`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench-target structure
+//! compiling and runnable without the real statistics engine: each
+//! benchmark is warmed up once, then timed over a small, time-capped batch
+//! of iterations, and reported as one `name … mean ± spread` line. Good
+//! enough to (a) keep `cargo bench --no-run` green in CI and (b) give
+//! order-of-magnitude numbers locally; not a replacement for criterion's
+//! statistical rigor.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget after warmup.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERS: u64 = 1000;
+
+/// Identifier for one benchmark within a group (upstream `BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures (upstream `Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    /// `--test` mode: validate the routine with exactly one call, no timing.
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive so the call is not
+    /// optimised away (pair with `std::hint::black_box` on inputs).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warmup: one untimed call (also pulls code+data into cache).
+        std::hint::black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..MAX_ITERS {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn report(path: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{path:<60} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("nonempty");
+    let max = samples.iter().max().expect("nonempty");
+    println!(
+        "{path:<60} mean {:>12} [min {:>12}, max {:>12}] ({} iters)",
+        fmt_duration(mean),
+        fmt_duration(*min),
+        fmt_duration(*max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks (upstream `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's time-capped runner
+    /// ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the stub.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let path = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&path, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let path = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&path, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager (upstream `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    /// When set (by `--test` or compile-time probing), run each routine
+    /// once instead of timing it.
+    smoke_only: bool,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks `routine` under a bare name, outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let path = name.to_owned();
+        self.run_one(&path, &mut routine);
+        self
+    }
+
+    /// Parses harness CLI args (subset): `--test` switches to smoke mode,
+    /// everything else criterion accepts is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke_only = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    fn run_one(&mut self, path: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            smoke_only: self.smoke_only,
+        };
+        if self.smoke_only {
+            println!("{path:<60} (smoke run)");
+        }
+        routine(&mut bencher);
+        if !self.smoke_only {
+            report(path, &bencher.samples);
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets (upstream
+/// `criterion_group!`, unconfigured form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Benchmark group `", stringify!($name), "` (criterion_group!).")]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (upstream `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("f", |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &x| b.iter(|| x * x));
+        g.finish();
+    }
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("8x2_9e").id, "8x2_9e");
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stub of `crossbeam` scoped threads — see `vendor/README.md`.
+//!
+//! Implemented on `std::thread::scope` (stable since Rust 1.63), which
+//! provides the same structured-concurrency guarantee crossbeam pioneered:
+//! all spawned threads are joined before `scope` returns, so borrows of
+//! stack data are sound without `'static` bounds.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result type mirroring `crossbeam::thread::Result`.
+pub type ThreadResult<T> = std::thread::Result<T>;
+
+/// A scope handle passed to the closure of [`scope`]; spawn via
+/// [`Scope::spawn`].
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope itself so workers can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. Returns `Err` if the closure or any unjoined spawned thread
+/// panicked, matching `crossbeam::scope`'s error-reporting contract.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(move || {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Mirror of the `crossbeam::thread` module path.
+pub mod thread {
+    pub use super::{scope, Scope, ThreadResult as Result};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn worker_panic_is_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let r = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

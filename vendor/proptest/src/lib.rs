@@ -1,0 +1,379 @@
+//! Offline stub of `proptest` — see `vendor/README.md`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro, the [`strategy::Strategy`] trait over ranges,
+//! tuples, `prop_map`, [`prop_oneof!`], [`collection::vec`] and
+//! [`arbitrary::any`], plus the `prop_assert*`/`prop_assume!` macros and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its seed and case index so
+//!   it can be replayed, but is not minimised;
+//! * **deterministic seeding** — cases derive from an FNV-1a hash of the
+//!   test name plus the case index, so runs are reproducible across
+//!   machines (upstream defaults to OS entropy);
+//! * strategies sample uniformly without edge-case biasing.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing: configuration, RNG, and case-level errors.
+pub mod test_runner {
+    /// Runner configuration (`proptest::test_runner::Config` subset).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum rejected (`prop_assume!`-filtered) cases tolerated
+        /// before the test errors out as too-selective.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases, otherwise default.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was filtered out by `prop_assume!`; try another.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result type of a single proptest case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-case RNG (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the test named `name`.
+        ///
+        /// FNV-1a over the name decorrelates tests; the case index is
+        /// folded in through one mixing step so consecutive cases differ
+        /// in every bit.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut rng = TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            rng.next_u64(); // discard the correlated first output
+            rng
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `u64` in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Drives one `proptest!`-generated test: calls `case(case_index,
+    /// rng)` until `config.cases` cases pass, rejections excepted.
+    ///
+    /// Not part of the public proptest API — the macro expansion calls it.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while passed < config.cases {
+            let mut rng = TestRng::for_case(name, case_index);
+            // Catch panics (e.g. an `.expect()` deep in the code under
+            // test) so every failure mode carries the replay seed, not
+            // only `prop_assert!`-style ones.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    Err(TestCaseError::fail(format!("case body panicked: {msg}")))
+                });
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "{name}: too many prop_assume! rejections ({rejected}); \
+                         strategy is too selective"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{name}: case #{case_index} failed (replay: \
+                         TestRng::for_case(\"{name}\", {case_index})):\n{msg}"
+                    );
+                }
+            }
+            case_index += 1;
+        }
+    }
+}
+
+/// Everything a property test usually imports (`proptest::prelude` subset).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// panicking directly) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts two values are unequal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Filters the current case: if the condition does not hold the case is
+/// rejected and regenerated rather than failed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type (`prop_oneof!` subset: no weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@body $config:expr, $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(stringify!($name), &config, |rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @body $config, $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @body $crate::test_runner::ProptestConfig::default(), $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_in_bounds(x in 1u32..10, y in -2.0..3.5f64, n in 2usize..5) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-2.0..3.5).contains(&y));
+            prop_assert!((2..5).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_map((a, b) in (0u64..100, 0u64..100).prop_map(|(x, y)| (x + y, x))) {
+            prop_assert!(b <= a);
+        }
+
+        #[test]
+        fn oneof_and_vec(v in prop_oneof![
+            crate::collection::vec(0.0..1.0f64, 1..4),
+            crate::collection::vec(2.0..3.0f64, 2..3),
+        ]) {
+            prop_assert!(!v.is_empty(), "got {v:?}");
+            prop_assert!(v.iter().all(|x| (0.0..3.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_filters(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn half_open_float_strategy_never_yields_upper_bound() {
+        let mut rng = crate::test_runner::TestRng::for_case("float_bound", 0);
+        let (lo, hi) = (1.0f64, 1.0 + f64::EPSILON);
+        for _ in 0..1_000 {
+            let v = (lo..hi).generate(&mut rng);
+            assert!(v < hi, "half-open strategy yielded its upper bound");
+        }
+    }
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = crate::test_runner::TestRng::for_case("any_u64_varies", 0);
+        let s = any::<u64>();
+        let a = s.generate(&mut rng);
+        let b = s.generate(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn failure_reports_case() {
+        crate::test_runner::run("always_fails", &ProptestConfig::with_cases(3), |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "case body panicked: boom")]
+    fn panicking_body_still_reports_case() {
+        crate::test_runner::run("always_panics", &ProptestConfig::with_cases(3), |_rng| {
+            panic!("boom")
+        });
+    }
+}

@@ -1,0 +1,236 @@
+//! Offline stub of `rand` 0.9 — see `vendor/README.md`.
+//!
+//! Provides `rngs::StdRng`, [`SeedableRng`], and the [`Rng`] extension
+//! trait with `random_range`/`random_bool`, backed by a SplitMix64 core.
+//! Deterministic in the seed across platforms; the stream **differs** from
+//! upstream `StdRng` (which is ChaCha12), so only seed-stability within
+//! this workspace is guaranteed — exactly what the instance generators
+//! need.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of randomness (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// An RNG constructible from a seed (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Panics if the range is empty, like upstream.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "random_bool: p = {p} not in [0, 1]"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → uniform dyadic rationals in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from a range (subset of
+/// `rand::distr::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`; `hi` is included iff `inclusive`.
+    fn sample_between<G: RngCore + ?Sized>(g: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(
+                g: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let (lo_w, hi_w) = (lo as i128, hi as i128);
+                let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "random_range: empty range {lo}..{hi}");
+                // Modulo bias is ≤ span/2^64 — negligible for test workloads.
+                (lo_w + (g.next_u64() as i128 % span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(
+                g: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // `lo..=hi` admits lo == hi (upstream returns lo there);
+                // the open upper end is approximated by [lo, hi), which
+                // is measure-equivalent for continuous draws.
+                if inclusive {
+                    assert!(lo <= hi, "random_range: empty range {lo}..={hi}");
+                } else {
+                    assert!(lo < hi, "random_range: empty range {lo}..{hi}");
+                }
+                let v = lo + (unit_f64(g.next_u64()) as $t) * (hi - lo);
+                // `lo + u*(hi-lo)` can round up to exactly `hi`; a half-open
+                // range must never return its upper bound.
+                if !inclusive && v >= hi {
+                    hi.next_down().max(lo)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f64, f32);
+
+/// Range shapes accepted by [`Rng::random_range`] (subset of
+/// `rand::distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> T {
+        T::sample_between(g, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> T {
+        T::sample_between(g, *self.start(), *self.end(), true)
+    }
+}
+
+/// Concrete RNG implementations (mirrors the `rand::rngs` module).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele–Lea–Flood): passes BigCrush, one u64 of state.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u32..=9);
+            assert!((3..=9).contains(&x));
+            let y = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&y));
+            let f = rng.random_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn half_open_float_range_never_returns_upper_bound() {
+        // One-ulp-wide range: the unclamped product rounds to `hi` for
+        // roughly half of all draws, so a few iterations cover the case.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (lo, hi) = (1.0f64, 1.0 + f64::EPSILON);
+        for _ in 0..1_000 {
+            let v = rng.random_range(lo..hi);
+            assert!(v < hi, "half-open range returned its upper bound");
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_admits_degenerate_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(rng.random_range(0.5..=0.5f64), 0.5);
+        let x = rng.random_range(1.0..=2.0f64);
+        assert!((1.0..=2.0).contains(&x));
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}
