@@ -1,0 +1,85 @@
+//! Typed failure modes of the paper's algorithms.
+//!
+//! The `try_` entry points ([`crate::mop::try_mop`],
+//! [`crate::mop_multi::try_mop_multi`], [`crate::optop::try_optop`],
+//! [`crate::tolls::try_marginal_cost_tolls_network`]) return these instead
+//! of panicking; the panicking wrappers (`mop`, `optop`, …) stay as thin
+//! conveniences for exploratory code. Downstream, `stackopt::api` folds
+//! both this and [`sopt_solver::equalize::EqualizeError`] into its single
+//! `SoptError`.
+
+use sopt_solver::equalize::EqualizeError;
+
+/// Why an algorithm of this crate could not produce a result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// A convex solve (Frank–Wolfe) stopped above its relative-gap target.
+    NotConverged {
+        /// Which solve failed (`"optimum"`, `"nash"`, `"induced"`, …).
+        what: &'static str,
+        /// The relative gap it reached.
+        rel_gap: f64,
+    },
+    /// A commodity's sink cannot be reached from its source.
+    Unreachable {
+        /// Commodity index (0 for single-commodity instances).
+        commodity: usize,
+    },
+    /// The parallel-links equalizer failed underneath.
+    Equalize(EqualizeError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::NotConverged { what, rel_gap } => {
+                write!(
+                    f,
+                    "{what} solve did not converge (relative gap {rel_gap:.3e})"
+                )
+            }
+            CoreError::Unreachable { commodity } => {
+                write!(f, "commodity {commodity}: sink unreachable from source")
+            }
+            CoreError::Equalize(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Equalize(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EqualizeError> for CoreError {
+    fn from(e: EqualizeError) -> Self {
+        CoreError::Equalize(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_solve() {
+        let e = CoreError::NotConverged {
+            what: "optimum",
+            rel_gap: 1e-3,
+        };
+        assert!(e.to_string().contains("optimum"));
+        let e = CoreError::Unreachable { commodity: 2 };
+        assert!(e.to_string().contains("commodity 2"));
+    }
+
+    #[test]
+    fn equalize_errors_convert() {
+        let e: CoreError = EqualizeError::Empty.into();
+        assert_eq!(e, CoreError::Equalize(EqualizeError::Empty));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -28,6 +28,7 @@
 pub mod aloof;
 pub mod brute;
 pub mod curve;
+pub mod error;
 pub mod linear_optimal;
 pub mod llf;
 pub mod mop;
@@ -39,6 +40,7 @@ pub mod theorems;
 pub mod threshold;
 pub mod tolls;
 
-pub use mop::{mop, MopResult};
-pub use mop_multi::{mop_multi, MopMultiResult};
-pub use optop::{optop, OpTopResult};
+pub use error::CoreError;
+pub use mop::{mop, try_mop, MopResult};
+pub use mop_multi::{mop_multi, try_mop_multi, MopMultiResult};
+pub use optop::{optop, try_optop, OpTopResult};

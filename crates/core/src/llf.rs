@@ -13,8 +13,16 @@ use sopt_latency::Latency;
 
 /// The LLF strategy for a Leader controlling `alpha·r` flow.
 pub fn llf_strategy(links: &ParallelLinks, alpha: f64) -> Vec<f64> {
-    assert!((0.0..=1.0).contains(&alpha), "α must lie in [0, 1]");
     let optimum = links.optimum().flows().to_vec();
+    llf_strategy_for_optimum(links, &optimum, alpha)
+}
+
+/// [`llf_strategy`] with the optimum assignment supplied by the caller —
+/// avoids re-solving it when it is already at hand (the session API gates
+/// feasibility with `try_optimum` and reuses that solve here).
+pub fn llf_strategy_for_optimum(links: &ParallelLinks, optimum: &[f64], alpha: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&alpha), "α must lie in [0, 1]");
+    assert_eq!(optimum.len(), links.m(), "one optimal load per link");
     let mut order: Vec<usize> = (0..links.m()).collect();
     // Decreasing optimal latency ℓ_i(o_i); ties broken by index for
     // determinism.

@@ -21,6 +21,7 @@
 //! through `G̃`; Dinic makes that exact). The greedy-decomposition variant
 //! [`mop_greedy`] is kept as the ablation baseline.
 
+use crate::error::CoreError;
 use sopt_equilibrium::network::network_optimum;
 use sopt_network::flow::{decompose, EdgeFlow};
 use sopt_network::graph::EdgeId;
@@ -55,8 +56,15 @@ pub struct MopResult {
 /// Tolerance for shortest-path membership, relative to path costs.
 const DAG_TOL: f64 = 1e-6;
 
-/// Run MOP with the exact (max-flow) free-flow computation.
+/// Run MOP with the exact (max-flow) free-flow computation. Panics where
+/// [`try_mop`] errors.
 pub fn mop(inst: &NetworkInstance, opts: &FwOptions) -> MopResult {
+    try_mop(inst, opts).expect("MOP needs a convergent optimum solve and a reachable sink")
+}
+
+/// Run MOP, reporting solver non-convergence and unreachable sinks as
+/// typed errors instead of panicking.
+pub fn try_mop(inst: &NetworkInstance, opts: &FwOptions) -> Result<MopResult, CoreError> {
     mop_impl(inst, opts, true)
 }
 
@@ -64,17 +72,18 @@ pub fn mop(inst: &NetworkInstance, opts: &FwOptions) -> MopResult {
 /// (classify each extracted path as shortest/non-shortest). May overstate
 /// `β_G` when the greedy decomposition wastes shortest-path capacity.
 pub fn mop_greedy(inst: &NetworkInstance, opts: &FwOptions) -> MopResult {
-    mop_impl(inst, opts, false)
+    mop_impl(inst, opts, false).expect("MOP needs a convergent optimum solve and a reachable sink")
 }
 
-fn mop_impl(inst: &NetworkInstance, opts: &FwOptions, exact: bool) -> MopResult {
+fn mop_impl(inst: &NetworkInstance, opts: &FwOptions, exact: bool) -> Result<MopResult, CoreError> {
     // (2) the optimum.
     let opt = network_optimum(inst, opts);
-    assert!(
-        opt.converged,
-        "optimum solve did not converge (rel gap {:.3e})",
-        opt.rel_gap
-    );
+    if !opt.converged {
+        return Err(CoreError::NotConverged {
+            what: "optimum",
+            rel_gap: opt.rel_gap,
+        });
+    }
     let optimum = opt.flow;
 
     // (3) fixed optimal edge costs.
@@ -83,7 +92,9 @@ fn mop_impl(inst: &NetworkInstance, opts: &FwOptions, exact: bool) -> MopResult 
     // (4) shortest-path subnetwork under those costs.
     let sp = dijkstra(&inst.graph, &edge_costs, inst.source);
     let dist_t = sp.dist[inst.sink.idx()];
-    assert!(dist_t.is_finite(), "sink unreachable");
+    if !dist_t.is_finite() {
+        return Err(CoreError::Unreachable { commodity: 0 });
+    }
     let tol = DAG_TOL * dist_t.abs().max(1.0);
     let shortest_edges = shortest_dag_edges(&inst.graph, &edge_costs, &sp, tol);
 
@@ -120,7 +131,7 @@ fn mop_impl(inst: &NetworkInstance, opts: &FwOptions, exact: bool) -> MopResult 
     );
     let leader_value = (inst.rate - free_value).max(0.0);
 
-    MopResult {
+    Ok(MopResult {
         beta: leader_value / inst.rate,
         optimum_cost: inst.cost(optimum.as_slice()),
         optimum,
@@ -130,7 +141,7 @@ fn mop_impl(inst: &NetworkInstance, opts: &FwOptions, exact: bool) -> MopResult 
         free_value,
         leader,
         leader_value,
-    }
+    })
 }
 
 #[cfg(test)]

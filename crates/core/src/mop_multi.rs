@@ -9,6 +9,7 @@
 //! (max-flow with capacities `o^i_e`). The result is a *strong* Stackelberg
 //! strategy: per-commodity portions `α_i` with overall `β = Σ α_i r_i / r`.
 
+use crate::error::CoreError;
 use sopt_equilibrium::network::multicommodity_optimum;
 use sopt_network::flow::EdgeFlow;
 use sopt_network::instance::MultiCommodityInstance;
@@ -52,14 +53,26 @@ pub struct MopMultiResult {
 
 const DAG_TOL: f64 = 1e-6;
 
-/// Run the k-commodity MOP of Theorem 2.1.
+/// Run the k-commodity MOP of Theorem 2.1. Panics where [`try_mop_multi`]
+/// errors.
 pub fn mop_multi(inst: &MultiCommodityInstance, opts: &FwOptions) -> MopMultiResult {
+    try_mop_multi(inst, opts)
+        .expect("MOP needs a convergent optimum solve and reachable sinks for every commodity")
+}
+
+/// Run the k-commodity MOP of Theorem 2.1, reporting solver
+/// non-convergence and unreachable sinks as typed errors.
+pub fn try_mop_multi(
+    inst: &MultiCommodityInstance,
+    opts: &FwOptions,
+) -> Result<MopMultiResult, CoreError> {
     let opt = multicommodity_optimum(inst, opts);
-    assert!(
-        opt.converged,
-        "multicommodity optimum did not converge (rel gap {:.3e})",
-        opt.rel_gap
-    );
+    if !opt.converged {
+        return Err(CoreError::NotConverged {
+            what: "multicommodity optimum",
+            rel_gap: opt.rel_gap,
+        });
+    }
     let edge_costs: Vec<f64> = inst
         .latencies
         .iter()
@@ -75,7 +88,9 @@ pub fn mop_multi(inst: &MultiCommodityInstance, opts: &FwOptions) -> MopMultiRes
         let o_i = &opt.per_commodity[ci];
         let sp = dijkstra(&inst.graph, &edge_costs, com.source);
         let dist = sp.dist[com.sink.idx()];
-        assert!(dist.is_finite(), "commodity {ci}: sink unreachable");
+        if !dist.is_finite() {
+            return Err(CoreError::Unreachable { commodity: ci });
+        }
         let tol = DAG_TOL * dist.abs().max(1.0);
         let dag = shortest_dag_edges(&inst.graph, &edge_costs, &sp, tol);
 
@@ -106,14 +121,14 @@ pub fn mop_multi(inst: &MultiCommodityInstance, opts: &FwOptions) -> MopMultiRes
     }
 
     let controlled: f64 = commodities.iter().map(|c| c.leader_value).sum();
-    MopMultiResult {
+    Ok(MopMultiResult {
         beta: controlled / inst.total_rate(),
         commodities,
         optimum_cost: inst.cost(opt.flow.as_slice()),
         optimum_total: opt.flow,
         leader_total,
         edge_costs,
-    }
+    })
 }
 
 impl MopMultiResult {

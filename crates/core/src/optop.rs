@@ -18,6 +18,7 @@
 
 use sopt_equilibrium::classify::underloaded_indices;
 use sopt_equilibrium::parallel::ParallelLinks;
+use sopt_solver::equalize::EqualizeError;
 
 /// One round of the OpTop recursion, for tracing/visualisation (the paper's
 /// Figs. 4–6 walk exactly these states).
@@ -63,15 +64,22 @@ pub struct OpTopResult {
 const LOAD_TOL: f64 = 1e-9;
 
 /// Run OpTop on `(M, r)`. Panics on infeasible (over-capacity) instances;
-/// use `ParallelLinks::try_nash` first if feasibility is in question.
+/// prefer [`try_optop`] (or the `stackopt::api` session layer) when
+/// feasibility is in question.
 pub fn optop(links: &ParallelLinks) -> OpTopResult {
+    try_optop(links).expect("OpTop needs a feasible instance (rate within capacity)")
+}
+
+/// Run OpTop on `(M, r)`, reporting infeasibility as a typed error instead
+/// of panicking.
+pub fn try_optop(links: &ParallelLinks) -> Result<OpTopResult, EqualizeError> {
     let m = links.m();
     let r0 = links.rate();
     let tol = LOAD_TOL * r0.max(1.0);
 
     // Step (1): the global optimum, fixed once.
-    let optimum = links.optimum().flows().to_vec();
-    let nash0 = links.nash();
+    let optimum = links.try_optimum()?.flows().to_vec();
+    let nash0 = links.try_nash()?;
 
     let mut active: Vec<usize> = (0..m).collect();
     let mut rate = r0;
@@ -93,7 +101,7 @@ pub fn optop(links: &ParallelLinks) -> OpTopResult {
         }
         // Step (2): Nash on the current subsystem.
         let sub = links.subsystem(&active, rate);
-        let nash = sub.nash();
+        let nash = sub.try_nash()?;
 
         let opt_active: Vec<f64> = active.iter().map(|&g| optimum[g]).collect();
         // Step (3): under-loaded links of this round.
@@ -126,7 +134,7 @@ pub fn optop(links: &ParallelLinks) -> OpTopResult {
     }
 
     let controlled: f64 = strategy.iter().sum();
-    OpTopResult {
+    Ok(OpTopResult {
         beta: controlled / r0,
         strategy,
         optimum: optimum.clone(),
@@ -134,7 +142,7 @@ pub fn optop(links: &ParallelLinks) -> OpTopResult {
         rounds,
         optimum_cost: links.cost(&optimum),
         nash_cost: links.cost(nash0.flows()),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -29,9 +29,17 @@ pub struct ParallelTolls {
 }
 
 /// Compute marginal-cost tolls for `(M, r)`: the tolled Nash equals the
-/// untolled optimum.
+/// untolled optimum. Panics where [`try_marginal_cost_tolls`] errors.
 pub fn marginal_cost_tolls(links: &ParallelLinks) -> ParallelTolls {
-    let optimum = links.optimum().flows().to_vec();
+    try_marginal_cost_tolls(links).expect("tolls need a feasible optimum")
+}
+
+/// Compute marginal-cost tolls for `(M, r)`, reporting infeasibility as a
+/// typed error instead of panicking.
+pub fn try_marginal_cost_tolls(
+    links: &ParallelLinks,
+) -> Result<ParallelTolls, crate::error::CoreError> {
+    let optimum = links.try_optimum()?.flows().to_vec();
     let tolls: Vec<f64> = links
         .latencies()
         .iter()
@@ -46,12 +54,12 @@ pub fn marginal_cost_tolls(links: &ParallelLinks) -> ParallelTolls {
         .collect();
     let tolled = ParallelLinks::new(tolled_lats, links.rate());
     let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
-    ParallelTolls {
+    Ok(ParallelTolls {
         tolls,
         tolled,
         optimum,
         revenue,
-    }
+    })
 }
 
 /// Marginal-cost tolls on a network instance.
@@ -67,10 +75,25 @@ pub struct NetworkTolls {
     pub revenue: f64,
 }
 
-/// Compute marginal-cost edge tolls for `(G, r)`.
+/// Compute marginal-cost edge tolls for `(G, r)`. Panics where
+/// [`try_marginal_cost_tolls_network`] errors.
 pub fn marginal_cost_tolls_network(inst: &NetworkInstance, opts: &FwOptions) -> NetworkTolls {
+    try_marginal_cost_tolls_network(inst, opts).expect("tolls need a convergent optimum solve")
+}
+
+/// Compute marginal-cost edge tolls for `(G, r)`, reporting solver
+/// non-convergence as a typed error.
+pub fn try_marginal_cost_tolls_network(
+    inst: &NetworkInstance,
+    opts: &FwOptions,
+) -> Result<NetworkTolls, crate::error::CoreError> {
     let opt = sopt_equilibrium::network::network_optimum(inst, opts);
-    assert!(opt.converged, "optimum solve did not converge");
+    if !opt.converged {
+        return Err(crate::error::CoreError::NotConverged {
+            what: "optimum",
+            rel_gap: opt.rel_gap,
+        });
+    }
     let optimum = opt.flow.as_slice().to_vec();
     let tolls: Vec<f64> = inst
         .latencies
@@ -92,12 +115,12 @@ pub fn marginal_cost_tolls_network(inst: &NetworkInstance, opts: &FwOptions) -> 
         inst.rate,
     );
     let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
-    NetworkTolls {
+    Ok(NetworkTolls {
         tolls,
         tolled,
         optimum,
         revenue,
-    }
+    })
 }
 
 #[cfg(test)]

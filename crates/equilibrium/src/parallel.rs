@@ -129,18 +129,33 @@ impl ParallelLinks {
     /// The equilibrium induced by Stackelberg strategy `S` (Remark 4.2):
     /// Followers route `r − Σ s_i` selfishly against the a-posteriori
     /// latencies `ℓ̃_i(t) = ℓ_i(s_i + t)`.
+    ///
+    /// User-supplied strategies (e.g. from the CLI or the `stackopt::api`
+    /// session layer) are validated, not asserted: defects come back as
+    /// [`EqualizeError::InvalidStrategy`].
     pub fn try_induced(&self, strategy: &[f64]) -> Result<Induced, EqualizeError> {
-        assert_eq!(strategy.len(), self.m(), "one strategy entry per link");
+        if strategy.len() != self.m() {
+            return Err(EqualizeError::InvalidStrategy {
+                reason: format!(
+                    "expected one entry per link ({} links), got {}",
+                    self.m(),
+                    strategy.len()
+                ),
+            });
+        }
         let beta_r: f64 = strategy.iter().sum();
-        assert!(
-            strategy.iter().all(|s| *s >= -1e-12),
-            "strategy flows must be nonnegative: {strategy:?}"
-        );
-        assert!(
-            beta_r <= self.rate * (1.0 + 1e-9) + 1e-12,
-            "strategy total {beta_r} exceeds rate {}",
-            self.rate
-        );
+        // NaN entries fail the `< -1e-12` comparison's complement, so test
+        // for "not known nonnegative" explicitly.
+        if let Some(bad) = strategy.iter().find(|s| s.is_nan() || **s < -1e-12) {
+            return Err(EqualizeError::InvalidStrategy {
+                reason: format!("strategy flows must be nonnegative, got {bad}"),
+            });
+        }
+        if beta_r.is_nan() || beta_r > self.rate * (1.0 + 1e-9) + 1e-12 {
+            return Err(EqualizeError::InvalidStrategy {
+                reason: format!("strategy total {beta_r} exceeds rate {}", self.rate),
+            });
+        }
         // A preload at or above a link's capacity (M/M/1) means infinite
         // latency: report infeasibility rather than panicking, so strategy
         // searches can probe the boundary.
@@ -176,9 +191,17 @@ impl ParallelLinks {
             .expect("induced equilibrium exists")
     }
 
-    /// Cost of the Stackelberg equilibrium `C(S + T)` for strategy `S`.
+    /// Cost of the Stackelberg equilibrium `C(S + T)` for strategy `S`;
+    /// errors on invalid strategies or infeasible instances.
+    pub fn try_induced_cost(&self, strategy: &[f64]) -> Result<f64, EqualizeError> {
+        Ok(self.cost(&self.try_induced(strategy)?.total))
+    }
+
+    /// Cost of the Stackelberg equilibrium `C(S + T)` for strategy `S`;
+    /// panics where [`Self::try_induced_cost`] errors.
     pub fn induced_cost(&self, strategy: &[f64]) -> f64 {
-        self.cost(&self.induced(strategy).total)
+        self.try_induced_cost(strategy)
+            .expect("induced equilibrium exists")
     }
 }
 
@@ -265,6 +288,18 @@ mod tests {
     fn oversized_strategy_rejected() {
         let links = pigou();
         let _ = links.induced(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn invalid_strategies_are_typed_errors() {
+        let links = pigou();
+        for bad in [vec![0.1], vec![-0.2, 0.0], vec![0.9, 0.9]] {
+            match links.try_induced(&bad) {
+                Err(EqualizeError::InvalidStrategy { .. }) => {}
+                other => panic!("{bad:?}: expected InvalidStrategy, got {other:?}"),
+            }
+        }
+        assert!(links.try_induced_cost(&[f64::NAN, 0.0]).is_err());
     }
 
     #[test]

@@ -28,8 +28,9 @@ pub struct EqualizeResult {
     pub level: f64,
 }
 
-/// Failure modes of [`equalize`].
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// Failure modes of [`equalize`] and of the parallel-links session layer
+/// built on top of it (`ParallelLinks::try_*`).
+#[derive(Clone, Debug, PartialEq)]
 pub enum EqualizeError {
     /// Total link capacity (e.g. `Σ c_i` for M/M/1 links) cannot carry the
     /// rate: the equilibrium latency would be infinite.
@@ -39,6 +40,17 @@ pub enum EqualizeError {
     },
     /// No links.
     Empty,
+    /// The requested rate is not a finite nonnegative number.
+    InvalidRate {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A Stackelberg strategy vector is unusable (wrong length, negative
+    /// entries, or total exceeding the rate).
+    InvalidStrategy {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EqualizeError {
@@ -49,6 +61,12 @@ impl std::fmt::Display for EqualizeError {
                 "rate exceeds total link capacity {total_capacity}; no finite-latency assignment"
             ),
             EqualizeError::Empty => write!(f, "no links"),
+            EqualizeError::InvalidRate { rate } => {
+                write!(f, "rate must be finite and ≥ 0, got {rate}")
+            }
+            EqualizeError::InvalidStrategy { reason } => {
+                write!(f, "invalid strategy: {reason}")
+            }
         }
     }
 }
@@ -68,10 +86,9 @@ pub fn equalize<L: Latency>(
     if links.is_empty() {
         return Err(EqualizeError::Empty);
     }
-    assert!(
-        rate.is_finite() && rate >= 0.0,
-        "rate must be finite and ≥ 0"
-    );
+    if !(rate.is_finite() && rate >= 0.0) {
+        return Err(EqualizeError::InvalidRate { rate });
+    }
 
     let g0: Vec<f64> = links.iter().map(|l| model.edge_gradient(l, 0.0)).collect();
     let min_g0 = g0.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -99,10 +116,14 @@ pub fn equalize<L: Latency>(
     while cap_at(hi) < rate {
         hi = hi * 2.0 + 1.0;
         grow += 1;
-        assert!(
-            grow < 400,
-            "equalizer bracket failed to grow: rate {rate} unreachable (capacities {total_capacity})"
-        );
+        if grow >= 400 {
+            // The level bracket cannot grow to carry the rate — the system
+            // is saturated in a way the capacity pre-check did not detect
+            // (e.g. capacities shrunk by preloads). Report infeasibility
+            // rather than panicking: this path is user-reachable through
+            // strategy probes at the capacity boundary.
+            return Err(EqualizeError::Infeasible { total_capacity });
+        }
     }
     let level = bisect_predicate(lo, hi, |y| cap_at(y) >= rate);
 
@@ -262,6 +283,19 @@ mod tests {
             equalize(&links, 1.0, CostModel::Wardrop).unwrap_err(),
             EqualizeError::Empty
         );
+    }
+
+    #[test]
+    fn invalid_rate_is_typed_error() {
+        let links = vec![LatencyFn::identity()];
+        assert_eq!(
+            equalize(&links, -1.0, CostModel::Wardrop).unwrap_err(),
+            EqualizeError::InvalidRate { rate: -1.0 }
+        );
+        assert!(matches!(
+            equalize(&links, f64::NAN, CostModel::Wardrop).unwrap_err(),
+            EqualizeError::InvalidRate { .. }
+        ));
     }
 
     #[test]

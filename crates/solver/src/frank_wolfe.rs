@@ -263,6 +263,9 @@ fn solve_inner(
     // optimal faces; finish with path-based column generation + pairwise
     // equilibration, warm-started from the FW point (see `path_polish`).
     if !converged {
+        // The polish honours the same iteration budget as the FW phase, so
+        // `max_iters` caps total work end to end (the session API relies on
+        // this to surface NotConverged instead of spinning).
         let pr = crate::path_polish::polish_to_equilibrium(
             graph,
             latencies,
@@ -270,7 +273,7 @@ fn solve_inner(
             model,
             &mut per,
             opts.rel_gap,
-            2_000,
+            opts.max_iters,
         );
         rel_gap = pr.rel_gap;
         converged = pr.converged;

@@ -5,9 +5,9 @@
 //! cargo run --example braess_paradox
 //! ```
 //!
-//! 1. Reproduces every number of Fig. 7 with `MOP` on the derived affine
-//!    instance: optimal edge flows, the shortest path under optimal costs,
-//!    and `β_G = 1/2 + 2ε`.
+//! 1. Reproduces every number of Fig. 7 with the session API's beta task on
+//!    the derived affine instance — written in the network spec grammar —
+//!    including `β_G = 1/2 + 2ε` and the induced cost `C(S+T) = C(O)`.
 //! 2. Shows the negative landscape on Roughgarden's Example 6.5.1 family:
 //!    as the latency degree `k` grows, even the best strategy's induced
 //!    cost dwarfs the optimum — no `1/α` guarantee exists on s–t nets —
@@ -15,33 +15,30 @@
 //!    the flow.
 
 use stackopt::core::mop::mop;
-use stackopt::equilibrium::network::{induced_network, network_nash};
-use stackopt::instances::braess::{
-    fig7_expected, fig7_instance, roughgarden_651, roughgarden_651_optimum_cost,
-};
+use stackopt::equilibrium::network::network_nash;
+use stackopt::instances::braess::{fig7_expected, roughgarden_651, roughgarden_651_optimum_cost};
+use stackopt::prelude::*;
 use stackopt::solver::frank_wolfe::FwOptions;
 
-fn main() {
-    let opts = FwOptions::default();
+/// Fig. 7's derived affine instance in the spec grammar:
+/// `ℓ_sv = ℓ_wt = x`, `ℓ_sw = ℓ_vt = x + 1 − 4ε`, `ℓ_vw = 0`, `r = 1`.
+fn fig7_spec(eps: f64) -> String {
+    let b = 1.0 - 4.0 * eps;
+    format!("nodes=4; 0->1: x; 0->2: x+{b}; 1->2: 0; 1->3: x+{b}; 2->3: x; demand 0->3: 1")
+}
 
-    println!("== Fig. 7: MOP on the Braess-type instance ==");
+fn main() -> Result<(), SoptError> {
+    println!("== Fig. 7: the beta task on the Braess-type instance ==");
     for eps in [0.0, 0.01, 0.05, 0.10] {
-        let inst = fig7_instance(eps);
         let expect = fig7_expected(eps);
-        let r = mop(&inst, &opts);
-        let nash = network_nash(&inst, &opts);
-        let follower = induced_network(&inst, &r.leader, r.leader_value, &opts);
-        let total: Vec<f64> = r
-            .leader
-            .as_slice()
-            .iter()
-            .zip(follower.flow.as_slice())
-            .map(|(a, b)| a + b)
-            .collect();
+        let report = Scenario::parse(&fig7_spec(eps))?
+            .solve()
+            .task(Task::Beta)
+            .run()?;
+        let b = report.data.as_beta().unwrap();
         println!(
             "ε={eps:.2}: O = [{}]",
-            r.optimum
-                .as_slice()
+            b.optimum
                 .iter()
                 .map(|f| format!("{f:.3}"))
                 .collect::<Vec<_>>()
@@ -49,12 +46,7 @@ fn main() {
         );
         println!(
             "        β = {:.4} (paper: {:.4}) | C(N) = {:.4} (paper: {:.4}) | C(O) = {:.4} | C(S+T) = {:.4}",
-            r.beta,
-            expect.beta,
-            inst.cost(nash.flow.as_slice()),
-            expect.nash_cost,
-            r.optimum_cost,
-            inst.cost(&total),
+            b.beta, expect.beta, b.nash_cost, expect.nash_cost, b.optimum_cost, b.induced_cost,
         );
     }
 
@@ -63,6 +55,7 @@ fn main() {
         "{:>3} {:>10} {:>10} {:>12} {:>10}",
         "k", "C(N)", "C(O)", "C(N)/C(O)", "MOP β"
     );
+    let opts = FwOptions::default();
     for k in [1u32, 2, 4, 8, 16] {
         let inst = roughgarden_651(k);
         let nash = network_nash(&inst, &opts);
@@ -79,4 +72,5 @@ fn main() {
         "\nThe anarchy value C(N)/C(O) grows without bound in k, yet MOP always\n\
          induces C(O) exactly — the Leader just needs the β-portion above."
     );
+    Ok(())
 }

@@ -13,13 +13,20 @@
 
 use stackopt::core::brute::{brute_force_optimal, BruteOptions};
 use stackopt::core::linear_optimal::{linear_optimal_strategy, SolutionKind};
-use stackopt::core::optop::optop;
 use stackopt::core::threshold::improvement_threshold_lower_bound;
 use stackopt::instances::hard::{heavy_tail_instance, random_weight_instance};
+use stackopt::prelude::*;
 
 fn main() {
     let links = heavy_tail_instance(4, 12);
-    let ot = optop(&links);
+    // The headline numbers through the session API (the Theorem 2.4 sweep
+    // below stays on the algorithm surface — it needs the partition trace).
+    let report = Scenario::from(links.clone())
+        .solve()
+        .task(Task::Beta)
+        .run()
+        .expect("heavy-tail instance is feasible");
+    let ot = report.data.as_beta().unwrap();
     println!("heavy-tail instance: ℓ_i(x) = x + b_i, b = (1/12, 1/12, 1/12, 1)");
     println!(
         "β_M = {:.4}, C(N) = {:.4}, C(O) = {:.4}, improvement threshold ≥ {:.4}\n",

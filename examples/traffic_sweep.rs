@@ -7,16 +7,15 @@
 //! ```
 //!
 //! Builds a layered commuter network with standard BPR latencies, computes
-//! the price of optimum via `MOP`, then sweeps the Leader portion α for the
-//! SCALE baseline to show the gap MOP closes: SCALE improves gradually,
-//! MOP hits `C(O)` exactly at `α = β_G`.
+//! the price of optimum through the session API's beta task, then sweeps
+//! the Leader portion α for the SCALE baseline to show the gap MOP closes:
+//! SCALE improves gradually, MOP hits `C(O)` exactly at `α = β_G`.
 
-use stackopt::core::mop::mop;
 use stackopt::core::scale::scale_network;
-use stackopt::equilibrium::network::{induced_network, network_nash};
 use stackopt::latency::LatencyFn;
 use stackopt::network::graph::{DiGraph, NodeId};
 use stackopt::network::instance::NetworkInstance;
+use stackopt::prelude::*;
 use stackopt::solver::frank_wolfe::FwOptions;
 
 /// A 3-layer commuter net: suburb → ring roads → arterials → downtown,
@@ -50,52 +49,43 @@ fn commuter_network() -> NetworkInstance {
     NetworkInstance::new(g, lats, s, t, 120.0)
 }
 
-fn main() {
+fn main() -> Result<(), SoptError> {
     let inst = commuter_network();
-    let opts = FwOptions::default();
+    let scenario = Scenario::from(inst.clone());
 
-    let nash = network_nash(&inst, &opts);
-    let c_nash = inst.cost(nash.flow.as_slice());
-    let r = mop(&inst, &opts);
+    let report = scenario.solve().task(Task::Beta).run()?;
+    let b = report.data.as_beta().unwrap();
     println!(
         "commuter network: |V| = {}, |E| = {}, demand = {}",
-        8,
-        inst.num_edges(),
-        inst.rate
+        report.scenario.nodes, report.scenario.size, report.scenario.rate
     );
     println!(
-        "C(N) = {c_nash:.2}   C(O) = {:.2}   anarchy value = {:.4}",
-        r.optimum_cost,
-        c_nash / r.optimum_cost
+        "C(N) = {:.2}   C(O) = {:.2}   anarchy value = {:.4}",
+        b.nash_cost,
+        b.optimum_cost,
+        b.nash_cost / b.optimum_cost
     );
+    let leader_value: f64 = b.beta * report.scenario.rate;
     println!(
         "price of optimum β_G = {:.4}  (Leader must steer {:.1} of {} vehicles)",
-        r.beta, r.leader_value, inst.rate
+        b.beta, leader_value, report.scenario.rate
     );
-
-    // Verify the MOP strategy enforces the optimum.
-    let follower = induced_network(&inst, &r.leader, r.leader_value, &opts);
-    let total: Vec<f64> = r
-        .leader
-        .as_slice()
-        .iter()
-        .zip(follower.flow.as_slice())
-        .map(|(a, b)| a + b)
-        .collect();
     println!(
         "MOP induced cost = {:.2}  (= C(O) up to solver tolerance)\n",
-        inst.cost(&total)
+        b.induced_cost
     );
 
     println!("SCALE sweep (Leader ships α·O, followers re-route):");
     println!("{:>6} {:>12} {:>14}", "α", "C(S+T)", "C(S+T)/C(O)");
+    let opts = FwOptions::default();
     for i in 0..=10 {
         let alpha = i as f64 / 10.0;
         let (_, cost) = scale_network(&inst, alpha, &opts);
-        println!("{alpha:>6.2} {cost:>12.2} {:>14.4}", cost / r.optimum_cost);
+        println!("{alpha:>6.2} {cost:>12.2} {:>14.4}", cost / b.optimum_cost);
     }
     println!(
         "\nSCALE needs α → 1 to approach C(O); MOP reaches it at α = β_G = {:.3}.",
-        r.beta
+        b.beta
     );
+    Ok(())
 }

@@ -1,0 +1,258 @@
+//! [`Batch`] — solve many scenarios across threads with deterministic,
+//! input-ordered results.
+//!
+//! The first concrete step toward the heavy-traffic north star: a fleet of
+//! scenarios is split into contiguous chunks, one scoped worker thread per
+//! chunk (vendored `crossbeam::thread::scope`), and the per-chunk result
+//! vectors are concatenated in spawn order — so `run` returns exactly one
+//! `Result<Report, SoptError>` per input scenario, in input order,
+//! regardless of thread interleaving. A panicking solve is contained per
+//! scenario: that scenario reports [`SoptError::WorkerPanic`], the rest of
+//! the batch — including its chunk-mates — is unaffected.
+
+use super::error::SoptError;
+use super::report::Report;
+use super::scenario::Scenario;
+use super::solve::{impl_solve_knobs, run_with, SolveOptions, Task};
+
+/// A batch of scenarios to solve with shared knobs.
+///
+/// ```
+/// use stackopt::api::{Batch, Scenario, Task};
+///
+/// let scenarios = vec![
+///     Scenario::parse("x, 1.0")?,
+///     Scenario::parse("x, 2x, 0.9")?,
+/// ];
+/// let reports = Batch::new(scenarios).task(Task::Beta).run();
+/// assert_eq!(reports.len(), 2);
+/// assert!((reports[0].as_ref().unwrap().data.as_beta().unwrap().beta - 0.5).abs() < 1e-9);
+/// # Ok::<(), stackopt::api::SoptError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Batch {
+    scenarios: Vec<Scenario>,
+    options: SolveOptions,
+    threads: Option<usize>,
+}
+
+impl Batch {
+    /// A batch over the given scenarios with default knobs.
+    pub fn new(scenarios: Vec<Scenario>) -> Self {
+        Self {
+            scenarios,
+            options: SolveOptions::default(),
+            threads: None,
+        }
+    }
+
+    /// Worker thread count (default: available parallelism, capped at the
+    /// batch size).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Solve every scenario. Returns exactly one result per input, in
+    /// input order.
+    pub fn run(self) -> Vec<Result<Report, SoptError>> {
+        let n = self.scenarios.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, n);
+        let options = self.options;
+        if threads == 1 {
+            return self
+                .scenarios
+                .into_iter()
+                .enumerate()
+                .map(|(index, sc)| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_with(sc, &options)
+                    }))
+                    .unwrap_or(Err(SoptError::WorkerPanic { index }))
+                })
+                .collect();
+        }
+
+        // Contiguous chunks keep result order deterministic: chunk i holds
+        // inputs [start_i, start_i + len_i), and chunks are concatenated in
+        // spawn order after all workers joined.
+        let chunk_size = n.div_ceil(threads);
+        let mut chunks: Vec<(usize, Vec<Scenario>)> = Vec::new();
+        let mut scenarios = self.scenarios;
+        let mut start = 0usize;
+        while !scenarios.is_empty() {
+            let rest = scenarios.split_off(chunk_size.min(scenarios.len()));
+            let len = scenarios.len();
+            chunks.push((start, std::mem::replace(&mut scenarios, rest)));
+            start += len;
+        }
+
+        let options_ref = &options;
+        let per_chunk: Vec<Vec<Result<Report, SoptError>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<(usize, usize, _)> = chunks
+                .into_iter()
+                .map(|(chunk_start, items)| {
+                    let len = items.len();
+                    let handle = s.spawn(move |_| {
+                        items
+                            .into_iter()
+                            .enumerate()
+                            .map(|(j, sc)| {
+                                // Contain panics per scenario: a residual
+                                // assert deep in one solve must not discard
+                                // the results of its healthy chunk-mates.
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_with(sc, options_ref)
+                                }))
+                                .unwrap_or(Err(
+                                    SoptError::WorkerPanic {
+                                        index: chunk_start + j,
+                                    },
+                                ))
+                            })
+                            .collect::<Vec<_>>()
+                    });
+                    (chunk_start, len, handle)
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(chunk_start, len, handle)| {
+                    // Belt and braces: the per-scenario catch above should
+                    // make this join infallible.
+                    handle.join().unwrap_or_else(|_| {
+                        (chunk_start..chunk_start + len)
+                            .map(|index| Err(SoptError::WorkerPanic { index }))
+                            .collect()
+                    })
+                })
+                .collect()
+        })
+        .expect("all batch workers are joined; their panics are handled per chunk");
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+impl_solve_knobs!(Batch);
+
+/// Convenience wrapper: solve `scenarios` for `task` with default knobs on
+/// the default thread count.
+pub fn run_batch(scenarios: Vec<Scenario>, task: Task) -> Vec<Result<Report, SoptError>> {
+    Batch::new(scenarios).task(task).run()
+}
+
+/// Parse a batch file: one scenario spec per line (either grammar); blank
+/// lines and `#` comments are skipped. Errors name the failing line.
+pub fn parse_batch_file(text: &str) -> Result<Vec<Scenario>, SoptError> {
+    let mut scenarios = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Every per-line failure carries the line number — on a long fleet
+        // file, "invalid rate" without a line is useless. The wrapper keeps
+        // the typed source variant intact (match on `AtLine { source, .. }`
+        // to distinguish syntax errors from modeling errors).
+        let scenario = Scenario::parse(line).map_err(|e| SoptError::AtLine {
+            line: lineno + 1,
+            source: Box::new(e),
+        })?;
+        scenarios.push(scenario);
+    }
+    if scenarios.is_empty() {
+        return Err(SoptError::EmptyScenario);
+    }
+    Ok(scenarios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<Scenario> {
+        [
+            "x, 1.0",                                        // β = 1/2
+            "x, 0.5x",                                       // β = 0 (no constants)
+            "nodes=2; 0->1: x; 0->1: 1.0; demand 0->1: 1.0", // Pigou as a network
+            "x, 1.0 @ 2",                                    // different rate
+        ]
+        .iter()
+        .map(|s| Scenario::parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let reports = Batch::new(specs()).task(Task::Beta).threads(3).run();
+        assert_eq!(reports.len(), 4);
+        let betas: Vec<f64> = reports
+            .iter()
+            .map(|r| r.as_ref().unwrap().data.as_beta().unwrap().beta)
+            .collect();
+        assert!((betas[0] - 0.5).abs() < 1e-9, "{betas:?}");
+        assert!(betas[1].abs() < 1e-9, "{betas:?}");
+        assert!((betas[2] - 0.5).abs() < 1e-4, "{betas:?}");
+        // Rate-2 Pigou has a different β than rate-1 (the Leader freezes
+        // the constant link at o₂ = 3/2 of r = 2) — order is observable.
+        assert!((betas[3] - 0.75).abs() < 1e-9, "{betas:?}");
+    }
+
+    #[test]
+    fn single_thread_and_parallel_agree() {
+        let seq = Batch::new(specs()).threads(1).run();
+        let par = Batch::new(specs()).threads(4).run();
+        for (a, b) in seq.iter().zip(&par) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn per_scenario_errors_stay_in_their_slot() {
+        let scenarios = vec![
+            Scenario::parse("x, 1.0").unwrap(),
+            Scenario::parse("mm1:1.0").unwrap(), // rate 1 ≥ capacity 1: infeasible
+            Scenario::parse("x, 1.0").unwrap(),
+        ];
+        let reports = Batch::new(scenarios).threads(2).run();
+        assert!(reports[0].is_ok());
+        assert!(matches!(
+            reports[1].as_ref().unwrap_err(),
+            SoptError::Infeasible { .. }
+        ));
+        assert!(reports[2].is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(Batch::new(vec![]).run().is_empty());
+    }
+
+    #[test]
+    fn batch_file_parsing_skips_comments_and_names_lines() {
+        let text = "# Pigou\nx, 1.0\n\nx, 2x, 0.9\n";
+        let scenarios = parse_batch_file(text).unwrap();
+        assert_eq!(scenarios.len(), 2);
+        let err = parse_batch_file("x, 1.0\n2 x\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // Non-parse failures carry the line number too.
+        let err = parse_batch_file("x, 1.0\nnodes=3; 0->1: x; demand 0->2: 1\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("unreachable"), "{err}");
+        assert_eq!(
+            parse_batch_file("# only comments\n").unwrap_err(),
+            SoptError::EmptyScenario
+        );
+    }
+}

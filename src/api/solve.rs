@@ -1,0 +1,530 @@
+//! [`Solve`] — the builder-style session turning a
+//! [`Scenario`](super::Scenario) into a [`Report`](super::Report).
+
+use sopt_core::curve::{anarchy_curve, CurveOracle};
+use sopt_core::llf::llf_strategy_for_optimum;
+use sopt_core::tolls::{try_marginal_cost_tolls, try_marginal_cost_tolls_network};
+use sopt_core::{try_mop, try_mop_multi, try_optop};
+use sopt_equilibrium::network::{
+    induced_multicommodity, induced_network, multicommodity_nash, multicommodity_optimum,
+    network_nash, network_optimum,
+};
+use sopt_equilibrium::parallel::ParallelLinks;
+use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
+use sopt_solver::frank_wolfe::{FwOptions, FwResult};
+
+use super::error::SoptError;
+use super::report::{
+    BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, Report, ReportData,
+    ScenarioSummary, TollsReport,
+};
+use super::scenario::Scenario;
+
+/// What to compute about a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// The price of optimum β and the Leader's optimal strategy
+    /// (OpTop / MOP / Theorem 2.1, per scenario class).
+    Beta,
+    /// The anarchy-value curve `α ↦ ϱ(M, r, α)` (parallel links only).
+    Curve,
+    /// Nash and optimum assignments.
+    Equilib,
+    /// Marginal-cost tolls (single-commodity scenarios).
+    Tolls,
+    /// The LLF baseline at a given Leader portion (parallel links only).
+    Llf,
+}
+
+impl Task {
+    /// All tasks, in CLI order.
+    pub const ALL: [Task; 5] = [
+        Task::Beta,
+        Task::Curve,
+        Task::Equilib,
+        Task::Tolls,
+        Task::Llf,
+    ];
+
+    /// The task's CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Beta => "beta",
+            Task::Curve => "curve",
+            Task::Equilib => "equilib",
+            Task::Tolls => "tolls",
+            Task::Llf => "llf",
+        }
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Task {
+    type Err = SoptError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "beta" => Ok(Task::Beta),
+            "curve" => Ok(Task::Curve),
+            "equilib" => Ok(Task::Equilib),
+            "tolls" => Ok(Task::Tolls),
+            "llf" => Ok(Task::Llf),
+            other => Err(SoptError::Parse {
+                token: other.to_string(),
+                reason: "expected one of beta|curve|equilib|tolls|llf".into(),
+            }),
+        }
+    }
+}
+
+/// Shared solve knobs ([`Solve`] holds them per scenario,
+/// [`super::batch::Batch`] per fleet).
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// What to compute. Default [`Task::Beta`].
+    pub task: Task,
+    /// Convergence target for iterative (Frank–Wolfe) solves. Default 1e-10.
+    pub tolerance: f64,
+    /// Leader portion for [`Task::Llf`]; curve crossover checks ignore it.
+    pub alpha: Option<f64>,
+    /// Curve sample count: α = 0, 1/steps, …, 1. Default 10.
+    pub steps: usize,
+    /// Iteration cap for iterative solves. Default 2000.
+    pub max_iters: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            task: Task::Beta,
+            tolerance: 1e-10,
+            alpha: None,
+            steps: 10,
+            max_iters: 2_000,
+        }
+    }
+}
+
+impl SolveOptions {
+    fn validate(&self) -> Result<(), SoptError> {
+        if !(self.tolerance.is_finite() && self.tolerance > 0.0) {
+            return Err(SoptError::InvalidParameter {
+                name: "tolerance",
+                value: self.tolerance,
+                reason: "must be finite and > 0",
+            });
+        }
+        if self.steps == 0 {
+            return Err(SoptError::InvalidParameter {
+                name: "steps",
+                value: 0.0,
+                reason: "must be ≥ 1",
+            });
+        }
+        if self.max_iters == 0 {
+            return Err(SoptError::InvalidParameter {
+                name: "max_iters",
+                value: 0.0,
+                reason: "must be ≥ 1",
+            });
+        }
+        if let Some(a) = self.alpha {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(SoptError::InvalidParameter {
+                    name: "alpha",
+                    value: a,
+                    reason: "must lie in [0, 1]",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn fw(&self) -> FwOptions {
+        FwOptions {
+            rel_gap: self.tolerance,
+            max_iters: self.max_iters,
+            ..FwOptions::default()
+        }
+    }
+}
+
+/// Implements the shared solver-knob setters for a builder carrying an
+/// `options: SolveOptions` field — keeps [`Solve`] and
+/// [`super::batch::Batch`] from drifting apart as knobs are added.
+macro_rules! impl_solve_knobs {
+    ($ty:ty) => {
+        impl $ty {
+            /// Select the task (default [`Task::Beta`]).
+            pub fn task(mut self, task: Task) -> Self {
+                self.options.task = task;
+                self
+            }
+
+            /// Convergence target for iterative solves (default `1e-10`).
+            pub fn tolerance(mut self, tolerance: f64) -> Self {
+                self.options.tolerance = tolerance;
+                self
+            }
+
+            /// Leader portion α (required by [`Task::Llf`]).
+            pub fn alpha(mut self, alpha: f64) -> Self {
+                self.options.alpha = Some(alpha);
+                self
+            }
+
+            /// Curve sample count (default 10: α = 0, 0.1, …, 1).
+            pub fn steps(mut self, steps: usize) -> Self {
+                self.options.steps = steps;
+                self
+            }
+
+            /// Iteration cap for iterative solves (default 2000).
+            pub fn max_iters(mut self, max_iters: usize) -> Self {
+                self.options.max_iters = max_iters;
+                self
+            }
+
+            /// Replace the whole knob set at once.
+            pub fn options(mut self, options: SolveOptions) -> Self {
+                self.options = options;
+                self
+            }
+        }
+    };
+}
+pub(crate) use impl_solve_knobs;
+
+/// A solve session: scenario + knobs, consumed by [`Solve::run`].
+///
+/// ```
+/// use stackopt::api::{Scenario, Task};
+///
+/// let report = Scenario::parse("x, 1.0")?
+///     .solve()
+///     .task(Task::Beta)
+///     .tolerance(1e-9)
+///     .run()?;
+/// assert!((report.data.as_beta().unwrap().beta - 0.5).abs() < 1e-9);
+/// # Ok::<(), stackopt::api::SoptError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Solve {
+    scenario: Scenario,
+    options: SolveOptions,
+}
+
+impl Solve {
+    pub(crate) fn new(scenario: Scenario) -> Self {
+        Self {
+            scenario,
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Run the task, dispatching to the right algorithm for the scenario
+    /// class. Every failure mode is a typed [`SoptError`].
+    pub fn run(self) -> Result<Report, SoptError> {
+        run_with(self.scenario, &self.options)
+    }
+}
+
+impl_solve_knobs!(Solve);
+
+/// Shared driver behind [`Solve::run`] and the batch runner.
+pub(crate) fn run_with(scenario: Scenario, options: &SolveOptions) -> Result<Report, SoptError> {
+    options.validate()?;
+    let summary = ScenarioSummary {
+        class: scenario.class(),
+        task: options.task,
+        size: scenario.size(),
+        nodes: scenario.nodes(),
+        rate: scenario.rate(),
+    };
+    let data = match &scenario {
+        Scenario::Parallel(links) => solve_parallel(links, options)?,
+        Scenario::Network(inst) => solve_network(inst, options, &scenario)?,
+        Scenario::Multi(inst) => solve_multi(inst, options, &scenario)?,
+    };
+    Ok(Report {
+        scenario: summary,
+        data,
+    })
+}
+
+fn require_alpha(options: &SolveOptions) -> Result<f64, SoptError> {
+    options.alpha.ok_or(SoptError::MissingParameter {
+        name: "alpha",
+        reason: "llf requires an alpha in [0, 1]",
+    })
+}
+
+fn oracle_name(o: CurveOracle) -> &'static str {
+    match o {
+        CurveOracle::Exact => "exact",
+        CurveOracle::BruteForce => "brute-force",
+        CurveOracle::HeuristicUpperBound => "heuristic-upper-bound",
+    }
+}
+
+fn solve_parallel(links: &ParallelLinks, options: &SolveOptions) -> Result<ReportData, SoptError> {
+    // Per-task feasibility gates convert M/M/1 saturation into a typed
+    // error instead of a panic deep inside an algorithm. Tasks whose
+    // internals already propagate typed errors (Beta via try_optop) run
+    // without a redundant pre-solve — on a large batch fleet those extra
+    // equalizer bisections are pure waste.
+    Ok(match options.task {
+        Task::Beta => {
+            let r = try_optop(links)?;
+            let induced_cost = links.try_induced_cost(&r.strategy)?;
+            ReportData::Beta(BetaReport {
+                beta: r.beta,
+                nash_cost: r.nash_cost,
+                optimum_cost: r.optimum_cost,
+                induced_cost,
+                strategy: r.strategy,
+                optimum: r.optimum,
+                commodity_alphas: vec![],
+            })
+        }
+        Task::Curve => {
+            // anarchy_curve calls the panicking internals; gate feasibility
+            // of both equilibria first. (The two gate bisections are noise
+            // next to the per-α strategy solves of the sweep itself.)
+            links.try_nash()?;
+            links.try_optimum()?;
+            let alphas: Vec<f64> = (0..=options.steps)
+                .map(|k| k as f64 / options.steps as f64)
+                .collect();
+            let c = anarchy_curve(links, &alphas);
+            ReportData::Curve(CurveReport {
+                beta: c.beta,
+                nash_cost: c.nash_cost,
+                optimum_cost: c.optimum_cost,
+                points: c
+                    .points
+                    .iter()
+                    .map(|p| CurvePointReport {
+                        alpha: p.alpha,
+                        cost: p.cost,
+                        ratio: p.ratio,
+                        oracle: oracle_name(p.oracle),
+                    })
+                    .collect(),
+            })
+        }
+        Task::Equilib => {
+            let nash = links.try_nash()?;
+            let optimum = links.try_optimum()?;
+            ReportData::Equilib(EquilibReport {
+                nash_cost: links.cost(nash.flows()),
+                nash_flows: nash.flows().to_vec(),
+                nash_level: Some(nash.level()),
+                optimum_cost: links.cost(optimum.flows()),
+                optimum_flows: optimum.flows().to_vec(),
+                optimum_level: Some(optimum.level()),
+            })
+        }
+        Task::Tolls => {
+            let t = try_marginal_cost_tolls(links)?;
+            let tolled_nash = t.tolled.try_nash()?;
+            ReportData::Tolls(TollsReport {
+                tolled_cost: links.cost(tolled_nash.flows()),
+                tolled_nash: tolled_nash.flows().to_vec(),
+                tolls: t.tolls,
+                optimum: t.optimum,
+                revenue: t.revenue,
+            })
+        }
+        Task::Llf => {
+            let alpha = require_alpha(options)?;
+            // One optimum solve, reused for the strategy and for C(O).
+            let optimum = links.try_optimum()?;
+            let strategy = llf_strategy_for_optimum(links, optimum.flows(), alpha);
+            let cost = links.try_induced_cost(&strategy)?;
+            let optimum_cost = links.cost(optimum.flows());
+            ReportData::Llf(LlfReport {
+                alpha,
+                strategy,
+                cost,
+                optimum_cost,
+                ratio: cost / optimum_cost,
+                bound: 1.0 / alpha,
+            })
+        }
+    })
+}
+
+fn check_converged(r: &FwResult, what: &'static str) -> Result<(), SoptError> {
+    if r.converged {
+        Ok(())
+    } else {
+        Err(SoptError::NotConverged {
+            what: what.to_string(),
+            rel_gap: r.rel_gap,
+        })
+    }
+}
+
+fn solve_network(
+    inst: &NetworkInstance,
+    options: &SolveOptions,
+    scenario: &Scenario,
+) -> Result<ReportData, SoptError> {
+    let fw = options.fw();
+    Ok(match options.task {
+        Task::Beta => {
+            let r = try_mop(inst, &fw)?;
+            let nash = network_nash(inst, &fw);
+            check_converged(&nash, "nash")?;
+            let follower = induced_network(inst, &r.leader, r.leader_value, &fw);
+            check_converged(&follower, "induced")?;
+            let total: Vec<f64> = r
+                .leader
+                .as_slice()
+                .iter()
+                .zip(follower.flow.as_slice())
+                .map(|(a, b)| a + b)
+                .collect();
+            ReportData::Beta(BetaReport {
+                beta: r.beta,
+                nash_cost: inst.cost(nash.flow.as_slice()),
+                optimum_cost: r.optimum_cost,
+                induced_cost: inst.cost(&total),
+                strategy: r.leader.as_slice().to_vec(),
+                optimum: r.optimum.as_slice().to_vec(),
+                commodity_alphas: vec![],
+            })
+        }
+        Task::Equilib => {
+            let nash = network_nash(inst, &fw);
+            check_converged(&nash, "nash")?;
+            let optimum = network_optimum(inst, &fw);
+            check_converged(&optimum, "optimum")?;
+            ReportData::Equilib(EquilibReport {
+                nash_cost: inst.cost(nash.flow.as_slice()),
+                nash_flows: nash.flow.as_slice().to_vec(),
+                nash_level: None,
+                optimum_cost: inst.cost(optimum.flow.as_slice()),
+                optimum_flows: optimum.flow.as_slice().to_vec(),
+                optimum_level: None,
+            })
+        }
+        Task::Tolls => {
+            let t = try_marginal_cost_tolls_network(inst, &fw)?;
+            let tolled_nash = network_nash(&t.tolled, &fw);
+            check_converged(&tolled_nash, "tolled nash")?;
+            ReportData::Tolls(TollsReport {
+                tolled_cost: inst.cost(tolled_nash.flow.as_slice()),
+                tolled_nash: tolled_nash.flow.as_slice().to_vec(),
+                tolls: t.tolls,
+                optimum: t.optimum,
+                revenue: t.revenue,
+            })
+        }
+        Task::Curve | Task::Llf => {
+            return Err(SoptError::Unsupported {
+                task: options.task,
+                class: scenario.class(),
+            })
+        }
+    })
+}
+
+fn solve_multi(
+    inst: &MultiCommodityInstance,
+    options: &SolveOptions,
+    scenario: &Scenario,
+) -> Result<ReportData, SoptError> {
+    let fw = options.fw();
+    Ok(match options.task {
+        Task::Beta => {
+            let r = try_mop_multi(inst, &fw)?;
+            let nash = multicommodity_nash(inst, &fw);
+            check_converged(&nash, "multicommodity nash")?;
+            let values: Vec<f64> = r.commodities.iter().map(|c| c.leader_value).collect();
+            let follower = induced_multicommodity(inst, &r.leader_total, &values, &fw);
+            check_converged(&follower, "induced")?;
+            let total: Vec<f64> = r
+                .leader_total
+                .as_slice()
+                .iter()
+                .zip(follower.flow.as_slice())
+                .map(|(a, b)| a + b)
+                .collect();
+            ReportData::Beta(BetaReport {
+                beta: r.beta,
+                nash_cost: inst.cost(nash.flow.as_slice()),
+                optimum_cost: r.optimum_cost,
+                induced_cost: inst.cost(&total),
+                strategy: r.leader_total.as_slice().to_vec(),
+                optimum: r.optimum_total.as_slice().to_vec(),
+                commodity_alphas: r.commodities.iter().map(|c| c.alpha).collect(),
+            })
+        }
+        Task::Equilib => {
+            let nash = multicommodity_nash(inst, &fw);
+            check_converged(&nash, "multicommodity nash")?;
+            let optimum = multicommodity_optimum(inst, &fw);
+            check_converged(&optimum, "multicommodity optimum")?;
+            ReportData::Equilib(EquilibReport {
+                nash_cost: inst.cost(nash.flow.as_slice()),
+                nash_flows: nash.flow.as_slice().to_vec(),
+                nash_level: None,
+                optimum_cost: inst.cost(optimum.flow.as_slice()),
+                optimum_flows: optimum.flow.as_slice().to_vec(),
+                optimum_level: None,
+            })
+        }
+        Task::Curve | Task::Tolls | Task::Llf => {
+            return Err(SoptError::Unsupported {
+                task: options.task,
+                class: scenario.class(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_names_round_trip() {
+        for t in Task::ALL {
+            assert_eq!(t.name().parse::<Task>().unwrap(), t);
+        }
+        assert!("betamax".parse::<Task>().is_err());
+    }
+
+    #[test]
+    fn knob_validation_is_typed() {
+        let bad = Scenario::parse("x, 1.0").unwrap().solve().tolerance(-1.0);
+        assert!(matches!(
+            bad.run().unwrap_err(),
+            SoptError::InvalidParameter {
+                name: "tolerance",
+                ..
+            }
+        ));
+        let bad = Scenario::parse("x, 1.0").unwrap().solve().steps(0);
+        assert!(matches!(
+            bad.run().unwrap_err(),
+            SoptError::InvalidParameter { name: "steps", .. }
+        ));
+        let bad = Scenario::parse("x, 1.0")
+            .unwrap()
+            .solve()
+            .task(Task::Llf)
+            .alpha(1.5);
+        assert!(matches!(
+            bad.run().unwrap_err(),
+            SoptError::InvalidParameter { name: "alpha", .. }
+        ));
+    }
+}

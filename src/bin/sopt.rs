@@ -1,24 +1,26 @@
 //! `sopt` — command-line access to the price of optimum.
 //!
 //! ```text
-//! sopt beta     --links "x, 1.0" [--rate 1.0]
-//! sopt curve    --links "x+0.1, x+0.5" [--rate 1.0] [--steps 10]
-//! sopt equilib  --links "x, 1.0" [--rate 1.0]
-//! sopt tolls    --links "x, 1.0" [--rate 1.0]
-//! sopt llf      --links "x, 1.0" --alpha 0.4 [--rate 1.0]
+//! sopt solve --spec "x, 1.0" --task beta --format json
+//! sopt solve --spec "nodes=4; 0->1: x; 0->2: 1.0; 1->2: 0; 1->3: 1.0; 2->3: x; demand 0->3: 1" \
+//!            --task beta
+//! sopt batch --file scenarios.txt --task beta --format csv [--threads 8]
 //! ```
 //!
-//! The links spec language is documented in [`stackopt::spec`]
-//! (`x`, `2x+0.3`, `0.7`, `x^3`, `mm1:2.0`, `bpr:1,0.15,10,4`).
+//! `solve` runs one scenario through the [`stackopt::api`] session layer:
+//! `--spec` accepts both the parallel-links mini-language (`x, 2x+0.3,
+//! mm1:2.0`, optionally `… @ rate`) and the general-network grammar
+//! (`nodes=N; A->B: expr; …; demand A->B: r`) documented in
+//! [`stackopt::spec`]. `batch` runs one spec per line of `--file` across
+//! threads, reporting results in input order.
+//!
+//! The classic per-task subcommands (`sopt beta --links …`, `curve`,
+//! `equilib`, `tolls`, `llf`) remain as thin aliases for
+//! `solve --task … --format text`.
 
 use std::process::ExitCode;
 
-use stackopt::core::curve::anarchy_curve;
-use stackopt::core::llf::llf;
-use stackopt::core::optop::optop;
-use stackopt::core::tolls::marginal_cost_tolls;
-use stackopt::equilibrium::parallel::ParallelLinks;
-use stackopt::spec::parse_links;
+use stackopt::api::{parse_batch_file, Batch, Report, Scenario, SoptError, Task};
 
 fn main() -> ExitCode {
     match run() {
@@ -33,68 +35,108 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  sopt beta    --links SPEC [--rate R]           minimum Leader portion β_M + strategy
-  sopt curve   --links SPEC [--rate R] [--steps N]  anarchy value vs α
-  sopt equilib --links SPEC [--rate R]           Nash and optimum assignments
-  sopt tolls   --links SPEC [--rate R]           marginal-cost tolls
-  sopt llf     --links SPEC --alpha A [--rate R] LLF strategy at portion A
+  sopt solve --spec SPEC [options]          solve one scenario
+  sopt batch --file PATH [options] [--threads N]
+                                            solve one scenario per line of PATH
 
-SPEC is comma-separated latencies: x | 2x+0.3 | 0.7 | x^3 | mm1:2.0 | bpr:t0,b,c,p
-example: sopt beta --links 'x, 1.0'";
+options:
+  --task beta|curve|equilib|tolls|llf       what to compute (default beta)
+  --format text|json|csv                    output format (default text)
+  --rate R                                  override the routed rate
+  --alpha A                                 Leader portion (llf)
+  --steps N                                 curve samples (default 10)
+  --tolerance E                             solver convergence target
+  --max-iters K                             solver iteration cap
+
+legacy aliases (equivalent to solve --task … --format text):
+  sopt beta    --links SPEC [--rate R]
+  sopt curve   --links SPEC [--rate R] [--steps N]
+  sopt equilib --links SPEC [--rate R]
+  sopt tolls   --links SPEC [--rate R]
+  sopt llf     --links SPEC --alpha A [--rate R]
+
+SPEC is either comma-separated latencies (x | 2x+0.3 | 0.7 | x^3 |
+mm1:2.0 | bpr:t0,b,c,p, optionally '… @ rate') or a network spec
+('nodes=4; 0->1: x; …; demand 0->3: 2.0').
+example: sopt solve --spec 'x, 1.0' --task beta --format json";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
 
 struct Args {
-    links: String,
-    rate: f64,
-    steps: usize,
+    spec: Option<String>,
+    file: Option<String>,
+    task: Task,
+    format: Format,
+    rate: Option<f64>,
+    steps: Option<usize>,
     alpha: Option<f64>,
+    tolerance: Option<f64>,
+    max_iters: Option<usize>,
+    threads: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
-    let mut links = None;
-    let mut rate: f64 = 1.0;
-    let mut steps = 10;
-    let mut alpha = None;
+    let mut out = Args {
+        spec: None,
+        file: None,
+        task: Task::Beta,
+        format: Format::Text,
+        rate: None,
+        steps: None,
+        alpha: None,
+        tolerance: None,
+        max_iters: None,
+        threads: None,
+    };
     let mut i = 0;
     while i < args.len() {
-        let take = |i: &mut usize| -> Result<&String, String> {
-            *i += 1;
-            args.get(*i - 1)
-                .ok_or_else(|| "missing value after flag".to_string())
+        let flag = args[i].as_str();
+        // Match the flag before demanding its value, so a typo'd or
+        // positional last token reports "unknown flag", not a misleading
+        // "missing value".
+        let value = || {
+            args.get(i + 1)
+                .ok_or_else(|| format!("missing value after {flag}"))
         };
-        match args[i].as_str() {
-            "--links" => {
-                i += 1;
-                links = Some(take(&mut i)?.clone());
-            }
-            "--rate" => {
-                i += 1;
-                rate = take(&mut i)?.parse().map_err(|e| format!("--rate: {e}"))?;
-            }
-            "--steps" => {
-                i += 1;
-                steps = take(&mut i)?.parse().map_err(|e| format!("--steps: {e}"))?;
-            }
-            "--alpha" => {
-                i += 1;
-                alpha = Some(take(&mut i)?.parse().map_err(|e| format!("--alpha: {e}"))?);
-            }
+        let value = match flag {
+            "--spec" | "--links" | "--file" | "--task" | "--format" | "--rate" | "--steps"
+            | "--alpha" | "--tolerance" | "--max-iters" | "--threads" => value()?,
             other => return Err(format!("unknown flag '{other}'")),
+        };
+        match flag {
+            "--spec" | "--links" => out.spec = Some(value.clone()),
+            "--file" => out.file = Some(value.clone()),
+            "--task" => out.task = value.parse().map_err(|e: SoptError| e.to_string())?,
+            "--format" => {
+                out.format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("unknown format '{other}' (text|json|csv)")),
+                }
+            }
+            "--rate" => out.rate = Some(value.parse().map_err(|e| format!("--rate: {e}"))?),
+            "--steps" => out.steps = Some(value.parse().map_err(|e| format!("--steps: {e}"))?),
+            "--alpha" => out.alpha = Some(value.parse().map_err(|e| format!("--alpha: {e}"))?),
+            "--tolerance" => {
+                out.tolerance = Some(value.parse().map_err(|e| format!("--tolerance: {e}"))?)
+            }
+            "--max-iters" => {
+                out.max_iters = Some(value.parse().map_err(|e| format!("--max-iters: {e}"))?)
+            }
+            "--threads" => {
+                out.threads = Some(value.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            _ => unreachable!("flag list is matched above"),
         }
+        i += 2;
     }
-    let links = links.ok_or("--links is required")?;
-    if !(rate > 0.0 && rate.is_finite()) {
-        return Err(format!("rate must be positive, got {rate}"));
-    }
-    Ok(Args {
-        links,
-        rate,
-        steps,
-        alpha,
-    })
-}
-
-fn build(args: &Args) -> Result<ParallelLinks, String> {
-    Ok(ParallelLinks::new(parse_links(&args.links)?, args.rate))
+    Ok(out)
 }
 
 fn run() -> Result<(), String> {
@@ -102,73 +144,149 @@ fn run() -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("no command given".into());
     };
-    let args = parse_args(rest)?;
-    let links = build(&args)?;
+    let mut args = parse_args(rest)?;
 
-    match cmd.as_str() {
-        "beta" => {
-            let r = optop(&links);
-            println!("m        = {}", links.m());
-            println!("rate     = {}", links.rate());
-            println!("C(N)     = {:.6}", r.nash_cost);
-            println!("C(O)     = {:.6}", r.optimum_cost);
-            println!("beta     = {:.6}", r.beta);
-            println!("strategy = {:?}", r.strategy);
-            println!("C(S+T)   = {:.6}", links.induced_cost(&r.strategy));
+    // Legacy aliases: `sopt beta --links …` ≡ `sopt solve --task beta`.
+    let cmd = match cmd.as_str() {
+        "solve" | "batch" => cmd.as_str(),
+        legacy => {
+            args.task = legacy
+                .parse()
+                .map_err(|_| format!("unknown command '{legacy}'"))?;
+            "solve"
         }
-        "curve" => {
-            let alphas: Vec<f64> = (0..=args.steps)
-                .map(|k| k as f64 / args.steps as f64)
-                .collect();
-            let c = anarchy_curve(&links, &alphas);
-            println!(
-                "beta = {:.6}   C(N)/C(O) = {:.6}",
-                c.beta,
-                c.nash_cost / c.optimum_cost
-            );
-            println!("{:>8} {:>12} {:>10}  oracle", "alpha", "C(S+T)", "ratio");
-            for p in &c.points {
-                println!(
-                    "{:>8.3} {:>12.6} {:>10.6}  {:?}",
-                    p.alpha, p.cost, p.ratio, p.oracle
-                );
+    };
+
+    match cmd {
+        "solve" => {
+            let spec = args
+                .spec
+                .as_deref()
+                .ok_or("--spec (or --links) is required")?;
+            if args.threads.is_some() {
+                return Err("--threads only applies to 'sopt batch'".into());
             }
-        }
-        "equilib" => {
-            let n = links.nash();
-            let o = links.optimum();
-            println!("Nash    (latency {:.6}): {:?}", n.level(), n.flows());
-            println!("Optimum (marginal {:.6}): {:?}", o.level(), o.flows());
-            println!(
-                "C(N) = {:.6}   C(O) = {:.6}",
-                links.cost(n.flows()),
-                links.cost(o.flows())
-            );
-        }
-        "tolls" => {
-            let t = marginal_cost_tolls(&links);
-            println!("tolls    = {:?}", t.tolls);
-            println!("optimum  = {:?}", t.optimum);
-            println!("revenue  = {:.6}", t.revenue);
-            let tolled_nash = t.tolled.nash();
-            println!("tolled Nash = {:?} (≈ optimum)", tolled_nash.flows());
-        }
-        "llf" => {
-            let alpha = args.alpha.ok_or("llf requires --alpha")?;
-            if !(0.0..=1.0).contains(&alpha) {
-                return Err(format!("--alpha must lie in [0,1], got {alpha}"));
+            if args.file.is_some() {
+                return Err("--file only applies to 'sopt batch' (use --spec here)".into());
             }
-            let (s, cost) = llf(&links, alpha);
-            let r = optop(&links);
-            println!("strategy = {s:?}");
-            println!(
-                "C(S+T)   = {cost:.6}   C(O) = {:.6}   ratio = {:.6}",
-                r.optimum_cost,
-                cost / r.optimum_cost
-            );
-            println!("bound 1/alpha = {:.6}", 1.0 / alpha);
+            let report = solve_one(spec, &args).map_err(|e| e.to_string())?;
+            print!("{}", render(&report, args.format));
+            Ok(())
         }
-        other => return Err(format!("unknown command '{other}'")),
+        "batch" => {
+            let path = args.file.as_deref().ok_or("--file is required")?;
+            if args.spec.is_some() {
+                return Err("--spec only applies to 'sopt solve' (use --file here)".into());
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+            let mut scenarios = parse_batch_file(&text).map_err(|e| e.to_string())?;
+            // --rate applies uniformly, exactly as it does for `solve`.
+            if let Some(rate) = args.rate {
+                scenarios = scenarios
+                    .into_iter()
+                    .map(|sc| sc.with_rate(rate))
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| e.to_string())?;
+            }
+            let mut batch = Batch::new(scenarios)
+                .task(args.task)
+                .steps(args.steps.unwrap_or(10));
+            if let Some(a) = args.alpha {
+                batch = batch.alpha(a);
+            }
+            if let Some(t) = args.tolerance {
+                batch = batch.tolerance(t);
+            }
+            if let Some(k) = args.max_iters {
+                batch = batch.max_iters(k);
+            }
+            if let Some(n) = args.threads {
+                batch = batch.threads(n);
+            }
+            let reports = batch.run();
+            print!("{}", render_batch(&reports, args.format));
+            Ok(())
+        }
+        _ => unreachable!("cmd is normalised above"),
     }
-    Ok(())
+}
+
+fn solve_one(spec: &str, args: &Args) -> Result<Report, SoptError> {
+    let mut scenario = Scenario::parse(spec)?;
+    if let Some(rate) = args.rate {
+        scenario = scenario.with_rate(rate)?;
+    }
+    let mut solve = scenario
+        .solve()
+        .task(args.task)
+        .steps(args.steps.unwrap_or(10));
+    if let Some(a) = args.alpha {
+        solve = solve.alpha(a);
+    }
+    if let Some(t) = args.tolerance {
+        solve = solve.tolerance(t);
+    }
+    if let Some(k) = args.max_iters {
+        solve = solve.max_iters(k);
+    }
+    solve.run()
+}
+
+fn render(report: &Report, format: Format) -> String {
+    match format {
+        Format::Text => report.to_text(),
+        Format::Json => {
+            let mut j = report.to_json();
+            j.push('\n');
+            j
+        }
+        Format::Csv => report.to_csv(),
+    }
+}
+
+fn render_batch(reports: &[Result<Report, SoptError>], format: Format) -> String {
+    let mut out = String::new();
+    match format {
+        Format::Text => {
+            for (i, r) in reports.iter().enumerate() {
+                out.push_str(&format!("== scenario {i} ==\n"));
+                match r {
+                    Ok(rep) => out.push_str(&rep.to_text()),
+                    Err(e) => out.push_str(&format!("error: {e}\n")),
+                }
+            }
+        }
+        Format::Json => {
+            let items: Vec<String> = reports
+                .iter()
+                .map(|r| match r {
+                    Ok(rep) => rep.to_json(),
+                    Err(e) => format!(
+                        "{{\"error\": {}}}",
+                        stackopt::api::report::json_str(&e.to_string())
+                    ),
+                })
+                .collect();
+            out.push_str(&format!("[{}]\n", items.join(",\n ")));
+        }
+        Format::Csv => {
+            // One table: shared header (all reports run the same task) with
+            // an index column; failed scenarios become comment lines.
+            if let Some(first) = reports.iter().find_map(|r| r.as_ref().ok()) {
+                out.push_str(&format!("index,{}\n", first.csv_header()));
+            }
+            for (i, r) in reports.iter().enumerate() {
+                match r {
+                    Ok(rep) => {
+                        for row in rep.csv_rows() {
+                            out.push_str(&format!("{i},{row}\n"));
+                        }
+                    }
+                    Err(e) => out.push_str(&format!("# scenario {i} error: {e}\n")),
+                }
+            }
+        }
+    }
+    out
 }

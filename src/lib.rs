@@ -6,8 +6,16 @@
 //! > on arbitrary single commodity networks and latency functions*,
 //! > SPAA 2006, pp. 19–28; journal version TCS 410 (2009) 745–755.
 //!
-//! This facade crate re-exports the entire workspace:
+//! The public entry point is the [`api`] session layer — one uniform
+//! `Scenario` → `Solve` → `Report` pipeline over every instance class and
+//! task, with typed errors and serializable reports. The facade also
+//! re-exports the whole workspace for algorithm-level work:
 //!
+//! * [`api`] — `Scenario` (all three instance classes), the builder-style
+//!   `Solve` session, typed `Report`s with JSON/CSV/text serializers, the
+//!   single `SoptError` enum, and the multi-threaded `batch` runner;
+//! * [`spec`] — the text spec language: parallel-links lists (`"x, 1.0"`)
+//!   and general networks (`"nodes=4; 0->1: x; …; demand 0->3: 2"`);
 //! * [`latency`] — load-dependent latency functions (affine, polynomial,
 //!   monomial, M/M/1, BPR, constants, shifts);
 //! * [`network`] — directed multigraphs, parallel-link systems, flows,
@@ -28,15 +36,17 @@
 //! use stackopt::prelude::*;
 //!
 //! // Pigou's example (paper Figs. 1-3): ℓ1(x) = x, ℓ2(x) ≡ 1, r = 1.
-//! let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
-//! let nash = links.nash();
-//! let opt = links.optimum();
-//! assert!((links.cost(nash.flows()) - 1.0).abs() < 1e-9);      // C(N) = 1
-//! assert!((links.cost(opt.flows()) - 0.75).abs() < 1e-9);      // C(O) = 3/4
-//!
 //! // The price of optimum: the Leader needs exactly half the flow.
-//! let result = optop(&links);
-//! assert!((result.beta - 0.5).abs() < 1e-9);
+//! let report = Scenario::parse("x, 1.0")?.solve().task(Task::Beta).run()?;
+//! let beta = report.data.as_beta().unwrap();
+//! assert!((beta.nash_cost - 1.0).abs() < 1e-9); // C(N) = 1
+//! assert!((beta.optimum_cost - 0.75).abs() < 1e-9); // C(O) = 3/4
+//! assert!((beta.beta - 0.5).abs() < 1e-9);
+//!
+//! // The algorithm surface remains available for custom pipelines.
+//! let links = ParallelLinks::new(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+//! assert!((optop(&links).beta - 0.5).abs() < 1e-9);
+//! # Ok::<(), SoptError>(())
 //! ```
 
 pub use sopt_core as core;
@@ -46,10 +56,14 @@ pub use sopt_latency as latency;
 pub use sopt_network as network;
 pub use sopt_solver as solver;
 
+pub mod api;
 pub mod spec;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
+    pub use crate::api::{
+        Batch, Report, ReportData, Scenario, ScenarioClass, Solve, SoptError, Task,
+    };
     pub use sopt_core::linear_optimal::linear_optimal_strategy;
     pub use sopt_core::llf::llf_strategy;
     pub use sopt_core::mop::mop;

@@ -96,14 +96,34 @@ fn curve_crossover_matches_beta_on_fig4() {
 
 #[test]
 fn spec_parser_drives_real_computation() {
-    let lats = parse_links("x, 1.0").expect("pigou spec");
-    let links = ParallelLinks::new(lats, 1.0);
-    let r = optop(&links);
-    assert!((r.beta - 0.5).abs() < 1e-9);
+    // The session API end to end: parse → solve → typed report.
+    let report = Scenario::parse("x, 1.0")
+        .and_then(|s| s.solve().task(Task::Beta).run())
+        .expect("pigou spec solves");
+    assert!((report.data.as_beta().unwrap().beta - 0.5).abs() < 1e-9);
 
+    // The low-level parser remains available for custom pipelines.
     let lats = parse_links("mm1:2.0, mm1:4.0, 0.9").expect("mixed spec");
     let links = ParallelLinks::new(lats, 2.0);
     let n = links.nash();
     certify_parallel(links.latencies(), n.flows(), 2.0, CostModel::Wardrop, 1e-6)
         .expect("spec-built Nash certified");
+}
+
+#[test]
+fn session_api_matches_algorithm_surface_on_fig4() {
+    // The api dispatches to the same algorithms: identical numbers.
+    let report = Scenario::from(fig4_links())
+        .solve()
+        .task(Task::Beta)
+        .run()
+        .expect("fig4 solves");
+    let b = report.data.as_beta().unwrap();
+    let ot = optop(&fig4_links());
+    assert!((b.beta - ot.beta).abs() < 1e-12);
+    assert!((b.nash_cost - ot.nash_cost).abs() < 1e-12);
+    assert!((b.optimum_cost - ot.optimum_cost).abs() < 1e-12);
+    for (a, e) in b.strategy.iter().zip(&ot.strategy) {
+        assert!((a - e).abs() < 1e-12);
+    }
 }

@@ -1,0 +1,118 @@
+//! Property test: the spec grammar round-trips. For any expressible
+//! scenario, `format → parse → format` is the identity on spec strings and
+//! the reparsed scenario is pointwise identical.
+
+use proptest::prelude::*;
+use stackopt::api::Scenario;
+use stackopt::latency::LatencyFn;
+use stackopt::spec::{format_latency, parse_latency};
+
+/// Deterministic xorshift so each proptest case derives a whole scenario
+/// from one seed (the vendored proptest stub favours scalar strategies).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_usize(&mut self, bound: usize) -> usize {
+        (self.next_f64() * bound as f64) as usize % bound
+    }
+}
+
+/// A random latency drawn from the expressible families.
+fn random_latency(rng: &mut Rng) -> LatencyFn {
+    match rng.next_usize(6) {
+        0 => LatencyFn::identity(),
+        1 => LatencyFn::affine(0.25 + 2.0 * rng.next_f64(), rng.next_f64()),
+        2 => LatencyFn::constant(0.1 + rng.next_f64()),
+        3 => LatencyFn::monomial(0.5 + rng.next_f64(), 2 + rng.next_usize(4) as u32),
+        4 => LatencyFn::mm1(1.0 + 4.0 * rng.next_f64()),
+        5 => LatencyFn::bpr(
+            0.5 + rng.next_f64(),
+            0.15,
+            5.0 + 10.0 * rng.next_f64(),
+            2 + rng.next_usize(4) as u32,
+        ),
+        _ => unreachable!(),
+    }
+}
+
+fn assert_round_trip(scenario: &Scenario) {
+    let spec1 = scenario.to_spec().expect("expressible scenario");
+    let reparsed = Scenario::parse(&spec1)
+        .unwrap_or_else(|e| panic!("formatted spec '{spec1}' failed to parse: {e}"));
+    let spec2 = reparsed.to_spec().expect("reparse stays expressible");
+    assert_eq!(spec1, spec2, "format ∘ parse is not the identity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel-links scenarios round-trip, including the `@ rate` suffix.
+    #[test]
+    fn parallel_specs_round_trip(seed in 0u64..100_000) {
+        let mut rng = Rng::new(seed);
+        let m = 1 + rng.next_usize(6);
+        let lats: Vec<LatencyFn> = (0..m).map(|_| random_latency(&mut rng)).collect();
+        let rate = if rng.next_usize(2) == 0 { 1.0 } else { 0.5 + 2.0 * rng.next_f64() };
+        let scenario = Scenario::from(
+            stackopt::equilibrium::parallel::ParallelLinks::new(lats, rate),
+        );
+        assert_round_trip(&scenario);
+    }
+
+    /// Network and multicommodity scenarios round-trip through the
+    /// `nodes=…; A->B: …; demand …` grammar.
+    #[test]
+    fn network_specs_round_trip(seed in 0u64..100_000) {
+        let mut rng = Rng::new(seed);
+        let n = 3 + rng.next_usize(4); // 3..=6 nodes
+        // A guaranteed 0 → n-1 chain plus random forward shortcuts keeps
+        // every demand (0 → n-1, and optionally 0 → k) reachable.
+        let mut spec = format!("nodes={n}");
+        let push_edge = |spec: &mut String, a: usize, b: usize, rng: &mut Rng| {
+            let lat = random_latency(rng);
+            spec.push_str(&format!("; {a}->{b}: {}", format_latency(&lat).unwrap()));
+        };
+        for v in 0..n - 1 {
+            push_edge(&mut spec, v, v + 1, &mut rng);
+        }
+        for _ in 0..rng.next_usize(4) {
+            let a = rng.next_usize(n - 1);
+            let b = a + 1 + rng.next_usize(n - 1 - a);
+            push_edge(&mut spec, a, b, &mut rng);
+        }
+        spec.push_str(&format!("; demand 0->{}: {}", n - 1, 0.5 + rng.next_f64()));
+        if rng.next_usize(2) == 0 && n > 2 {
+            // Second demand → multicommodity class.
+            spec.push_str(&format!("; demand 0->{}: {}", n - 2, 0.25 + rng.next_f64()));
+        }
+        let scenario = Scenario::parse(&spec)
+            .unwrap_or_else(|e| panic!("generated spec '{spec}' failed to parse: {e}"));
+        assert_round_trip(&scenario);
+    }
+
+    /// Single latency expressions: parse ∘ format is pointwise identity.
+    #[test]
+    fn latency_values_survive_the_round_trip(seed in 0u64..100_000, frac in 0.0..1.0f64) {
+        use stackopt::latency::Latency;
+        let mut rng = Rng::new(seed);
+        let l = random_latency(&mut rng);
+        let formatted = format_latency(&l).unwrap();
+        let reparsed = parse_latency(&formatted)
+            .unwrap_or_else(|e| panic!("'{formatted}': {e}"));
+        // Evaluate strictly inside the domain (M/M/1 diverges at capacity).
+        let x = frac * l.capacity().min(3.0) * 0.9;
+        let (a, b) = (l.value(x), reparsed.value(x));
+        prop_assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "'{formatted}' at {x}: {a} vs {b}");
+    }
+}
