@@ -20,6 +20,7 @@
 //!   NP-hardness reduction [40, Thm 6.1].
 
 pub mod braess;
+pub mod error;
 pub mod fig4;
 pub mod hard;
 pub mod mm1_families;
@@ -27,5 +28,6 @@ pub mod pigou;
 pub mod random;
 
 pub use braess::{braess_classic, fig7_instance, roughgarden_651};
+pub use error::InstanceError;
 pub use fig4::fig4_links;
 pub use pigou::pigou_links;

@@ -1,6 +1,12 @@
 //! Random instance generators (deterministic via seeds) for property tests
 //! and experiment sweeps.
+//!
+//! Every family comes in two forms: a `try_*` constructor that validates its
+//! shape and rate parameters into a typed [`InstanceError`], and the classic
+//! panicking name kept as a thin shim for algorithm-level code built from
+//! trusted constants (the same shim pattern as `optop`/`try_optop`).
 
+use crate::error::{check_rate, check_shape, InstanceError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sopt_equilibrium::parallel::ParallelLinks;
@@ -10,8 +16,13 @@ use sopt_network::instance::NetworkInstance;
 
 /// Random common-slope affine system `ℓ_i = a·x + b_i` (the Theorem 2.4
 /// class) with `m` links, slope in `[0.5, 3]`, intercepts in `[0, 2]`.
-pub fn random_common_slope(m: usize, rate: f64, seed: u64) -> ParallelLinks {
-    assert!(m >= 1);
+pub fn try_random_common_slope(
+    m: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<ParallelLinks, InstanceError> {
+    check_shape("m", m, 1)?;
+    check_rate(rate)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let a = rng.random_range(0.5..3.0);
     let mut lats = Vec::with_capacity(m);
@@ -19,13 +30,22 @@ pub fn random_common_slope(m: usize, rate: f64, seed: u64) -> ParallelLinks {
         let b = rng.random_range(0.0..2.0);
         lats.push(LatencyFn::affine(a, b));
     }
-    ParallelLinks::new(lats, rate)
+    Ok(ParallelLinks::new(lats, rate))
+}
+
+/// Panicking shim over [`try_random_common_slope`] for trusted parameters.
+///
+/// # Panics
+/// If `m == 0` or `rate` is not a positive finite number.
+pub fn random_common_slope(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    try_random_common_slope(m, rate, seed).expect("valid generator parameters")
 }
 
 /// Random general affine system (independent slopes and intercepts) — the
 /// Roughgarden–Tardos `4/3` class.
-pub fn random_affine(m: usize, rate: f64, seed: u64) -> ParallelLinks {
-    assert!(m >= 1);
+pub fn try_random_affine(m: usize, rate: f64, seed: u64) -> Result<ParallelLinks, InstanceError> {
+    check_shape("m", m, 1)?;
+    check_rate(rate)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut lats = Vec::with_capacity(m);
     for _ in 0..m {
@@ -33,15 +53,49 @@ pub fn random_affine(m: usize, rate: f64, seed: u64) -> ParallelLinks {
         let b = rng.random_range(0.0..2.0);
         lats.push(LatencyFn::affine(a, b));
     }
-    ParallelLinks::new(lats, rate)
+    Ok(ParallelLinks::new(lats, rate))
+}
+
+/// Panicking shim over [`try_random_affine`] for trusted parameters.
+///
+/// # Panics
+/// If `m == 0` or `rate` is not a positive finite number.
+pub fn random_affine(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    try_random_affine(m, rate, seed).expect("valid generator parameters")
+}
+
+/// Random M/M/1 system with per-link capacities in `[1.2·r, 3·r]`, so any
+/// subset of links keeps the rate feasible. The engine's fleet source for
+/// the `mm1` family (every link formats to `mm1:c` in the spec language).
+pub fn try_random_mm1(m: usize, rate: f64, seed: u64) -> Result<ParallelLinks, InstanceError> {
+    check_shape("m", m, 1)?;
+    check_rate(rate)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lats: Vec<LatencyFn> = (0..m)
+        .map(|_| LatencyFn::mm1(rate * rng.random_range(1.2..3.0)))
+        .collect();
+    Ok(ParallelLinks::new(lats, rate))
+}
+
+/// Panicking shim over [`try_random_mm1`] for trusted parameters.
+///
+/// # Panics
+/// If `m == 0` or `rate` is not a positive finite number.
+pub fn random_mm1(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    try_random_mm1(m, rate, seed).expect("valid generator parameters")
 }
 
 /// Random mixed standard system with *smooth marginals*: affine, monomial,
 /// polynomial, M/M/1 and constant links. Safe for every solver, including
 /// network Frank–Wolfe under the SystemOptimum objective (whose duality-gap
-/// certificate needs a continuous marginal — see [`random_mixed`]).
-pub fn random_mixed_smooth(m: usize, rate: f64, seed: u64) -> ParallelLinks {
-    assert!(m >= 1);
+/// certificate needs a continuous marginal — see [`try_random_mixed`]).
+pub fn try_random_mixed_smooth(
+    m: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<ParallelLinks, InstanceError> {
+    check_shape("m", m, 1)?;
+    check_rate(rate)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut lats: Vec<LatencyFn> = Vec::with_capacity(m);
     for _ in 0..m {
@@ -61,7 +115,59 @@ pub fn random_mixed_smooth(m: usize, rate: f64, seed: u64) -> ParallelLinks {
     if lats.iter().all(|l| matches!(l, LatencyFn::MM1(_))) {
         lats[0] = LatencyFn::affine(1.0, 0.0);
     }
-    ParallelLinks::new(lats, rate)
+    Ok(ParallelLinks::new(lats, rate))
+}
+
+/// Panicking shim over [`try_random_mixed_smooth`] for trusted parameters.
+///
+/// # Panics
+/// If `m == 0` or `rate` is not a positive finite number.
+pub fn random_mixed_smooth(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    try_random_mixed_smooth(m, rate, seed).expect("valid generator parameters")
+}
+
+/// Random mixed system restricted to latency families the spec language can
+/// format back ([`sopt`-spec representable]: affine, monomial, M/M/1, BPR and
+/// constant links — no piecewise kinks, no dense polynomials). This is the
+/// `mixed` fleet family of `sopt gen`: every generated instance survives the
+/// `to_spec` → `parse` round trip, so batch files and engine cache
+/// fingerprints cover it.
+pub fn try_random_spec_mixed(
+    m: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<ParallelLinks, InstanceError> {
+    check_shape("m", m, 1)?;
+    check_rate(rate)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lats: Vec<LatencyFn> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let kind = rng.random_range(0..5);
+        lats.push(match kind {
+            0 => LatencyFn::affine(rng.random_range(0.1..3.0), rng.random_range(0.0..1.5)),
+            1 => LatencyFn::monomial(rng.random_range(0.2..2.0), rng.random_range(2..4)),
+            2 => LatencyFn::mm1(rate * rng.random_range(1.5..4.0)),
+            3 => LatencyFn::bpr(
+                rng.random_range(0.2..1.5),
+                rng.random_range(0.1..0.5),
+                rate * rng.random_range(0.8..2.0),
+                rng.random_range(2..5),
+            ),
+            _ => LatencyFn::constant(rng.random_range(0.2..2.0)),
+        });
+    }
+    if lats.iter().all(|l| matches!(l, LatencyFn::MM1(_))) {
+        lats[0] = LatencyFn::affine(1.0, 0.0);
+    }
+    Ok(ParallelLinks::new(lats, rate))
+}
+
+/// Panicking shim over [`try_random_spec_mixed`] for trusted parameters.
+///
+/// # Panics
+/// If `m == 0` or `rate` is not a positive finite number.
+pub fn random_spec_mixed(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    try_random_spec_mixed(m, rate, seed).expect("valid generator parameters")
 }
 
 /// Random mixed standard system: affine, monomial, polynomial, M/M/1,
@@ -72,9 +178,10 @@ pub fn random_mixed_smooth(m: usize, rate: f64, seed: u64) -> ParallelLinks {
 /// equalizer handles them exactly, but the network Frank–Wolfe
 /// `SystemOptimum` gap certificate cannot reach tight tolerances when the
 /// optimum sits on a kink (the subgradient is set-valued there) — use
-/// [`random_mixed_smooth`] for network-optimum workloads.
-pub fn random_mixed(m: usize, rate: f64, seed: u64) -> ParallelLinks {
-    assert!(m >= 1);
+/// [`try_random_mixed_smooth`] for network-optimum workloads.
+pub fn try_random_mixed(m: usize, rate: f64, seed: u64) -> Result<ParallelLinks, InstanceError> {
+    check_shape("m", m, 1)?;
+    check_rate(rate)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut lats: Vec<LatencyFn> = Vec::with_capacity(m);
     for _ in 0..m {
@@ -106,18 +213,28 @@ pub fn random_mixed(m: usize, rate: f64, seed: u64) -> ParallelLinks {
     if lats.iter().all(|l| matches!(l, LatencyFn::MM1(_))) {
         lats[0] = LatencyFn::affine(1.0, 0.0);
     }
-    ParallelLinks::new(lats, rate)
+    Ok(ParallelLinks::new(lats, rate))
+}
+
+/// Panicking shim over [`try_random_mixed`] for trusted parameters.
+///
+/// # Panics
+/// If `m == 0` or `rate` is not a positive finite number.
+pub fn random_mixed(m: usize, rate: f64, seed: u64) -> ParallelLinks {
+    try_random_mixed(m, rate, seed).expect("valid generator parameters")
 }
 
 /// A random layered DAG `s → layer₁ → … → layer_L → t` with affine
 /// latencies and a few skip edges: the MOP workload.
-pub fn random_layered_network(
+pub fn try_random_layered_network(
     layers: usize,
     width: usize,
     rate: f64,
     seed: u64,
-) -> NetworkInstance {
-    assert!(layers >= 1 && width >= 1);
+) -> Result<NetworkInstance, InstanceError> {
+    check_shape("layers", layers, 1)?;
+    check_shape("width", width, 1)?;
+    check_rate(rate)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let n = 2 + layers * width;
     let mut g = DiGraph::with_nodes(n);
@@ -152,7 +269,20 @@ pub fn random_layered_network(
         g.add_edge(node(layers, i), t);
         lats.push(rand_affine(&mut rng));
     }
-    NetworkInstance::new(g, lats, s, t, rate)
+    Ok(NetworkInstance::new(g, lats, s, t, rate))
+}
+
+/// Panicking shim over [`try_random_layered_network`] for trusted parameters.
+///
+/// # Panics
+/// If `layers == 0`, `width == 0`, or `rate` is not a positive finite number.
+pub fn random_layered_network(
+    layers: usize,
+    width: usize,
+    rate: f64,
+    seed: u64,
+) -> NetworkInstance {
+    try_random_layered_network(layers, width, rate, seed).expect("valid generator parameters")
 }
 
 #[cfg(test)]
@@ -196,6 +326,56 @@ mod tests {
             assert!((sn - 1.5).abs() < 1e-7, "seed {seed}");
             assert!((so - 1.5).abs() < 1e-7, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn mm1_instances_are_feasible() {
+        for seed in 0..20 {
+            let links = random_mm1(4, 2.0, seed);
+            let n = links.try_nash().expect("feasible");
+            assert!(
+                (n.flows().iter().sum::<f64>() - 2.0).abs() < 1e-7,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_parameters_are_typed_errors() {
+        assert_eq!(
+            try_random_affine(0, 1.0, 7).unwrap_err(),
+            InstanceError::InvalidShape {
+                name: "m",
+                value: 0,
+                min: 1
+            }
+        );
+        assert_eq!(
+            try_random_common_slope(3, 0.0, 7).unwrap_err(),
+            InstanceError::InvalidRate { rate: 0.0 }
+        );
+        assert!(matches!(
+            try_random_mixed(2, f64::NAN, 7).unwrap_err(),
+            InstanceError::InvalidRate { .. }
+        ));
+        assert_eq!(
+            try_random_layered_network(0, 3, 1.0, 7).unwrap_err(),
+            InstanceError::InvalidShape {
+                name: "layers",
+                value: 0,
+                min: 1
+            }
+        );
+        assert_eq!(
+            try_random_layered_network(3, 0, 1.0, 7).unwrap_err(),
+            InstanceError::InvalidShape {
+                name: "width",
+                value: 0,
+                min: 1
+            }
+        );
+        assert!(try_random_mm1(1, -1.0, 7).is_err());
+        assert!(try_random_spec_mixed(0, 1.0, 7).is_err());
     }
 
     #[test]

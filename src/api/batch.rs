@@ -1,19 +1,21 @@
 //! [`Batch`] — solve many scenarios across threads with deterministic,
 //! input-ordered results.
 //!
-//! The first concrete step toward the heavy-traffic north star: a fleet of
-//! scenarios is split into contiguous chunks, one scoped worker thread per
-//! chunk (vendored `crossbeam::thread::scope`), and the per-chunk result
-//! vectors are concatenated in spawn order — so `run` returns exactly one
-//! `Result<Report, SoptError>` per input scenario, in input order,
-//! regardless of thread interleaving. A panicking solve is contained per
-//! scenario: that scenario reports [`SoptError::WorkerPanic`], the rest of
-//! the batch — including its chunk-mates — is unaffected.
+//! Since PR 3, `Batch` is a thin compatibility wrapper over the
+//! [`super::engine`] subsystem: `run` delegates to
+//! [`Engine::run`](super::Engine::run), which keeps the original contract —
+//! exactly one `Result<Report, SoptError>` per input scenario, in input
+//! order, regardless of thread interleaving, with a panicking solve
+//! contained per scenario as [`SoptError::WorkerPanic`] — while gaining the
+//! engine's work-stealing scheduler and memo cache. Code that wants cache
+//! control, run statistics, or streaming delivery should use
+//! [`super::Engine`] directly.
 
+use super::engine::Engine;
 use super::error::SoptError;
 use super::report::Report;
 use super::scenario::Scenario;
-use super::solve::{impl_solve_knobs, run_with, SolveOptions, Task};
+use super::solve::{impl_solve_knobs, SolveOptions, Task};
 
 /// A batch of scenarios to solve with shared knobs.
 ///
@@ -56,90 +58,10 @@ impl Batch {
     /// Solve every scenario. Returns exactly one result per input, in
     /// input order.
     pub fn run(self) -> Vec<Result<Report, SoptError>> {
-        let n = self.scenarios.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let threads = self
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
-            .clamp(1, n);
-        let options = self.options;
-        if threads == 1 {
-            return self
-                .scenarios
-                .into_iter()
-                .enumerate()
-                .map(|(index, sc)| {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_with(sc, &options)
-                    }))
-                    .unwrap_or(Err(SoptError::WorkerPanic { index }))
-                })
-                .collect();
-        }
-
-        // Contiguous chunks keep result order deterministic: chunk i holds
-        // inputs [start_i, start_i + len_i), and chunks are concatenated in
-        // spawn order after all workers joined.
-        let chunk_size = n.div_ceil(threads);
-        let mut chunks: Vec<(usize, Vec<Scenario>)> = Vec::new();
-        let mut scenarios = self.scenarios;
-        let mut start = 0usize;
-        while !scenarios.is_empty() {
-            let rest = scenarios.split_off(chunk_size.min(scenarios.len()));
-            let len = scenarios.len();
-            chunks.push((start, std::mem::replace(&mut scenarios, rest)));
-            start += len;
-        }
-
-        let options_ref = &options;
-        let per_chunk: Vec<Vec<Result<Report, SoptError>>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<(usize, usize, _)> = chunks
-                .into_iter()
-                .map(|(chunk_start, items)| {
-                    let len = items.len();
-                    let handle = s.spawn(move |_| {
-                        items
-                            .into_iter()
-                            .enumerate()
-                            .map(|(j, sc)| {
-                                // Contain panics per scenario: a residual
-                                // assert deep in one solve must not discard
-                                // the results of its healthy chunk-mates.
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    run_with(sc, options_ref)
-                                }))
-                                .unwrap_or(Err(
-                                    SoptError::WorkerPanic {
-                                        index: chunk_start + j,
-                                    },
-                                ))
-                            })
-                            .collect::<Vec<_>>()
-                    });
-                    (chunk_start, len, handle)
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|(chunk_start, len, handle)| {
-                    // Belt and braces: the per-scenario catch above should
-                    // make this join infallible.
-                    handle.join().unwrap_or_else(|_| {
-                        (chunk_start..chunk_start + len)
-                            .map(|index| Err(SoptError::WorkerPanic { index }))
-                            .collect()
-                    })
-                })
-                .collect()
-        })
-        .expect("all batch workers are joined; their panics are handled per chunk");
-        per_chunk.into_iter().flatten().collect()
+        Engine::new(self.scenarios)
+            .options(self.options)
+            .threads_opt(self.threads)
+            .run()
     }
 }
 

@@ -1,0 +1,256 @@
+//! [`SolveCache`] — the sharded memo table behind the engine.
+//!
+//! Two tables, both keyed by canonical spec identity
+//! ([`Fingerprint`]-based, see the sibling module):
+//!
+//! * the **report table** memoizes whole solves: `(spec, task, knobs) →
+//!   Result<Report, SoptError>`. A fleet containing the same scenario twice
+//!   solves it once; a warm cache replays an identical fleet without
+//!   touching a solver, returning bit-identical reports (entries are stored
+//!   once and cloned out).
+//! * the **equilibrium table** memoizes the parallel-link Nash/optimum
+//!   profiles that several tasks re-derive for one scenario: the `equilib`
+//!   task's two solves, the `curve` task's feasibility gates, and the
+//!   `llf` task's optimum (which is the same profile at every α). Sharing
+//!   one cache across an α-sweep of `llf` solves therefore performs the
+//!   optimum equalization once.
+//!
+//! Both tables are sharded 16 ways by the key's FNV digest so concurrent
+//! workers rarely contend on one lock; hit/miss counters are atomics and
+//! feed [`EngineStats`](super::EngineStats). Errors are memoized like
+//! successes (a saturated M/M/1 scenario is just as deterministic to
+//! re-fail), except worker panics, which are positional and never cached.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sopt_equilibrium::parallel::ParallelLinks;
+
+use super::super::error::SoptError;
+use super::super::report::Report;
+use super::fingerprint::{Fingerprint, Fnv64};
+
+/// Number of lock shards per table (power of two).
+const SHARDS: usize = 16;
+
+/// Which parallel-link equilibrium a sub-solve entry holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EqKind {
+    /// The Wardrop/Nash assignment.
+    Nash,
+    /// The system optimum.
+    Optimum,
+}
+
+/// Key of the equilibrium table: canonical spec + which equilibrium. The
+/// parallel-link equalizer takes no solver knobs, so none appear here.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct EqKey {
+    spec: String,
+    kind: EqKind,
+}
+
+impl EqKey {
+    fn shard(&self) -> usize {
+        let mut h = Fnv64::default();
+        h.write(self.spec.as_bytes());
+        h.write_u64(self.kind as u64);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+}
+
+/// A memoized equilibrium profile: per-link flows plus the common level
+/// (Nash latency or optimum marginal cost).
+pub(crate) type EqProfile = (Vec<f64>, f64);
+
+/// The engine's memo table. Cheap to share: wrap in an
+/// [`Arc`](std::sync::Arc) and pass the same cache to several
+/// [`Engine`](super::Engine) runs to keep it warm across fleets.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    reports: [Mutex<HashMap<Fingerprint, Result<Report, SoptError>>>; SHARDS],
+    eq: [Mutex<HashMap<EqKey, Result<EqProfile, SoptError>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    eq_hits: AtomicU64,
+    eq_misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache counters, used to compute per-run
+/// deltas when one cache is shared across runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Report-table hits.
+    pub hits: u64,
+    /// Report-table misses.
+    pub misses: u64,
+    /// Equilibrium-table hits.
+    pub eq_hits: u64,
+    /// Equilibrium-table misses.
+    pub eq_misses: u64,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a memoized report, counting the hit or miss.
+    pub(crate) fn get_report(&self, fp: &Fingerprint) -> Option<Result<Report, SoptError>> {
+        let shard = (fp.hash as usize) & (SHARDS - 1);
+        let found = self.reports[shard].lock().get(fp).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoizes a report. Races between workers solving the same scenario
+    /// are benign: every solve is deterministic, so last-write-wins stores
+    /// the same value either way.
+    pub(crate) fn put_report(&self, fp: Fingerprint, result: Result<Report, SoptError>) {
+        let shard = (fp.hash as usize) & (SHARDS - 1);
+        self.reports[shard].lock().insert(fp, result);
+    }
+
+    /// Looks up or computes the `kind` equilibrium of the scenario whose
+    /// canonical spec is `spec`, memoizing the result.
+    pub(crate) fn eq_profile(
+        &self,
+        spec: &str,
+        kind: EqKind,
+        links: &ParallelLinks,
+    ) -> Result<EqProfile, SoptError> {
+        let key = EqKey {
+            spec: spec.to_string(),
+            kind,
+        };
+        let shard = key.shard();
+        if let Some(found) = self.eq[shard].lock().get(&key).cloned() {
+            self.eq_hits.fetch_add(1, Ordering::Relaxed);
+            return found;
+        }
+        self.eq_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = solve_profile(links, kind);
+        self.eq[shard].lock().insert(key, computed.clone());
+        computed
+    }
+
+    /// Number of memoized reports.
+    pub fn len(&self) -> usize {
+        self.reports.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the report table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept; they are cumulative).
+    pub fn clear(&self) {
+        for s in &self.reports {
+            s.lock().clear();
+        }
+        for s in &self.eq {
+            s.lock().clear();
+        }
+    }
+
+    /// Snapshot of the cumulative hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            eq_hits: self.eq_hits.load(Ordering::Relaxed),
+            eq_misses: self.eq_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Computes one equilibrium profile directly (the memo-miss path, and the
+/// whole path when no cache is in play).
+pub(crate) fn solve_profile(links: &ParallelLinks, kind: EqKind) -> Result<EqProfile, SoptError> {
+    let profile = match kind {
+        EqKind::Nash => links.try_nash()?,
+        EqKind::Optimum => links.try_optimum()?,
+    };
+    Ok((profile.flows().to_vec(), profile.level()))
+}
+
+/// The sub-solve memo handle threaded into one solve: the shared cache plus
+/// the solve's canonical spec (its equilibrium-table identity).
+#[derive(Clone, Copy)]
+pub(crate) struct SubMemo<'a> {
+    pub(crate) cache: &'a SolveCache,
+    pub(crate) spec: &'a str,
+}
+
+impl SubMemo<'_> {
+    /// Memoized Nash/optimum profile of `links`.
+    pub(crate) fn profile(
+        &self,
+        kind: EqKind,
+        links: &ParallelLinks,
+    ) -> Result<EqProfile, SoptError> {
+        self.cache.eq_profile(self.spec, kind, links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::scenario::Scenario;
+    use super::super::super::solve::SolveOptions;
+    use super::*;
+
+    #[test]
+    fn report_round_trip_counts_hits() {
+        let cache = SolveCache::new();
+        let sc = Scenario::parse("x, 1.0").unwrap();
+        let fp = Fingerprint::of(&sc, &SolveOptions::default()).unwrap();
+        assert!(cache.get_report(&fp).is_none());
+        let report = sc.solve().run().unwrap();
+        cache.put_report(fp.clone(), Ok(report.clone()));
+        let back = cache.get_report(&fp).unwrap().unwrap();
+        assert_eq!(back.to_json(), report.to_json());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eq_profile_memoizes_both_kinds() {
+        let cache = SolveCache::new();
+        let sc = Scenario::parse("x, 1.0").unwrap();
+        let Scenario::Parallel(links) = &sc else {
+            unreachable!()
+        };
+        let (nash, level) = cache.eq_profile("x, 1", EqKind::Nash, links).unwrap();
+        assert!((nash.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((level - 1.0).abs() < 1e-9); // Pigou Nash rides the constant
+        let again = cache.eq_profile("x, 1", EqKind::Nash, links).unwrap();
+        assert_eq!(again.0, nash);
+        let (opt, _) = cache.eq_profile("x, 1", EqKind::Optimum, links).unwrap();
+        assert!((opt[0] - 0.5).abs() < 1e-9);
+        let c = cache.counters();
+        assert_eq!((c.eq_hits, c.eq_misses), (1, 2));
+    }
+
+    #[test]
+    fn errors_are_memoized_too() {
+        let cache = SolveCache::new();
+        let sc = Scenario::parse("mm1:1.0").unwrap(); // rate 1 ≥ capacity 1
+        let Scenario::Parallel(links) = &sc else {
+            unreachable!()
+        };
+        let spec = sc.to_spec().unwrap();
+        assert!(cache.eq_profile(&spec, EqKind::Nash, links).is_err());
+        assert!(cache.eq_profile(&spec, EqKind::Nash, links).is_err());
+        let c = cache.counters();
+        assert_eq!((c.eq_hits, c.eq_misses), (1, 1));
+    }
+}

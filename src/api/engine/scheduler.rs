@@ -1,0 +1,459 @@
+//! The engine's work-stealing scheduler.
+//!
+//! ## Why not equal-count chunks
+//!
+//! The PR 2 batch runner split a fleet into contiguous equal-count chunks,
+//! one thread per chunk. Real fleets are *skewed* — a handful of 500-edge
+//! networks among thousands of 2-link Pigou instances — and whichever chunk
+//! drew the big scenarios runs long after every other thread went idle.
+//!
+//! ## What this module does instead
+//!
+//! 1. **Cost model.** Every scenario gets an a-priori cost estimate from
+//!    its size, class, and task ([`scenario_cost`]): the parallel-link
+//!    equalizer is near-linear in links, Frank–Wolfe networks pay per-edge
+//!    per-iteration, curve tasks multiply by their α samples.
+//! 2. **LPT seeding.** Jobs are assigned longest-processing-time-first to
+//!    the least-loaded worker queue, so the initial split is already
+//!    balanced *by estimated cost*, not by count.
+//! 3. **Work stealing.** Cost estimates are estimates. A worker that drains
+//!    its own deque steals the back half of the richest victim's deque and
+//!    keeps going; all cores stay busy until the global tail.
+//!
+//! Results are pushed to the caller's sink **on the calling thread** as
+//! they complete (workers send over a channel), so sinks need neither
+//! `Send` nor locking, and a million-scenario run holds at most the
+//! in-flight window in memory. Barring cancellation, the sink is invoked
+//! exactly once per input index; a scenario whose solve panics is
+//! delivered as [`SoptError::WorkerPanic`], and its worker survives to take
+//! the next job.
+//!
+//! [`run_chunked_reference`] preserves the PR 2 algorithm verbatim — it is
+//! the baseline the `engine_throughput` bench measures the scheduler
+//! against, and deliberately receives no cache and no cost model.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+
+use parking_lot::Mutex;
+
+use super::super::error::SoptError;
+use super::super::report::Report;
+use super::super::scenario::{Scenario, ScenarioClass};
+use super::super::solve::{run_with, run_with_memo, SolveOptions};
+use super::cache::{SolveCache, SubMemo};
+use super::fingerprint::Fingerprint;
+use super::EngineStats;
+
+/// Per-worker bound of the worker→sink channel: the largest number of
+/// completed-but-undelivered reports the engine holds for a slow sink.
+const SINK_WINDOW: usize = 64;
+
+/// One schedulable unit: an input scenario with its position and cost.
+struct Job {
+    index: usize,
+    scenario: Scenario,
+    cost: u64,
+}
+
+/// Estimated solve cost of one scenario under the engine's cost model:
+/// `size × class weight × task weight`, in arbitrary units. Only relative
+/// magnitudes matter — the scheduler uses this to seed balanced queues.
+pub fn scenario_cost(scenario: &Scenario, options: &SolveOptions) -> u64 {
+    let m = scenario.size().max(1) as u64;
+    // Class weight: the parallel-link equalizer bisects in ~linear work per
+    // solve; network classes run Frank–Wolfe, whose per-iteration shortest
+    // paths and line searches scale superlinearly with edges.
+    let class = match scenario.class() {
+        ScenarioClass::Parallel => m,
+        ScenarioClass::Network => m.saturating_mul(m),
+        ScenarioClass::Multi => 2u64.saturating_mul(m).saturating_mul(m),
+    };
+    // Task weight: how many equilibrium-grade solves the task performs.
+    let task = match options.task {
+        super::super::solve::Task::Beta => 4,
+        super::super::solve::Task::Curve => 2 * (options.steps as u64 + 1),
+        super::super::solve::Task::Equilib => 2,
+        super::super::solve::Task::Tolls => 3,
+        super::super::solve::Task::Llf => 2,
+    };
+    class.saturating_mul(task).max(1)
+}
+
+/// Per-run report-table traffic, counted by the scheduler itself so the
+/// numbers stay exact even when several concurrent runs share one
+/// [`SolveCache`] (whose own counters are cumulative across runs).
+#[derive(Default)]
+struct RunCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Solves one scenario, consulting and feeding the memo cache.
+fn cached_solve(
+    scenario: Scenario,
+    options: &SolveOptions,
+    cache: Option<&SolveCache>,
+    counters: &RunCounters,
+) -> Result<Report, SoptError> {
+    let fp = cache.and_then(|_| Fingerprint::of(&scenario, options));
+    if let (Some(cache), Some(fp)) = (cache, &fp) {
+        if let Some(found) = cache.get_report(fp) {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return found;
+        }
+        counters.misses.fetch_add(1, Ordering::Relaxed);
+        let memo = SubMemo {
+            cache,
+            spec: &fp.spec,
+        };
+        let result = run_with_memo(scenario, options, Some(&memo));
+        cache.put_report(fp.clone(), result.clone());
+        return result;
+    }
+    run_with(scenario, options)
+}
+
+/// Solves one job with per-scenario panic containment.
+fn solve_job(
+    job: Job,
+    options: &SolveOptions,
+    cache: Option<&SolveCache>,
+    counters: &RunCounters,
+) -> (usize, Result<Report, SoptError>) {
+    let index = job.index;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        cached_solve(job.scenario, options, cache, counters)
+    }))
+    .unwrap_or(Err(SoptError::WorkerPanic { index }));
+    (index, result)
+}
+
+/// Pops the next job for worker `me`: its own deque front first, then the
+/// back half of the richest victim. Returns `None` only when every deque
+/// was observed empty — jobs are never re-enqueued from outside, so that
+/// observation is final.
+fn take_job(me: usize, queues: &[Mutex<VecDeque<Job>>], steals: &AtomicU64) -> Option<Job> {
+    if let Some(job) = queues[me].lock().pop_front() {
+        return Some(job);
+    }
+    loop {
+        // Pick the victim with the most remaining work.
+        let victim = queues
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != me)
+            .map(|(i, q)| (i, q.lock().len()))
+            .max_by_key(|&(_, len)| len)?;
+        if victim.1 == 0 {
+            return None;
+        }
+        // Steal the back half (one to run now, the rest into our deque).
+        // Victim and own locks are never held together, so no ordering
+        // deadlock is possible.
+        let mut stolen: Vec<Job> = {
+            let mut vq = queues[victim.0].lock();
+            let len = vq.len();
+            if len == 0 {
+                continue; // raced with the victim finishing; rescan
+            }
+            let keep = len / 2;
+            vq.split_off(keep).into_iter().collect()
+        };
+        steals.fetch_add(stolen.len() as u64, Ordering::Relaxed);
+        let first = stolen.pop().expect("stole at least one job");
+        if !stolen.is_empty() {
+            let mut mine = queues[me].lock();
+            for job in stolen {
+                mine.push_back(job);
+            }
+        }
+        return Some(first);
+    }
+}
+
+/// Seeds `threads` worker deques longest-processing-time-first: jobs in
+/// descending cost order, each to the currently least-loaded queue.
+fn seed_queues(jobs: Vec<Job>, threads: usize) -> Vec<Mutex<VecDeque<Job>>> {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].cost));
+    let mut queues: Vec<VecDeque<Job>> = (0..threads).map(|_| VecDeque::new()).collect();
+    let mut loads = vec![0u64; threads];
+    let mut slots: Vec<Option<Job>> = jobs.into_iter().map(Some).collect();
+    for i in order {
+        let job = slots[i].take().expect("each job assigned once");
+        let w = (0..threads)
+            .min_by_key(|&w| loads[w])
+            .expect("threads >= 1");
+        loads[w] += job.cost;
+        queues[w].push_back(job);
+    }
+    queues.into_iter().map(Mutex::new).collect()
+}
+
+/// Runs a fleet through the scheduler, delivering every result to `sink`
+/// as `(input index, result)` in completion order on the calling thread.
+///
+/// `cancel` (when provided) is polled between jobs: once set, workers stop
+/// taking new jobs and the run winds down without delivering the remainder.
+/// Absent cancellation, every index in `0..scenarios.len()` is delivered
+/// exactly once.
+pub(crate) fn execute<F>(
+    scenarios: Vec<Scenario>,
+    options: &SolveOptions,
+    threads: usize,
+    cache: Option<&SolveCache>,
+    cancel: Option<&AtomicBool>,
+    mut sink: F,
+) -> EngineStats
+where
+    F: FnMut(usize, Result<Report, SoptError>),
+{
+    let n = scenarios.len();
+    let mut stats = EngineStats {
+        scenarios: n,
+        ..EngineStats::default()
+    };
+    if n == 0 {
+        return stats;
+    }
+    let before = cache.map(|c| c.counters()).unwrap_or_default();
+    let threads = threads.clamp(1, n);
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+    let counters = RunCounters::default();
+
+    if threads == 1 {
+        // Sequential fast path: no queues, no channel — and completion
+        // order equals input order, which the streaming tests rely on.
+        for (index, scenario) in scenarios.into_iter().enumerate() {
+            if cancelled() {
+                break;
+            }
+            let (index, result) = solve_job(
+                Job {
+                    index,
+                    scenario,
+                    cost: 0,
+                },
+                options,
+                cache,
+                &counters,
+            );
+            stats.delivered += 1;
+            sink(index, result);
+        }
+    } else {
+        let jobs: Vec<Job> = scenarios
+            .into_iter()
+            .enumerate()
+            .map(|(index, scenario)| {
+                let cost = scenario_cost(&scenario, options);
+                Job {
+                    index,
+                    scenario,
+                    cost,
+                }
+            })
+            .collect();
+        let queues = seed_queues(jobs, threads);
+        let steals = AtomicU64::new(0);
+        // Bounded: a sink that stalls (a blocked downstream pipe, a
+        // consumer that stops pulling) blocks the workers instead of
+        // buffering the fleet's reports — the engine's streaming memory
+        // contract. The bound is the in-flight window per worker.
+        let (tx, rx) =
+            mpsc::sync_channel::<(usize, Result<Report, SoptError>)>(threads * SINK_WINDOW);
+        let mut delivered = vec![false; n];
+        crossbeam::thread::scope(|s| {
+            for me in 0..threads {
+                let tx = tx.clone();
+                let queues = &queues;
+                let steals = &steals;
+                let counters = &counters;
+                s.spawn(move |_| {
+                    while !cancelled() {
+                        let Some(job) = take_job(me, queues, steals) else {
+                            break;
+                        };
+                        if tx.send(solve_job(job, options, cache, counters)).is_err() {
+                            break; // receiver gone: the run was abandoned
+                        }
+                    }
+                });
+            }
+            drop(tx); // the workers hold the remaining senders
+            for (index, result) in rx {
+                delivered[index] = true;
+                stats.delivered += 1;
+                sink(index, result);
+            }
+        })
+        .expect("engine workers contain panics per scenario");
+        // Belt and braces: should a worker thread die outside the per-job
+        // catch, its undelivered indices still reach the sink.
+        if !cancelled() {
+            for (index, seen) in delivered.iter().enumerate() {
+                if !seen {
+                    stats.delivered += 1;
+                    sink(index, Err(SoptError::WorkerPanic { index }));
+                }
+            }
+        }
+        stats.steals = steals.load(Ordering::Relaxed);
+    }
+
+    // Report-table traffic is counted per run (exact under concurrent
+    // sharing); the equilibrium numbers are before/after deltas of the
+    // cache's cumulative counters, so they include any traffic a
+    // concurrently-running engine put on the same shared cache.
+    stats.cache_hits = counters.hits.load(Ordering::Relaxed);
+    stats.cache_misses = counters.misses.load(Ordering::Relaxed);
+    if let Some(c) = cache {
+        let after = c.counters();
+        stats.eq_hits = after.eq_hits - before.eq_hits;
+        stats.eq_misses = after.eq_misses - before.eq_misses;
+    }
+    stats
+}
+
+/// The PR 2 batch algorithm, kept verbatim as the scheduler's benchmark
+/// baseline: contiguous equal-count chunks, one scoped thread per chunk,
+/// per-chunk result vectors concatenated in spawn order. No cost model, no
+/// stealing, no cache — exactly what `Batch::run` did before the engine.
+pub fn run_chunked_reference(
+    scenarios: Vec<Scenario>,
+    options: &SolveOptions,
+    threads: usize,
+) -> Vec<Result<Report, SoptError>> {
+    let n = scenarios.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return scenarios
+            .into_iter()
+            .enumerate()
+            .map(|(index, sc)| {
+                catch_unwind(AssertUnwindSafe(|| run_with(sc, options)))
+                    .unwrap_or(Err(SoptError::WorkerPanic { index }))
+            })
+            .collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<(usize, Vec<Scenario>)> = Vec::new();
+    let mut scenarios = scenarios;
+    let mut start = 0usize;
+    while !scenarios.is_empty() {
+        let rest = scenarios.split_off(chunk_size.min(scenarios.len()));
+        let len = scenarios.len();
+        chunks.push((start, std::mem::replace(&mut scenarios, rest)));
+        start += len;
+    }
+    let per_chunk: Vec<Vec<Result<Report, SoptError>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<(usize, usize, _)> = chunks
+            .into_iter()
+            .map(|(chunk_start, items)| {
+                let len = items.len();
+                let handle = s.spawn(move |_| {
+                    items
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, sc)| {
+                            catch_unwind(AssertUnwindSafe(|| run_with(sc, options))).unwrap_or(Err(
+                                SoptError::WorkerPanic {
+                                    index: chunk_start + j,
+                                },
+                            ))
+                        })
+                        .collect::<Vec<_>>()
+                });
+                (chunk_start, len, handle)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(chunk_start, len, handle)| {
+                handle.join().unwrap_or_else(|_| {
+                    (chunk_start..chunk_start + len)
+                        .map(|index| Err(SoptError::WorkerPanic { index }))
+                        .collect()
+                })
+            })
+            .collect()
+    })
+    .expect("all chunk workers are joined; their panics are handled per chunk");
+    per_chunk.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::solve::Task;
+    use super::*;
+
+    #[test]
+    fn cost_model_orders_classes_and_sizes() {
+        let opts = SolveOptions::default();
+        let tiny = Scenario::parse("x, 1.0").unwrap();
+        let big = Scenario::parse(&vec!["x"; 64].join(", ")).unwrap();
+        let net = Scenario::parse("nodes=2; 0->1: x; 0->1: 1.0; demand 0->1: 1.0").unwrap();
+        assert!(scenario_cost(&big, &opts) > scenario_cost(&tiny, &opts));
+        assert!(scenario_cost(&net, &opts) > scenario_cost(&tiny, &opts));
+        let curve = SolveOptions {
+            task: Task::Curve,
+            steps: 100,
+            ..SolveOptions::default()
+        };
+        assert!(scenario_cost(&tiny, &curve) > scenario_cost(&tiny, &opts));
+    }
+
+    #[test]
+    fn lpt_seeding_balances_skew() {
+        // One huge job + 7 tiny on 2 workers: the huge job must sit alone.
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| Job {
+                index: i,
+                scenario: Scenario::parse("x, 1.0").unwrap(),
+                cost: if i == 0 { 1000 } else { 1 },
+            })
+            .collect();
+        let queues = seed_queues(jobs, 2);
+        let loads: Vec<u64> = queues
+            .iter()
+            .map(|q| q.lock().iter().map(|j| j.cost).sum())
+            .collect();
+        assert!(loads.contains(&1000), "{loads:?}");
+        assert!(loads.contains(&7), "{loads:?}");
+    }
+
+    #[test]
+    fn stealing_drains_a_lopsided_queue() {
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job {
+                index: i,
+                scenario: Scenario::parse("x, 1.0").unwrap(),
+                cost: 1,
+            })
+            .collect();
+        // All jobs on queue 0; worker 1 must steal to make progress.
+        let queues: Vec<Mutex<VecDeque<Job>>> = vec![
+            Mutex::new(jobs.into_iter().collect()),
+            Mutex::new(VecDeque::new()),
+        ];
+        let steals = AtomicU64::new(0);
+        let mut got = 0;
+        while take_job(1, &queues, &steals).is_some() {
+            got += 1;
+        }
+        assert!(got >= 5, "worker 1 took {got} jobs");
+        assert!(steals.load(Ordering::Relaxed) >= 5);
+        // Worker 0 still drains the rest.
+        let mut rest = 0;
+        while take_job(0, &queues, &steals).is_some() {
+            rest += 1;
+        }
+        assert_eq!(got + rest, 10);
+    }
+}

@@ -1,0 +1,254 @@
+//! Streaming delivery: the [`Ordered`] reorder adapter and the owning
+//! [`EngineStream`] iterator.
+//!
+//! The scheduler delivers results in *completion* order — that is what
+//! keeps a million-scenario run from buffering every report. When a
+//! consumer needs *input* order anyway (JSONL writers that must match a
+//! line-numbered input file, diff-based tests), [`Ordered`] restores it
+//! while buffering only the out-of-order window: results run ahead of the
+//! next expected index wait in a `BTreeMap`; everything contiguous is
+//! flushed immediately.
+//!
+//! [`EngineStream`] turns a run into a pull-based `Iterator` by moving the
+//! whole engine onto a producer thread connected through a *bounded*
+//! channel: if the consumer stops pulling, the producer blocks instead of
+//! buffering, and dropping the iterator cancels the run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{mpsc, Arc};
+
+use super::super::error::SoptError;
+use super::super::report::Report;
+use super::EngineStats;
+
+/// One streamed result: the scenario's input index and its outcome.
+pub type StreamItem = (usize, Result<Report, SoptError>);
+
+/// Reorders completion-order delivery into input order, buffering only the
+/// results that arrive ahead of the next expected index.
+///
+/// Feed it every `(index, result)` pair exactly once, in any order; it
+/// invokes the inner sink in strictly increasing index order.
+pub struct Ordered<F> {
+    next: usize,
+    pending: BTreeMap<usize, Result<Report, SoptError>>,
+    sink: F,
+}
+
+impl<F: FnMut(usize, Result<Report, SoptError>)> Ordered<F> {
+    /// Wraps `sink` so it observes results in input order.
+    pub fn new(sink: F) -> Self {
+        Ordered {
+            next: 0,
+            pending: BTreeMap::new(),
+            sink,
+        }
+    }
+
+    /// Accepts one completion-order result, flushing every result that is
+    /// now contiguous with the delivered prefix.
+    pub fn deliver(&mut self, index: usize, result: Result<Report, SoptError>) {
+        if index == self.next {
+            (self.sink)(index, result);
+            self.next += 1;
+            while let Some(r) = self.pending.remove(&self.next) {
+                (self.sink)(self.next, r);
+                self.next += 1;
+            }
+        } else {
+            self.pending.insert(index, result);
+        }
+    }
+
+    /// Results currently buffered ahead of the contiguous prefix.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The next index the inner sink will observe.
+    pub fn next_index(&self) -> usize {
+        self.next
+    }
+}
+
+/// Bound of the producer→consumer channel: the largest number of reports
+/// in flight between the engine and a slow iterator consumer.
+pub(crate) const STREAM_WINDOW: usize = 1024;
+
+/// An input-ordered, pull-based stream over an engine run.
+///
+/// Produced by [`Engine::stream`](super::Engine::stream). The run executes
+/// on a background producer thread; `next()` yields `(index, result)` in
+/// input order. Dropping the stream early cancels the run (workers finish
+/// their current scenario and stop).
+pub struct EngineStream {
+    rx: mpsc::Receiver<StreamItem>,
+    pending: BTreeMap<usize, Result<Report, SoptError>>,
+    next: usize,
+    total: usize,
+    cancel: Arc<AtomicBool>,
+    producer: Option<std::thread::JoinHandle<EngineStats>>,
+}
+
+impl EngineStream {
+    pub(crate) fn spawn<P>(total: usize, producer: P) -> Self
+    where
+        P: FnOnce(mpsc::SyncSender<StreamItem>, Arc<AtomicBool>) -> EngineStats + Send + 'static,
+    {
+        let (tx, rx) = mpsc::sync_channel(STREAM_WINDOW);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let cancel_for_producer = Arc::clone(&cancel);
+        let handle = std::thread::spawn(move || producer(tx, cancel_for_producer));
+        EngineStream {
+            rx,
+            pending: BTreeMap::new(),
+            next: 0,
+            total,
+            cancel,
+            producer: Some(handle),
+        }
+    }
+
+    /// Drains the remaining results and returns the run's statistics.
+    pub fn stats(mut self) -> EngineStats {
+        for _ in self.by_ref() {}
+        let handle = self.producer.take().expect("producer joined once");
+        handle.join().unwrap_or_default()
+    }
+}
+
+impl Iterator for EngineStream {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.total {
+            return None;
+        }
+        loop {
+            if let Some(result) = self.pending.remove(&self.next) {
+                let index = self.next;
+                self.next += 1;
+                return Some((index, result));
+            }
+            match self.rx.recv() {
+                Ok((index, result)) => {
+                    self.pending.insert(index, result);
+                }
+                // Producer gone with indices missing: a worker died outside
+                // its per-job catch. Surface the gap as the panic it was.
+                Err(_) => {
+                    let index = self.next;
+                    self.next += 1;
+                    return Some((index, Err(SoptError::WorkerPanic { index })));
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl Drop for EngineStream {
+    fn drop(&mut self) {
+        self.cancel.store(true, AtomicOrdering::Relaxed);
+        // Unblock a producer waiting on the bounded channel, then join it.
+        while self.rx.try_recv().is_ok() {}
+        if let Some(handle) = self.producer.take() {
+            // Keep draining until the producer observes cancellation.
+            loop {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    break;
+                }
+                let _ = self.rx.recv_timeout(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::scenario::Scenario;
+    use super::*;
+
+    fn ok_report(i: usize) -> Result<Report, SoptError> {
+        let _ = i;
+        Scenario::parse("x, 1.0").unwrap().solve().run()
+    }
+
+    #[test]
+    fn ordered_flushes_contiguous_prefixes() {
+        let mut seen = Vec::new();
+        {
+            let mut ordered = Ordered::new(|i, _| seen.push(i));
+            ordered.deliver(2, ok_report(2));
+            ordered.deliver(0, ok_report(0));
+            assert_eq!(ordered.buffered(), 1);
+            ordered.deliver(1, ok_report(1));
+            assert_eq!(ordered.buffered(), 0);
+            ordered.deliver(3, ok_report(3));
+            assert_eq!(ordered.next_index(), 4);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stream_yields_input_order_and_stats() {
+        let stream = EngineStream::spawn(3, |tx, _cancel| {
+            // Deliberately out of order.
+            tx.send((1, ok_report(1))).unwrap();
+            tx.send((0, ok_report(0))).unwrap();
+            tx.send((2, ok_report(2))).unwrap();
+            EngineStats {
+                scenarios: 3,
+                delivered: 3,
+                ..EngineStats::default()
+            }
+        });
+        let indices: Vec<usize> = stream.map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dead_producer_surfaces_missing_indices_as_panics() {
+        let stream = EngineStream::spawn(2, |tx, _cancel| {
+            tx.send((0, ok_report(0))).unwrap();
+            EngineStats::default() // index 1 never delivered
+        });
+        let items: Vec<StreamItem> = stream.collect();
+        assert!(items[0].1.is_ok());
+        assert!(matches!(
+            items[1].1,
+            Err(SoptError::WorkerPanic { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn dropping_the_stream_cancels_the_producer() {
+        let stream = EngineStream::spawn(100_000, |tx, cancel| {
+            let mut sent = 0;
+            for i in 0..100_000 {
+                if cancel.load(AtomicOrdering::Relaxed) {
+                    break;
+                }
+                if tx.send((i, ok_report(i))).is_err() {
+                    break;
+                }
+                sent += 1;
+            }
+            EngineStats {
+                scenarios: 100_000,
+                delivered: sent,
+                ..EngineStats::default()
+            }
+        });
+        let first: Vec<usize> = stream.take(3).map(|(i, _)| i).collect();
+        assert_eq!(first, vec![0, 1, 2]);
+        // `take` consumed and dropped the stream; reaching here without
+        // deadlock is the assertion.
+    }
+}

@@ -7,6 +7,7 @@
 //! `SoptError` at the API boundary, so `?` works across layers.
 
 use sopt_core::error::CoreError;
+use sopt_instances::InstanceError;
 use sopt_solver::equalize::EqualizeError;
 
 use super::scenario::ScenarioClass;
@@ -162,6 +163,23 @@ impl From<EqualizeError> for SoptError {
                 reason: "must be finite and ≥ 0",
             },
             EqualizeError::InvalidStrategy { reason } => SoptError::InvalidStrategy { reason },
+        }
+    }
+}
+
+impl From<InstanceError> for SoptError {
+    fn from(e: InstanceError) -> Self {
+        match e {
+            InstanceError::InvalidShape { name, value, .. } => SoptError::InvalidParameter {
+                name,
+                value: value as f64,
+                reason: "generator shape parameters must be ≥ 1",
+            },
+            InstanceError::InvalidRate { rate } => SoptError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                reason: "must be finite and > 0",
+            },
         }
     }
 }

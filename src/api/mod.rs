@@ -15,8 +15,9 @@
 //! * [`Report`] — the typed result, with hand-rolled JSON/CSV/text
 //!   serializers (offline-safe, no serde);
 //! * [`SoptError`] — the single error enum behind every fallible path;
-//! * [`batch`] — a multi-threaded fleet runner with deterministic,
-//!   input-ordered results.
+//! * [`engine`] — the streaming, work-stealing, memoizing fleet runner
+//!   ([`Engine`]), with [`batch`] kept as its input-ordered, buffered
+//!   compatibility wrapper.
 //!
 //! ```
 //! use stackopt::prelude::*;
@@ -45,12 +46,14 @@
 //! this module: it never panics on user input, and its reports serialize.
 
 pub mod batch;
+pub mod engine;
 pub mod error;
 pub mod report;
 pub mod scenario;
 pub mod solve;
 
 pub use batch::{parse_batch_file, run_batch, Batch};
+pub use engine::{Engine, EngineStats, EngineStream, Ordered, SolveCache};
 pub use error::SoptError;
 pub use report::{
     BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, Report, ReportData,

@@ -13,6 +13,7 @@ use sopt_equilibrium::parallel::ParallelLinks;
 use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
 use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
+use super::engine::cache::{solve_profile, EqKind, EqProfile, SubMemo};
 use super::error::SoptError;
 use super::report::{
     BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, Report, ReportData,
@@ -21,7 +22,7 @@ use super::report::{
 use super::scenario::Scenario;
 
 /// What to compute about a scenario.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Task {
     /// The price of optimum β and the Leader's optimal strategy
     /// (OpTop / MOP / Theorem 2.1, per scenario class).
@@ -238,6 +239,18 @@ impl_solve_knobs!(Solve);
 
 /// Shared driver behind [`Solve::run`] and the batch runner.
 pub(crate) fn run_with(scenario: Scenario, options: &SolveOptions) -> Result<Report, SoptError> {
+    run_with_memo(scenario, options, None)
+}
+
+/// [`run_with`] with an optional engine memo handle: parallel-link
+/// Nash/optimum sub-solves consult the shared equilibrium table. Network
+/// classes run unmemoized for now (their Frank–Wolfe results depend on the
+/// solver knobs; the report-level cache already covers whole solves).
+pub(crate) fn run_with_memo(
+    scenario: Scenario,
+    options: &SolveOptions,
+    memo: Option<&SubMemo<'_>>,
+) -> Result<Report, SoptError> {
     options.validate()?;
     let summary = ScenarioSummary {
         class: scenario.class(),
@@ -247,7 +260,7 @@ pub(crate) fn run_with(scenario: Scenario, options: &SolveOptions) -> Result<Rep
         rate: scenario.rate(),
     };
     let data = match &scenario {
-        Scenario::Parallel(links) => solve_parallel(links, options)?,
+        Scenario::Parallel(links) => solve_parallel(links, options, memo)?,
         Scenario::Network(inst) => solve_network(inst, options, &scenario)?,
         Scenario::Multi(inst) => solve_multi(inst, options, &scenario)?,
     };
@@ -255,6 +268,19 @@ pub(crate) fn run_with(scenario: Scenario, options: &SolveOptions) -> Result<Rep
         scenario: summary,
         data,
     })
+}
+
+/// A parallel-link equilibrium, served from the engine's memo table when a
+/// handle is present, computed directly otherwise.
+fn profile(
+    links: &ParallelLinks,
+    kind: EqKind,
+    memo: Option<&SubMemo<'_>>,
+) -> Result<EqProfile, SoptError> {
+    match memo {
+        Some(m) => m.profile(kind, links),
+        None => solve_profile(links, kind),
+    }
 }
 
 fn require_alpha(options: &SolveOptions) -> Result<f64, SoptError> {
@@ -272,7 +298,11 @@ fn oracle_name(o: CurveOracle) -> &'static str {
     }
 }
 
-fn solve_parallel(links: &ParallelLinks, options: &SolveOptions) -> Result<ReportData, SoptError> {
+fn solve_parallel(
+    links: &ParallelLinks,
+    options: &SolveOptions,
+    memo: Option<&SubMemo<'_>>,
+) -> Result<ReportData, SoptError> {
     // Per-task feasibility gates convert M/M/1 saturation into a typed
     // error instead of a panic deep inside an algorithm. Tasks whose
     // internals already propagate typed errors (Beta via try_optop) run
@@ -294,10 +324,11 @@ fn solve_parallel(links: &ParallelLinks, options: &SolveOptions) -> Result<Repor
         }
         Task::Curve => {
             // anarchy_curve calls the panicking internals; gate feasibility
-            // of both equilibria first. (The two gate bisections are noise
-            // next to the per-α strategy solves of the sweep itself.)
-            links.try_nash()?;
-            links.try_optimum()?;
+            // of both equilibria first. (The gates hit the engine's
+            // equilibrium memo table; computed fresh they are noise next to
+            // the per-α strategy solves of the sweep itself.)
+            profile(links, EqKind::Nash, memo)?;
+            profile(links, EqKind::Optimum, memo)?;
             let alphas: Vec<f64> = (0..=options.steps)
                 .map(|k| k as f64 / options.steps as f64)
                 .collect();
@@ -319,15 +350,15 @@ fn solve_parallel(links: &ParallelLinks, options: &SolveOptions) -> Result<Repor
             })
         }
         Task::Equilib => {
-            let nash = links.try_nash()?;
-            let optimum = links.try_optimum()?;
+            let (nash_flows, nash_level) = profile(links, EqKind::Nash, memo)?;
+            let (optimum_flows, optimum_level) = profile(links, EqKind::Optimum, memo)?;
             ReportData::Equilib(EquilibReport {
-                nash_cost: links.cost(nash.flows()),
-                nash_flows: nash.flows().to_vec(),
-                nash_level: Some(nash.level()),
-                optimum_cost: links.cost(optimum.flows()),
-                optimum_flows: optimum.flows().to_vec(),
-                optimum_level: Some(optimum.level()),
+                nash_cost: links.cost(&nash_flows),
+                nash_flows,
+                nash_level: Some(nash_level),
+                optimum_cost: links.cost(&optimum_flows),
+                optimum_flows,
+                optimum_level: Some(optimum_level),
             })
         }
         Task::Tolls => {
@@ -343,11 +374,12 @@ fn solve_parallel(links: &ParallelLinks, options: &SolveOptions) -> Result<Repor
         }
         Task::Llf => {
             let alpha = require_alpha(options)?;
-            // One optimum solve, reused for the strategy and for C(O).
-            let optimum = links.try_optimum()?;
-            let strategy = llf_strategy_for_optimum(links, optimum.flows(), alpha);
+            // One optimum solve, reused for the strategy and for C(O) —
+            // and shared across an α-sweep via the equilibrium memo table.
+            let (optimum_flows, _) = profile(links, EqKind::Optimum, memo)?;
+            let strategy = llf_strategy_for_optimum(links, &optimum_flows, alpha);
             let cost = links.try_induced_cost(&strategy)?;
-            let optimum_cost = links.cost(optimum.flows());
+            let optimum_cost = links.cost(&optimum_flows);
             ReportData::Llf(LlfReport {
                 alpha,
                 strategy,

@@ -5,22 +5,30 @@
 //! sopt solve --spec "nodes=4; 0->1: x; 0->2: 1.0; 1->2: 0; 1->3: 1.0; 2->3: x; demand 0->3: 1" \
 //!            --task beta
 //! sopt batch --file scenarios.txt --task beta --format csv [--threads 8]
+//! sopt gen --family mm1 --count 10000 --seed 7 | sopt batch --file - --stream
 //! ```
 //!
 //! `solve` runs one scenario through the [`stackopt::api`] session layer:
 //! `--spec` accepts both the parallel-links mini-language (`x, 2x+0.3,
 //! mm1:2.0`, optionally `… @ rate`) and the general-network grammar
 //! (`nodes=N; A->B: expr; …; demand A->B: r`) documented in
-//! [`stackopt::spec`]. `batch` runs one spec per line of `--file` across
-//! threads, reporting results in input order.
+//! [`stackopt::spec`]. `batch` runs one spec per line of `--file` (`-` for
+//! stdin) through the [`stackopt::api::engine`] fleet runner: buffered and
+//! input-ordered by default, or — with `--stream` — as JSON Lines emitted
+//! in completion order, each object carrying its input `index` (schema in
+//! the README's Engine section). `gen` emits a batch spec file from the
+//! random instance families, the engine's first-party fleet source.
 //!
 //! The classic per-task subcommands (`sopt beta --links …`, `curve`,
 //! `equilib`, `tolls`, `llf`) remain as thin aliases for
 //! `solve --task … --format text`.
 
+use std::io::Write;
 use std::process::ExitCode;
 
-use stackopt::api::{parse_batch_file, Batch, Report, Scenario, SoptError, Task};
+use stackopt::api::report::json_str;
+use stackopt::api::{parse_batch_file, Engine, Report, Scenario, SoptError, Task};
+use stackopt::fleet::{generate_fleet, Family};
 
 fn main() -> ExitCode {
     match run() {
@@ -36,8 +44,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   sopt solve --spec SPEC [options]          solve one scenario
-  sopt batch --file PATH [options] [--threads N]
+  sopt batch --file PATH [options] [--threads N] [--stream]
                                             solve one scenario per line of PATH
+                                            (PATH '-' reads stdin; --stream
+                                            emits JSONL as results complete)
+  sopt gen --family F --count N [--seed S] [--size M] [--rate R]
+                                            emit a batch spec file of random
+                                            scenarios (F: affine|common-slope|
+                                            mixed|mm1; default seed 0)
 
 options:
   --task beta|curve|equilib|tolls|llf       what to compute (default beta)
@@ -71,13 +85,20 @@ struct Args {
     spec: Option<String>,
     file: Option<String>,
     task: Task,
+    task_set: bool,
     format: Format,
+    format_set: bool,
     rate: Option<f64>,
     steps: Option<usize>,
     alpha: Option<f64>,
     tolerance: Option<f64>,
     max_iters: Option<usize>,
     threads: Option<usize>,
+    stream: bool,
+    family: Option<Family>,
+    count: Option<usize>,
+    seed: u64,
+    size: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -85,17 +106,30 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         spec: None,
         file: None,
         task: Task::Beta,
+        task_set: false,
         format: Format::Text,
+        format_set: false,
         rate: None,
         steps: None,
         alpha: None,
         tolerance: None,
         max_iters: None,
         threads: None,
+        stream: false,
+        family: None,
+        count: None,
+        seed: 0,
+        size: None,
     };
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        // Boolean flags take no value and advance by one.
+        if flag == "--stream" {
+            out.stream = true;
+            i += 1;
+            continue;
+        }
         // Match the flag before demanding its value, so a typo'd or
         // positional last token reports "unknown flag", not a misleading
         // "missing value".
@@ -105,14 +139,19 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         };
         let value = match flag {
             "--spec" | "--links" | "--file" | "--task" | "--format" | "--rate" | "--steps"
-            | "--alpha" | "--tolerance" | "--max-iters" | "--threads" => value()?,
+            | "--alpha" | "--tolerance" | "--max-iters" | "--threads" | "--family" | "--count"
+            | "--seed" | "--size" => value()?,
             other => return Err(format!("unknown flag '{other}'")),
         };
         match flag {
             "--spec" | "--links" => out.spec = Some(value.clone()),
             "--file" => out.file = Some(value.clone()),
-            "--task" => out.task = value.parse().map_err(|e: SoptError| e.to_string())?,
+            "--task" => {
+                out.task = value.parse().map_err(|e: SoptError| e.to_string())?;
+                out.task_set = true;
+            }
             "--format" => {
+                out.format_set = true;
                 out.format = match value.as_str() {
                     "text" => Format::Text,
                     "json" => Format::Json,
@@ -132,6 +171,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--threads" => {
                 out.threads = Some(value.parse().map_err(|e| format!("--threads: {e}"))?)
             }
+            "--family" => out.family = Some(value.parse().map_err(|e: SoptError| e.to_string())?),
+            "--count" => out.count = Some(value.parse().map_err(|e| format!("--count: {e}"))?),
+            "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--size" => out.size = Some(value.parse().map_err(|e| format!("--size: {e}"))?),
             _ => unreachable!("flag list is matched above"),
         }
         i += 2;
@@ -148,7 +191,7 @@ fn run() -> Result<(), String> {
 
     // Legacy aliases: `sopt beta --links …` ≡ `sopt solve --task beta`.
     let cmd = match cmd.as_str() {
-        "solve" | "batch" => cmd.as_str(),
+        "solve" | "batch" | "gen" => cmd.as_str(),
         legacy => {
             args.task = legacy
                 .parse()
@@ -178,8 +221,12 @@ fn run() -> Result<(), String> {
             if args.spec.is_some() {
                 return Err("--spec only applies to 'sopt solve' (use --file here)".into());
             }
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+            let text = if path == "-" {
+                std::io::read_to_string(std::io::stdin())
+                    .map_err(|e| format!("cannot read stdin: {e}"))?
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?
+            };
             let mut scenarios = parse_batch_file(&text).map_err(|e| e.to_string())?;
             // --rate applies uniformly, exactly as it does for `solve`.
             if let Some(rate) = args.rate {
@@ -189,26 +236,92 @@ fn run() -> Result<(), String> {
                     .collect::<Result<_, _>>()
                     .map_err(|e| e.to_string())?;
             }
-            let mut batch = Batch::new(scenarios)
+            let mut engine = Engine::new(scenarios)
                 .task(args.task)
                 .steps(args.steps.unwrap_or(10));
             if let Some(a) = args.alpha {
-                batch = batch.alpha(a);
+                engine = engine.alpha(a);
             }
             if let Some(t) = args.tolerance {
-                batch = batch.tolerance(t);
+                engine = engine.tolerance(t);
             }
             if let Some(k) = args.max_iters {
-                batch = batch.max_iters(k);
+                engine = engine.max_iters(k);
             }
             if let Some(n) = args.threads {
-                batch = batch.threads(n);
+                engine = engine.threads(n);
             }
-            let reports = batch.run();
-            print!("{}", render_batch(&reports, args.format));
+            if args.stream {
+                // JSONL in completion order: nothing is buffered, each
+                // line carries its input index. Write errors (a closed
+                // downstream pipe) abort quietly, matching Unix tools.
+                let stdout = std::io::stdout();
+                let mut w = stdout.lock();
+                let stats = engine.run_streamed(|index, result| {
+                    let _ = writeln!(w, "{}", jsonl_line(index, &result));
+                });
+                eprintln!(
+                    "engine: {} scenarios, {} delivered, cache {}/{} hits, {} steals",
+                    stats.scenarios,
+                    stats.delivered,
+                    stats.cache_hits,
+                    stats.cache_hits + stats.cache_misses,
+                    stats.steals
+                );
+            } else {
+                let reports = engine.run();
+                print!("{}", render_batch(&reports, args.format));
+            }
+            Ok(())
+        }
+        "gen" => {
+            let family = args
+                .family
+                .ok_or("--family is required (affine|common-slope|mixed|mm1)")?;
+            let count = args.count.ok_or("--count is required")?;
+            // Reject every solve/batch flag instead of silently ignoring
+            // it — these almost always belong to the downstream `batch`.
+            if args.stream
+                || args.task_set
+                || args.format_set
+                || args.file.is_some()
+                || args.spec.is_some()
+                || args.steps.is_some()
+                || args.alpha.is_some()
+                || args.tolerance.is_some()
+                || args.max_iters.is_some()
+                || args.threads.is_some()
+            {
+                return Err("'sopt gen' takes --family/--count/--seed/--size/--rate only".into());
+            }
+            let text = generate_fleet(
+                family,
+                count,
+                args.seed,
+                args.size,
+                args.rate.unwrap_or(1.0),
+            )
+            .map_err(|e| e.to_string())?;
+            print!("{text}");
             Ok(())
         }
         _ => unreachable!("cmd is normalised above"),
+    }
+}
+
+/// One JSONL stream line: the report object with its input `index`
+/// prepended, or `{"index": i, "error": "…"}` on failure.
+fn jsonl_line(index: usize, result: &Result<Report, SoptError>) -> String {
+    match result {
+        Ok(report) => {
+            let json = report.to_json();
+            debug_assert!(json.starts_with('{'));
+            format!("{{\"index\": {index}, {}", &json[1..])
+        }
+        Err(e) => format!(
+            "{{\"index\": {index}, \"error\": {}}}",
+            json_str(&e.to_string())
+        ),
     }
 }
 

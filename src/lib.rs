@@ -13,7 +13,10 @@
 //!
 //! * [`api`] — `Scenario` (all three instance classes), the builder-style
 //!   `Solve` session, typed `Report`s with JSON/CSV/text serializers, the
-//!   single `SoptError` enum, and the multi-threaded `batch` runner;
+//!   single `SoptError` enum, and the streaming, work-stealing, memoizing
+//!   fleet `engine` (with `batch` as its buffered compatibility wrapper);
+//! * [`fleet`] — deterministic fleet generation from the random instance
+//!   families (the `sopt gen` backend);
 //! * [`spec`] — the text spec language: parallel-links lists (`"x, 1.0"`)
 //!   and general networks (`"nodes=4; 0->1: x; …; demand 0->3: 2"`);
 //! * [`latency`] — load-dependent latency functions (affine, polynomial,
@@ -57,12 +60,14 @@ pub use sopt_network as network;
 pub use sopt_solver as solver;
 
 pub mod api;
+pub mod fleet;
 pub mod spec;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use crate::api::{
-        Batch, Report, ReportData, Scenario, ScenarioClass, Solve, SoptError, Task,
+        Batch, Engine, EngineStats, Report, ReportData, Scenario, ScenarioClass, Solve, SolveCache,
+        SoptError, Task,
     };
     pub use sopt_core::linear_optimal::linear_optimal_strategy;
     pub use sopt_core::llf::llf_strategy;
