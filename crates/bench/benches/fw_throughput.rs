@@ -1,0 +1,69 @@
+//! Frank–Wolfe pipeline throughput: cold vs warm α-sweeps and the CSR
+//! Dijkstra workspace vs the allocating wrapper — the criterion view of
+//! the numbers `fw_bench` bakes into `BENCH_fw.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sopt_core::curve::anarchy_curve_network;
+use sopt_instances::random::random_layered_network;
+use sopt_network::csr::{Csr, SpWorkspace};
+use sopt_network::graph::NodeId;
+use sopt_network::spath::dijkstra;
+use sopt_solver::frank_wolfe::{try_solve_warm_with, FwOptions, FwWorkspace};
+use sopt_solver::objective::CostModel;
+
+fn bench_curve_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fw_curve_sweep");
+    let inst = random_layered_network(4, 4, 8.0, 7);
+    let alphas: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
+    let opts = FwOptions::default();
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(anarchy_curve_network(&inst, &alphas, &opts, false).unwrap()))
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(anarchy_curve_network(&inst, &alphas, &opts, true).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fw_workspace");
+    let inst = random_layered_network(4, 4, 8.0, 7);
+    let opts = FwOptions::default();
+    let mut ws = FwWorkspace::new();
+    group.bench_function("explicit_workspace_solve", |b| {
+        b.iter(|| {
+            black_box(try_solve_warm_with(&mut ws, &inst, CostModel::Wardrop, &opts, None).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_csr_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_dijkstra");
+    let inst = random_layered_network(8, 8, 40.0, 13);
+    let costs: Vec<f64> = (0..inst.num_edges())
+        .map(|e| 1.0 + (e % 7) as f64)
+        .collect();
+    group.bench_function("allocating_wrapper", |b| {
+        b.iter(|| black_box(dijkstra(&inst.graph, &costs, NodeId(0))))
+    });
+    let csr = Csr::new(&inst.graph);
+    let mut sp = SpWorkspace::new();
+    group.bench_function("csr_workspace", |b| {
+        b.iter(|| {
+            sp.dijkstra(&csr, &costs, NodeId(0));
+            black_box(sp.dist()[1])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_curve_sweep,
+    bench_workspace_reuse,
+    bench_csr_dijkstra
+);
+criterion_main!(benches);

@@ -6,12 +6,20 @@
 //! pins to exactly 1 at `α = β_M` (Corollary 2.2) — the crossover the
 //! experiments E5/E7 measure pointwise.
 
+use sopt_equilibrium::network::{
+    try_induced_network, try_network_nash, try_network_optimum, WarmSeed,
+};
 use sopt_equilibrium::parallel::ParallelLinks;
 use sopt_latency::LatencyFn;
+use sopt_network::flow::EdgeFlow;
+use sopt_network::instance::NetworkInstance;
+use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
 use crate::brute::{brute_force_optimal, BruteOptions};
+use crate::error::CoreError;
 use crate::linear_optimal::linear_optimal_strategy;
 use crate::llf::llf;
+use crate::mop::try_mop_with_optimum;
 use crate::optop::optop;
 use crate::scale::scale;
 
@@ -121,6 +129,163 @@ pub fn anarchy_curve(links: &ParallelLinks, alphas: &[f64]) -> AnarchyCurve {
     }
 }
 
+/// One sample of the network anarchy curve.
+#[derive(Clone, Debug)]
+pub struct NetworkCurvePoint {
+    /// The Leader portion α.
+    pub alpha: f64,
+    /// Induced cost `C(S+T)` of the sampled strategy.
+    pub cost: f64,
+    /// `ϱ(G,r,α) = C(S+T)/C(O)`.
+    pub ratio: f64,
+    /// Which oracle produced the value (exact at `α ≥ β_G`, a SCALE-style
+    /// upper bound below).
+    pub oracle: CurveOracle,
+    /// Frank–Wolfe iterations the follower solve spent on this point (the
+    /// number `fw_bench` compares cold vs warm).
+    pub iterations: usize,
+    /// The total (leader + follower) edge flow at this point.
+    pub flow: Vec<f64>,
+}
+
+/// The sampled network curve plus its anchors.
+#[derive(Clone, Debug)]
+pub struct NetworkAnarchyCurve {
+    /// Samples in increasing α.
+    pub points: Vec<NetworkCurvePoint>,
+    /// `β_G` of the instance (from MOP).
+    pub beta: f64,
+    /// `C(N)`.
+    pub nash_cost: f64,
+    /// `C(O)`.
+    pub optimum_cost: f64,
+    /// Total follower Frank–Wolfe iterations across the sweep.
+    pub total_iterations: usize,
+}
+
+/// Sample the a-posteriori anarchy curve of an s–t network at the given α
+/// values (sorted internally).
+///
+/// Strategy oracle per point: at `α ≥ β_G` the MOP strategy padded with
+/// mimicking free flow enforces the optimum exactly (Corollary 2.2 lifted
+/// to networks via Corollary 2.3); below `β_G` the Leader plays the
+/// SCALE strategy `α·O` — an upper bound on the optimal induced cost.
+///
+/// With `warm = true` each α's follower equilibrium is seeded from the
+/// previous α's follower flow (adjacent α flows are close, so the solver
+/// converges in a handful of iterations instead of re-bootstrapping —
+/// `fw_bench` measures the ratio and `BENCH_fw.json` records it).
+pub fn anarchy_curve_network(
+    inst: &NetworkInstance,
+    alphas: &[f64],
+    opts: &FwOptions,
+    warm: bool,
+) -> Result<NetworkAnarchyCurve, CoreError> {
+    let optimum = try_network_optimum(inst, opts, None)?;
+    if !optimum.converged {
+        return Err(CoreError::NotConverged {
+            what: "optimum",
+            rel_gap: optimum.rel_gap,
+        });
+    }
+    // The Nash anchor is solved cold even in warm mode: anchors are the
+    // values the engine memoizes per (spec, kind, knobs), and memo entries
+    // must not depend on which task computed them first.
+    let nash = try_network_nash(inst, opts, None)?;
+    if !nash.converged {
+        return Err(CoreError::NotConverged {
+            what: "nash",
+            rel_gap: nash.rel_gap,
+        });
+    }
+    anarchy_curve_network_with(inst, alphas, opts, warm, &optimum, &nash)
+}
+
+/// [`anarchy_curve_network`] with the optimum and Nash anchors supplied by
+/// the caller — the session layer threads memoized profiles through here so
+/// a fleet re-touching one scenario solves each anchor once.
+pub fn anarchy_curve_network_with(
+    inst: &NetworkInstance,
+    alphas: &[f64],
+    opts: &FwOptions,
+    warm: bool,
+    optimum: &FwResult,
+    nash: &FwResult,
+) -> Result<NetworkAnarchyCurve, CoreError> {
+    let mop = try_mop_with_optimum(inst, optimum)?;
+    let optimum_cost = mop.optimum_cost;
+    let nash_cost = inst.cost(nash.flow.as_slice());
+
+    let mut sorted: Vec<f64> = alphas.to_vec();
+    sorted.sort_by(f64::total_cmp);
+
+    let mut points = Vec::with_capacity(sorted.len());
+    let mut total_iterations = 0usize;
+    let mut prev: Option<FwResult> = None;
+    for &alpha in &sorted {
+        assert!((0.0..=1.0).contains(&alpha), "α must lie in [0, 1]");
+        let budget = alpha * inst.rate;
+        let (leader, oracle) = if budget >= mop.leader_value - 1e-12 * inst.rate.max(1.0) {
+            // Corollary 2.2: pad the MOP strategy with mimicking free flow;
+            // the induced play is exactly the optimum.
+            let surplus = (budget - mop.leader_value).max(0.0);
+            let scale = if mop.free_value > 1e-15 {
+                (surplus / mop.free_value).min(1.0)
+            } else {
+                0.0
+            };
+            let padded = EdgeFlow(
+                mop.leader
+                    .as_slice()
+                    .iter()
+                    .zip(mop.free_flow.as_slice())
+                    .map(|(l, f)| l + scale * f)
+                    .collect(),
+            );
+            (padded, CurveOracle::Exact)
+        } else {
+            // SCALE: the Leader plays α·O.
+            (
+                EdgeFlow(optimum.flow.as_slice().iter().map(|o| alpha * o).collect()),
+                CurveOracle::HeuristicUpperBound,
+            )
+        };
+        let seed: WarmSeed<'_> = if warm { prev.as_ref() } else { None };
+        let follower = try_induced_network(inst, &leader, budget.min(inst.rate), opts, seed)?;
+        if !follower.converged {
+            return Err(CoreError::NotConverged {
+                what: "induced",
+                rel_gap: follower.rel_gap,
+            });
+        }
+        let flow: Vec<f64> = leader
+            .as_slice()
+            .iter()
+            .zip(follower.flow.as_slice())
+            .map(|(a, b)| a + b)
+            .collect();
+        let cost = inst.cost(&flow);
+        total_iterations += follower.iterations;
+        points.push(NetworkCurvePoint {
+            alpha,
+            cost,
+            ratio: cost / optimum_cost,
+            oracle,
+            iterations: follower.iterations,
+            flow,
+        });
+        prev = Some(follower);
+    }
+
+    Ok(NetworkAnarchyCurve {
+        points,
+        beta: mop.beta,
+        nash_cost,
+        optimum_cost,
+        total_iterations,
+    })
+}
+
 fn pad(strategy: &[f64], optimum: &[f64], budget: f64) -> Vec<f64> {
     let used: f64 = strategy.iter().sum();
     let surplus = (budget - used).max(0.0);
@@ -200,6 +365,107 @@ mod tests {
         assert_eq!(c.points[0].oracle, CurveOracle::HeuristicUpperBound);
         assert_eq!(c.points[1].oracle, CurveOracle::Exact);
         assert!((c.points[1].ratio - 1.0).abs() < 1e-5);
+    }
+
+    fn braess() -> NetworkInstance {
+        use sopt_network::graph::NodeId;
+        use sopt_network::DiGraph;
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        NetworkInstance::new(
+            g,
+            vec![
+                LatencyFn::identity(),
+                LatencyFn::constant(1.0),
+                LatencyFn::constant(0.0),
+                LatencyFn::constant(1.0),
+                LatencyFn::identity(),
+            ],
+            NodeId(0),
+            NodeId(3),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn network_curve_shape_on_braess() {
+        let inst = braess();
+        let c = anarchy_curve_network(&inst, &alphas(), &FwOptions::default(), true).unwrap();
+        // Anchors: C(N) = 2, C(O) = 3/2, so the curve starts at 4/3.
+        assert!((c.nash_cost - 2.0).abs() < 1e-5);
+        assert!((c.optimum_cost - 1.5).abs() < 1e-5);
+        assert!((c.points[0].ratio - 4.0 / 3.0).abs() < 1e-4);
+        // Exactly 1 from β on, never below 1, never above the Nash anchor.
+        for p in &c.points {
+            assert!(p.ratio >= 1.0 - 1e-6, "α={}: {}", p.alpha, p.ratio);
+            assert!(p.cost <= c.nash_cost + 1e-5, "α={}: {}", p.alpha, p.cost);
+            if p.alpha >= c.beta - 1e-9 {
+                assert_eq!(p.oracle, CurveOracle::Exact);
+                assert!((p.ratio - 1.0).abs() < 1e-4, "α={}: {}", p.alpha, p.ratio);
+            }
+        }
+    }
+
+    /// A 2-layer × 3-width ladder with varied affine latencies: enough
+    /// parallel routes that the equilibria split interiorly and cold FW
+    /// solves take real work (Braess converges in one iteration, which
+    /// would make the iteration comparison vacuous).
+    fn ladder() -> NetworkInstance {
+        use sopt_network::graph::NodeId;
+        use sopt_network::DiGraph;
+        let mut g = DiGraph::with_nodes(8);
+        let (s, t) = (NodeId(0), NodeId(7));
+        let l1 = [NodeId(1), NodeId(2), NodeId(3)];
+        let l2 = [NodeId(4), NodeId(5), NodeId(6)];
+        let mut lats = Vec::new();
+        // Deterministic varied slopes/offsets.
+        let mut coef = {
+            let mut state = 9u64;
+            move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                0.2 + 1.8 * ((state >> 33) as f64 / (1u64 << 31) as f64)
+            }
+        };
+        for &v in &l1 {
+            g.add_edge(s, v);
+            lats.push(LatencyFn::affine(coef(), 0.3 * coef()));
+        }
+        for &u in &l1 {
+            for &v in &l2 {
+                g.add_edge(u, v);
+                lats.push(LatencyFn::affine(coef(), 0.3 * coef()));
+            }
+        }
+        for &v in &l2 {
+            g.add_edge(v, t);
+            lats.push(LatencyFn::affine(coef(), 0.3 * coef()));
+        }
+        NetworkInstance::new(g, lats, s, t, 4.0)
+    }
+
+    #[test]
+    fn network_curve_warm_matches_cold_with_fewer_iterations() {
+        let inst = ladder();
+        let opts = FwOptions::default();
+        let cold = anarchy_curve_network(&inst, &alphas(), &opts, false).unwrap();
+        let warm = anarchy_curve_network(&inst, &alphas(), &opts, true).unwrap();
+        assert_eq!(cold.points.len(), warm.points.len());
+        for (a, b) in cold.points.iter().zip(&warm.points) {
+            assert!((a.cost - b.cost).abs() < 1e-5, "α={}", a.alpha);
+            for (x, y) in a.flow.iter().zip(&b.flow) {
+                assert!((x - y).abs() < 1e-4, "α={}", a.alpha);
+            }
+        }
+        assert!(
+            warm.total_iterations < cold.total_iterations,
+            "warm {} !< cold {}",
+            warm.total_iterations,
+            cold.total_iterations
+        );
     }
 
     #[test]

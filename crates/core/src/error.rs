@@ -9,6 +9,7 @@
 //! `SoptError`.
 
 use sopt_solver::equalize::EqualizeError;
+use sopt_solver::error::SolverError;
 
 /// Why an algorithm of this crate could not produce a result.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +62,14 @@ impl From<EqualizeError> for CoreError {
     }
 }
 
+impl From<SolverError> for CoreError {
+    fn from(e: SolverError) -> Self {
+        match e {
+            SolverError::UnreachableSink { commodity, .. } => CoreError::Unreachable { commodity },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +83,18 @@ mod tests {
         assert!(e.to_string().contains("optimum"));
         let e = CoreError::Unreachable { commodity: 2 };
         assert!(e.to_string().contains("commodity 2"));
+    }
+
+    #[test]
+    fn solver_errors_convert() {
+        use sopt_network::graph::NodeId;
+        let e: CoreError = SolverError::UnreachableSink {
+            commodity: 3,
+            source: NodeId(0),
+            sink: NodeId(1),
+        }
+        .into();
+        assert_eq!(e, CoreError::Unreachable { commodity: 3 });
     }
 
     #[test]

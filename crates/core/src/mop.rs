@@ -22,13 +22,13 @@
 //! [`mop_greedy`] is kept as the ablation baseline.
 
 use crate::error::CoreError;
-use sopt_equilibrium::network::network_optimum;
+use sopt_equilibrium::network::try_network_optimum;
 use sopt_network::flow::{decompose, EdgeFlow};
 use sopt_network::graph::EdgeId;
 use sopt_network::instance::NetworkInstance;
 use sopt_network::maxflow::max_flow;
 use sopt_network::spath::{dijkstra, shortest_dag_edges};
-use sopt_solver::frank_wolfe::FwOptions;
+use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
 /// Output of [`mop`] / [`mop_greedy`].
 #[derive(Clone, Debug)]
@@ -65,26 +65,41 @@ pub fn mop(inst: &NetworkInstance, opts: &FwOptions) -> MopResult {
 /// Run MOP, reporting solver non-convergence and unreachable sinks as
 /// typed errors instead of panicking.
 pub fn try_mop(inst: &NetworkInstance, opts: &FwOptions) -> Result<MopResult, CoreError> {
-    mop_impl(inst, opts, true)
+    let opt = try_network_optimum(inst, opts, None)?;
+    try_mop_with_optimum(inst, &opt)
+}
+
+/// [`try_mop`] with the optimum solve supplied by the caller — the session
+/// layer threads a memoized [`network_optimum`] result through here, so an
+/// α-sweep (or a fleet re-touching one scenario) solves the optimum once.
+///
+/// [`network_optimum`]: sopt_equilibrium::network::network_optimum
+pub fn try_mop_with_optimum(
+    inst: &NetworkInstance,
+    optimum: &FwResult,
+) -> Result<MopResult, CoreError> {
+    mop_impl(inst, optimum, true)
 }
 
 /// Ablation: route the free flow by greedy path decomposition of `O`
 /// (classify each extracted path as shortest/non-shortest). May overstate
 /// `β_G` when the greedy decomposition wastes shortest-path capacity.
 pub fn mop_greedy(inst: &NetworkInstance, opts: &FwOptions) -> MopResult {
-    mop_impl(inst, opts, false).expect("MOP needs a convergent optimum solve and a reachable sink")
+    try_network_optimum(inst, opts, None)
+        .map_err(CoreError::from)
+        .and_then(|opt| mop_impl(inst, &opt, false))
+        .expect("MOP needs a convergent optimum solve and a reachable sink")
 }
 
-fn mop_impl(inst: &NetworkInstance, opts: &FwOptions, exact: bool) -> Result<MopResult, CoreError> {
-    // (2) the optimum.
-    let opt = network_optimum(inst, opts);
+fn mop_impl(inst: &NetworkInstance, opt: &FwResult, exact: bool) -> Result<MopResult, CoreError> {
+    // (2) the optimum (solved by the caller, possibly served from a memo).
     if !opt.converged {
         return Err(CoreError::NotConverged {
             what: "optimum",
             rel_gap: opt.rel_gap,
         });
     }
-    let optimum = opt.flow;
+    let optimum = opt.flow.clone();
 
     // (3) fixed optimal edge costs.
     let edge_costs = inst.edge_costs(optimum.as_slice());
@@ -286,6 +301,42 @@ mod tests {
             let exact = mop(&inst, &FwOptions::default());
             let greedy = mop_greedy(&inst, &FwOptions::default());
             assert!(exact.beta <= greedy.beta + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mop_with_supplied_optimum_matches() {
+        use sopt_equilibrium::network::try_network_optimum;
+        let inst = fig7(0.05);
+        let opts = FwOptions::default();
+        let opt = try_network_optimum(&inst, &opts, None).unwrap();
+        let via_supplied = try_mop_with_optimum(&inst, &opt).unwrap();
+        let direct = mop(&inst, &opts);
+        assert_eq!(via_supplied.beta, direct.beta);
+        assert_eq!(via_supplied.optimum.as_slice(), direct.optimum.as_slice());
+    }
+
+    #[test]
+    fn induced_seeded_with_free_flow_converges_immediately() {
+        use sopt_equilibrium::network::{try_induced_network, warm_seed_from};
+        let inst = fig7(0.05);
+        let opts = FwOptions::default();
+        let r = mop(&inst, &opts);
+        // The free flow IS the follower equilibrium under the MOP strategy;
+        // seeding with it should converge on the first gap check.
+        let seed = warm_seed_from(&r.free_flow);
+        let warm =
+            try_induced_network(&inst, &r.leader, r.leader_value, &opts, Some(&seed)).unwrap();
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= 2,
+            "warm induced took {} iterations",
+            warm.iterations
+        );
+        let cold = induced_network(&inst, &r.leader, r.leader_value, &opts);
+        assert!(cold.iterations >= warm.iterations);
+        for e in 0..inst.num_edges() {
+            assert!((warm.flow.0[e] - cold.flow.0[e]).abs() < 1e-5);
         }
     }
 

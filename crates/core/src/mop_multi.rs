@@ -10,12 +10,12 @@
 //! strategy: per-commodity portions `α_i` with overall `β = Σ α_i r_i / r`.
 
 use crate::error::CoreError;
-use sopt_equilibrium::network::multicommodity_optimum;
+use sopt_equilibrium::network::try_multicommodity_optimum;
 use sopt_network::flow::EdgeFlow;
 use sopt_network::instance::MultiCommodityInstance;
 use sopt_network::maxflow::max_flow;
 use sopt_network::spath::{dijkstra, shortest_dag_edges};
-use sopt_solver::frank_wolfe::FwOptions;
+use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
 /// Per-commodity share of the [`MopMultiResult`].
 #[derive(Clone, Debug)]
@@ -66,7 +66,16 @@ pub fn try_mop_multi(
     inst: &MultiCommodityInstance,
     opts: &FwOptions,
 ) -> Result<MopMultiResult, CoreError> {
-    let opt = multicommodity_optimum(inst, opts);
+    let opt = try_multicommodity_optimum(inst, opts, None)?;
+    try_mop_multi_with_optimum(inst, &opt)
+}
+
+/// [`try_mop_multi`] with the optimum solve supplied by the caller (the
+/// session layer threads a memoized multicommodity optimum through here).
+pub fn try_mop_multi_with_optimum(
+    inst: &MultiCommodityInstance,
+    opt: &FwResult,
+) -> Result<MopMultiResult, CoreError> {
     if !opt.converged {
         return Err(CoreError::NotConverged {
             what: "multicommodity optimum",
@@ -125,7 +134,7 @@ pub fn try_mop_multi(
         beta: controlled / inst.total_rate(),
         commodities,
         optimum_cost: inst.cost(opt.flow.as_slice()),
-        optimum_total: opt.flow,
+        optimum_total: opt.flow.clone(),
         leader_total,
         edge_costs,
     })

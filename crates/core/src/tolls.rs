@@ -87,7 +87,16 @@ pub fn try_marginal_cost_tolls_network(
     inst: &NetworkInstance,
     opts: &FwOptions,
 ) -> Result<NetworkTolls, crate::error::CoreError> {
-    let opt = sopt_equilibrium::network::network_optimum(inst, opts);
+    let opt = sopt_equilibrium::network::try_network_optimum(inst, opts, None)?;
+    try_marginal_cost_tolls_network_with_optimum(inst, &opt)
+}
+
+/// [`try_marginal_cost_tolls_network`] with the optimum solve supplied by
+/// the caller (the session layer threads a memoized optimum through here).
+pub fn try_marginal_cost_tolls_network_with_optimum(
+    inst: &NetworkInstance,
+    opt: &sopt_solver::frank_wolfe::FwResult,
+) -> Result<NetworkTolls, crate::error::CoreError> {
     if !opt.converged {
         return Err(crate::error::CoreError::NotConverged {
             what: "optimum",

@@ -1,18 +1,82 @@
 //! Equilibria on arbitrary s–t and k-commodity networks (Frank–Wolfe).
+//!
+//! Every solve has three forms: the classic panicking convenience
+//! (`network_nash`), a `try_` variant surfacing the unreachable-sink
+//! failure as a typed [`SolverError`], and a warm-start parameter on the
+//! `try_` form — `seed` is a per-commodity flow set (usually the
+//! `per_commodity` of a previous [`FwResult`], or MOP's free flow for an
+//! induced solve) that skips the all-or-nothing bootstrap when the previous
+//! solution is close to the new one.
 
 use sopt_network::flow::EdgeFlow;
 use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
-use sopt_solver::frank_wolfe::{solve_assignment, solve_multicommodity, FwOptions, FwResult};
+use sopt_solver::error::SolverError;
+use sopt_solver::frank_wolfe::{
+    try_solve_warm, try_solve_warm_multicommodity, FwOptions, FwResult,
+};
 use sopt_solver::objective::CostModel;
 
-/// Nash (Wardrop) flow of `(G, r)`: minimiser of the Beckmann potential.
-pub fn network_nash(inst: &NetworkInstance, opts: &FwOptions) -> FwResult {
-    solve_assignment(inst, CostModel::Wardrop, opts)
+/// Warm-start seed for the `try_` solves: per-commodity flows of a nearby
+/// solution (rescaled internally; an unusable seed falls back to a cold
+/// start).
+pub type WarmSeed<'a> = Option<&'a FwResult>;
+
+/// Wrap a bare edge flow as a single-commodity warm-start seed. Only the
+/// per-commodity flow matters to the seeded solver; the bookkeeping fields
+/// are placeholders (`converged = false`, no iterations). MOP uses this to
+/// seed the induced solve from its free flow.
+pub fn warm_seed_from(flow: &EdgeFlow) -> FwResult {
+    warm_seed_from_per(vec![flow.clone()])
 }
 
-/// Optimum flow `O` of `(G, r)`: minimiser of total cost.
+/// Wrap per-commodity flows as a k-commodity warm-start seed (one
+/// [`EdgeFlow`] per commodity, in commodity order).
+pub fn warm_seed_from_per(per: Vec<EdgeFlow>) -> FwResult {
+    let m = per.first().map_or(0, |f| f.0.len());
+    let mut combined = EdgeFlow::zeros(m);
+    for p in &per {
+        for (c, x) in combined.0.iter_mut().zip(&p.0) {
+            *c += x;
+        }
+    }
+    FwResult {
+        flow: combined,
+        per_commodity: per,
+        objective: f64::NAN,
+        rel_gap: f64::INFINITY,
+        iterations: 0,
+        converged: false,
+    }
+}
+
+/// Nash (Wardrop) flow of `(G, r)`: minimiser of the Beckmann potential.
+/// Panics where [`try_network_nash`] errors.
+pub fn network_nash(inst: &NetworkInstance, opts: &FwOptions) -> FwResult {
+    try_network_nash(inst, opts, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`network_nash`] with typed errors and an optional warm start.
+pub fn try_network_nash(
+    inst: &NetworkInstance,
+    opts: &FwOptions,
+    seed: WarmSeed<'_>,
+) -> Result<FwResult, SolverError> {
+    try_solve_warm(inst, CostModel::Wardrop, opts, seed)
+}
+
+/// Optimum flow `O` of `(G, r)`: minimiser of total cost. Panics where
+/// [`try_network_optimum`] errors.
 pub fn network_optimum(inst: &NetworkInstance, opts: &FwOptions) -> FwResult {
-    solve_assignment(inst, CostModel::SystemOptimum, opts)
+    try_network_optimum(inst, opts, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`network_optimum`] with typed errors and an optional warm start.
+pub fn try_network_optimum(
+    inst: &NetworkInstance,
+    opts: &FwOptions,
+    seed: WarmSeed<'_>,
+) -> Result<FwResult, SolverError> {
+    try_solve_warm(inst, CostModel::SystemOptimum, opts, seed)
 }
 
 /// The equilibrium induced by a Leader edge flow: Followers route the
@@ -20,36 +84,84 @@ pub fn network_optimum(inst: &NetworkInstance, opts: &FwOptions) -> FwResult {
 ///
 /// `leader_value` is the s→t value of the Leader's flow (the amount
 /// subtracted from the follower rate). Returns the *follower* result; the
-/// Stackelberg equilibrium is `leader + follower`.
+/// Stackelberg equilibrium is `leader + follower`. Panics where
+/// [`try_induced_network`] errors.
 pub fn induced_network(
     inst: &NetworkInstance,
     leader: &EdgeFlow,
     leader_value: f64,
     opts: &FwOptions,
 ) -> FwResult {
+    try_induced_network(inst, leader, leader_value, opts, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`induced_network`] with typed errors and an optional warm start —
+/// chained α-sweeps seed each induced solve from the previous α's
+/// follower flow; MOP callers seed from the free flow (which *is* the
+/// induced equilibrium when the strategy enforces the optimum).
+pub fn try_induced_network(
+    inst: &NetworkInstance,
+    leader: &EdgeFlow,
+    leader_value: f64,
+    opts: &FwOptions,
+    seed: WarmSeed<'_>,
+) -> Result<FwResult, SolverError> {
     let sub = inst.preloaded_with_value(leader.as_slice(), leader_value);
-    solve_assignment(&sub, CostModel::Wardrop, opts)
+    try_solve_warm(&sub, CostModel::Wardrop, opts, seed)
 }
 
-/// Nash flow of a k-commodity instance.
+/// Nash flow of a k-commodity instance. Panics where
+/// [`try_multicommodity_nash`] errors.
 pub fn multicommodity_nash(inst: &MultiCommodityInstance, opts: &FwOptions) -> FwResult {
-    solve_multicommodity(inst, CostModel::Wardrop, opts)
+    try_multicommodity_nash(inst, opts, None).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Optimum flow of a k-commodity instance.
+/// [`multicommodity_nash`] with typed errors and an optional warm start.
+pub fn try_multicommodity_nash(
+    inst: &MultiCommodityInstance,
+    opts: &FwOptions,
+    seed: WarmSeed<'_>,
+) -> Result<FwResult, SolverError> {
+    try_solve_warm_multicommodity(inst, CostModel::Wardrop, opts, seed)
+}
+
+/// Optimum flow of a k-commodity instance. Panics where
+/// [`try_multicommodity_optimum`] errors.
 pub fn multicommodity_optimum(inst: &MultiCommodityInstance, opts: &FwOptions) -> FwResult {
-    solve_multicommodity(inst, CostModel::SystemOptimum, opts)
+    try_multicommodity_optimum(inst, opts, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`multicommodity_optimum`] with typed errors and an optional warm start.
+pub fn try_multicommodity_optimum(
+    inst: &MultiCommodityInstance,
+    opts: &FwOptions,
+    seed: WarmSeed<'_>,
+) -> Result<FwResult, SolverError> {
+    try_solve_warm_multicommodity(inst, CostModel::SystemOptimum, opts, seed)
 }
 
 /// Induced equilibrium on a k-commodity instance: the Leader preloads edge
 /// flow `leader` whose per-commodity values are `leader_values[i]`; every
-/// commodity's followers route the remainder selfishly.
+/// commodity's followers route the remainder selfishly. Panics where
+/// [`try_induced_multicommodity`] errors.
 pub fn induced_multicommodity(
     inst: &MultiCommodityInstance,
     leader: &EdgeFlow,
     leader_values: &[f64],
     opts: &FwOptions,
 ) -> FwResult {
+    try_induced_multicommodity(inst, leader, leader_values, opts, None)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`induced_multicommodity`] with typed errors and an optional warm start.
+pub fn try_induced_multicommodity(
+    inst: &MultiCommodityInstance,
+    leader: &EdgeFlow,
+    leader_values: &[f64],
+    opts: &FwOptions,
+    seed: WarmSeed<'_>,
+) -> Result<FwResult, SolverError> {
     assert_eq!(leader_values.len(), inst.commodities.len());
     let latencies = inst
         .latencies
@@ -74,7 +186,7 @@ pub fn induced_multicommodity(
         latencies,
         commodities,
     };
-    solve_multicommodity(&sub, CostModel::Wardrop, opts)
+    try_solve_warm_multicommodity(&sub, CostModel::Wardrop, opts, seed)
 }
 
 #[cfg(test)]

@@ -1,0 +1,320 @@
+//! Compressed-sparse-row adjacency and reusable shortest-path state.
+//!
+//! [`DiGraph`] stores adjacency as one `Vec<EdgeId>` per node — convenient
+//! to build incrementally, but a pointer chase per node when an algorithm
+//! walks the whole graph thousands of times (every Frank–Wolfe iteration
+//! runs one Dijkstra per commodity). [`Csr`] flattens that adjacency into
+//! two arrays (`offsets` into a slot array, original edge ids + head nodes
+//! per slot) built once per solve, and [`SpWorkspace`] owns the
+//! distance/parent/heap state so repeated Dijkstra calls allocate nothing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+use crate::path::Path;
+use crate::spath::ShortestPaths;
+
+/// Total order on f64 costs for the heap (no NaNs expected).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Cost(f64);
+
+impl Eq for Cost {}
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A flat forward-star (CSR) view of a [`DiGraph`], built once and walked
+/// many times. Slot `i` in `offsets[v]..offsets[v+1]` holds the `i`-th
+/// outgoing edge of `v`, in the same order as
+/// [`DiGraph::out_edges`](crate::graph::DiGraph::out_edges).
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes the slot arrays for node `v`.
+    offsets: Vec<u32>,
+    /// Original edge id per slot.
+    edge_ids: Vec<EdgeId>,
+    /// Head node (`edge.to`) per slot, duplicated next to the id so the
+    /// inner Dijkstra loop touches one cache line per slot.
+    targets: Vec<u32>,
+    /// Tail node per edge id (for parent-walk path reconstruction without
+    /// the original graph).
+    tails: Vec<u32>,
+}
+
+impl Csr {
+    /// Build the CSR view of `g` (counting sort over edge tails; `O(n+m)`).
+    pub fn new(g: &DiGraph) -> Self {
+        let mut csr = Csr::default();
+        csr.rebuild(g);
+        csr
+    }
+
+    /// Rebuild in place from `g`, reusing the existing allocations.
+    pub fn rebuild(&mut self, g: &DiGraph) {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        // Count out-degrees…
+        for e in g.edges() {
+            self.offsets[e.from.idx() + 1] += 1;
+        }
+        // …prefix-sum into offsets…
+        for v in 0..n {
+            self.offsets[v + 1] += self.offsets[v];
+        }
+        // …and fill slots in edge-id order (stable: per-node slot order
+        // equals `out_edges` order, which is insertion order).
+        self.edge_ids.clear();
+        self.edge_ids.resize(m, EdgeId(0));
+        self.targets.clear();
+        self.targets.resize(m, 0);
+        self.tails.clear();
+        self.tails.resize(m, 0);
+        let mut cursor: Vec<u32> = self.offsets[..n].to_vec();
+        for (i, e) in g.edges().iter().enumerate() {
+            let slot = cursor[e.from.idx()] as usize;
+            cursor[e.from.idx()] += 1;
+            self.edge_ids[slot] = EdgeId(i as u32);
+            self.targets[slot] = e.to.0;
+            self.tails[i] = e.from.0;
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// The outgoing `(edge id, head node)` pairs of `v`.
+    #[inline]
+    pub fn out(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let lo = self.offsets[v.idx()] as usize;
+        let hi = self.offsets[v.idx() + 1] as usize;
+        self.edge_ids[lo..hi]
+            .iter()
+            .zip(&self.targets[lo..hi])
+            .map(|(&e, &t)| (e, NodeId(t)))
+    }
+
+    /// Tail node of edge `e`.
+    #[inline]
+    pub fn tail(&self, e: EdgeId) -> NodeId {
+        NodeId(self.tails[e.idx()])
+    }
+}
+
+/// Reusable single-source shortest-path state: preallocated distance,
+/// parent-edge and settled arrays plus the binary heap. One workspace
+/// serves any number of [`SpWorkspace::dijkstra`] calls (over graphs of any
+/// size — buffers grow on demand) without allocating per call.
+#[derive(Clone, Debug, Default)]
+pub struct SpWorkspace {
+    dist: Vec<f64>,
+    parent: Vec<Option<EdgeId>>,
+    done: Vec<bool>,
+    heap: BinaryHeap<Reverse<(Cost, u32)>>,
+}
+
+impl SpWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dijkstra from `s` over `csr` under nonnegative `edge_costs`,
+    /// overwriting this workspace's tree. Panics on a negative cost
+    /// (latencies are nonnegative, so gradient costs always qualify).
+    pub fn dijkstra(&mut self, csr: &Csr, edge_costs: &[f64], s: NodeId) {
+        assert_eq!(edge_costs.len(), csr.num_edges());
+        assert!(
+            edge_costs.iter().all(|c| *c >= 0.0),
+            "Dijkstra requires nonnegative edge costs"
+        );
+        let n = csr.num_nodes();
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.heap.clear();
+        self.dist[s.idx()] = 0.0;
+        self.heap.push(Reverse((Cost(0.0), s.0)));
+        while let Some(Reverse((Cost(d), u))) = self.heap.pop() {
+            let u = NodeId(u);
+            if self.done[u.idx()] {
+                continue;
+            }
+            self.done[u.idx()] = true;
+            for (e, v) in csr.out(u) {
+                let nd = d + edge_costs[e.idx()];
+                if nd < self.dist[v.idx()] {
+                    self.dist[v.idx()] = nd;
+                    self.parent[v.idx()] = Some(e);
+                    self.heap.push(Reverse((Cost(nd), v.0)));
+                }
+            }
+        }
+    }
+
+    /// `dist[v]` from the last source (`f64::INFINITY` if unreachable).
+    #[inline]
+    pub fn dist(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Entering edge of `v` on some shortest path (None at source or when
+    /// unreachable).
+    #[inline]
+    pub fn parent(&self) -> &[Option<EdgeId>] {
+        &self.parent
+    }
+
+    /// Whether `t` was reached by the last run.
+    #[inline]
+    pub fn reached(&self, t: NodeId) -> bool {
+        self.dist[t.idx()].is_finite()
+    }
+
+    /// Walk the parent chain from `t` to the source, calling `visit` on
+    /// each edge (sink-to-source order). Returns `false` (visiting nothing)
+    /// if `t` is unreachable. This is the allocation-free backbone of both
+    /// path extraction and all-or-nothing assignment.
+    pub fn walk_path_to(&self, csr: &Csr, t: NodeId, mut visit: impl FnMut(EdgeId)) -> bool {
+        if !self.reached(t) {
+            return false;
+        }
+        let mut v = t;
+        while let Some(e) = self.parent[v.idx()] {
+            visit(e);
+            v = csr.tail(e);
+        }
+        true
+    }
+
+    /// Reconstruct one shortest path to `t` (None if unreachable).
+    pub fn path_to(&self, g: &DiGraph, csr: &Csr, t: NodeId) -> Option<Path> {
+        if !self.reached(t) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        self.walk_path_to(csr, t, |e| edges.push(e));
+        edges.reverse();
+        Some(Path::new(g, edges))
+    }
+
+    /// Copy the tree out as an owned [`ShortestPaths`] (compat bridge for
+    /// callers of the allocating API).
+    pub fn to_shortest_paths(&self) -> ShortestPaths {
+        ShortestPaths {
+            dist: self.dist.clone(),
+            parent: self.parent.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1)); // e0
+        g.add_edge(NodeId(0), NodeId(2)); // e1
+        g.add_edge(NodeId(1), NodeId(2)); // e2
+        g.add_edge(NodeId(1), NodeId(3)); // e3
+        g.add_edge(NodeId(2), NodeId(3)); // e4
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_out_edges_order() {
+        let g = diamond();
+        let csr = Csr::new(&g);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 5);
+        for v in g.nodes() {
+            let flat: Vec<EdgeId> = csr.out(v).map(|(e, _)| e).collect();
+            assert_eq!(flat, g.out_edges(v), "node {v}");
+            for (e, head) in csr.out(v) {
+                assert_eq!(head, g.edge(e).to);
+                assert_eq!(csr.tail(e), v);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_handles_parallel_edges_and_rebuild() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        let mut csr = Csr::new(&g);
+        assert_eq!(csr.out(NodeId(0)).count(), 2);
+        assert_eq!(csr.out(NodeId(1)).count(), 0);
+        // Rebuild over a different graph reuses the buffers.
+        let g2 = diamond();
+        csr.rebuild(&g2);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(
+            csr.out(NodeId(1)).map(|(e, _)| e).collect::<Vec<_>>(),
+            g2.out_edges(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn workspace_dijkstra_matches_reference() {
+        let g = diamond();
+        let csr = Csr::new(&g);
+        let costs = [1.0, 4.0, 1.0, 5.0, 1.0];
+        let mut ws = SpWorkspace::new();
+        ws.dijkstra(&csr, &costs, NodeId(0));
+        let reference = crate::spath::dijkstra(&g, &costs, NodeId(0));
+        assert_eq!(ws.dist(), reference.dist.as_slice());
+        let p = ws.path_to(&g, &csr, NodeId(3)).unwrap();
+        assert_eq!(p.edges(), &[EdgeId(0), EdgeId(2), EdgeId(4)]);
+        assert_eq!(ws.to_shortest_paths().dist, reference.dist);
+    }
+
+    #[test]
+    fn workspace_reuse_across_sizes() {
+        let mut ws = SpWorkspace::new();
+        let big = diamond();
+        ws.dijkstra(&Csr::new(&big), &[1.0; 5], NodeId(0));
+        assert_eq!(ws.dist()[3], 2.0);
+        // Shrinks cleanly to a smaller graph.
+        let mut small = DiGraph::with_nodes(2);
+        small.add_edge(NodeId(0), NodeId(1));
+        ws.dijkstra(&Csr::new(&small), &[0.5], NodeId(0));
+        assert_eq!(ws.dist(), &[0.0, 0.5]);
+        assert!(ws.reached(NodeId(1)));
+    }
+
+    #[test]
+    fn unreachable_walk_visits_nothing() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let csr = Csr::new(&g);
+        let mut ws = SpWorkspace::new();
+        ws.dijkstra(&csr, &[1.0], NodeId(0));
+        let mut visited = 0;
+        assert!(!ws.walk_path_to(&csr, NodeId(2), |_| visited += 1));
+        assert_eq!(visited, 0);
+        assert!(ws.path_to(&g, &csr, NodeId(2)).is_none());
+    }
+}

@@ -9,9 +9,12 @@
 //! through the shortest-path subnetwork capacitated by the optimal flow).
 //!
 //! Everything here is deterministic and allocation-conscious: node/edge ids
-//! are `u32` newtypes, adjacency is stored per node, and the algorithms take
-//! slices so callers can reuse buffers across parameter sweeps.
+//! are `u32` newtypes, adjacency is stored per node for incremental
+//! construction and flattened into a [`Csr`] view for the hot walks, and
+//! [`SpWorkspace`] holds reusable shortest-path state so parameter sweeps
+//! (Frank–Wolfe iterations above all) allocate nothing per call.
 
+pub mod csr;
 pub mod flow;
 pub mod graph;
 pub mod instance;
@@ -19,6 +22,7 @@ pub mod maxflow;
 pub mod path;
 pub mod spath;
 
+pub use csr::{Csr, SpWorkspace};
 pub use flow::EdgeFlow;
 pub use graph::{DiGraph, Edge, EdgeId, NodeId};
 pub use instance::{Commodity, MultiCommodityInstance, NetworkInstance};

@@ -46,12 +46,14 @@ pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResul
         .fold(0.0f64, f64::max);
     let eps = 1e-12 * cap_scale.max(1.0);
 
-    // Build residual arcs: forward at even indices, reverse at odd.
+    // Build residual arcs: forward at even indices, reverse at odd. The
+    // per-node arc lists are flattened CSR-style (`adj_off`/`adj_arcs`) so
+    // the BFS/DFS walks touch two flat arrays instead of chasing one heap
+    // allocation per node.
     let mut arcs: Vec<Arc> = Vec::with_capacity(2 * g.num_edges());
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut adj_off: Vec<u32> = vec![0; n + 1];
     for e in g.edge_ids() {
         let edge = g.edge(e);
-        let a = arcs.len() as u32;
         arcs.push(Arc {
             to: edge.to.0,
             cap: caps[e.idx()],
@@ -62,9 +64,25 @@ pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResul
             cap: 0.0,
             orig: None,
         });
-        adj[edge.from.idx()].push(a);
-        adj[edge.to.idx()].push(a + 1);
+        adj_off[edge.from.idx() + 1] += 1;
+        adj_off[edge.to.idx() + 1] += 1;
     }
+    for v in 0..n {
+        adj_off[v + 1] += adj_off[v];
+    }
+    let mut adj_arcs: Vec<u32> = vec![0; arcs.len()];
+    let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+    for (ai, e) in g.edge_ids().enumerate().map(|(i, e)| (2 * i as u32, e)) {
+        let edge = g.edge(e);
+        adj_arcs[cursor[edge.from.idx()] as usize] = ai;
+        cursor[edge.from.idx()] += 1;
+        adj_arcs[cursor[edge.to.idx()] as usize] = ai + 1;
+        cursor[edge.to.idx()] += 1;
+    }
+    let adj = FlatAdj {
+        off: &adj_off,
+        arcs: &adj_arcs,
+    };
 
     let mut total = 0.0;
     let mut level = vec![-1i32; n];
@@ -75,7 +93,7 @@ pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResul
         level[s.idx()] = 0;
         let mut queue = std::collections::VecDeque::from([s.0]);
         while let Some(u) = queue.pop_front() {
-            for &ai in &adj[u as usize] {
+            for &ai in adj.of(u) {
                 let arc = arcs[ai as usize];
                 if arc.cap > eps && level[arc.to as usize] < 0 {
                     level[arc.to as usize] = level[u as usize] + 1;
@@ -91,7 +109,7 @@ pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResul
         loop {
             let pushed = dfs_push(
                 &mut arcs,
-                &adj,
+                adj,
                 &level,
                 &mut it,
                 s.0,
@@ -117,11 +135,26 @@ pub fn max_flow(g: &DiGraph, caps: &[f64], s: NodeId, t: NodeId) -> MaxFlowResul
     MaxFlowResult { value: total, flow }
 }
 
+/// Flat per-node arc lists: `arcs[off[v]..off[v+1]]` are node `v`'s
+/// residual arc indices.
+#[derive(Clone, Copy)]
+struct FlatAdj<'a> {
+    off: &'a [u32],
+    arcs: &'a [u32],
+}
+
+impl FlatAdj<'_> {
+    #[inline]
+    fn of(&self, v: u32) -> &[u32] {
+        &self.arcs[self.off[v as usize] as usize..self.off[v as usize + 1] as usize]
+    }
+}
+
 /// DFS augmentation in the level graph (recursive; depth ≤ n).
 #[allow(clippy::too_many_arguments)]
 fn dfs_push(
     arcs: &mut [Arc],
-    adj: &[Vec<u32>],
+    adj: FlatAdj<'_>,
     level: &[i32],
     it: &mut [usize],
     u: u32,
@@ -132,8 +165,8 @@ fn dfs_push(
     if u == t {
         return limit;
     }
-    while it[u as usize] < adj[u as usize].len() {
-        let ai = adj[u as usize][it[u as usize]] as usize;
+    while it[u as usize] < adj.of(u).len() {
+        let ai = adj.of(u)[it[u as usize]] as usize;
         let (to, cap) = (arcs[ai].to, arcs[ai].cap);
         if cap > eps && level[to as usize] == level[u as usize] + 1 {
             let pushed = dfs_push(arcs, adj, level, it, to, t, limit.min(cap), eps);

@@ -3,27 +3,9 @@
 //! footnote 5: "compute subgraph G̃ ⊆ G containing all edges traversed by a
 //! shortest path with respect to edge costs incurred by O").
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::csr::{Csr, SpWorkspace};
 use crate::graph::{DiGraph, EdgeId, NodeId};
 use crate::path::Path;
-
-/// Total order on f64 costs for the heap (no NaNs expected).
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct Cost(f64);
-
-impl Eq for Cost {}
-impl PartialOrd for Cost {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Cost {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// Single-source shortest-path tree.
 #[derive(Clone, Debug)]
@@ -53,36 +35,16 @@ impl ShortestPaths {
 
 /// Dijkstra from `s` under nonnegative `edge_costs`. Panics on a negative
 /// cost (latencies are nonnegative, so costs `ℓ_e(o_e)` always qualify).
+///
+/// This is the allocating convenience wrapper: it builds a fresh
+/// [`Csr`] view and [`SpWorkspace`] per call. Hot loops (Frank–Wolfe's
+/// per-iteration all-or-nothing assignments) build both once and call
+/// [`SpWorkspace::dijkstra`] directly.
 pub fn dijkstra(g: &DiGraph, edge_costs: &[f64], s: NodeId) -> ShortestPaths {
-    assert_eq!(edge_costs.len(), g.num_edges());
-    assert!(
-        edge_costs.iter().all(|c| *c >= 0.0),
-        "Dijkstra requires nonnegative edge costs"
-    );
-    let n = g.num_nodes();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<EdgeId>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
-    dist[s.idx()] = 0.0;
-    heap.push(Reverse((Cost(0.0), s.0)));
-    while let Some(Reverse((Cost(d), u))) = heap.pop() {
-        let u = NodeId(u);
-        if done[u.idx()] {
-            continue;
-        }
-        done[u.idx()] = true;
-        for &e in g.out_edges(u) {
-            let v = g.edge(e).to;
-            let nd = d + edge_costs[e.idx()];
-            if nd < dist[v.idx()] {
-                dist[v.idx()] = nd;
-                parent[v.idx()] = Some(e);
-                heap.push(Reverse((Cost(nd), v.0)));
-            }
-        }
-    }
-    ShortestPaths { dist, parent }
+    let csr = Csr::new(g);
+    let mut ws = SpWorkspace::new();
+    ws.dijkstra(&csr, edge_costs, s);
+    ws.to_shortest_paths()
 }
 
 /// Bellman–Ford (test oracle for Dijkstra; also tolerates negative costs).

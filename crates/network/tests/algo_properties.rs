@@ -3,6 +3,7 @@
 //! graphs.
 
 use proptest::prelude::*;
+use sopt_network::csr::{Csr, SpWorkspace};
 use sopt_network::flow::{decompose, EdgeFlow};
 use sopt_network::graph::{DiGraph, NodeId};
 use sopt_network::maxflow::max_flow;
@@ -53,6 +54,47 @@ proptest! {
                 "node {v}: dijkstra {a} vs bellman-ford {b}"
             );
         }
+    }
+
+    #[test]
+    fn csr_workspace_dijkstra_matches_bellman_ford((g, costs) in random_graph()) {
+        let csr = Csr::new(&g);
+        let mut ws = SpWorkspace::new();
+        ws.dijkstra(&csr, &costs, NodeId(0));
+        let sp_b = bellman_ford(&g, &costs, NodeId(0)).expect("no negative cycles");
+        for v in 0..g.num_nodes() {
+            let (a, b) = (ws.dist()[v], sp_b.dist[v]);
+            prop_assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                "node {v}: csr dijkstra {a} vs bellman-ford {b}"
+            );
+        }
+        // Parent-walk realises the distance.
+        for v in 1..g.num_nodes() {
+            let t = NodeId(v as u32);
+            if let Some(p) = ws.path_to(&g, &csr, t) {
+                prop_assert!((p.cost(&costs) - ws.dist()[v]).abs() < 1e-9);
+            } else {
+                prop_assert!(ws.dist()[v].is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn sp_workspace_reuse_is_stateless(
+        (g1, c1) in random_graph(),
+        (g2, c2) in random_graph(),
+    ) {
+        // One workspace reused across two unrelated graphs must give the
+        // same answers as a fresh workspace on the second graph.
+        let mut reused = SpWorkspace::new();
+        reused.dijkstra(&Csr::new(&g1), &c1, NodeId(0));
+        let csr2 = Csr::new(&g2);
+        reused.dijkstra(&csr2, &c2, NodeId(0));
+        let mut fresh = SpWorkspace::new();
+        fresh.dijkstra(&csr2, &c2, NodeId(0));
+        prop_assert_eq!(reused.dist(), fresh.dist());
+        prop_assert_eq!(reused.parent(), fresh.parent());
     }
 
     #[test]

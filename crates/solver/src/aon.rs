@@ -1,14 +1,38 @@
 //! All-or-nothing assignment: the Frank–Wolfe linearised subproblem.
 
+use sopt_network::csr::{Csr, SpWorkspace};
 use sopt_network::flow::EdgeFlow;
 use sopt_network::graph::NodeId;
 use sopt_network::spath::{dijkstra, ShortestPaths};
 use sopt_network::DiGraph;
 
+use crate::error::SolverError;
+
 /// Route the whole `rate` along one shortest `s→t` path under `edge_costs`.
 ///
 /// Returns the assignment and the shortest-path tree (reused by callers for
-/// gap computation). Panics if `t` is unreachable.
+/// gap computation), or [`SolverError::UnreachableSink`] when `t` is cut
+/// off from `s`.
+pub fn try_all_or_nothing(
+    g: &DiGraph,
+    edge_costs: &[f64],
+    s: NodeId,
+    t: NodeId,
+    rate: f64,
+) -> Result<(EdgeFlow, ShortestPaths), SolverError> {
+    let sp = dijkstra(g, edge_costs, s);
+    let path = sp.path_to(g, t).ok_or(SolverError::UnreachableSink {
+        commodity: 0,
+        source: s,
+        sink: t,
+    })?;
+    let mut flow = EdgeFlow::zeros(g.num_edges());
+    flow.add_path(&path, rate);
+    Ok((flow, sp))
+}
+
+/// Panicking shim over [`try_all_or_nothing`] for internal callers that
+/// pre-validate reachability.
 pub fn all_or_nothing(
     g: &DiGraph,
     edge_costs: &[f64],
@@ -16,13 +40,33 @@ pub fn all_or_nothing(
     t: NodeId,
     rate: f64,
 ) -> (EdgeFlow, ShortestPaths) {
-    let sp = dijkstra(g, edge_costs, s);
-    let path = sp
-        .path_to(g, t)
-        .unwrap_or_else(|| panic!("sink {t} unreachable from source {s}"));
-    let mut flow = EdgeFlow::zeros(g.num_edges());
-    flow.add_path(&path, rate);
-    (flow, sp)
+    try_all_or_nothing(g, edge_costs, s, t, rate).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Allocation-free all-or-nothing over a prebuilt [`Csr`] view: runs
+/// Dijkstra in `sp` and **adds** `rate` along one shortest `s→t` path into
+/// `out` (callers zero `out` when they want a pure assignment). The hot
+/// path of every Frank–Wolfe iteration.
+pub fn aon_into(
+    csr: &Csr,
+    sp: &mut SpWorkspace,
+    edge_costs: &[f64],
+    s: NodeId,
+    t: NodeId,
+    rate: f64,
+    out: &mut [f64],
+) -> Result<(), SolverError> {
+    sp.dijkstra(csr, edge_costs, s);
+    let reached = sp.walk_path_to(csr, t, |e| out[e.idx()] += rate);
+    if reached {
+        Ok(())
+    } else {
+        Err(SolverError::UnreachableSink {
+            commodity: 0,
+            source: s,
+            sink: t,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -54,9 +98,57 @@ mod tests {
     }
 
     #[test]
+    fn unreachable_sink_is_typed() {
+        let g = DiGraph::with_nodes(2);
+        let err = try_all_or_nothing(&g, &[], NodeId(0), NodeId(1), 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            SolverError::UnreachableSink {
+                commodity: 0,
+                source: NodeId(0),
+                sink: NodeId(1),
+            }
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "unreachable")]
-    fn unreachable_sink_panics() {
+    fn unreachable_sink_panics_in_shim() {
         let g = DiGraph::with_nodes(2);
         let _ = all_or_nothing(&g, &[], NodeId(0), NodeId(1), 1.0);
+    }
+
+    #[test]
+    fn aon_into_adds_along_shortest() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(2));
+        let csr = Csr::new(&g);
+        let mut sp = SpWorkspace::new();
+        let mut out = vec![0.0; 3];
+        aon_into(
+            &csr,
+            &mut sp,
+            &[1.0, 1.0, 5.0],
+            NodeId(0),
+            NodeId(2),
+            2.0,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![2.0, 2.0, 0.0]);
+        // Additive: a second call accumulates.
+        aon_into(
+            &csr,
+            &mut sp,
+            &[1.0, 1.0, 0.5],
+            NodeId(0),
+            NodeId(2),
+            1.0,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![2.0, 2.0, 1.0]);
     }
 }

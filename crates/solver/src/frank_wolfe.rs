@@ -1,11 +1,12 @@
 //! Frank–Wolfe (convex combinations) traffic assignment with conjugate
-//! direction acceleration.
+//! direction acceleration, reusable workspaces and warm starts.
 //!
 //! Minimises the separable convex objective selected by [`CostModel`] over
 //! the feasible (multi)commodity flows of a network instance:
 //!
 //! * linearised subproblem = all-or-nothing shortest-path assignment
-//!   (Dijkstra with current gradient as edge costs);
+//!   (Dijkstra with current gradient as edge costs, over a prebuilt CSR
+//!   view — see [`sopt_network::csr`]);
 //! * exact bisection line search along the direction;
 //! * optional conjugate direction (Mitradjieva–Lindberg CFW) — plain FW
 //!   converges sublinearly and stalls around 1e-6 relative gap, CFW reaches
@@ -13,14 +14,34 @@
 //!   (`benches/frank_wolfe.rs` measures the gap-vs-iteration ablation);
 //! * the *relative gap* `Σc·(f−y) / Σc·f` certifies convergence: it bounds
 //!   the objective suboptimality fraction via convexity.
+//!
+//! ## Workspaces and warm starts
+//!
+//! All per-iteration buffers (gradient costs, all-or-nothing targets,
+//! conjugate state, the Dijkstra heap) live in a [`FwWorkspace`]. The plain
+//! entry points ([`solve_assignment`], [`solve_multicommodity`]) reuse a
+//! thread-local workspace, so back-to-back solves on one thread allocate
+//! only their results; the `_with` variants take an explicit workspace for
+//! callers that manage their own.
+//!
+//! [`solve_warm`] / [`try_solve_warm`] additionally accept a previous
+//! [`FwResult`] as the starting point. Seeding a solve with a nearby flow
+//! (the previous α of an anarchy-curve sweep, MOP's free flow for an
+//! induced solve) skips the all-or-nothing bootstrap and typically
+//! converges in a handful of iterations instead of tens — `fw_bench`
+//! (`BENCH_fw.json`) measures the cold/warm iteration ratio.
+
+use std::cell::RefCell;
 
 use sopt_latency::{Latency, LatencyFn};
+use sopt_network::csr::{Csr, SpWorkspace};
 use sopt_network::flow::EdgeFlow;
 use sopt_network::graph::NodeId;
 use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
 use sopt_network::DiGraph;
 
-use crate::aon::all_or_nothing;
+use crate::aon::aon_into;
+use crate::error::SolverError;
 use crate::line_search::{exact_step, max_step};
 use crate::objective::CostModel;
 
@@ -37,6 +58,12 @@ pub struct FwOptions {
     /// Periodic restarts break the rare zigzag degeneration of CFW near
     /// kinked optima; 256 is a good default.
     pub restart_period: usize,
+    /// Hand over to the path polish when the relative gap has not improved
+    /// by ≥1% within this many iterations (`0` = never). Frank–Wolfe
+    /// converges sublinearly and plateaus orders of magnitude above tight
+    /// targets; the polish converges linearly from the plateau, so burning
+    /// the rest of `max_iters` on a stalled FW loop is pure waste.
+    pub stall_window: usize,
 }
 
 impl Default for FwOptions {
@@ -48,6 +75,7 @@ impl Default for FwOptions {
             max_iters: 2_000,
             conjugate: true,
             restart_period: 256,
+            stall_window: 64,
         }
     }
 }
@@ -69,164 +97,452 @@ pub struct FwResult {
     pub converged: bool,
 }
 
-/// Solve a single-commodity instance. See [`solve_multicommodity`].
+/// Reusable Frank–Wolfe solver state: the CSR adjacency view, the Dijkstra
+/// workspace, and every per-iteration buffer. One workspace serves solves
+/// over graphs of any size (buffers are re-sized per solve, reusing their
+/// allocations), so a parameter sweep allocates only its results.
+#[derive(Clone, Debug, Default)]
+pub struct FwWorkspace {
+    csr: Csr,
+    sp: SpWorkspace,
+    /// Gradient edge costs.
+    costs: Vec<f64>,
+    /// Combined flow over commodities.
+    f: Vec<f64>,
+    /// Combined all-or-nothing target.
+    y: Vec<f64>,
+    /// Combined conjugate target.
+    t_comb: Vec<f64>,
+    /// Combined previous conjugate target (for the conjugacy weight).
+    prev_comb: Vec<f64>,
+    /// Search direction.
+    d: Vec<f64>,
+    /// Per-commodity all-or-nothing targets.
+    ys: Vec<EdgeFlow>,
+    /// Per-commodity conjugate targets.
+    target: Vec<EdgeFlow>,
+    /// Per-commodity conjugate memory (valid iff `s_bar_set`).
+    s_bar: Vec<EdgeFlow>,
+    s_bar_set: bool,
+}
+
+fn resize_flows(v: &mut Vec<EdgeFlow>, k: usize, m: usize) {
+    v.truncate(k);
+    for fl in v.iter_mut() {
+        fl.0.clear();
+        fl.0.resize(m, 0.0);
+    }
+    while v.len() < k {
+        v.push(EdgeFlow::zeros(m));
+    }
+}
+
+impl FwWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for a `k`-commodity solve over `graph`.
+    fn prepare(&mut self, graph: &DiGraph, k: usize) {
+        self.csr.rebuild(graph);
+        let m = graph.num_edges();
+        for buf in [
+            &mut self.costs,
+            &mut self.f,
+            &mut self.y,
+            &mut self.t_comb,
+            &mut self.prev_comb,
+            &mut self.d,
+        ] {
+            buf.clear();
+            buf.resize(m, 0.0);
+        }
+        resize_flows(&mut self.ys, k, m);
+        resize_flows(&mut self.target, k, m);
+        resize_flows(&mut self.s_bar, k, m);
+        self.s_bar_set = false;
+    }
+}
+
+thread_local! {
+    /// Workspace behind the plain entry points: repeated solves on one
+    /// thread (a batch worker, an α sweep) share one set of buffers.
+    static TLS_WORKSPACE: RefCell<FwWorkspace> = RefCell::new(FwWorkspace::new());
+}
+
+fn with_tls_workspace<R>(f: impl FnOnce(&mut FwWorkspace) -> R) -> R {
+    TLS_WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        // A reentrant caller (solver invoked from inside a solver callback)
+        // gets private scratch instead of a borrow panic.
+        Err(_) => f(&mut FwWorkspace::new()),
+    })
+}
+
+/// Solve a single-commodity instance. See [`solve_multicommodity`]. Panics
+/// where [`try_solve_assignment`] errors.
 pub fn solve_assignment(inst: &NetworkInstance, model: CostModel, opts: &FwOptions) -> FwResult {
+    try_solve_assignment(inst, model, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`solve_assignment`] with the unreachable-sink failure surfaced as a
+/// typed [`SolverError`].
+pub fn try_solve_assignment(
+    inst: &NetworkInstance,
+    model: CostModel,
+    opts: &FwOptions,
+) -> Result<FwResult, SolverError> {
+    try_solve_warm(inst, model, opts, None)
+}
+
+/// Solve a single-commodity instance starting from a previous result
+/// (`init`) when one is supplied: the initial point is `init`'s
+/// per-commodity flow rescaled to this instance's rate. A seed that does
+/// not fit (wrong shape, zero value, capacity violation after rescaling)
+/// silently falls back to the cold start. Panics where [`try_solve_warm`]
+/// errors.
+pub fn solve_warm(
+    inst: &NetworkInstance,
+    model: CostModel,
+    opts: &FwOptions,
+    init: Option<&FwResult>,
+) -> FwResult {
+    try_solve_warm(inst, model, opts, init).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`solve_warm`] with typed errors.
+pub fn try_solve_warm(
+    inst: &NetworkInstance,
+    model: CostModel,
+    opts: &FwOptions,
+    init: Option<&FwResult>,
+) -> Result<FwResult, SolverError> {
+    with_tls_workspace(|ws| {
+        try_solve_warm_with(
+            ws,
+            inst,
+            model,
+            opts,
+            init.map(|r| r.per_commodity.as_slice()),
+        )
+    })
+}
+
+/// [`try_solve_warm`] over a caller-owned workspace, seeded by raw
+/// per-commodity flows (one [`EdgeFlow`] for the single commodity).
+pub fn try_solve_warm_with(
+    ws: &mut FwWorkspace,
+    inst: &NetworkInstance,
+    model: CostModel,
+    opts: &FwOptions,
+    seed: Option<&[EdgeFlow]>,
+) -> Result<FwResult, SolverError> {
     solve_inner(
+        ws,
         &inst.graph,
         &inst.latencies,
         &[(inst.source, inst.sink, inst.rate)],
         model,
         opts,
+        seed,
     )
 }
 
 /// Solve a k-commodity instance: per-commodity all-or-nothing directions
-/// with a common exact step in the combined flow space.
+/// with a common exact step in the combined flow space. Panics where
+/// [`try_solve_multicommodity`] errors.
 pub fn solve_multicommodity(
     inst: &MultiCommodityInstance,
     model: CostModel,
     opts: &FwOptions,
 ) -> FwResult {
+    try_solve_multicommodity(inst, model, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`solve_multicommodity`] with typed errors.
+pub fn try_solve_multicommodity(
+    inst: &MultiCommodityInstance,
+    model: CostModel,
+    opts: &FwOptions,
+) -> Result<FwResult, SolverError> {
+    try_solve_warm_multicommodity(inst, model, opts, None)
+}
+
+/// Multicommodity warm start: the per-commodity flows of `init` (rescaled
+/// per commodity) seed the solve. Panics where
+/// [`try_solve_warm_multicommodity`] errors.
+pub fn solve_warm_multicommodity(
+    inst: &MultiCommodityInstance,
+    model: CostModel,
+    opts: &FwOptions,
+    init: Option<&FwResult>,
+) -> FwResult {
+    try_solve_warm_multicommodity(inst, model, opts, init).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`solve_warm_multicommodity`] with typed errors.
+pub fn try_solve_warm_multicommodity(
+    inst: &MultiCommodityInstance,
+    model: CostModel,
+    opts: &FwOptions,
+    init: Option<&FwResult>,
+) -> Result<FwResult, SolverError> {
+    with_tls_workspace(|ws| {
+        try_solve_warm_multicommodity_with(
+            ws,
+            inst,
+            model,
+            opts,
+            init.map(|r| r.per_commodity.as_slice()),
+        )
+    })
+}
+
+/// [`try_solve_warm_multicommodity`] over a caller-owned workspace, seeded
+/// by raw per-commodity flows.
+pub fn try_solve_warm_multicommodity_with(
+    ws: &mut FwWorkspace,
+    inst: &MultiCommodityInstance,
+    model: CostModel,
+    opts: &FwOptions,
+    seed: Option<&[EdgeFlow]>,
+) -> Result<FwResult, SolverError> {
     let demands: Vec<(NodeId, NodeId, f64)> = inst
         .commodities
         .iter()
         .map(|c| (c.source, c.sink, c.rate))
         .collect();
-    solve_inner(&inst.graph, &inst.latencies, &demands, model, opts)
+    solve_inner(
+        ws,
+        &inst.graph,
+        &inst.latencies,
+        &demands,
+        model,
+        opts,
+        seed,
+    )
+}
+
+/// Evaluate the model gradient at `f` into `out`.
+fn grad_into(latencies: &[LatencyFn], model: CostModel, f: &[f64], out: &mut [f64]) {
+    for (o, (l, &x)) in out.iter_mut().zip(latencies.iter().zip(f)) {
+        *o = model.edge_gradient(l, x);
+    }
+}
+
+/// Sum per-commodity flows into `out`.
+fn combined_into(per: &[EdgeFlow], out: &mut [f64]) {
+    out.fill(0.0);
+    for p in per {
+        for (fe, pe) in out.iter_mut().zip(&p.0) {
+            *fe += pe;
+        }
+    }
+}
+
+/// Validate and rescale a warm-start seed into per-commodity starting
+/// flows. Returns `None` (→ cold start) when the seed does not fit: wrong
+/// commodity count or edge count, non-finite or negative entries, zero
+/// s→t value for a positive demand, broken conservation, or a capacity
+/// violation after rescaling to the new rates.
+fn warm_start_per(
+    seed: &[EdgeFlow],
+    graph: &DiGraph,
+    latencies: &[LatencyFn],
+    demands: &[(NodeId, NodeId, f64)],
+) -> Option<Vec<EdgeFlow>> {
+    let m = graph.num_edges();
+    if seed.len() != demands.len() {
+        return None;
+    }
+    let mut per = Vec::with_capacity(seed.len());
+    for (sf, &(s, t, r)) in seed.iter().zip(demands) {
+        if sf.0.len() != m || sf.0.iter().any(|x| !x.is_finite() || *x < -1e-9) {
+            return None;
+        }
+        if r <= 0.0 {
+            per.push(EdgeFlow::zeros(m));
+            continue;
+        }
+        let value = sf.excess(graph, t);
+        if value <= 1e-12 * r.max(1.0) {
+            return None;
+        }
+        let scale = r / value;
+        let flow = EdgeFlow(sf.0.iter().map(|x| (x * scale).max(0.0)).collect());
+        if !flow.is_st_flow(graph, s, t, r, 1e-7 * r.max(1.0)) {
+            return None;
+        }
+        per.push(flow);
+    }
+    // Combined capacity check: the line search assumes a strictly interior
+    // start w.r.t. M/M/1 poles.
+    let mut f = vec![0.0; m];
+    combined_into(&per, &mut f);
+    for (l, &fe) in latencies.iter().zip(&f) {
+        let cap = l.capacity();
+        if cap.is_finite() && fe >= cap * 0.9999 {
+            return None;
+        }
+    }
+    Some(per)
 }
 
 fn solve_inner(
+    ws: &mut FwWorkspace,
     graph: &DiGraph,
     latencies: &[LatencyFn],
     demands: &[(NodeId, NodeId, f64)],
     model: CostModel,
     opts: &FwOptions,
-) -> FwResult {
+    seed: Option<&[EdgeFlow]>,
+) -> Result<FwResult, SolverError> {
     let m = graph.num_edges();
     let k = demands.len();
     let total_rate: f64 = demands.iter().map(|d| d.2).sum();
 
     // Degenerate but legal (e.g. a fully-preloaded follower instance).
     if total_rate <= 0.0 {
-        return FwResult {
+        return Ok(FwResult {
             flow: EdgeFlow::zeros(m),
             per_commodity: vec![EdgeFlow::zeros(m); k],
             objective: 0.0,
             rel_gap: 0.0,
             iterations: 0,
             converged: true,
-        };
+        });
     }
 
-    let grad = |f: &[f64], out: &mut Vec<f64>| {
-        out.clear();
-        out.extend(
-            latencies
-                .iter()
-                .zip(f)
-                .map(|(l, &x)| model.edge_gradient(l, x)),
-        );
-    };
+    ws.prepare(graph, k);
 
-    // Initialise: AON at empty-network costs.
-    let mut costs = Vec::with_capacity(m);
-    grad(&vec![0.0; m], &mut costs);
-    let mut per: Vec<EdgeFlow> = Vec::with_capacity(k);
-    for &(s, t, r) in demands {
-        // Guard M/M/1 poles: if the single cheapest path cannot carry the
-        // whole commodity within capacities, split the initial assignment by
-        // short capacity-respecting steps from zero instead. Simplest robust
-        // init: route greedily in `CHUNKS` equal slices, recomputing costs.
-        per.push(EdgeFlow::zeros(m));
-        const CHUNKS: usize = 8;
-        for _ in 0..CHUNKS {
-            let f_total: Vec<f64> = combined(&per, m);
-            grad(&f_total, &mut costs);
-            // Saturated edges (≥99.99% of capacity) get prohibitive cost so
-            // the init never steps over a pole.
-            for (c, (l, &fe)) in costs.iter_mut().zip(latencies.iter().zip(&f_total)) {
-                let cap = l.capacity();
-                if cap.is_finite() && fe >= cap * 0.9999 {
-                    *c = f64::MAX / 1e6;
+    // Initial point: a validated warm-start seed, or all-or-nothing at
+    // empty-network costs. The cold path maintains the running combined
+    // flow in `ws.f` instead of rebuilding it per chunk, and routes
+    // through the workspace Dijkstra — no per-chunk allocation.
+    let mut warm = false;
+    let mut per: Vec<EdgeFlow> =
+        match seed.and_then(|s| warm_start_per(s, graph, latencies, demands)) {
+            Some(per) => {
+                combined_into(&per, &mut ws.f);
+                warm = true;
+                per
+            }
+            None => {
+                let mut per = Vec::with_capacity(k);
+                ws.f.fill(0.0);
+                for (ci, &(s, t, r)) in demands.iter().enumerate() {
+                    // Guard M/M/1 poles: if the single cheapest path cannot
+                    // carry the whole commodity within capacities, split the
+                    // initial assignment by short capacity-respecting steps
+                    // from zero instead. Simplest robust init: route greedily
+                    // in `CHUNKS` equal slices, recomputing costs.
+                    per.push(EdgeFlow::zeros(m));
+                    const CHUNKS: usize = 8;
+                    for _ in 0..CHUNKS {
+                        grad_into(latencies, model, &ws.f, &mut ws.costs);
+                        // Saturated edges (≥99.99% of capacity) get
+                        // prohibitive cost so the init never steps over a
+                        // pole.
+                        for (c, (l, &fe)) in ws.costs.iter_mut().zip(latencies.iter().zip(&ws.f)) {
+                            let cap = l.capacity();
+                            if cap.is_finite() && fe >= cap * 0.9999 {
+                                *c = f64::MAX / 1e6;
+                            }
+                        }
+                        let last = per.last_mut().expect("pushed above");
+                        let slice = r / CHUNKS as f64;
+                        let f = &mut ws.f;
+                        aon_into(&ws.csr, &mut ws.sp, &ws.costs, s, t, slice, &mut last.0)
+                            .map_err(|e| e.with_commodity(ci))?;
+                        // Mirror the slice into the running combined flow.
+                        ws.sp.walk_path_to(&ws.csr, t, |e| f[e.idx()] += slice);
+                    }
                 }
+                per
             }
-            let (y, _) = all_or_nothing(graph, &costs, s, t, r / CHUNKS as f64);
-            let last = per.last_mut().unwrap();
-            for e in 0..m {
-                last.0[e] += y.0[e];
-            }
-        }
-    }
-
-    let mut f: Vec<f64> = combined(&per, m);
-    // Conjugate-FW state: previous target point per commodity.
-    let mut s_bar: Option<Vec<EdgeFlow>> = None;
+        };
 
     let mut rel_gap = f64::INFINITY;
     let mut iterations = 0;
     let mut converged = false;
+    // Stall detection: the best gap seen and the iteration that set it.
+    let mut best_gap = f64::INFINITY;
+    let mut best_iter = 0usize;
 
-    for iter in 0..opts.max_iters {
+    // A validated warm seed already carries the equilibrium's path
+    // structure, which is exactly what the (linearly convergent) polish
+    // phase exploits — running the sublinear FW loop first would only burn
+    // iterations rediscovering it. Hand the seed straight to the polish;
+    // its first column-generation round certifies the gap, so an
+    // already-converged seed costs one round.
+    let fw_budget = if warm { 0 } else { opts.max_iters };
+
+    for iter in 0..fw_budget {
         iterations = iter + 1;
         if opts.restart_period > 0 && iter % opts.restart_period == 0 {
-            s_bar = None;
+            ws.s_bar_set = false;
         }
-        grad(&f, &mut costs);
+        grad_into(latencies, model, &ws.f, &mut ws.costs);
 
         // Per-commodity all-or-nothing targets.
-        let mut ys: Vec<EdgeFlow> = Vec::with_capacity(k);
-        for &(s, t, r) in demands {
-            let (y, _) = all_or_nothing(graph, &costs, s, t, r);
-            ys.push(y);
+        for (ci, &(s, t, r)) in demands.iter().enumerate() {
+            ws.ys[ci].0.fill(0.0);
+            aon_into(&ws.csr, &mut ws.sp, &ws.costs, s, t, r, &mut ws.ys[ci].0)
+                .map_err(|e| e.with_commodity(ci))?;
         }
-        let y: Vec<f64> = combined(&ys, m);
+        combined_into(&ws.ys, &mut ws.y);
 
         // Relative gap.
-        let cf: f64 = costs.iter().zip(&f).map(|(c, x)| c * x).sum();
-        let cy: f64 = costs.iter().zip(&y).map(|(c, x)| c * x).sum();
+        let cf: f64 = ws.costs.iter().zip(&ws.f).map(|(c, x)| c * x).sum();
+        let cy: f64 = ws.costs.iter().zip(&ws.y).map(|(c, x)| c * x).sum();
         let gap = cf - cy;
         rel_gap = if cf.abs() > 1e-300 { gap / cf } else { 0.0 };
         if rel_gap <= opts.rel_gap {
             converged = true;
             break;
         }
+        if rel_gap < best_gap * 0.99 {
+            best_gap = rel_gap;
+            best_iter = iter;
+        } else if opts.stall_window > 0 && iter - best_iter >= opts.stall_window {
+            // Plateaued: let the polish finish the tail.
+            break;
+        }
 
         // Direction point: conjugate combination of previous target and y.
-        let target: Vec<EdgeFlow> = if opts.conjugate {
-            match &s_bar {
-                Some(prev) => {
-                    let a = conjugate_weight(latencies, model, &f, &combined(prev, m), &y);
-                    ys.iter()
-                        .zip(prev)
-                        .map(|(yi, pi)| {
-                            EdgeFlow(
-                                yi.0.iter()
-                                    .zip(&pi.0)
-                                    .map(|(ye, pe)| a * pe + (1.0 - a) * ye)
-                                    .collect(),
-                            )
-                        })
-                        .collect()
+        if opts.conjugate && ws.s_bar_set {
+            combined_into(&ws.s_bar, &mut ws.prev_comb);
+            let a = conjugate_weight(latencies, model, &ws.f, &ws.prev_comb, &ws.y);
+            for (ti, (yi, pi)) in ws.target.iter_mut().zip(ws.ys.iter().zip(&ws.s_bar)) {
+                for (te, (&ye, &pe)) in ti.0.iter_mut().zip(yi.0.iter().zip(&pi.0)) {
+                    *te = a * pe + (1.0 - a) * ye;
                 }
-                None => ys.clone(),
             }
         } else {
-            ys.clone()
-        };
+            for (ti, yi) in ws.target.iter_mut().zip(&ws.ys) {
+                ti.0.copy_from_slice(&yi.0);
+            }
+        }
 
-        let t_comb: Vec<f64> = combined(&target, m);
-        let mut d: Vec<f64> = t_comb.iter().zip(&f).map(|(t, f)| t - f).collect();
+        combined_into(&ws.target, &mut ws.t_comb);
+        for ((de, &te), &fe) in ws.d.iter_mut().zip(&ws.t_comb).zip(&ws.f) {
+            *de = te - fe;
+        }
 
-        let mut gamma_max = max_step(latencies, &f, &d);
-        let mut gamma = exact_step(latencies, model, &f, &d, gamma_max);
+        let mut gamma_max = max_step(latencies, &ws.f, &ws.d);
+        let mut gamma = exact_step(latencies, model, &ws.f, &ws.d, gamma_max);
         if gamma <= 0.0 && opts.conjugate {
             // Conjugate direction degenerated; fall back to plain FW.
-            d = y.iter().zip(&f).map(|(y, f)| y - f).collect();
-            gamma_max = max_step(latencies, &f, &d);
-            gamma = exact_step(latencies, model, &f, &d, gamma_max);
-            s_bar = None;
+            for ((de, &ye), &fe) in ws.d.iter_mut().zip(&ws.y).zip(&ws.f) {
+                *de = ye - fe;
+            }
+            gamma_max = max_step(latencies, &ws.f, &ws.d);
+            gamma = exact_step(latencies, model, &ws.f, &ws.d, gamma_max);
+            ws.s_bar_set = false;
         } else {
-            s_bar = Some(target.clone());
+            std::mem::swap(&mut ws.s_bar, &mut ws.target);
+            ws.s_bar_set = true;
         }
         if gamma <= 0.0 {
             // Numerically stationary.
@@ -234,25 +550,15 @@ fn solve_inner(
         }
 
         // Move every commodity by the same step toward its target.
-        match &s_bar {
-            Some(tgt) => {
-                for (pi, ti) in per.iter_mut().zip(tgt) {
-                    for e in 0..m {
-                        pi.0[e] += gamma * (ti.0[e] - pi.0[e]);
-                    }
-                }
-            }
-            None => {
-                for (pi, yi) in per.iter_mut().zip(&ys) {
-                    for e in 0..m {
-                        pi.0[e] += gamma * (yi.0[e] - pi.0[e]);
-                    }
-                }
+        let toward: &[EdgeFlow] = if ws.s_bar_set { &ws.s_bar } else { &ws.ys };
+        for (pi, ti) in per.iter_mut().zip(toward) {
+            for (pe, &te) in pi.0.iter_mut().zip(&ti.0) {
+                *pe += gamma * (te - *pe);
             }
         }
-        f = combined(&per, m);
+        combined_into(&per, &mut ws.f);
         // Clean tiny negatives from floating error.
-        for x in &mut f {
+        for x in &mut ws.f {
             if *x < 0.0 {
                 *x = 0.0;
             }
@@ -266,7 +572,9 @@ fn solve_inner(
         // The polish honours the same iteration budget as the FW phase, so
         // `max_iters` caps total work end to end (the session API relies on
         // this to surface NotConverged instead of spinning).
-        let pr = crate::path_polish::polish_to_equilibrium(
+        let pr = crate::path_polish::polish_with(
+            &ws.csr,
+            &mut ws.sp,
             graph,
             latencies,
             demands,
@@ -278,32 +586,22 @@ fn solve_inner(
         rel_gap = pr.rel_gap;
         converged = pr.converged;
         iterations += pr.rounds;
-        f = combined(&per, m);
+        combined_into(&per, &mut ws.f);
     }
 
     let objective: f64 = latencies
         .iter()
-        .zip(&f)
+        .zip(&ws.f)
         .map(|(l, &x)| model.edge_objective(l, x))
         .sum();
-    FwResult {
-        flow: EdgeFlow(f),
+    Ok(FwResult {
+        flow: EdgeFlow(ws.f.clone()),
         per_commodity: per,
         objective,
         rel_gap,
         iterations,
         converged,
-    }
-}
-
-fn combined(per: &[EdgeFlow], m: usize) -> Vec<f64> {
-    let mut f = vec![0.0; m];
-    for p in per {
-        for (fe, pe) in f.iter_mut().zip(&p.0) {
-            *fe += pe;
-        }
-    }
-    f
+    })
 }
 
 /// Conjugacy weight `a` of Mitradjieva–Lindberg: choose the target
@@ -531,5 +829,95 @@ mod tests {
         let l0 = LatencyFn::mm1(2.0).value(r.flow.0[0]);
         let l1 = LatencyFn::affine(1.0, 0.2).value(r.flow.0[1]);
         assert!((l0 - l1).abs() < 1e-6, "{l0} vs {l1}");
+    }
+
+    #[test]
+    fn unreachable_sink_is_a_typed_error() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1)); // node 2 is cut off
+        let inst = NetworkInstance::new(g, vec![LatencyFn::identity()], NodeId(0), NodeId(2), 1.0);
+        let err =
+            try_solve_assignment(&inst, CostModel::Wardrop, &FwOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SolverError::UnreachableSink {
+                commodity: 0,
+                source: NodeId(0),
+                sink: NodeId(2),
+            }
+        );
+    }
+
+    #[test]
+    fn warm_start_from_own_solution_converges_immediately() {
+        let inst = braess_classic();
+        let opts = FwOptions::default();
+        let cold = solve_assignment(&inst, CostModel::Wardrop, &opts);
+        let warm = solve_warm(&inst, CostModel::Wardrop, &opts, Some(&cold));
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= 2,
+            "warm restart took {} iterations",
+            warm.iterations
+        );
+        for e in 0..5 {
+            assert!((warm.flow.0[e] - cold.flow.0[e]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn warm_start_rescales_to_new_rate() {
+        let inst = braess_classic();
+        let opts = FwOptions::default();
+        let cold = solve_assignment(&inst, CostModel::SystemOptimum, &opts);
+        // Same network at a slightly different rate: the seed rescales.
+        let bumped = NetworkInstance::new(
+            inst.graph.clone(),
+            inst.latencies.clone(),
+            inst.source,
+            inst.sink,
+            1.05,
+        );
+        let warm = solve_warm(&bumped, CostModel::SystemOptimum, &opts, Some(&cold));
+        let fresh = solve_assignment(&bumped, CostModel::SystemOptimum, &opts);
+        assert!(warm.converged && fresh.converged);
+        assert!(warm.iterations <= fresh.iterations);
+        for e in 0..5 {
+            assert!((warm.flow.0[e] - fresh.flow.0[e]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn malformed_seed_falls_back_to_cold_start() {
+        let inst = braess_classic();
+        let opts = FwOptions::default();
+        // Wrong edge count: ignored, still solves correctly.
+        let bad = FwResult {
+            flow: EdgeFlow::zeros(2),
+            per_commodity: vec![EdgeFlow::zeros(2)],
+            objective: 0.0,
+            rel_gap: f64::INFINITY,
+            iterations: 0,
+            converged: false,
+        };
+        let r = solve_warm(&inst, CostModel::Wardrop, &opts, Some(&bad));
+        assert!(r.converged);
+        assert!((r.flow.0[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn explicit_workspace_is_reusable_across_instances() {
+        let mut ws = FwWorkspace::new();
+        let braess = braess_classic();
+        let pigou = two_node(vec![LatencyFn::identity(), LatencyFn::constant(1.0)], 1.0);
+        let opts = FwOptions::default();
+        let a = try_solve_warm_with(&mut ws, &braess, CostModel::Wardrop, &opts, None).unwrap();
+        let b = try_solve_warm_with(&mut ws, &pigou, CostModel::Wardrop, &opts, None).unwrap();
+        let c = try_solve_warm_with(&mut ws, &braess, CostModel::Wardrop, &opts, None).unwrap();
+        assert!(a.converged && b.converged && c.converged);
+        for e in 0..5 {
+            assert!((a.flow.0[e] - c.flow.0[e]).abs() < 1e-12);
+        }
+        assert!((b.flow.0[0] - 1.0).abs() < 1e-6);
     }
 }

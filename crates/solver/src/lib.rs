@@ -26,6 +26,7 @@
 
 pub mod aon;
 pub mod equalize;
+pub mod error;
 pub mod frank_wolfe;
 pub mod line_search;
 pub mod objective;
@@ -35,5 +36,10 @@ pub mod roots;
 pub mod sweep;
 
 pub use equalize::{equalize, EqualizeError, EqualizeResult};
-pub use frank_wolfe::{solve_assignment, solve_multicommodity, FwOptions, FwResult};
+pub use error::SolverError;
+pub use frank_wolfe::{
+    solve_assignment, solve_multicommodity, solve_warm, solve_warm_multicommodity,
+    try_solve_assignment, try_solve_multicommodity, try_solve_warm, try_solve_warm_multicommodity,
+    FwOptions, FwResult, FwWorkspace,
+};
 pub use objective::CostModel;

@@ -21,9 +21,9 @@
 use std::collections::HashMap;
 
 use sopt_latency::{Latency, LatencyFn};
+use sopt_network::csr::{Csr, SpWorkspace};
 use sopt_network::flow::{decompose, EdgeFlow};
 use sopt_network::graph::{EdgeId, NodeId};
-use sopt_network::spath::dijkstra;
 use sopt_network::DiGraph;
 
 use crate::objective::CostModel;
@@ -71,7 +71,38 @@ impl PathState {
 
 /// Polish per-commodity edge flows toward the exact equilibrium of `model`.
 /// `per` is updated in place; returns the achieved relative gap.
+///
+/// Convenience wrapper over [`polish_with`] building a fresh CSR view and
+/// shortest-path workspace per call.
 pub fn polish_to_equilibrium(
+    graph: &DiGraph,
+    latencies: &[LatencyFn],
+    demands: &[(NodeId, NodeId, f64)],
+    model: CostModel,
+    per: &mut [EdgeFlow],
+    target_rel_gap: f64,
+    max_rounds: usize,
+) -> PolishResult {
+    polish_with(
+        &Csr::new(graph),
+        &mut SpWorkspace::new(),
+        graph,
+        latencies,
+        demands,
+        model,
+        per,
+        target_rel_gap,
+        max_rounds,
+    )
+}
+
+/// [`polish_to_equilibrium`] over a caller-owned CSR view and Dijkstra
+/// workspace (the Frank–Wolfe solver hands in its own, so the polish
+/// phase shares the solve's buffers).
+#[allow(clippy::too_many_arguments)]
+pub fn polish_with(
+    csr: &Csr,
+    sp: &mut SpWorkspace,
     graph: &DiGraph,
     latencies: &[LatencyFn],
     demands: &[(NodeId, NodeId, f64)],
@@ -126,21 +157,25 @@ pub fn polish_to_equilibrium(
     let mut rel_gap = f64::INFINITY;
     let mut converged = false;
     let mut rounds = 0;
+    // One cost buffer for every round (no per-round allocation).
+    let mut costs = vec![0.0f64; m];
 
     for round in 0..max_rounds {
         rounds = round + 1;
         // Column generation + gap measurement at the current point.
-        let costs: Vec<f64> = (0..m).map(|e| grad_edge(&f, e)).collect();
+        for (e, c) in costs.iter_mut().enumerate() {
+            *c = grad_edge(&f, e);
+        }
         let cf: f64 = costs.iter().zip(&f).map(|(c, x)| c * x).sum();
         let mut cy = 0.0;
         for st in &mut states {
             if st.rate <= 0.0 {
                 continue;
             }
-            let sp = dijkstra(graph, &costs, st.source);
-            let dist = sp.dist[st.sink.idx()];
+            sp.dijkstra(csr, &costs, st.source);
+            let dist = sp.dist()[st.sink.idx()];
             cy += st.rate * dist;
-            if let Some(path) = sp.path_to(graph, st.sink) {
+            if let Some(path) = sp.path_to(graph, csr, st.sink) {
                 st.add_path(path.edges().to_vec());
             }
         }

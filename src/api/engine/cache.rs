@@ -1,4 +1,4 @@
-//! [`SolveCache`] — the sharded memo table behind the engine.
+//! [`SolveCache`] — the sharded, bounded memo table behind the engine.
 //!
 //! Two tables, both keyed by canonical spec identity
 //! ([`Fingerprint`]-based, see the sibling module):
@@ -8,24 +8,43 @@
 //!   solves it once; a warm cache replays an identical fleet without
 //!   touching a solver, returning bit-identical reports (entries are stored
 //!   once and cloned out).
-//! * the **equilibrium table** memoizes the parallel-link Nash/optimum
-//!   profiles that several tasks re-derive for one scenario: the `equilib`
-//!   task's two solves, the `curve` task's feasibility gates, and the
-//!   `llf` task's optimum (which is the same profile at every α). Sharing
-//!   one cache across an α-sweep of `llf` solves therefore performs the
-//!   optimum equalization once.
+//! * the **profile table** memoizes the Nash/optimum equilibrium profiles
+//!   that several tasks re-derive for one scenario, across *all three*
+//!   scenario classes: parallel links (the knob-free equalizer), s–t
+//!   networks and k-commodity networks (Frank–Wolfe [`FwResult`]s, keyed
+//!   additionally by the full solver knob set that shapes them — see
+//!   [`FwKnobs`]). The `equilib` task's two solves, `curve`'s
+//!   anchors, `beta`'s MOP optimum and `llf`'s optimum all share entries,
+//!   so an α-sweep over one scenario solves each equilibrium once.
+//!
+//! Profile entries are always computed **cold** (never warm-started), so an
+//! entry's value depends only on its key — never on which task or fleet
+//! populated it first. That is what keeps warm re-runs bit-identical.
 //!
 //! Both tables are sharded 16 ways by the key's FNV digest so concurrent
-//! workers rarely contend on one lock; hit/miss counters are atomics and
-//! feed [`EngineStats`](super::EngineStats). Errors are memoized like
-//! successes (a saturated M/M/1 scenario is just as deterministic to
-//! re-fail), except worker panics, which are positional and never cached.
+//! workers rarely contend on one lock, and **bounded**: each table has a
+//! configurable entry capacity ([`SolveCache::with_capacity`]), split
+//! exactly across shards, enforced by second-chance (clock) eviction — a
+//! FIFO queue where an entry hit since its last pass gets one reprieve
+//! before eviction. Long-lived shared caches therefore hold at most
+//! `report_capacity + profile_capacity` entries; evicted entries simply
+//! recompute (deterministically, to the same values) on the next miss.
+//! Hit/miss/eviction counters are atomics and feed
+//! [`EngineStats`](super::EngineStats). Errors are memoized like successes
+//! (a saturated M/M/1 scenario is just as deterministic to re-fail), except
+//! worker panics, which are positional and never cached.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+use sopt_equilibrium::network::{
+    try_multicommodity_nash, try_multicommodity_optimum, try_network_nash, try_network_optimum,
+};
 use sopt_equilibrium::parallel::ParallelLinks;
+use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
+use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
 use super::super::error::SoptError;
 use super::super::report::Report;
@@ -34,7 +53,13 @@ use super::fingerprint::{Fingerprint, Fnv64};
 /// Number of lock shards per table (power of two).
 const SHARDS: usize = 16;
 
-/// Which parallel-link equilibrium a sub-solve entry holds.
+/// Default report-table capacity (entries) of [`SolveCache::new`].
+pub const DEFAULT_REPORT_CAPACITY: usize = 65_536;
+
+/// Default profile-table capacity (entries) of [`SolveCache::new`].
+pub const DEFAULT_PROFILE_CAPACITY: usize = 16_384;
+
+/// Which equilibrium a profile entry holds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EqKind {
     /// The Wardrop/Nash assignment.
@@ -43,38 +68,196 @@ pub enum EqKind {
     Optimum,
 }
 
-/// Key of the equilibrium table: canonical spec + which equilibrium. The
-/// parallel-link equalizer takes no solver knobs, so none appear here.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct EqKey {
-    spec: String,
-    kind: EqKind,
-}
-
-impl EqKey {
-    fn shard(&self) -> usize {
-        let mut h = Fnv64::default();
-        h.write(self.spec.as_bytes());
-        h.write_u64(self.kind as u64);
-        (h.finish() as usize) & (SHARDS - 1)
+impl EqKind {
+    fn what(self) -> &'static str {
+        match self {
+            EqKind::Nash => "nash",
+            EqKind::Optimum => "optimum",
+        }
     }
 }
 
-/// A memoized equilibrium profile: per-link flows plus the common level
-/// (Nash latency or optimum marginal cost).
+/// Every [`FwOptions`] field, bit-exactly — the cached [`FwResult`] of a
+/// network profile depends on all of them, so all of them key the entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct FwKnobs {
+    tolerance_bits: u64,
+    max_iters: u64,
+    conjugate: bool,
+    restart_period: u64,
+    stall_window: u64,
+}
+
+impl FwKnobs {
+    fn of(fw: &FwOptions) -> Self {
+        Self {
+            tolerance_bits: fw.rel_gap.to_bits(),
+            max_iters: fw.max_iters as u64,
+            conjugate: fw.conjugate,
+            restart_period: fw.restart_period as u64,
+            stall_window: fw.stall_window as u64,
+        }
+    }
+}
+
+/// Key of the profile table: canonical spec + which equilibrium + the
+/// solver knobs that shape iterative profiles. The parallel-link equalizer
+/// takes no knobs (`fw: None`); network/multicommodity Frank–Wolfe results
+/// depend on every [`FwOptions`] field, so the whole set folds in.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    spec: String,
+    kind: EqKind,
+    /// The full solver knob set for FW-solved classes; `None` for the
+    /// knob-free parallel equalizer.
+    fw: Option<FwKnobs>,
+}
+
+impl ProfileKey {
+    /// Shard index among `shards` (a power of two).
+    fn shard(&self, shards: usize) -> usize {
+        let mut h = Fnv64::default();
+        h.write(self.spec.as_bytes());
+        h.write_u64(self.kind as u64);
+        if let Some(k) = self.fw {
+            h.write_u64(1);
+            h.write_u64(k.tolerance_bits);
+            h.write_u64(k.max_iters);
+            h.write_u64(u64::from(k.conjugate));
+            h.write_u64(k.restart_period);
+            h.write_u64(k.stall_window);
+        }
+        (h.finish() as usize) & (shards - 1)
+    }
+}
+
+/// A memoized parallel-link equilibrium profile: per-link flows plus the
+/// common level (Nash latency or optimum marginal cost).
 pub(crate) type EqProfile = (Vec<f64>, f64);
+
+/// A memoized equilibrium profile of any scenario class.
+#[derive(Clone, Debug)]
+enum Profile {
+    /// Parallel-link flows + common level.
+    Parallel(EqProfile),
+    /// Network / multicommodity Frank–Wolfe solve.
+    Flow(FwResult),
+}
+
+/// One bounded, second-chance-evicting map shard. Keys live once in the
+/// FIFO; a `get` marks the entry referenced, which buys it one reprieve
+/// when the clock hand (the FIFO front) reaches it.
+#[derive(Debug)]
+struct BoundedShard<K, V> {
+    map: HashMap<K, (V, bool)>,
+    fifo: VecDeque<K>,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BoundedShard<K, V> {
+    fn new(cap: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            fifo: VecDeque::new(),
+            cap,
+        }
+    }
+
+    fn get(&mut self, k: &K) -> Option<V> {
+        self.map.get_mut(k).map(|(v, referenced)| {
+            *referenced = true;
+            v.clone()
+        })
+    }
+
+    /// Inserts, evicting per second-chance until the shard fits its cap.
+    /// Returns the number of entries evicted.
+    fn insert(&mut self, k: K, v: V) -> u64 {
+        if self.cap == 0 {
+            return 0;
+        }
+        if let Some(entry) = self.map.get_mut(&k) {
+            // Re-memoized (racing workers): refresh in place, keep position.
+            entry.0 = v;
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.map.len() >= self.cap {
+            let Some(old) = self.fifo.pop_front() else {
+                break;
+            };
+            match self.map.get_mut(&old) {
+                Some((_, referenced)) if *referenced => {
+                    *referenced = false;
+                    self.fifo.push_back(old);
+                }
+                Some(_) => {
+                    self.map.remove(&old);
+                    evicted += 1;
+                }
+                None => {}
+            }
+        }
+        self.fifo.push_back(k.clone());
+        self.map.insert(k, (v, false));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.fifo.clear();
+    }
+}
+
+/// Number of shards a table of capacity `total` actually uses: the largest
+/// power of two ≤ min(`total`, [`SHARDS`]), at least 1. Small tables
+/// collapse to fewer shards so that every active shard has a nonzero cap
+/// (a 16-way split of capacity 3 would leave 13 shards unable to store
+/// anything).
+fn table_shards(total: usize) -> usize {
+    let max = total.clamp(1, SHARDS);
+    1 << (usize::BITS - 1 - max.leading_zeros())
+}
+
+/// Exact per-shard slice of a total capacity over `shards` active shards:
+/// shard `i` gets `total/shards` plus one of the `total % shards`
+/// remainders, so the shard caps sum to exactly `total`.
+fn shard_cap(total: usize, shards: usize, i: usize) -> usize {
+    if i >= shards {
+        return 0;
+    }
+    total / shards + usize::from(i < total % shards)
+}
 
 /// The engine's memo table. Cheap to share: wrap in an
 /// [`Arc`](std::sync::Arc) and pass the same cache to several
 /// [`Engine`](super::Engine) runs to keep it warm across fleets.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SolveCache {
-    reports: [Mutex<HashMap<Fingerprint, Result<Report, SoptError>>>; SHARDS],
-    eq: [Mutex<HashMap<EqKey, Result<EqProfile, SoptError>>>; SHARDS],
+    reports: [Mutex<BoundedShard<Fingerprint, Result<Report, SoptError>>>; SHARDS],
+    profiles: [Mutex<BoundedShard<ProfileKey, Result<Profile, SoptError>>>; SHARDS],
+    /// Active report shards (power of two ≤ [`SHARDS`]).
+    report_shards: usize,
+    /// Active profile shards (power of two ≤ [`SHARDS`]).
+    profile_shards: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     eq_hits: AtomicU64,
     eq_misses: AtomicU64,
+    net_hits: AtomicU64,
+    net_misses: AtomicU64,
+    report_evictions: AtomicU64,
+    profile_evictions: AtomicU64,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A point-in-time snapshot of the cache counters, used to compute per-run
@@ -85,22 +268,65 @@ pub struct CacheCounters {
     pub hits: u64,
     /// Report-table misses.
     pub misses: u64,
-    /// Equilibrium-table hits.
+    /// Parallel-link profile hits.
     pub eq_hits: u64,
-    /// Equilibrium-table misses.
+    /// Parallel-link profile misses.
     pub eq_misses: u64,
+    /// Network/multicommodity profile hits.
+    pub net_hits: u64,
+    /// Network/multicommodity profile misses.
+    pub net_misses: u64,
+    /// Entries evicted from the report table.
+    pub report_evictions: u64,
+    /// Entries evicted from the profile table.
+    pub profile_evictions: u64,
 }
 
 impl SolveCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bounds
+    /// ([`DEFAULT_REPORT_CAPACITY`], [`DEFAULT_PROFILE_CAPACITY`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_REPORT_CAPACITY, DEFAULT_PROFILE_CAPACITY)
+    }
+
+    /// An empty cache bounded to at most `report_capacity` memoized reports
+    /// and `profile_capacity` memoized equilibrium profiles (each split
+    /// exactly across the shards; a capacity of 0 disables that table).
+    pub fn with_capacity(report_capacity: usize, profile_capacity: usize) -> Self {
+        let report_shards = table_shards(report_capacity);
+        let profile_shards = table_shards(profile_capacity);
+        Self {
+            reports: std::array::from_fn(|i| {
+                Mutex::new(BoundedShard::new(shard_cap(
+                    report_capacity,
+                    report_shards,
+                    i,
+                )))
+            }),
+            profiles: std::array::from_fn(|i| {
+                Mutex::new(BoundedShard::new(shard_cap(
+                    profile_capacity,
+                    profile_shards,
+                    i,
+                )))
+            }),
+            report_shards,
+            profile_shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            eq_hits: AtomicU64::new(0),
+            eq_misses: AtomicU64::new(0),
+            net_hits: AtomicU64::new(0),
+            net_misses: AtomicU64::new(0),
+            report_evictions: AtomicU64::new(0),
+            profile_evictions: AtomicU64::new(0),
+        }
     }
 
     /// Looks up a memoized report, counting the hit or miss.
     pub(crate) fn get_report(&self, fp: &Fingerprint) -> Option<Result<Report, SoptError>> {
-        let shard = (fp.hash as usize) & (SHARDS - 1);
-        let found = self.reports[shard].lock().get(fp).cloned();
+        let shard = (fp.hash as usize) & (self.report_shards - 1);
+        let found = self.reports[shard].lock().get(fp);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -112,31 +338,101 @@ impl SolveCache {
     /// are benign: every solve is deterministic, so last-write-wins stores
     /// the same value either way.
     pub(crate) fn put_report(&self, fp: Fingerprint, result: Result<Report, SoptError>) {
-        let shard = (fp.hash as usize) & (SHARDS - 1);
-        self.reports[shard].lock().insert(fp, result);
+        let shard = (fp.hash as usize) & (self.report_shards - 1);
+        let evicted = self.reports[shard].lock().insert(fp, result);
+        if evicted > 0 {
+            self.report_evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
-    /// Looks up or computes the `kind` equilibrium of the scenario whose
-    /// canonical spec is `spec`, memoizing the result.
+    /// Looks up or computes a profile under `key`, memoizing the result.
+    fn profile_entry(
+        &self,
+        key: ProfileKey,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        compute: impl FnOnce() -> Result<Profile, SoptError>,
+    ) -> Result<Profile, SoptError> {
+        let shard = key.shard(self.profile_shards);
+        if let Some(found) = self.profiles[shard].lock().get(&key) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return found;
+        }
+        misses.fetch_add(1, Ordering::Relaxed);
+        let computed = compute();
+        let evicted = self.profiles[shard].lock().insert(key, computed.clone());
+        if evicted > 0 {
+            self.profile_evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        computed
+    }
+
+    /// Looks up or computes the `kind` equilibrium of the parallel-link
+    /// scenario whose canonical spec is `spec`, memoizing the result.
     pub(crate) fn eq_profile(
         &self,
         spec: &str,
         kind: EqKind,
         links: &ParallelLinks,
     ) -> Result<EqProfile, SoptError> {
-        let key = EqKey {
+        let key = ProfileKey {
             spec: spec.to_string(),
             kind,
+            fw: None,
         };
-        let shard = key.shard();
-        if let Some(found) = self.eq[shard].lock().get(&key).cloned() {
-            self.eq_hits.fetch_add(1, Ordering::Relaxed);
-            return found;
+        let entry = self.profile_entry(key, &self.eq_hits, &self.eq_misses, || {
+            solve_profile(links, kind).map(Profile::Parallel)
+        })?;
+        match entry {
+            Profile::Parallel(p) => Ok(p),
+            Profile::Flow(_) => unreachable!("parallel key holds a parallel profile"),
         }
-        self.eq_misses.fetch_add(1, Ordering::Relaxed);
-        let computed = solve_profile(links, kind);
-        self.eq[shard].lock().insert(key, computed.clone());
-        computed
+    }
+
+    /// Looks up or computes the `kind` equilibrium [`FwResult`] of an s–t
+    /// network scenario, memoizing under `(spec, kind, fw knobs)`.
+    pub(crate) fn network_profile(
+        &self,
+        spec: &str,
+        kind: EqKind,
+        inst: &NetworkInstance,
+        fw: &FwOptions,
+    ) -> Result<FwResult, SoptError> {
+        let key = ProfileKey {
+            spec: spec.to_string(),
+            kind,
+            fw: Some(FwKnobs::of(fw)),
+        };
+        let entry = self.profile_entry(key, &self.net_hits, &self.net_misses, || {
+            solve_network_profile(inst, kind, fw).map(Profile::Flow)
+        })?;
+        match entry {
+            Profile::Flow(r) => Ok(r),
+            Profile::Parallel(_) => unreachable!("network key holds a flow profile"),
+        }
+    }
+
+    /// Looks up or computes the `kind` equilibrium [`FwResult`] of a
+    /// k-commodity scenario, memoizing under `(spec, kind, fw knobs)`.
+    pub(crate) fn multi_profile(
+        &self,
+        spec: &str,
+        kind: EqKind,
+        inst: &MultiCommodityInstance,
+        fw: &FwOptions,
+    ) -> Result<FwResult, SoptError> {
+        let key = ProfileKey {
+            spec: spec.to_string(),
+            kind,
+            fw: Some(FwKnobs::of(fw)),
+        };
+        let entry = self.profile_entry(key, &self.net_hits, &self.net_misses, || {
+            solve_multi_profile(inst, kind, fw).map(Profile::Flow)
+        })?;
+        match entry {
+            Profile::Flow(r) => Ok(r),
+            Profile::Parallel(_) => unreachable!("multicommodity key holds a flow profile"),
+        }
     }
 
     /// Number of memoized reports.
@@ -149,29 +445,38 @@ impl SolveCache {
         self.len() == 0
     }
 
+    /// Number of memoized equilibrium profiles (all classes).
+    pub fn profile_len(&self) -> usize {
+        self.profiles.iter().map(|s| s.lock().len()).sum()
+    }
+
     /// Drops every entry (counters are kept; they are cumulative).
     pub fn clear(&self) {
         for s in &self.reports {
             s.lock().clear();
         }
-        for s in &self.eq {
+        for s in &self.profiles {
             s.lock().clear();
         }
     }
 
-    /// Snapshot of the cumulative hit/miss counters.
+    /// Snapshot of the cumulative hit/miss/eviction counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             eq_hits: self.eq_hits.load(Ordering::Relaxed),
             eq_misses: self.eq_misses.load(Ordering::Relaxed),
+            net_hits: self.net_hits.load(Ordering::Relaxed),
+            net_misses: self.net_misses.load(Ordering::Relaxed),
+            report_evictions: self.report_evictions.load(Ordering::Relaxed),
+            profile_evictions: self.profile_evictions.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Computes one equilibrium profile directly (the memo-miss path, and the
-/// whole path when no cache is in play).
+/// Computes one parallel-link equilibrium profile directly (the memo-miss
+/// path, and the whole path when no cache is in play).
 pub(crate) fn solve_profile(links: &ParallelLinks, kind: EqKind) -> Result<EqProfile, SoptError> {
     let profile = match kind {
         EqKind::Nash => links.try_nash()?,
@@ -180,8 +485,47 @@ pub(crate) fn solve_profile(links: &ParallelLinks, kind: EqKind) -> Result<EqPro
     Ok((profile.flows().to_vec(), profile.level()))
 }
 
+/// Computes one network equilibrium [`FwResult`] directly. Always a cold
+/// solve: profile values must depend only on `(instance, kind, knobs)` so
+/// memo entries are identical no matter which task computes them first.
+pub(crate) fn solve_network_profile(
+    inst: &NetworkInstance,
+    kind: EqKind,
+    fw: &FwOptions,
+) -> Result<FwResult, SoptError> {
+    let r = match kind {
+        EqKind::Nash => try_network_nash(inst, fw, None),
+        EqKind::Optimum => try_network_optimum(inst, fw, None),
+    }?;
+    check_profile_converged(kind, r)
+}
+
+/// Computes one multicommodity equilibrium [`FwResult`] directly (cold).
+pub(crate) fn solve_multi_profile(
+    inst: &MultiCommodityInstance,
+    kind: EqKind,
+    fw: &FwOptions,
+) -> Result<FwResult, SoptError> {
+    let r = match kind {
+        EqKind::Nash => try_multicommodity_nash(inst, fw, None),
+        EqKind::Optimum => try_multicommodity_optimum(inst, fw, None),
+    }?;
+    check_profile_converged(kind, r)
+}
+
+fn check_profile_converged(kind: EqKind, r: FwResult) -> Result<FwResult, SoptError> {
+    if r.converged {
+        Ok(r)
+    } else {
+        Err(SoptError::NotConverged {
+            what: kind.what().to_string(),
+            rel_gap: r.rel_gap,
+        })
+    }
+}
+
 /// The sub-solve memo handle threaded into one solve: the shared cache plus
-/// the solve's canonical spec (its equilibrium-table identity).
+/// the solve's canonical spec (its profile-table identity).
 #[derive(Clone, Copy)]
 pub(crate) struct SubMemo<'a> {
     pub(crate) cache: &'a SolveCache,
@@ -196,6 +540,26 @@ impl SubMemo<'_> {
         links: &ParallelLinks,
     ) -> Result<EqProfile, SoptError> {
         self.cache.eq_profile(self.spec, kind, links)
+    }
+
+    /// Memoized Nash/optimum [`FwResult`] of an s–t network instance.
+    pub(crate) fn network(
+        &self,
+        kind: EqKind,
+        inst: &NetworkInstance,
+        fw: &FwOptions,
+    ) -> Result<FwResult, SoptError> {
+        self.cache.network_profile(self.spec, kind, inst, fw)
+    }
+
+    /// Memoized Nash/optimum [`FwResult`] of a k-commodity instance.
+    pub(crate) fn multi(
+        &self,
+        kind: EqKind,
+        inst: &MultiCommodityInstance,
+        fw: &FwOptions,
+    ) -> Result<FwResult, SoptError> {
+        self.cache.multi_profile(self.spec, kind, inst, fw)
     }
 }
 
@@ -238,6 +602,7 @@ mod tests {
         assert!((opt[0] - 0.5).abs() < 1e-9);
         let c = cache.counters();
         assert_eq!((c.eq_hits, c.eq_misses), (1, 2));
+        assert_eq!(cache.profile_len(), 2);
     }
 
     #[test]
@@ -252,5 +617,89 @@ mod tests {
         assert!(cache.eq_profile(&spec, EqKind::Nash, links).is_err());
         let c = cache.counters();
         assert_eq!((c.eq_hits, c.eq_misses), (1, 1));
+    }
+
+    #[test]
+    fn network_profile_memoizes_per_knobs() {
+        let cache = SolveCache::new();
+        let sc = Scenario::parse("nodes=2; 0->1: x; 0->1: 1; demand 0->1: 1").unwrap();
+        let Scenario::Network(inst) = &sc else {
+            unreachable!()
+        };
+        let spec = sc.to_spec().unwrap();
+        let fw = FwOptions::default();
+        let nash = cache
+            .network_profile(&spec, EqKind::Nash, inst, &fw)
+            .unwrap();
+        assert!((nash.flow.0[0] - 1.0).abs() < 1e-6); // Pigou-as-network Nash
+        let again = cache
+            .network_profile(&spec, EqKind::Nash, inst, &fw)
+            .unwrap();
+        assert_eq!(again.flow.0, nash.flow.0); // bit-identical clone-out
+                                               // A different tolerance is a different entry.
+        let loose = FwOptions {
+            rel_gap: 1e-4,
+            ..FwOptions::default()
+        };
+        let _ = cache
+            .network_profile(&spec, EqKind::Nash, inst, &loose)
+            .unwrap();
+        let c = cache.counters();
+        assert_eq!((c.net_hits, c.net_misses), (1, 2));
+        assert_eq!(cache.profile_len(), 2);
+    }
+
+    #[test]
+    fn bounded_shard_second_chance_evicts() {
+        let mut shard: BoundedShard<u32, u32> = BoundedShard::new(2);
+        assert_eq!(shard.insert(1, 10), 0);
+        assert_eq!(shard.insert(2, 20), 0);
+        // Touch 1 so it gets a second chance; inserting 3 must evict 2.
+        assert_eq!(shard.get(&1), Some(10));
+        assert_eq!(shard.insert(3, 30), 1);
+        assert_eq!(shard.len(), 2);
+        assert_eq!(shard.get(&2), None);
+        assert_eq!(shard.get(&1), Some(10));
+        assert_eq!(shard.get(&3), Some(30));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_table() {
+        let mut shard: BoundedShard<u32, u32> = BoundedShard::new(0);
+        assert_eq!(shard.insert(1, 10), 0);
+        assert_eq!(shard.len(), 0);
+        assert_eq!(shard.get(&1), None);
+    }
+
+    #[test]
+    fn shard_caps_sum_exactly_to_total() {
+        for total in [0, 1, 3, 15, 16, 17, 100, 65_536] {
+            let shards = table_shards(total);
+            assert!(shards.is_power_of_two() && shards <= SHARDS);
+            let sum: usize = (0..SHARDS).map(|i| shard_cap(total, shards, i)).sum();
+            assert_eq!(sum, total, "total {total}");
+            if total > 0 {
+                assert!((0..shards).all(|i| shard_cap(total, shards, i) >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn profile_capacity_is_respected() {
+        let cache = SolveCache::with_capacity(4, 3);
+        for m in 2..12 {
+            let spec = format!("{}x", m); // m distinct parallel scenarios
+            let sc = Scenario::parse(&spec).unwrap();
+            let Scenario::Parallel(links) = &sc else {
+                unreachable!()
+            };
+            let _ = cache.eq_profile(&spec, EqKind::Nash, links);
+            assert!(
+                cache.profile_len() <= 3,
+                "profile table grew to {}",
+                cache.profile_len()
+            );
+        }
+        assert!(cache.counters().profile_evictions > 0);
     }
 }

@@ -53,7 +53,7 @@ use super::report::Report;
 use super::scenario::Scenario;
 use super::solve::{impl_solve_knobs, SolveOptions, Task};
 
-pub use cache::{CacheCounters, SolveCache};
+pub use cache::{CacheCounters, SolveCache, DEFAULT_PROFILE_CAPACITY, DEFAULT_REPORT_CAPACITY};
 pub use fingerprint::Fingerprint;
 pub use scheduler::{run_chunked_reference, scenario_cost};
 pub use stream::{EngineStream, Ordered, StreamItem};
@@ -73,8 +73,17 @@ pub struct EngineStats {
     pub cache_misses: u64,
     /// Parallel-link equilibrium sub-solves served from the memo table.
     pub eq_hits: u64,
-    /// Equilibrium sub-solves computed fresh.
+    /// Parallel-link equilibrium sub-solves computed fresh.
     pub eq_misses: u64,
+    /// Network/multicommodity Nash+optimum profiles served from the memo
+    /// table.
+    pub net_profile_hits: u64,
+    /// Network/multicommodity profiles computed fresh (cold Frank–Wolfe).
+    pub net_profile_misses: u64,
+    /// Profile-table entries evicted by the capacity bound.
+    pub profile_evictions: u64,
+    /// Report-table entries evicted by the capacity bound.
+    pub report_evictions: u64,
     /// Jobs moved between worker queues by stealing.
     pub steals: u64,
 }

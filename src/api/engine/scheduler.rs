@@ -314,6 +314,10 @@ where
         let after = c.counters();
         stats.eq_hits = after.eq_hits - before.eq_hits;
         stats.eq_misses = after.eq_misses - before.eq_misses;
+        stats.net_profile_hits = after.net_hits - before.net_hits;
+        stats.net_profile_misses = after.net_misses - before.net_misses;
+        stats.profile_evictions = after.profile_evictions - before.profile_evictions;
+        stats.report_evictions = after.report_evictions - before.report_evictions;
     }
     stats
 }

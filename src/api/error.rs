@@ -9,6 +9,7 @@
 use sopt_core::error::CoreError;
 use sopt_instances::InstanceError;
 use sopt_solver::equalize::EqualizeError;
+use sopt_solver::error::SolverError;
 
 use super::scenario::ScenarioClass;
 use super::solve::Task;
@@ -180,6 +181,14 @@ impl From<InstanceError> for SoptError {
                 value: rate,
                 reason: "must be finite and > 0",
             },
+        }
+    }
+}
+
+impl From<SolverError> for SoptError {
+    fn from(e: SolverError) -> Self {
+        match e {
+            SolverError::UnreachableSink { commodity, .. } => SoptError::Unreachable { commodity },
         }
     }
 }

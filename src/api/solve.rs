@@ -1,19 +1,21 @@
 //! [`Solve`] — the builder-style session turning a
 //! [`Scenario`](super::Scenario) into a [`Report`](super::Report).
 
-use sopt_core::curve::{anarchy_curve, CurveOracle};
+use sopt_core::curve::{anarchy_curve, anarchy_curve_network_with, CurveOracle};
 use sopt_core::llf::llf_strategy_for_optimum;
-use sopt_core::tolls::{try_marginal_cost_tolls, try_marginal_cost_tolls_network};
-use sopt_core::{try_mop, try_mop_multi, try_optop};
+use sopt_core::tolls::{try_marginal_cost_tolls, try_marginal_cost_tolls_network_with_optimum};
+use sopt_core::{try_mop_multi_with_optimum, try_mop_with_optimum, try_optop};
 use sopt_equilibrium::network::{
-    induced_multicommodity, induced_network, multicommodity_nash, multicommodity_optimum,
-    network_nash, network_optimum,
+    try_induced_multicommodity, try_induced_network, try_network_nash, warm_seed_from,
+    warm_seed_from_per,
 };
 use sopt_equilibrium::parallel::ParallelLinks;
 use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
 use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
-use super::engine::cache::{solve_profile, EqKind, EqProfile, SubMemo};
+use super::engine::cache::{
+    solve_multi_profile, solve_network_profile, solve_profile, EqKind, EqProfile, SubMemo,
+};
 use super::error::SoptError;
 use super::report::{
     BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, Report, ReportData,
@@ -27,7 +29,8 @@ pub enum Task {
     /// The price of optimum β and the Leader's optimal strategy
     /// (OpTop / MOP / Theorem 2.1, per scenario class).
     Beta,
-    /// The anarchy-value curve `α ↦ ϱ(M, r, α)` (parallel links only).
+    /// The anarchy-value curve `α ↦ ϱ(M, r, α)` (parallel links and s–t
+    /// networks; each network α-point is a warm-started induced solve).
     Curve,
     /// Nash and optimum assignments.
     Equilib,
@@ -242,10 +245,10 @@ pub(crate) fn run_with(scenario: Scenario, options: &SolveOptions) -> Result<Rep
     run_with_memo(scenario, options, None)
 }
 
-/// [`run_with`] with an optional engine memo handle: parallel-link
-/// Nash/optimum sub-solves consult the shared equilibrium table. Network
-/// classes run unmemoized for now (their Frank–Wolfe results depend on the
-/// solver knobs; the report-level cache already covers whole solves).
+/// [`run_with`] with an optional engine memo handle: Nash/optimum
+/// sub-solves of **every** scenario class consult the shared profile table
+/// (parallel equalizer profiles, network and multicommodity Frank–Wolfe
+/// results keyed additionally by the solver knobs).
 pub(crate) fn run_with_memo(
     scenario: Scenario,
     options: &SolveOptions,
@@ -261,8 +264,8 @@ pub(crate) fn run_with_memo(
     };
     let data = match &scenario {
         Scenario::Parallel(links) => solve_parallel(links, options, memo)?,
-        Scenario::Network(inst) => solve_network(inst, options, &scenario)?,
-        Scenario::Multi(inst) => solve_multi(inst, options, &scenario)?,
+        Scenario::Network(inst) => solve_network(inst, options, &scenario, memo)?,
+        Scenario::Multi(inst) => solve_multi(inst, options, &scenario, memo)?,
     };
     Ok(Report {
         scenario: summary,
@@ -280,6 +283,37 @@ fn profile(
     match memo {
         Some(m) => m.profile(kind, links),
         None => solve_profile(links, kind),
+    }
+}
+
+/// A network Nash/optimum profile, memoized when a handle is present.
+/// Always solved cold on a miss (see the cache module's determinism note);
+/// warm starts apply only to derived, non-memoized solves.
+fn net_profile(
+    inst: &NetworkInstance,
+    kind: EqKind,
+    options: &SolveOptions,
+    memo: Option<&SubMemo<'_>>,
+) -> Result<FwResult, SoptError> {
+    let fw = options.fw();
+    match memo {
+        Some(m) => m.network(kind, inst, &fw),
+        None => solve_network_profile(inst, kind, &fw),
+    }
+}
+
+/// A multicommodity Nash/optimum profile, memoized when a handle is
+/// present.
+fn multi_profile(
+    inst: &MultiCommodityInstance,
+    kind: EqKind,
+    options: &SolveOptions,
+    memo: Option<&SubMemo<'_>>,
+) -> Result<FwResult, SoptError> {
+    let fw = options.fw();
+    match memo {
+        Some(m) => m.multi(kind, inst, &fw),
+        None => solve_multi_profile(inst, kind, &fw),
     }
 }
 
@@ -407,14 +441,19 @@ fn solve_network(
     inst: &NetworkInstance,
     options: &SolveOptions,
     scenario: &Scenario,
+    memo: Option<&SubMemo<'_>>,
 ) -> Result<ReportData, SoptError> {
     let fw = options.fw();
     Ok(match options.task {
         Task::Beta => {
-            let r = try_mop(inst, &fw)?;
-            let nash = network_nash(inst, &fw);
-            check_converged(&nash, "nash")?;
-            let follower = induced_network(inst, &r.leader, r.leader_value, &fw);
+            let optimum = net_profile(inst, EqKind::Optimum, options, memo)?;
+            let r = try_mop_with_optimum(inst, &optimum)?;
+            let nash = net_profile(inst, EqKind::Nash, options, memo)?;
+            // The free flow IS the follower equilibrium the MOP strategy
+            // induces (S + T = O), so it seeds the induced solve to
+            // near-instant convergence.
+            let seed = warm_seed_from(&r.free_flow);
+            let follower = try_induced_network(inst, &r.leader, r.leader_value, &fw, Some(&seed))?;
             check_converged(&follower, "induced")?;
             let total: Vec<f64> = r
                 .leader
@@ -434,10 +473,8 @@ fn solve_network(
             })
         }
         Task::Equilib => {
-            let nash = network_nash(inst, &fw);
-            check_converged(&nash, "nash")?;
-            let optimum = network_optimum(inst, &fw);
-            check_converged(&optimum, "optimum")?;
+            let nash = net_profile(inst, EqKind::Nash, options, memo)?;
+            let optimum = net_profile(inst, EqKind::Optimum, options, memo)?;
             ReportData::Equilib(EquilibReport {
                 nash_cost: inst.cost(nash.flow.as_slice()),
                 nash_flows: nash.flow.as_slice().to_vec(),
@@ -447,9 +484,39 @@ fn solve_network(
                 optimum_level: None,
             })
         }
+        Task::Curve => {
+            // One memoized optimum + Nash anchor for the whole sweep; each
+            // α-point's induced solve is seeded from the previous α's
+            // follower flow inside `anarchy_curve_network_with`.
+            let optimum = net_profile(inst, EqKind::Optimum, options, memo)?;
+            let nash = net_profile(inst, EqKind::Nash, options, memo)?;
+            let alphas: Vec<f64> = (0..=options.steps)
+                .map(|k| k as f64 / options.steps as f64)
+                .collect();
+            let c = anarchy_curve_network_with(inst, &alphas, &fw, true, &optimum, &nash)?;
+            ReportData::Curve(CurveReport {
+                beta: c.beta,
+                nash_cost: c.nash_cost,
+                optimum_cost: c.optimum_cost,
+                points: c
+                    .points
+                    .iter()
+                    .map(|p| CurvePointReport {
+                        alpha: p.alpha,
+                        cost: p.cost,
+                        ratio: p.ratio,
+                        oracle: oracle_name(p.oracle),
+                    })
+                    .collect(),
+            })
+        }
         Task::Tolls => {
-            let t = try_marginal_cost_tolls_network(inst, &fw)?;
-            let tolled_nash = network_nash(&t.tolled, &fw);
+            let optimum = net_profile(inst, EqKind::Optimum, options, memo)?;
+            let t = try_marginal_cost_tolls_network_with_optimum(inst, &optimum)?;
+            // Marginal-cost tolls induce the untolled optimum — seed the
+            // tolled Nash with it.
+            let seed = warm_seed_from(&optimum.flow);
+            let tolled_nash = try_network_nash(&t.tolled, &fw, Some(&seed))?;
             check_converged(&tolled_nash, "tolled nash")?;
             ReportData::Tolls(TollsReport {
                 tolled_cost: inst.cost(tolled_nash.flow.as_slice()),
@@ -459,7 +526,7 @@ fn solve_network(
                 revenue: t.revenue,
             })
         }
-        Task::Curve | Task::Llf => {
+        Task::Llf => {
             return Err(SoptError::Unsupported {
                 task: options.task,
                 class: scenario.class(),
@@ -472,15 +539,21 @@ fn solve_multi(
     inst: &MultiCommodityInstance,
     options: &SolveOptions,
     scenario: &Scenario,
+    memo: Option<&SubMemo<'_>>,
 ) -> Result<ReportData, SoptError> {
     let fw = options.fw();
     Ok(match options.task {
         Task::Beta => {
-            let r = try_mop_multi(inst, &fw)?;
-            let nash = multicommodity_nash(inst, &fw);
-            check_converged(&nash, "multicommodity nash")?;
+            let optimum = multi_profile(inst, EqKind::Optimum, options, memo)?;
+            let r = try_mop_multi_with_optimum(inst, &optimum)?;
+            let nash = multi_profile(inst, EqKind::Nash, options, memo)?;
             let values: Vec<f64> = r.commodities.iter().map(|c| c.leader_value).collect();
-            let follower = induced_multicommodity(inst, &r.leader_total, &values, &fw);
+            // Per-commodity free flows are the follower equilibria the
+            // strategy induces — the exact warm seed.
+            let seed =
+                warm_seed_from_per(r.commodities.iter().map(|c| c.free_flow.clone()).collect());
+            let follower =
+                try_induced_multicommodity(inst, &r.leader_total, &values, &fw, Some(&seed))?;
             check_converged(&follower, "induced")?;
             let total: Vec<f64> = r
                 .leader_total
@@ -500,10 +573,8 @@ fn solve_multi(
             })
         }
         Task::Equilib => {
-            let nash = multicommodity_nash(inst, &fw);
-            check_converged(&nash, "multicommodity nash")?;
-            let optimum = multicommodity_optimum(inst, &fw);
-            check_converged(&optimum, "multicommodity optimum")?;
+            let nash = multi_profile(inst, EqKind::Nash, options, memo)?;
+            let optimum = multi_profile(inst, EqKind::Optimum, options, memo)?;
             ReportData::Equilib(EquilibReport {
                 nash_cost: inst.cost(nash.flow.as_slice()),
                 nash_flows: nash.flow.as_slice().to_vec(),

@@ -261,11 +261,18 @@ fn run() -> Result<(), String> {
                     let _ = writeln!(w, "{}", jsonl_line(index, &result));
                 });
                 eprintln!(
-                    "engine: {} scenarios, {} delivered, cache {}/{} hits, {} steals",
+                    "engine: {} scenarios, {} delivered, cache {}/{} hits, \
+                     eq-profiles {}/{} hits, net-profiles {}/{} hits, \
+                     {} evictions, {} steals",
                     stats.scenarios,
                     stats.delivered,
                     stats.cache_hits,
                     stats.cache_hits + stats.cache_misses,
+                    stats.eq_hits,
+                    stats.eq_hits + stats.eq_misses,
+                    stats.net_profile_hits,
+                    stats.net_profile_hits + stats.net_profile_misses,
+                    stats.profile_evictions + stats.report_evictions,
                     stats.steals
                 );
             } else {

@@ -25,7 +25,7 @@ fn task_coverage_matrix() {
     let defined = |class: ScenarioClass, task: Task| match class {
         ScenarioClass::Parallel => true,
         ScenarioClass::Network => {
-            matches!(task, Task::Beta | Task::Equilib | Task::Tolls)
+            matches!(task, Task::Beta | Task::Curve | Task::Equilib | Task::Tolls)
         }
         ScenarioClass::Multi => matches!(task, Task::Beta | Task::Equilib),
     };

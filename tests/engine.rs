@@ -165,6 +165,75 @@ fn equilibrium_memo_is_shared_across_tasks_and_alphas() {
 }
 
 #[test]
+fn network_profile_memo_is_shared_across_tasks() {
+    let cache = Arc::new(SolveCache::new());
+    let scenario =
+        || vec![Scenario::parse("nodes=2; 0->1: x; 0->1: 1.0; demand 0->1: 1.0").unwrap()];
+    // equilib solves both network profiles cold…
+    let (_, s1) = Engine::new(scenario())
+        .task(Task::Equilib)
+        .cache(Arc::clone(&cache))
+        .run_stats();
+    assert_eq!((s1.net_profile_hits, s1.net_profile_misses), (0, 2));
+    // …beta (MOP + Nash anchor) reuses both…
+    let (r2, s2) = Engine::new(scenario())
+        .task(Task::Beta)
+        .cache(Arc::clone(&cache))
+        .run_stats();
+    assert!((r2[0].as_ref().unwrap().data.as_beta().unwrap().beta - 0.5).abs() < 1e-5);
+    assert_eq!((s2.net_profile_hits, s2.net_profile_misses), (2, 0));
+    // …and a whole curve α-sweep adds no fresh equilibrium solve either.
+    let (_, s3) = Engine::new(scenario())
+        .task(Task::Curve)
+        .cache(Arc::clone(&cache))
+        .run_stats();
+    assert_eq!((s3.net_profile_hits, s3.net_profile_misses), (2, 0));
+    // A different tolerance is a different profile entry (knob-keyed).
+    let (_, s4) = Engine::new(scenario())
+        .task(Task::Equilib)
+        .tolerance(1e-6)
+        .cache(Arc::clone(&cache))
+        .run_stats();
+    assert_eq!((s4.net_profile_hits, s4.net_profile_misses), (0, 2));
+}
+
+#[test]
+fn bounded_cache_respects_capacity_and_stays_bit_identical() {
+    // 6 distinct network scenarios × (nash + optimum) = 12 would-be profile
+    // entries against a capacity of 2; 6 reports against a capacity of 4.
+    let fleet: Vec<Scenario> = (2..8)
+        .map(|n| {
+            Scenario::parse(&format!("nodes=2; 0->1: {n}x; 0->1: 1.0; demand 0->1: 1.0")).unwrap()
+        })
+        .collect();
+    let cache = Arc::new(SolveCache::with_capacity(4, 2));
+    let (cold, s1) = Engine::new(fleet.clone())
+        .task(Task::Equilib)
+        .cache(Arc::clone(&cache))
+        .threads(1)
+        .run_stats();
+    assert!(cache.len() <= 4, "report table at {}", cache.len());
+    assert!(
+        cache.profile_len() <= 2,
+        "profile table at {}",
+        cache.profile_len()
+    );
+    assert!(
+        s1.profile_evictions > 0,
+        "expected profile evictions, stats {s1:?}"
+    );
+    // Evicted entries recompute deterministically: the warm re-run is
+    // bit-identical even though most entries were evicted.
+    let (warm, _) = Engine::new(fleet)
+        .task(Task::Equilib)
+        .cache(Arc::clone(&cache))
+        .threads(1)
+        .run_stats();
+    assert_eq!(rendered(&cold), rendered(&warm));
+    assert!(cache.len() <= 4 && cache.profile_len() <= 2);
+}
+
+#[test]
 fn streaming_delivers_every_index_exactly_once() {
     let fleet = skewed_fleet(20);
     let n = fleet.len();

@@ -1,0 +1,95 @@
+//! Warm-start equivalence: a solve seeded from a nearby solution must
+//! converge to the same flow (within tolerance) in strictly fewer
+//! iterations on perturbed instances — the contract `anarchy_curve`
+//! sweeps and the engine's Beta/Tolls seeding rely on.
+
+use stackopt::equilibrium::network::{
+    try_induced_network, try_network_nash, try_network_optimum, warm_seed_from,
+};
+use stackopt::instances::random::random_layered_network;
+use stackopt::network::instance::NetworkInstance;
+use stackopt::network::EdgeFlow;
+use stackopt::solver::frank_wolfe::FwOptions;
+
+fn with_rate(inst: &NetworkInstance, rate: f64) -> NetworkInstance {
+    NetworkInstance::new(
+        inst.graph.clone(),
+        inst.latencies.clone(),
+        inst.source,
+        inst.sink,
+        rate,
+    )
+}
+
+#[test]
+fn perturbed_rate_warm_start_is_equivalent_and_strictly_cheaper() {
+    let base = random_layered_network(4, 4, 8.0, 7);
+    let opts = FwOptions::default();
+    let cold_base = try_network_optimum(&base, &opts, None).unwrap();
+    assert!(cold_base.converged);
+
+    for bump in [1.02, 1.1, 0.95] {
+        let perturbed = with_rate(&base, 8.0 * bump);
+        let fresh = try_network_optimum(&perturbed, &opts, None).unwrap();
+        let warm = try_network_optimum(&perturbed, &opts, Some(&cold_base)).unwrap();
+        assert!(fresh.converged && warm.converged, "bump {bump}");
+        assert!(
+            warm.iterations < fresh.iterations,
+            "bump {bump}: warm {} !< cold {}",
+            warm.iterations,
+            fresh.iterations
+        );
+        for (a, b) in warm.flow.0.iter().zip(&fresh.flow.0) {
+            assert!((a - b).abs() < 1e-5, "bump {bump}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn perturbed_leader_warm_start_chains_like_a_curve_sweep() {
+    let inst = random_layered_network(4, 4, 8.0, 7);
+    let opts = FwOptions::default();
+    let optimum = try_network_optimum(&inst, &opts, None).unwrap();
+
+    // Two adjacent SCALE strategies, as in an α-sweep.
+    let leader_at = |alpha: f64| {
+        EdgeFlow(
+            optimum
+                .flow
+                .0
+                .iter()
+                .map(|o| alpha * o)
+                .collect::<Vec<f64>>(),
+        )
+    };
+    let l30 = leader_at(0.30);
+    let l35 = leader_at(0.35);
+    let f30 = try_induced_network(&inst, &l30, 0.30 * inst.rate, &opts, None).unwrap();
+    let cold = try_induced_network(&inst, &l35, 0.35 * inst.rate, &opts, None).unwrap();
+    let warm = try_induced_network(&inst, &l35, 0.35 * inst.rate, &opts, Some(&f30)).unwrap();
+    assert!(f30.converged && cold.converged && warm.converged);
+    assert!(
+        warm.iterations < cold.iterations,
+        "warm {} !< cold {}",
+        warm.iterations,
+        cold.iterations
+    );
+    for (a, b) in warm.flow.0.iter().zip(&cold.flow.0) {
+        assert!((a - b).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn unusable_seed_falls_back_to_cold_and_still_solves() {
+    let inst = random_layered_network(3, 3, 4.0, 3);
+    let opts = FwOptions::default();
+    // A zero flow has no s→t value: silently ignored.
+    let zero = warm_seed_from(&EdgeFlow::zeros(inst.num_edges()));
+    let warm = try_network_nash(&inst, &opts, Some(&zero)).unwrap();
+    let cold = try_network_nash(&inst, &opts, None).unwrap();
+    assert!(warm.converged && cold.converged);
+    assert_eq!(warm.iterations, cold.iterations);
+    for (a, b) in warm.flow.0.iter().zip(&cold.flow.0) {
+        assert_eq!(a, b, "fallback must reproduce the cold solve bit-exactly");
+    }
+}
