@@ -7,19 +7,22 @@
 //! experiments E5/E7 measure pointwise.
 
 use sopt_equilibrium::network::{
-    try_induced_network, try_network_nash, try_network_optimum, WarmSeed,
+    try_induced_multicommodity, try_induced_network, try_multicommodity_nash,
+    try_multicommodity_optimum, try_network_nash, try_network_optimum, WarmSeed,
 };
 use sopt_equilibrium::parallel::ParallelLinks;
 use sopt_latency::LatencyFn;
 use sopt_network::flow::EdgeFlow;
-use sopt_network::instance::NetworkInstance;
+use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
+use sopt_solver::error::SolverError;
 use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
 use crate::brute::{brute_force_optimal, BruteOptions};
 use crate::error::CoreError;
 use crate::linear_optimal::linear_optimal_strategy;
 use crate::llf::llf;
-use crate::mop::try_mop_with_optimum;
+use crate::mop::{try_mop_with_optimum, MopResult};
+use crate::mop_multi::{try_mop_multi_with_optimum, MopMultiResult};
 use crate::optop::optop;
 use crate::scale::scale;
 
@@ -129,6 +132,68 @@ pub fn anarchy_curve(links: &ParallelLinks, alphas: &[f64]) -> AnarchyCurve {
     }
 }
 
+/// How a Leader splits her portion across the commodities of a
+/// k-commodity α-sweep (Castiglioni et al. formalize the same split for
+/// singleton congestion games; single-commodity classes make the two
+/// coincide).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CurveStrategy {
+    /// The Leader may distribute her overall portion `α` of the total rate
+    /// freely across commodities (per-commodity portions `α_i` with
+    /// `Σ α_i r_i = α r`). The curve pins to 1 at `α = β` (Theorem 2.1).
+    #[default]
+    Strong,
+    /// The Leader must control the *same* portion `α` of every commodity.
+    /// The curve pins to 1 only at `α = max_i α_i ≥ β` (the weak
+    /// crossover, [`MopMultiResult::weak_beta`]).
+    Weak,
+}
+
+impl CurveStrategy {
+    /// The CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CurveStrategy::Strong => "strong",
+            CurveStrategy::Weak => "weak",
+        }
+    }
+
+    /// Parse a CLI/JSON name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s.trim() {
+            "strong" => Some(CurveStrategy::Strong),
+            "weak" => Some(CurveStrategy::Weak),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CurveStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs of the induced-equilibrium α-sweeps ([`anarchy_curve_network`],
+/// [`anarchy_curve_multi`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CurveOptions {
+    /// Weak vs strong portion split (k-commodity sweeps only; ignored by
+    /// single-commodity classes, where the two coincide).
+    pub strategy: CurveStrategy,
+    /// Seed each α's induced solve from the previous α's follower flow.
+    pub warm: bool,
+}
+
+impl Default for CurveOptions {
+    fn default() -> Self {
+        Self {
+            strategy: CurveStrategy::Strong,
+            warm: true,
+        }
+    }
+}
+
 /// One sample of the network anarchy curve.
 #[derive(Clone, Debug)]
 pub struct NetworkCurvePoint {
@@ -153,14 +218,270 @@ pub struct NetworkCurvePoint {
 pub struct NetworkAnarchyCurve {
     /// Samples in increasing α.
     pub points: Vec<NetworkCurvePoint>,
-    /// `β_G` of the instance (from MOP).
+    /// The crossover portion at which the curve pins to 1 under the chosen
+    /// [`CurveStrategy`]: `β` (strong) or `max_i α_i` (weak). On
+    /// single-commodity instances the two coincide with `β_G` from MOP.
     pub beta: f64,
+    /// The weak crossover `max_i α_i` (equals `beta` for one commodity).
+    pub weak_beta: f64,
+    /// Which strategy split produced the sweep.
+    pub strategy: CurveStrategy,
     /// `C(N)`.
     pub nash_cost: f64,
     /// `C(O)`.
     pub optimum_cost: f64,
     /// Total follower Frank–Wolfe iterations across the sweep.
     pub total_iterations: usize,
+}
+
+/// The per-commodity α-portion plan an induced-equilibrium sweep needs,
+/// extracted from MOP (`k = 1`, Corollary 2.3) or Theorem 2.1 (`k`
+/// commodities). [`CurvePlan::leader_at`] is the per-class α-portion
+/// policy: given an overall portion it produces the Leader edge flow, the
+/// per-commodity controlled values, and the oracle tag.
+#[derive(Clone, Debug)]
+pub struct CurvePlan {
+    /// Overall price of optimum `β` (the strong crossover).
+    pub beta: f64,
+    /// Weak crossover `max_i α_i`.
+    pub weak_beta: f64,
+    /// Per-commodity demands `r_i`.
+    pub rates: Vec<f64>,
+    /// Per-commodity Leader flows of the β-optimal strategy.
+    pub per_leader: Vec<EdgeFlow>,
+    /// Per-commodity controlled values `r_i − r'_i`.
+    pub leader_values: Vec<f64>,
+    /// Per-commodity free (mimicking) flows.
+    pub per_free: Vec<EdgeFlow>,
+    /// Per-commodity free values `r'_i`.
+    pub free_values: Vec<f64>,
+    /// Per-commodity optimum flows `O^i` (the SCALE base below β).
+    pub per_optimum: Vec<EdgeFlow>,
+    /// `C(O)`.
+    pub optimum_cost: f64,
+}
+
+impl CurvePlan {
+    /// The plan of a single-commodity s–t instance (from MOP).
+    pub fn from_mop(r: &MopResult, rate: f64) -> Self {
+        let alpha = r.leader_value / rate;
+        Self {
+            beta: r.beta,
+            weak_beta: alpha,
+            rates: vec![rate],
+            per_leader: vec![r.leader.clone()],
+            leader_values: vec![r.leader_value],
+            per_free: vec![r.free_flow.clone()],
+            free_values: vec![r.free_value],
+            per_optimum: vec![r.optimum.clone()],
+            optimum_cost: r.optimum_cost,
+        }
+    }
+
+    /// The plan of a k-commodity instance (from Theorem 2.1).
+    pub fn from_mop_multi(r: &MopMultiResult, rates: Vec<f64>) -> Self {
+        Self {
+            beta: r.beta,
+            weak_beta: r.weak_beta(),
+            rates,
+            per_leader: r.commodities.iter().map(|c| c.leader.clone()).collect(),
+            leader_values: r.commodities.iter().map(|c| c.leader_value).collect(),
+            per_free: r.commodities.iter().map(|c| c.free_flow.clone()).collect(),
+            free_values: r.commodities.iter().map(|c| c.free_value).collect(),
+            per_optimum: r.commodities.iter().map(|c| c.optimum.clone()).collect(),
+            optimum_cost: r.optimum_cost,
+        }
+    }
+
+    /// Number of commodities.
+    pub fn commodities(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Total demand `r = Σ r_i`.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.per_optimum.first().map_or(0, |o| o.0.len())
+    }
+
+    /// The Leader's play at overall portion `alpha` under `strategy`:
+    /// `(leader edge flow, per-commodity controlled values, oracle)`.
+    ///
+    /// Per commodity, a covered budget (`b_i ≥ r_i − r'_i`) plays the
+    /// β-optimal strategy padded with mimicking free flow (Corollary 2.2:
+    /// the induced play is exactly the optimum); an uncovered budget plays
+    /// SCALE (`(b_i/r_i)·O^i`, an upper bound). **Strong** allocates the
+    /// overall budget `α·r` across commodities — covering every requirement
+    /// when `α ≥ β`, otherwise the same fraction `α/β` of each — while
+    /// **weak** fixes `b_i = α·r_i`, so commodities with `α_i > α` stay
+    /// uncovered until `α` reaches `max_i α_i`.
+    pub fn leader_at(
+        &self,
+        alpha: f64,
+        strategy: CurveStrategy,
+    ) -> (EdgeFlow, Vec<f64>, CurveOracle) {
+        let k = self.commodities();
+        let m = self.num_edges();
+        let total = self.total_rate();
+        let tol = 1e-12 * total.max(1.0);
+        let mut leader = EdgeFlow::zeros(m);
+        let mut values = vec![0.0; k];
+
+        // Pad commodity `i`'s strategy with `share` of its mimicking flow.
+        let pad = |leader: &mut EdgeFlow, i: usize, share: f64| {
+            let scale = if self.free_values[i] > 1e-15 {
+                (share / self.free_values[i]).min(1.0)
+            } else {
+                0.0
+            };
+            for (le, (&se, &fe)) in leader
+                .0
+                .iter_mut()
+                .zip(self.per_leader[i].0.iter().zip(&self.per_free[i].0))
+            {
+                *le += se + scale * fe;
+            }
+            self.leader_values[i] + share.min(self.free_values[i]).max(0.0)
+        };
+        // SCALE commodity `i` down to controlled value `b`.
+        let scale_to = |leader: &mut EdgeFlow, i: usize, b: f64| {
+            let frac = if self.rates[i] > 1e-15 {
+                b / self.rates[i]
+            } else {
+                0.0
+            };
+            for (le, &oe) in leader.0.iter_mut().zip(&self.per_optimum[i].0) {
+                *le += frac * oe;
+            }
+        };
+
+        match strategy {
+            CurveStrategy::Strong => {
+                let budget = alpha * total;
+                let required: f64 = self.leader_values.iter().sum();
+                if budget >= required - tol {
+                    // Every requirement covered; surplus becomes mimicking
+                    // flow, split across commodities by free value.
+                    let surplus = (budget - required).max(0.0);
+                    let free_total: f64 = self.free_values.iter().sum();
+                    for (i, v) in values.iter_mut().enumerate() {
+                        let share = if free_total > 1e-15 {
+                            surplus * (self.free_values[i] / free_total)
+                        } else {
+                            0.0
+                        };
+                        *v = pad(&mut leader, i, share);
+                    }
+                    (leader, values, CurveOracle::Exact)
+                } else {
+                    // The same fraction α/β of every commodity's requirement.
+                    let frac = if required > 1e-15 {
+                        budget / required
+                    } else {
+                        0.0
+                    };
+                    for (i, v) in values.iter_mut().enumerate() {
+                        *v = frac * self.leader_values[i];
+                        scale_to(&mut leader, i, *v);
+                    }
+                    (leader, values, CurveOracle::HeuristicUpperBound)
+                }
+            }
+            CurveStrategy::Weak => {
+                let mut all_covered = true;
+                for (i, v) in values.iter_mut().enumerate() {
+                    let b = alpha * self.rates[i];
+                    if b >= self.leader_values[i] - tol {
+                        *v = pad(&mut leader, i, b - self.leader_values[i]);
+                    } else {
+                        all_covered = false;
+                        *v = b;
+                        scale_to(&mut leader, i, b);
+                    }
+                }
+                let oracle = if all_covered {
+                    CurveOracle::Exact
+                } else {
+                    CurveOracle::HeuristicUpperBound
+                };
+                (leader, values, oracle)
+            }
+        }
+    }
+
+    /// The crossover portion under `strategy` — where the sweep's oracle
+    /// turns exact and the ratio pins to 1.
+    pub fn crossover(&self, strategy: CurveStrategy) -> f64 {
+        match strategy {
+            CurveStrategy::Strong => self.beta,
+            CurveStrategy::Weak => self.weak_beta,
+        }
+    }
+}
+
+/// The shared α-sweep driver behind the network and k-commodity curves:
+/// sample the plan's portion policy at each α, solve the induced
+/// equilibrium (warm-chained from the previous α when `copts.warm`), and
+/// assemble the curve. `induced` abstracts the class's induced solve.
+fn sweep_induced<F>(
+    plan: &CurvePlan,
+    alphas: &[f64],
+    copts: &CurveOptions,
+    nash_cost: f64,
+    cost: &dyn Fn(&[f64]) -> f64,
+    mut induced: F,
+) -> Result<NetworkAnarchyCurve, CoreError>
+where
+    F: FnMut(&EdgeFlow, &[f64], WarmSeed<'_>) -> Result<FwResult, SolverError>,
+{
+    let mut sorted: Vec<f64> = alphas.to_vec();
+    sorted.sort_by(f64::total_cmp);
+
+    let mut points = Vec::with_capacity(sorted.len());
+    let mut total_iterations = 0usize;
+    let mut prev: Option<FwResult> = None;
+    for &alpha in &sorted {
+        assert!((0.0..=1.0).contains(&alpha), "α must lie in [0, 1]");
+        let (leader, values, oracle) = plan.leader_at(alpha, copts.strategy);
+        let seed: WarmSeed<'_> = if copts.warm { prev.as_ref() } else { None };
+        let follower = induced(&leader, &values, seed)?;
+        if !follower.converged {
+            return Err(CoreError::NotConverged {
+                what: "induced",
+                rel_gap: follower.rel_gap,
+            });
+        }
+        let flow: Vec<f64> = leader
+            .as_slice()
+            .iter()
+            .zip(follower.flow.as_slice())
+            .map(|(a, b)| a + b)
+            .collect();
+        let point_cost = cost(&flow);
+        total_iterations += follower.iterations;
+        points.push(NetworkCurvePoint {
+            alpha,
+            cost: point_cost,
+            ratio: point_cost / plan.optimum_cost,
+            oracle,
+            iterations: follower.iterations,
+            flow,
+        });
+        prev = Some(follower);
+    }
+
+    Ok(NetworkAnarchyCurve {
+        points,
+        beta: plan.crossover(copts.strategy),
+        weak_beta: plan.weak_beta,
+        strategy: copts.strategy,
+        nash_cost,
+        optimum_cost: plan.optimum_cost,
+        total_iterations,
+    })
 }
 
 /// Sample the a-posteriori anarchy curve of an s–t network at the given α
@@ -213,77 +534,86 @@ pub fn anarchy_curve_network_with(
     nash: &FwResult,
 ) -> Result<NetworkAnarchyCurve, CoreError> {
     let mop = try_mop_with_optimum(inst, optimum)?;
-    let optimum_cost = mop.optimum_cost;
+    let plan = CurvePlan::from_mop(&mop, inst.rate);
     let nash_cost = inst.cost(nash.flow.as_slice());
-
-    let mut sorted: Vec<f64> = alphas.to_vec();
-    sorted.sort_by(f64::total_cmp);
-
-    let mut points = Vec::with_capacity(sorted.len());
-    let mut total_iterations = 0usize;
-    let mut prev: Option<FwResult> = None;
-    for &alpha in &sorted {
-        assert!((0.0..=1.0).contains(&alpha), "α must lie in [0, 1]");
-        let budget = alpha * inst.rate;
-        let (leader, oracle) = if budget >= mop.leader_value - 1e-12 * inst.rate.max(1.0) {
-            // Corollary 2.2: pad the MOP strategy with mimicking free flow;
-            // the induced play is exactly the optimum.
-            let surplus = (budget - mop.leader_value).max(0.0);
-            let scale = if mop.free_value > 1e-15 {
-                (surplus / mop.free_value).min(1.0)
-            } else {
-                0.0
-            };
-            let padded = EdgeFlow(
-                mop.leader
-                    .as_slice()
-                    .iter()
-                    .zip(mop.free_flow.as_slice())
-                    .map(|(l, f)| l + scale * f)
-                    .collect(),
-            );
-            (padded, CurveOracle::Exact)
-        } else {
-            // SCALE: the Leader plays α·O.
-            (
-                EdgeFlow(optimum.flow.as_slice().iter().map(|o| alpha * o).collect()),
-                CurveOracle::HeuristicUpperBound,
-            )
-        };
-        let seed: WarmSeed<'_> = if warm { prev.as_ref() } else { None };
-        let follower = try_induced_network(inst, &leader, budget.min(inst.rate), opts, seed)?;
-        if !follower.converged {
-            return Err(CoreError::NotConverged {
-                what: "induced",
-                rel_gap: follower.rel_gap,
-            });
-        }
-        let flow: Vec<f64> = leader
-            .as_slice()
-            .iter()
-            .zip(follower.flow.as_slice())
-            .map(|(a, b)| a + b)
-            .collect();
-        let cost = inst.cost(&flow);
-        total_iterations += follower.iterations;
-        points.push(NetworkCurvePoint {
-            alpha,
-            cost,
-            ratio: cost / optimum_cost,
-            oracle,
-            iterations: follower.iterations,
-            flow,
-        });
-        prev = Some(follower);
-    }
-
-    Ok(NetworkAnarchyCurve {
-        points,
-        beta: mop.beta,
+    let copts = CurveOptions {
+        strategy: CurveStrategy::Strong,
+        warm,
+    };
+    sweep_induced(
+        &plan,
+        alphas,
+        &copts,
         nash_cost,
-        optimum_cost,
-        total_iterations,
-    })
+        &|flow| inst.cost(flow),
+        |leader, values, seed| {
+            try_induced_network(inst, leader, values[0].min(inst.rate), opts, seed)
+        },
+    )
+}
+
+/// Sample the a-posteriori anarchy curve of a k-commodity instance at the
+/// given α values: the Leader controls the overall portion α of the total
+/// demand, split per commodity by `copts.strategy` (weak/strong, see
+/// [`CurveStrategy`]), and every commodity's remaining flow routes
+/// selfishly against the preloaded latencies. With `copts.warm`, each α's
+/// induced solve is seeded from the previous α's follower flows
+/// (`try_solve_warm_multicommodity` under the hood) — `curve_bench`
+/// measures the iteration reduction (`BENCH_curve.json`).
+pub fn anarchy_curve_multi(
+    inst: &MultiCommodityInstance,
+    alphas: &[f64],
+    opts: &FwOptions,
+    copts: &CurveOptions,
+) -> Result<NetworkAnarchyCurve, CoreError> {
+    let optimum = try_multicommodity_optimum(inst, opts, None)?;
+    if !optimum.converged {
+        return Err(CoreError::NotConverged {
+            what: "optimum",
+            rel_gap: optimum.rel_gap,
+        });
+    }
+    // Anchors are solved cold even in warm mode (memo determinism; see
+    // `anarchy_curve_network`).
+    let nash = try_multicommodity_nash(inst, opts, None)?;
+    if !nash.converged {
+        return Err(CoreError::NotConverged {
+            what: "nash",
+            rel_gap: nash.rel_gap,
+        });
+    }
+    anarchy_curve_multi_with(inst, alphas, opts, copts, &optimum, &nash)
+}
+
+/// [`anarchy_curve_multi`] with the optimum and Nash anchors supplied by
+/// the caller (the session layer threads memoized profiles through here).
+pub fn anarchy_curve_multi_with(
+    inst: &MultiCommodityInstance,
+    alphas: &[f64],
+    opts: &FwOptions,
+    copts: &CurveOptions,
+    optimum: &FwResult,
+    nash: &FwResult,
+) -> Result<NetworkAnarchyCurve, CoreError> {
+    let mop = try_mop_multi_with_optimum(inst, optimum)?;
+    let rates: Vec<f64> = inst.commodities.iter().map(|c| c.rate).collect();
+    let plan = CurvePlan::from_mop_multi(&mop, rates);
+    let nash_cost = inst.cost(nash.flow.as_slice());
+    sweep_induced(
+        &plan,
+        alphas,
+        copts,
+        nash_cost,
+        &|flow| inst.cost(flow),
+        |leader, values, seed| {
+            let clamped: Vec<f64> = values
+                .iter()
+                .zip(&inst.commodities)
+                .map(|(&v, c)| v.min(c.rate))
+                .collect();
+            try_induced_multicommodity(inst, leader, &clamped, opts, seed)
+        },
+    )
 }
 
 fn pad(strategy: &[f64], optimum: &[f64], budget: f64) -> Vec<f64> {
@@ -466,6 +796,183 @@ mod tests {
             warm.total_iterations,
             cold.total_iterations
         );
+    }
+
+    /// Two Pigou gadgets (x vs 1) on disjoint node pairs, with per-gadget
+    /// rates — requirement portions α₁ = 1/2 (rate 1) and α₂ = 3/4
+    /// (rate 2), so weak_beta = 3/4 > β = 2/3 and the weak/strong
+    /// crossovers are observably different.
+    fn two_pigous(rate2: f64) -> MultiCommodityInstance {
+        use sopt_network::graph::NodeId;
+        use sopt_network::instance::Commodity;
+        use sopt_network::DiGraph;
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        MultiCommodityInstance::new(
+            g,
+            vec![
+                LatencyFn::identity(),
+                LatencyFn::constant(1.0),
+                LatencyFn::identity(),
+                LatencyFn::constant(1.0),
+            ],
+            vec![
+                Commodity {
+                    source: NodeId(0),
+                    sink: NodeId(1),
+                    rate: 1.0,
+                },
+                Commodity {
+                    source: NodeId(2),
+                    sink: NodeId(3),
+                    rate: rate2,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn multi_curve_strong_pins_at_beta() {
+        let inst = two_pigous(1.0);
+        let c = anarchy_curve_multi(
+            &inst,
+            &alphas(),
+            &FwOptions::default(),
+            &CurveOptions::default(),
+        )
+        .unwrap();
+        // Two unit Pigous: β = 1/2, C(N) = 2, C(O) = 3/2, start at 4/3.
+        assert!((c.beta - 0.5).abs() < 1e-4, "β = {}", c.beta);
+        assert!((c.nash_cost - 2.0).abs() < 1e-4);
+        assert!((c.optimum_cost - 1.5).abs() < 1e-4);
+        assert!((c.points[0].ratio - 4.0 / 3.0).abs() < 1e-3);
+        for p in &c.points {
+            assert!(p.ratio >= 1.0 - 1e-5, "α={}: {}", p.alpha, p.ratio);
+            assert!(p.cost <= c.nash_cost + 1e-4, "α={}: {}", p.alpha, p.cost);
+            if p.alpha >= c.beta - 1e-9 {
+                assert_eq!(p.oracle, CurveOracle::Exact, "α={}", p.alpha);
+                assert!((p.ratio - 1.0).abs() < 1e-4, "α={}: {}", p.alpha, p.ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn weak_crossover_lags_strong_on_asymmetric_rates() {
+        let inst = two_pigous(2.0);
+        let opts = FwOptions::default();
+        let strong = anarchy_curve_multi(
+            &inst,
+            &alphas(),
+            &opts,
+            &CurveOptions {
+                strategy: CurveStrategy::Strong,
+                warm: true,
+            },
+        )
+        .unwrap();
+        let weak = anarchy_curve_multi(
+            &inst,
+            &alphas(),
+            &opts,
+            &CurveOptions {
+                strategy: CurveStrategy::Weak,
+                warm: true,
+            },
+        )
+        .unwrap();
+        // Requirements: α₁ = 1/2 at rate 1, α₂ = 3/4 at rate 2.
+        assert!(
+            (strong.beta - 2.0 / 3.0).abs() < 1e-3,
+            "β = {}",
+            strong.beta
+        );
+        assert!((weak.beta - 0.75).abs() < 1e-3, "weak β = {}", weak.beta);
+        assert!((weak.weak_beta - strong.weak_beta).abs() < 1e-9);
+        // At α = 0.7 the strong Leader already enforces the optimum; the
+        // weak Leader (stuck at portion 0.7 < 3/4 on commodity 2) does not.
+        let at = |c: &NetworkAnarchyCurve, a: f64| {
+            c.points
+                .iter()
+                .find(|p| (p.alpha - a).abs() < 1e-9)
+                .unwrap()
+                .ratio
+        };
+        assert!((at(&strong, 0.7) - 1.0).abs() < 1e-4);
+        assert!(at(&weak, 0.7) > 1.0 + 1e-4);
+        // From the strong crossover on, strong is exactly 1 while weak can
+        // only match it from its own (later) crossover — so weak never
+        // beats strong there. (Below the crossovers both are heuristic
+        // upper bounds and either can win pointwise.)
+        for (w, s) in weak.points.iter().zip(&strong.points) {
+            if w.alpha >= strong.beta - 1e-9 {
+                assert!(w.ratio >= s.ratio - 1e-5, "α={}", w.alpha);
+            }
+        }
+        assert!((at(&weak, 0.8) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn multi_curve_warm_matches_cold_with_fewer_iterations() {
+        use sopt_network::graph::NodeId;
+        use sopt_network::instance::Commodity;
+        // Two commodities sharing the ladder's middle edges: enough
+        // interaction that cold induced solves take real work.
+        let single = ladder();
+        let inst = MultiCommodityInstance::new(
+            single.graph.clone(),
+            single.latencies.clone(),
+            vec![
+                Commodity {
+                    source: NodeId(0),
+                    sink: NodeId(7),
+                    rate: 2.5,
+                },
+                Commodity {
+                    source: NodeId(1),
+                    sink: NodeId(7),
+                    rate: 1.5,
+                },
+            ],
+        );
+        let opts = FwOptions::default();
+        for strategy in [CurveStrategy::Strong, CurveStrategy::Weak] {
+            let cold = anarchy_curve_multi(
+                &inst,
+                &alphas(),
+                &opts,
+                &CurveOptions {
+                    strategy,
+                    warm: false,
+                },
+            )
+            .unwrap();
+            let warm = anarchy_curve_multi(
+                &inst,
+                &alphas(),
+                &opts,
+                &CurveOptions {
+                    strategy,
+                    warm: true,
+                },
+            )
+            .unwrap();
+            assert_eq!(cold.points.len(), warm.points.len());
+            for (a, b) in cold.points.iter().zip(&warm.points) {
+                assert!((a.cost - b.cost).abs() < 1e-5, "{strategy} α={}", a.alpha);
+                for (x, y) in a.flow.iter().zip(&b.flow) {
+                    assert!((x - y).abs() < 1e-4, "{strategy} α={}", a.alpha);
+                }
+            }
+            assert!(
+                warm.total_iterations < cold.total_iterations,
+                "{strategy}: warm {} !< cold {}",
+                warm.total_iterations,
+                cold.total_iterations
+            );
+        }
     }
 
     #[test]

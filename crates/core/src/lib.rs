@@ -40,7 +40,10 @@ pub mod theorems;
 pub mod threshold;
 pub mod tolls;
 
-pub use curve::{anarchy_curve_network, NetworkAnarchyCurve, NetworkCurvePoint};
+pub use curve::{
+    anarchy_curve_multi, anarchy_curve_network, CurveOptions, CurvePlan, CurveStrategy,
+    NetworkAnarchyCurve, NetworkCurvePoint,
+};
 pub use error::CoreError;
 pub use mop::{mop, try_mop, try_mop_with_optimum, MopResult};
 pub use mop_multi::{mop_multi, try_mop_multi, try_mop_multi_with_optimum, MopMultiResult};

@@ -12,8 +12,26 @@
 
 use sopt_equilibrium::parallel::ParallelLinks;
 use sopt_latency::{Latency, LatencyFn};
-use sopt_network::instance::NetworkInstance;
+use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
 use sopt_solver::frank_wolfe::FwOptions;
+
+/// Per-link/edge marginal-cost tolls `τ = o·ℓ'(o)` at an optimum `o`.
+fn tolls_at(latencies: &[LatencyFn], optimum: &[f64]) -> Vec<f64> {
+    latencies
+        .iter()
+        .zip(optimum)
+        .map(|(l, &o)| o * l.derivative(o))
+        .collect()
+}
+
+/// The tolled latencies `ℓ + τ` and the revenue `Σ o·τ`.
+fn tolled_latencies(latencies: &[LatencyFn], tolls: &[f64]) -> Vec<LatencyFn> {
+    latencies
+        .iter()
+        .zip(tolls)
+        .map(|(l, &t)| l.tolled(t))
+        .collect()
+}
 
 /// Marginal-cost tolls on parallel links.
 #[derive(Clone, Debug)]
@@ -40,26 +58,25 @@ pub fn try_marginal_cost_tolls(
     links: &ParallelLinks,
 ) -> Result<ParallelTolls, crate::error::CoreError> {
     let optimum = links.try_optimum()?.flows().to_vec();
-    let tolls: Vec<f64> = links
-        .latencies()
-        .iter()
-        .zip(&optimum)
-        .map(|(l, &o)| o * l.derivative(o))
-        .collect();
-    let tolled_lats: Vec<LatencyFn> = links
-        .latencies()
-        .iter()
-        .zip(&tolls)
-        .map(|(l, &t)| l.tolled(t))
-        .collect();
-    let tolled = ParallelLinks::new(tolled_lats, links.rate());
+    Ok(try_marginal_cost_tolls_with_optimum(links, optimum))
+}
+
+/// [`try_marginal_cost_tolls`] with the optimum assignment supplied by the
+/// caller (the session layer threads a memoized equalizer optimum through
+/// here, so a fleet re-touching one scenario solves the optimum once).
+pub fn try_marginal_cost_tolls_with_optimum(
+    links: &ParallelLinks,
+    optimum: Vec<f64>,
+) -> ParallelTolls {
+    let tolls = tolls_at(links.latencies(), &optimum);
+    let tolled = ParallelLinks::new(tolled_latencies(links.latencies(), &tolls), links.rate());
     let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
-    Ok(ParallelTolls {
+    ParallelTolls {
         tolls,
         tolled,
         optimum,
         revenue,
-    })
+    }
 }
 
 /// Marginal-cost tolls on a network instance.
@@ -104,27 +121,70 @@ pub fn try_marginal_cost_tolls_network_with_optimum(
         });
     }
     let optimum = opt.flow.as_slice().to_vec();
-    let tolls: Vec<f64> = inst
-        .latencies
-        .iter()
-        .zip(&optimum)
-        .map(|(l, &o)| o * l.derivative(o))
-        .collect();
-    let latencies: Vec<LatencyFn> = inst
-        .latencies
-        .iter()
-        .zip(&tolls)
-        .map(|(l, &t)| l.tolled(t))
-        .collect();
+    let tolls = tolls_at(&inst.latencies, &optimum);
     let tolled = NetworkInstance::new(
         inst.graph.clone(),
-        latencies,
+        tolled_latencies(&inst.latencies, &tolls),
         inst.source,
         inst.sink,
         inst.rate,
     );
     let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
     Ok(NetworkTolls {
+        tolls,
+        tolled,
+        optimum,
+        revenue,
+    })
+}
+
+/// Marginal-cost tolls on a k-commodity instance. The fixed-point argument
+/// is commodity-agnostic: tolling every edge its externality `o·ℓ'(o)` at
+/// the *combined* optimum makes the multicommodity Wardrop equilibrium of
+/// the tolled instance coincide with the untolled optimum.
+#[derive(Clone, Debug)]
+pub struct MultiTolls {
+    /// Per-edge tolls `τ_e = o_e·ℓ'_e(o_e)`.
+    pub tolls: Vec<f64>,
+    /// The tolled instance.
+    pub tolled: MultiCommodityInstance,
+    /// The combined optimum of the untolled instance.
+    pub optimum: Vec<f64>,
+    /// Total revenue.
+    pub revenue: f64,
+}
+
+/// Compute marginal-cost edge tolls for a k-commodity instance, reporting
+/// solver non-convergence as a typed error.
+pub fn try_marginal_cost_tolls_multi(
+    inst: &MultiCommodityInstance,
+    opts: &FwOptions,
+) -> Result<MultiTolls, crate::error::CoreError> {
+    let opt = sopt_equilibrium::network::try_multicommodity_optimum(inst, opts, None)?;
+    try_marginal_cost_tolls_multi_with_optimum(inst, &opt)
+}
+
+/// [`try_marginal_cost_tolls_multi`] with the optimum solve supplied by
+/// the caller (the session layer threads a memoized optimum through here).
+pub fn try_marginal_cost_tolls_multi_with_optimum(
+    inst: &MultiCommodityInstance,
+    opt: &sopt_solver::frank_wolfe::FwResult,
+) -> Result<MultiTolls, crate::error::CoreError> {
+    if !opt.converged {
+        return Err(crate::error::CoreError::NotConverged {
+            what: "optimum",
+            rel_gap: opt.rel_gap,
+        });
+    }
+    let optimum = opt.flow.as_slice().to_vec();
+    let tolls = tolls_at(&inst.latencies, &optimum);
+    let tolled = MultiCommodityInstance::new(
+        inst.graph.clone(),
+        tolled_latencies(&inst.latencies, &tolls),
+        inst.commodities.clone(),
+    );
+    let revenue = optimum.iter().zip(&tolls).map(|(o, t)| o * t).sum();
+    Ok(MultiTolls {
         tolls,
         tolled,
         optimum,
@@ -228,6 +288,66 @@ mod tests {
         let nash = network_nash(&t.tolled, &opts);
         assert!(nash.flow.0[2].abs() < 1e-5, "{:?}", nash.flow);
         assert!((inst.cost(nash.flow.as_slice()) - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn multicommodity_tolled_nash_is_the_optimum() {
+        use sopt_equilibrium::network::{try_multicommodity_nash, try_multicommodity_optimum};
+        use sopt_network::instance::Commodity;
+        // Two commodities sharing a congested middle edge, each with a
+        // constant bypass — the untolled Nash overloads the shared edge.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(2)); // x
+        g.add_edge(NodeId(1), NodeId(2)); // x
+        g.add_edge(NodeId(2), NodeId(3)); // x (shared)
+        g.add_edge(NodeId(0), NodeId(3)); // const 2
+        g.add_edge(NodeId(1), NodeId(3)); // const 2
+        let inst = MultiCommodityInstance::new(
+            g,
+            vec![
+                LatencyFn::identity(),
+                LatencyFn::identity(),
+                LatencyFn::identity(),
+                LatencyFn::constant(2.0),
+                LatencyFn::constant(2.0),
+            ],
+            vec![
+                Commodity {
+                    source: NodeId(0),
+                    sink: NodeId(3),
+                    rate: 1.0,
+                },
+                Commodity {
+                    source: NodeId(1),
+                    sink: NodeId(3),
+                    rate: 1.0,
+                },
+            ],
+        );
+        let opts = FwOptions::default();
+        let t = try_marginal_cost_tolls_multi(&inst, &opts).unwrap();
+        let untolled_opt = try_multicommodity_optimum(&inst, &opts, None).unwrap();
+        let tolled_nash = try_multicommodity_nash(&t.tolled, &opts, None).unwrap();
+        assert!(tolled_nash.converged);
+        for (e, (got, want)) in tolled_nash
+            .flow
+            .as_slice()
+            .iter()
+            .zip(untolled_opt.flow.as_slice())
+            .enumerate()
+        {
+            assert!(
+                (got - want).abs() < 1e-4,
+                "edge {e}: tolled Nash {got} vs optimum {want}"
+            );
+        }
+        // The latency cost at the tolled equilibrium equals C(O).
+        assert!(
+            (inst.cost(tolled_nash.flow.as_slice()) - inst.cost(untolled_opt.flow.as_slice()))
+                .abs()
+                < 1e-4
+        );
+        assert!(t.revenue > 0.0);
     }
 
     #[test]

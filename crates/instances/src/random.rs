@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use sopt_equilibrium::parallel::ParallelLinks;
 use sopt_latency::LatencyFn;
 use sopt_network::graph::{DiGraph, NodeId};
-use sopt_network::instance::NetworkInstance;
+use sopt_network::instance::{Commodity, MultiCommodityInstance, NetworkInstance};
 
 /// Random common-slope affine system `ℓ_i = a·x + b_i` (the Theorem 2.4
 /// class) with `m` links, slope in `[0.5, 3]`, intercepts in `[0, 2]`.
@@ -283,6 +283,89 @@ pub fn random_layered_network(
     seed: u64,
 ) -> NetworkInstance {
     try_random_layered_network(layers, width, rate, seed).expect("valid generator parameters")
+}
+
+/// Random k-commodity instance over a shared layered core: `layers × width`
+/// interior nodes with random affine latencies (a guaranteed per-column
+/// matching plus random shortcuts), one private source and sink per
+/// commodity, each wired to *every* first/last-layer node — so all demands
+/// are reachable and all commodities contend for the same middle edges.
+/// Total demand `rate` splits unevenly (deterministically per seed) across
+/// the `k` commodities.
+pub fn try_random_multicommodity(
+    layers: usize,
+    width: usize,
+    k: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<MultiCommodityInstance, InstanceError> {
+    check_shape("layers", layers, 1)?;
+    check_shape("width", width, 1)?;
+    check_shape("commodities", k, 1)?;
+    check_rate(rate)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Node layout: k sources, k sinks, then the layered core.
+    let n = 2 * k + layers * width;
+    let mut g = DiGraph::with_nodes(n);
+    let mut lats = Vec::new();
+    let source = |i: usize| NodeId(i as u32);
+    let sink = |i: usize| NodeId((k + i) as u32);
+    let node = |layer: usize, j: usize| NodeId((2 * k + (layer - 1) * width + j) as u32);
+    let rand_affine = |rng: &mut StdRng| {
+        LatencyFn::affine(rng.random_range(0.2..2.0), rng.random_range(0.0..1.0))
+    };
+    // Every source reaches every first-layer node.
+    for i in 0..k {
+        for j in 0..width {
+            g.add_edge(source(i), node(1, j));
+            lats.push(rand_affine(&mut rng));
+        }
+    }
+    // The shared layered core.
+    for l in 1..layers {
+        for a in 0..width {
+            g.add_edge(node(l, a), node(l + 1, a));
+            lats.push(rand_affine(&mut rng));
+            for b in 0..width {
+                if b != a && rng.random_bool(0.3) {
+                    g.add_edge(node(l, a), node(l + 1, b));
+                    lats.push(rand_affine(&mut rng));
+                }
+            }
+        }
+    }
+    // Every last-layer node reaches every sink.
+    for j in 0..width {
+        for i in 0..k {
+            g.add_edge(node(layers, j), sink(i));
+            lats.push(rand_affine(&mut rng));
+        }
+    }
+    // Uneven per-commodity demands summing to `rate`.
+    let weights: Vec<f64> = (0..k).map(|_| rng.random_range(0.5..2.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let commodities = (0..k)
+        .map(|i| Commodity {
+            source: source(i),
+            sink: sink(i),
+            rate: rate * weights[i] / total,
+        })
+        .collect();
+    Ok(MultiCommodityInstance::new(g, lats, commodities))
+}
+
+/// Panicking shim over [`try_random_multicommodity`] for trusted parameters.
+///
+/// # Panics
+/// If any shape parameter is 0 or `rate` is not a positive finite number.
+pub fn random_multicommodity(
+    layers: usize,
+    width: usize,
+    k: usize,
+    rate: f64,
+    seed: u64,
+) -> MultiCommodityInstance {
+    try_random_multicommodity(layers, width, k, rate, seed).expect("valid generator parameters")
 }
 
 #[cfg(test)]

@@ -59,11 +59,17 @@ pub struct FwOptions {
     /// kinked optima; 256 is a good default.
     pub restart_period: usize,
     /// Hand over to the path polish when the relative gap has not improved
-    /// by ≥1% within this many iterations (`0` = never). Frank–Wolfe
+    /// by ≥1% within this many iterations (`Some(0)` = never). Frank–Wolfe
     /// converges sublinearly and plateaus orders of magnitude above tight
     /// targets; the polish converges linearly from the plateau, so burning
     /// the rest of `max_iters` on a stalled FW loop is pure waste.
-    pub stall_window: usize,
+    ///
+    /// `None` (the default) adapts the window to the instance:
+    /// `max(64, 4·m)` for `m` edges — see
+    /// [`FwOptions::effective_stall_window`]. Large graphs make slower
+    /// per-iteration progress, so a fixed window of 64 hands over to the
+    /// polish before the FW phase has delivered a useful start.
+    pub stall_window: Option<usize>,
 }
 
 impl Default for FwOptions {
@@ -75,8 +81,18 @@ impl Default for FwOptions {
             max_iters: 2_000,
             conjugate: true,
             restart_period: 256,
-            stall_window: 64,
+            stall_window: None,
         }
+    }
+}
+
+impl FwOptions {
+    /// The stall window actually applied to a solve over `num_edges` edges:
+    /// the explicit override when [`FwOptions::stall_window`] is set
+    /// (including `Some(0)` = stall detection off), otherwise the adaptive
+    /// `max(64, 4·num_edges)`.
+    pub fn effective_stall_window(&self, num_edges: usize) -> usize {
+        self.stall_window.unwrap_or_else(|| (4 * num_edges).max(64))
     }
 }
 
@@ -467,6 +483,7 @@ fn solve_inner(
     let mut iterations = 0;
     let mut converged = false;
     // Stall detection: the best gap seen and the iteration that set it.
+    let stall_window = opts.effective_stall_window(m);
     let mut best_gap = f64::INFINITY;
     let mut best_iter = 0usize;
 
@@ -505,7 +522,7 @@ fn solve_inner(
         if rel_gap < best_gap * 0.99 {
             best_gap = rel_gap;
             best_iter = iter;
-        } else if opts.stall_window > 0 && iter - best_iter >= opts.stall_window {
+        } else if stall_window > 0 && iter - best_iter >= stall_window {
             // Plateaued: let the polish finish the tail.
             break;
         }
@@ -903,6 +920,35 @@ mod tests {
         let r = solve_warm(&inst, CostModel::Wardrop, &opts, Some(&bad));
         assert!(r.converged);
         assert!((r.flow.0[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stall_window_adapts_to_edge_count_unless_overridden() {
+        // Adaptive default: max(64, 4·m).
+        let adaptive = FwOptions::default();
+        assert_eq!(adaptive.stall_window, None);
+        assert_eq!(adaptive.effective_stall_window(5), 64);
+        assert_eq!(adaptive.effective_stall_window(16), 64);
+        assert_eq!(adaptive.effective_stall_window(17), 68);
+        assert_eq!(adaptive.effective_stall_window(500), 2000);
+        // Explicit override wins verbatim, including 0 = never stall.
+        let fixed = FwOptions {
+            stall_window: Some(7),
+            ..FwOptions::default()
+        };
+        assert_eq!(fixed.effective_stall_window(500), 7);
+        let never = FwOptions {
+            stall_window: Some(0),
+            ..FwOptions::default()
+        };
+        assert_eq!(never.effective_stall_window(500), 0);
+        // Both paths still drive a solve to convergence.
+        let inst = braess_classic();
+        for opts in [adaptive, fixed, never] {
+            let r = solve_assignment(&inst, CostModel::Wardrop, &opts);
+            assert!(r.converged, "stall_window {:?}", opts.stall_window);
+            assert!((r.flow.0[2] - 1.0).abs() < 1e-6);
+        }
     }
 
     #[test]

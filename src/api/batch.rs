@@ -11,7 +11,7 @@
 //! control, run statistics, or streaming delivery should use
 //! [`super::Engine`] directly.
 
-use super::engine::Engine;
+use super::engine::{Engine, EngineStats};
 use super::error::SoptError;
 use super::report::Report;
 use super::scenario::Scenario;
@@ -58,10 +58,20 @@ impl Batch {
     /// Solve every scenario. Returns exactly one result per input, in
     /// input order.
     pub fn run(self) -> Vec<Result<Report, SoptError>> {
+        self.engine().run()
+    }
+
+    /// [`Batch::run`] plus the run's [`EngineStats`] — library users see
+    /// the report/profile memo traffic and eviction counts without
+    /// switching to the engine API.
+    pub fn run_with_stats(self) -> (Vec<Result<Report, SoptError>>, EngineStats) {
+        self.engine().run_stats()
+    }
+
+    fn engine(self) -> Engine {
         Engine::new(self.scenarios)
             .options(self.options)
             .threads_opt(self.threads)
-            .run()
     }
 }
 
@@ -159,6 +169,22 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         assert!(Batch::new(vec![]).run().is_empty());
+    }
+
+    #[test]
+    fn run_with_stats_surfaces_engine_traffic() {
+        // A duplicated scenario dedups through the per-run report memo;
+        // Batch now surfaces that traffic without the engine API.
+        let scenarios = vec![
+            Scenario::parse("x, 1.0").unwrap(),
+            Scenario::parse("x, 1.0").unwrap(),
+            Scenario::parse("x, 2x, 0.9").unwrap(),
+        ];
+        let (reports, stats) = Batch::new(scenarios).threads(1).run_with_stats();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(stats.scenarios, 3);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 2));
     }
 
     #[test]

@@ -9,13 +9,17 @@
 //!   touching a solver, returning bit-identical reports (entries are stored
 //!   once and cloned out).
 //! * the **profile table** memoizes the Nash/optimum equilibrium profiles
-//!   that several tasks re-derive for one scenario, across *all three*
-//!   scenario classes: parallel links (the knob-free equalizer), s–t
-//!   networks and k-commodity networks (Frank–Wolfe [`FwResult`]s, keyed
-//!   additionally by the full solver knob set that shapes them — see
-//!   [`FwKnobs`]). The `equilib` task's two solves, `curve`'s
-//!   anchors, `beta`'s MOP optimum and `llf`'s optimum all share entries,
-//!   so an α-sweep over one scenario solves each equilibrium once.
+//!   that several tasks re-derive for one scenario, generically over the
+//!   class-polymorphic [`ScenarioModel`] trait: one entry point
+//!   (`SolveCache::model_profile`) serves parallel links (the knob-free
+//!   equalizer), s–t networks and k-commodity networks (Frank–Wolfe
+//!   [`FwResult`]s, keyed additionally by the full solver knob set that
+//!   shapes them — see `FwKnobs`). The key is a thin wrapper —
+//!   `(class, spec, kind, knobs)` — and the stored value is the model
+//!   layer's [`ModelProfile`]; the cache itself knows nothing about how a
+//!   class solves. The `equilib` task's two solves, `curve`'s anchors,
+//!   `beta`'s MOP optimum and `llf`/`tolls`' optimum all share entries, so
+//!   an α-sweep over one scenario solves each equilibrium once.
 //!
 //! Profile entries are always computed **cold** (never warm-started), so an
 //! entry's value depends only on its key — never on which task or fleet
@@ -39,16 +43,18 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use sopt_equilibrium::network::{
-    try_multicommodity_nash, try_multicommodity_optimum, try_network_nash, try_network_optimum,
-};
-use sopt_equilibrium::parallel::ParallelLinks;
-use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
-use sopt_solver::frank_wolfe::{FwOptions, FwResult};
+use sopt_solver::frank_wolfe::FwOptions;
 
 use super::super::error::SoptError;
+use super::super::model::{ModelProfile, ScenarioModel};
 use super::super::report::Report;
+use super::super::scenario::ScenarioClass;
 use super::fingerprint::{Fingerprint, Fnv64};
+
+#[allow(unused_imports)] // FwResult appears in the module docs above.
+use sopt_solver::frank_wolfe::FwResult;
+
+pub use super::super::model::EqKind;
 
 /// Number of lock shards per table (power of two).
 const SHARDS: usize = 16;
@@ -59,24 +65,6 @@ pub const DEFAULT_REPORT_CAPACITY: usize = 65_536;
 /// Default profile-table capacity (entries) of [`SolveCache::new`].
 pub const DEFAULT_PROFILE_CAPACITY: usize = 16_384;
 
-/// Which equilibrium a profile entry holds.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum EqKind {
-    /// The Wardrop/Nash assignment.
-    Nash,
-    /// The system optimum.
-    Optimum,
-}
-
-impl EqKind {
-    fn what(self) -> &'static str {
-        match self {
-            EqKind::Nash => "nash",
-            EqKind::Optimum => "optimum",
-        }
-    }
-}
-
 /// Every [`FwOptions`] field, bit-exactly — the cached [`FwResult`] of a
 /// network profile depends on all of them, so all of them key the entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -85,6 +73,9 @@ struct FwKnobs {
     max_iters: u64,
     conjugate: bool,
     restart_period: u64,
+    /// The explicit stall-window override, or `u64::MAX` for the adaptive
+    /// default (which is a pure function of the keyed instance, so it needs
+    /// no separate key material).
     stall_window: u64,
 }
 
@@ -95,21 +86,21 @@ impl FwKnobs {
             max_iters: fw.max_iters as u64,
             conjugate: fw.conjugate,
             restart_period: fw.restart_period as u64,
-            stall_window: fw.stall_window as u64,
+            stall_window: fw.stall_window.map_or(u64::MAX, |w| w as u64),
         }
     }
 }
 
-/// Key of the profile table: canonical spec + which equilibrium + the
-/// solver knobs that shape iterative profiles. The parallel-link equalizer
-/// takes no knobs (`fw: None`); network/multicommodity Frank–Wolfe results
-/// depend on every [`FwOptions`] field, so the whole set folds in.
+/// Key of the profile table — a thin wrapper over the solve's identity:
+/// scenario class + canonical spec + which equilibrium + the solver knobs
+/// that shape iterative profiles. Classes whose profiles are knob-free
+/// (the parallel equalizer, [`ScenarioModel::fw_keyed`]` == false`) carry
+/// `fw: None`; Frank–Wolfe classes fold in every [`FwOptions`] field.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct ProfileKey {
+    class: ScenarioClass,
     spec: String,
     kind: EqKind,
-    /// The full solver knob set for FW-solved classes; `None` for the
-    /// knob-free parallel equalizer.
     fw: Option<FwKnobs>,
 }
 
@@ -117,6 +108,7 @@ impl ProfileKey {
     /// Shard index among `shards` (a power of two).
     fn shard(&self, shards: usize) -> usize {
         let mut h = Fnv64::default();
+        h.write_u64(self.class as u64);
         h.write(self.spec.as_bytes());
         h.write_u64(self.kind as u64);
         if let Some(k) = self.fw {
@@ -129,19 +121,6 @@ impl ProfileKey {
         }
         (h.finish() as usize) & (shards - 1)
     }
-}
-
-/// A memoized parallel-link equilibrium profile: per-link flows plus the
-/// common level (Nash latency or optimum marginal cost).
-pub(crate) type EqProfile = (Vec<f64>, f64);
-
-/// A memoized equilibrium profile of any scenario class.
-#[derive(Clone, Debug)]
-enum Profile {
-    /// Parallel-link flows + common level.
-    Parallel(EqProfile),
-    /// Network / multicommodity Frank–Wolfe solve.
-    Flow(FwResult),
 }
 
 /// One bounded, second-chance-evicting map shard. Keys live once in the
@@ -239,7 +218,7 @@ fn shard_cap(total: usize, shards: usize, i: usize) -> usize {
 #[derive(Debug)]
 pub struct SolveCache {
     reports: [Mutex<BoundedShard<Fingerprint, Result<Report, SoptError>>>; SHARDS],
-    profiles: [Mutex<BoundedShard<ProfileKey, Result<Profile, SoptError>>>; SHARDS],
+    profiles: [Mutex<BoundedShard<ProfileKey, Result<ModelProfile, SoptError>>>; SHARDS],
     /// Active report shards (power of two ≤ [`SHARDS`]).
     report_shards: usize,
     /// Active profile shards (power of two ≤ [`SHARDS`]).
@@ -351,8 +330,8 @@ impl SolveCache {
         key: ProfileKey,
         hits: &AtomicU64,
         misses: &AtomicU64,
-        compute: impl FnOnce() -> Result<Profile, SoptError>,
-    ) -> Result<Profile, SoptError> {
+        compute: impl FnOnce() -> Result<ModelProfile, SoptError>,
+    ) -> Result<ModelProfile, SoptError> {
         let shard = key.shard(self.profile_shards);
         if let Some(found) = self.profiles[shard].lock().get(&key) {
             hits.fetch_add(1, Ordering::Relaxed);
@@ -367,72 +346,31 @@ impl SolveCache {
         computed
     }
 
-    /// Looks up or computes the `kind` equilibrium of the parallel-link
-    /// scenario whose canonical spec is `spec`, memoizing the result.
-    pub(crate) fn eq_profile(
+    /// Looks up or computes the `kind` equilibrium of any scenario class
+    /// through its [`ScenarioModel`], memoizing under the thin
+    /// `(class, spec, kind, knobs)` key. Misses are always solved **cold**
+    /// ([`ScenarioModel::solve_profile`]), so an entry's value depends only
+    /// on its key — never on which task or fleet populated it first.
+    pub(crate) fn model_profile(
         &self,
         spec: &str,
         kind: EqKind,
-        links: &ParallelLinks,
-    ) -> Result<EqProfile, SoptError> {
-        let key = ProfileKey {
-            spec: spec.to_string(),
-            kind,
-            fw: None,
-        };
-        let entry = self.profile_entry(key, &self.eq_hits, &self.eq_misses, || {
-            solve_profile(links, kind).map(Profile::Parallel)
-        })?;
-        match entry {
-            Profile::Parallel(p) => Ok(p),
-            Profile::Flow(_) => unreachable!("parallel key holds a parallel profile"),
-        }
-    }
-
-    /// Looks up or computes the `kind` equilibrium [`FwResult`] of an s–t
-    /// network scenario, memoizing under `(spec, kind, fw knobs)`.
-    pub(crate) fn network_profile(
-        &self,
-        spec: &str,
-        kind: EqKind,
-        inst: &NetworkInstance,
+        model: &dyn ScenarioModel,
         fw: &FwOptions,
-    ) -> Result<FwResult, SoptError> {
+    ) -> Result<ModelProfile, SoptError> {
+        let fw_key = model.fw_keyed().then(|| FwKnobs::of(fw));
+        let (hits, misses) = if fw_key.is_some() {
+            (&self.net_hits, &self.net_misses)
+        } else {
+            (&self.eq_hits, &self.eq_misses)
+        };
         let key = ProfileKey {
+            class: model.class(),
             spec: spec.to_string(),
             kind,
-            fw: Some(FwKnobs::of(fw)),
+            fw: fw_key,
         };
-        let entry = self.profile_entry(key, &self.net_hits, &self.net_misses, || {
-            solve_network_profile(inst, kind, fw).map(Profile::Flow)
-        })?;
-        match entry {
-            Profile::Flow(r) => Ok(r),
-            Profile::Parallel(_) => unreachable!("network key holds a flow profile"),
-        }
-    }
-
-    /// Looks up or computes the `kind` equilibrium [`FwResult`] of a
-    /// k-commodity scenario, memoizing under `(spec, kind, fw knobs)`.
-    pub(crate) fn multi_profile(
-        &self,
-        spec: &str,
-        kind: EqKind,
-        inst: &MultiCommodityInstance,
-        fw: &FwOptions,
-    ) -> Result<FwResult, SoptError> {
-        let key = ProfileKey {
-            spec: spec.to_string(),
-            kind,
-            fw: Some(FwKnobs::of(fw)),
-        };
-        let entry = self.profile_entry(key, &self.net_hits, &self.net_misses, || {
-            solve_multi_profile(inst, kind, fw).map(Profile::Flow)
-        })?;
-        match entry {
-            Profile::Flow(r) => Ok(r),
-            Profile::Parallel(_) => unreachable!("multicommodity key holds a flow profile"),
-        }
+        self.profile_entry(key, hits, misses, || model.solve_profile(kind, fw))
     }
 
     /// Number of memoized reports.
@@ -475,55 +413,6 @@ impl SolveCache {
     }
 }
 
-/// Computes one parallel-link equilibrium profile directly (the memo-miss
-/// path, and the whole path when no cache is in play).
-pub(crate) fn solve_profile(links: &ParallelLinks, kind: EqKind) -> Result<EqProfile, SoptError> {
-    let profile = match kind {
-        EqKind::Nash => links.try_nash()?,
-        EqKind::Optimum => links.try_optimum()?,
-    };
-    Ok((profile.flows().to_vec(), profile.level()))
-}
-
-/// Computes one network equilibrium [`FwResult`] directly. Always a cold
-/// solve: profile values must depend only on `(instance, kind, knobs)` so
-/// memo entries are identical no matter which task computes them first.
-pub(crate) fn solve_network_profile(
-    inst: &NetworkInstance,
-    kind: EqKind,
-    fw: &FwOptions,
-) -> Result<FwResult, SoptError> {
-    let r = match kind {
-        EqKind::Nash => try_network_nash(inst, fw, None),
-        EqKind::Optimum => try_network_optimum(inst, fw, None),
-    }?;
-    check_profile_converged(kind, r)
-}
-
-/// Computes one multicommodity equilibrium [`FwResult`] directly (cold).
-pub(crate) fn solve_multi_profile(
-    inst: &MultiCommodityInstance,
-    kind: EqKind,
-    fw: &FwOptions,
-) -> Result<FwResult, SoptError> {
-    let r = match kind {
-        EqKind::Nash => try_multicommodity_nash(inst, fw, None),
-        EqKind::Optimum => try_multicommodity_optimum(inst, fw, None),
-    }?;
-    check_profile_converged(kind, r)
-}
-
-fn check_profile_converged(kind: EqKind, r: FwResult) -> Result<FwResult, SoptError> {
-    if r.converged {
-        Ok(r)
-    } else {
-        Err(SoptError::NotConverged {
-            what: kind.what().to_string(),
-            rel_gap: r.rel_gap,
-        })
-    }
-}
-
 /// The sub-solve memo handle threaded into one solve: the shared cache plus
 /// the solve's canonical spec (its profile-table identity).
 #[derive(Clone, Copy)]
@@ -533,33 +422,15 @@ pub(crate) struct SubMemo<'a> {
 }
 
 impl SubMemo<'_> {
-    /// Memoized Nash/optimum profile of `links`.
+    /// Memoized Nash/optimum profile of any scenario class, through its
+    /// [`ScenarioModel`].
     pub(crate) fn profile(
         &self,
         kind: EqKind,
-        links: &ParallelLinks,
-    ) -> Result<EqProfile, SoptError> {
-        self.cache.eq_profile(self.spec, kind, links)
-    }
-
-    /// Memoized Nash/optimum [`FwResult`] of an s–t network instance.
-    pub(crate) fn network(
-        &self,
-        kind: EqKind,
-        inst: &NetworkInstance,
+        model: &dyn ScenarioModel,
         fw: &FwOptions,
-    ) -> Result<FwResult, SoptError> {
-        self.cache.network_profile(self.spec, kind, inst, fw)
-    }
-
-    /// Memoized Nash/optimum [`FwResult`] of a k-commodity instance.
-    pub(crate) fn multi(
-        &self,
-        kind: EqKind,
-        inst: &MultiCommodityInstance,
-        fw: &FwOptions,
-    ) -> Result<FwResult, SoptError> {
-        self.cache.multi_profile(self.spec, kind, inst, fw)
+    ) -> Result<ModelProfile, SoptError> {
+        self.cache.model_profile(self.spec, kind, model, fw)
     }
 }
 
@@ -590,16 +461,20 @@ mod tests {
     fn eq_profile_memoizes_both_kinds() {
         let cache = SolveCache::new();
         let sc = Scenario::parse("x, 1.0").unwrap();
-        let Scenario::Parallel(links) = &sc else {
-            unreachable!()
-        };
-        let (nash, level) = cache.eq_profile("x, 1", EqKind::Nash, links).unwrap();
-        assert!((nash.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!((level - 1.0).abs() < 1e-9); // Pigou Nash rides the constant
-        let again = cache.eq_profile("x, 1", EqKind::Nash, links).unwrap();
-        assert_eq!(again.0, nash);
-        let (opt, _) = cache.eq_profile("x, 1", EqKind::Optimum, links).unwrap();
-        assert!((opt[0] - 0.5).abs() < 1e-9);
+        let fw = FwOptions::default();
+        let nash = cache
+            .model_profile("x, 1", EqKind::Nash, sc.model(), &fw)
+            .unwrap();
+        assert!((nash.flows().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((nash.level().unwrap() - 1.0).abs() < 1e-9); // Pigou Nash rides the constant
+        let again = cache
+            .model_profile("x, 1", EqKind::Nash, sc.model(), &fw)
+            .unwrap();
+        assert_eq!(again.flows(), nash.flows());
+        let opt = cache
+            .model_profile("x, 1", EqKind::Optimum, sc.model(), &fw)
+            .unwrap();
+        assert!((opt.flows()[0] - 0.5).abs() < 1e-9);
         let c = cache.counters();
         assert_eq!((c.eq_hits, c.eq_misses), (1, 2));
         assert_eq!(cache.profile_len(), 2);
@@ -609,12 +484,14 @@ mod tests {
     fn errors_are_memoized_too() {
         let cache = SolveCache::new();
         let sc = Scenario::parse("mm1:1.0").unwrap(); // rate 1 ≥ capacity 1
-        let Scenario::Parallel(links) = &sc else {
-            unreachable!()
-        };
         let spec = sc.to_spec().unwrap();
-        assert!(cache.eq_profile(&spec, EqKind::Nash, links).is_err());
-        assert!(cache.eq_profile(&spec, EqKind::Nash, links).is_err());
+        let fw = FwOptions::default();
+        assert!(cache
+            .model_profile(&spec, EqKind::Nash, sc.model(), &fw)
+            .is_err());
+        assert!(cache
+            .model_profile(&spec, EqKind::Nash, sc.model(), &fw)
+            .is_err());
         let c = cache.counters();
         assert_eq!((c.eq_hits, c.eq_misses), (1, 1));
     }
@@ -623,29 +500,59 @@ mod tests {
     fn network_profile_memoizes_per_knobs() {
         let cache = SolveCache::new();
         let sc = Scenario::parse("nodes=2; 0->1: x; 0->1: 1; demand 0->1: 1").unwrap();
-        let Scenario::Network(inst) = &sc else {
-            unreachable!()
-        };
         let spec = sc.to_spec().unwrap();
         let fw = FwOptions::default();
         let nash = cache
-            .network_profile(&spec, EqKind::Nash, inst, &fw)
+            .model_profile(&spec, EqKind::Nash, sc.model(), &fw)
             .unwrap();
-        assert!((nash.flow.0[0] - 1.0).abs() < 1e-6); // Pigou-as-network Nash
+        assert!((nash.flows()[0] - 1.0).abs() < 1e-6); // Pigou-as-network Nash
+        assert!(nash.level().is_none());
         let again = cache
-            .network_profile(&spec, EqKind::Nash, inst, &fw)
+            .model_profile(&spec, EqKind::Nash, sc.model(), &fw)
             .unwrap();
-        assert_eq!(again.flow.0, nash.flow.0); // bit-identical clone-out
-                                               // A different tolerance is a different entry.
+        assert_eq!(again.flows(), nash.flows()); // bit-identical clone-out
+                                                 // A different tolerance is a different entry.
         let loose = FwOptions {
             rel_gap: 1e-4,
             ..FwOptions::default()
         };
         let _ = cache
-            .network_profile(&spec, EqKind::Nash, inst, &loose)
+            .model_profile(&spec, EqKind::Nash, sc.model(), &loose)
             .unwrap();
         let c = cache.counters();
         assert_eq!((c.net_hits, c.net_misses), (1, 2));
+        assert_eq!(cache.profile_len(), 2);
+    }
+
+    #[test]
+    fn class_tags_keep_profile_keys_distinct() {
+        // A 1-commodity multicommodity instance formats to the same spec
+        // string as its network twin; the class tag in the key keeps their
+        // profile entries separate.
+        let net = Scenario::parse("nodes=2; 0->1: x; 0->1: 1; demand 0->1: 1").unwrap();
+        let Scenario::Network(inst) = &net else {
+            unreachable!()
+        };
+        let multi = Scenario::Multi(sopt_network::instance::MultiCommodityInstance::new(
+            inst.graph.clone(),
+            inst.latencies.clone(),
+            vec![sopt_network::instance::Commodity {
+                source: inst.source,
+                sink: inst.sink,
+                rate: inst.rate,
+            }],
+        ));
+        let cache = SolveCache::new();
+        let fw = FwOptions::default();
+        let spec = net.to_spec().unwrap();
+        let _ = cache
+            .model_profile(&spec, EqKind::Nash, net.model(), &fw)
+            .unwrap();
+        let _ = cache
+            .model_profile(&spec, EqKind::Nash, multi.model(), &fw)
+            .unwrap();
+        let c = cache.counters();
+        assert_eq!((c.net_hits, c.net_misses), (0, 2));
         assert_eq!(cache.profile_len(), 2);
     }
 
@@ -687,13 +594,11 @@ mod tests {
     #[test]
     fn profile_capacity_is_respected() {
         let cache = SolveCache::with_capacity(4, 3);
+        let fw = FwOptions::default();
         for m in 2..12 {
             let spec = format!("{}x", m); // m distinct parallel scenarios
             let sc = Scenario::parse(&spec).unwrap();
-            let Scenario::Parallel(links) = &sc else {
-                unreachable!()
-            };
-            let _ = cache.eq_profile(&spec, EqKind::Nash, links);
+            let _ = cache.model_profile(&spec, EqKind::Nash, sc.model(), &fw);
             assert!(
                 cache.profile_len() <= 3,
                 "profile table grew to {}",

@@ -11,13 +11,23 @@
 //! polynomials, shifted forms) have no fingerprint and simply bypass the
 //! cache.
 //!
+//! The scenario class is part of the identity too: a k-commodity instance
+//! holding a single demand formats to the same spec string as its
+//! single-commodity network twin (the parser reads one `demand` line as a
+//! network), and without the class tag the two would alias one report
+//! entry — serving a report whose `"class"` field lies about the scenario
+//! that hit the cache.
+//!
 //! The knob part folds in every [`SolveOptions`] field — task, tolerance
-//! bits, the optional α, curve steps, and the iteration cap — because each
-//! can change the report. A 64-bit FNV-1a digest of the whole identity is
-//! kept alongside for cheap shard selection; equality always compares the
-//! full key, so hash collisions can never alias two different solves.
+//! bits, the optional α, curve steps, the iteration cap, and the
+//! weak/strong curve strategy — because each can change the report. A
+//! 64-bit FNV-1a digest of the whole identity is kept alongside for cheap
+//! shard selection; equality always compares the full key, so hash
+//! collisions can never alias two different solves.
 
-use super::super::scenario::Scenario;
+use sopt_core::curve::CurveStrategy;
+
+use super::super::scenario::{Scenario, ScenarioClass};
 use super::super::solve::{SolveOptions, Task};
 
 /// FNV-1a offset basis (64-bit).
@@ -71,6 +81,9 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
 pub struct Fingerprint {
     /// Canonical spec formatting of the scenario (round-trips by parsing).
     pub spec: String,
+    /// The scenario class (disambiguates the 1-commodity multicommodity
+    /// instance from its network twin, whose specs coincide).
+    pub class: ScenarioClass,
     /// The task the report answers.
     pub task: Task,
     /// `tolerance` bits (bit-exact; NaN knobs are rejected upstream).
@@ -82,6 +95,8 @@ pub struct Fingerprint {
     pub steps: usize,
     /// Iteration cap.
     pub max_iters: usize,
+    /// Weak/strong curve strategy.
+    pub strategy: CurveStrategy,
     /// FNV-1a digest of all of the above (shard selector, log handle).
     pub hash: u64,
 }
@@ -92,22 +107,27 @@ impl Fingerprint {
     /// identity to memoize under).
     pub fn of(scenario: &Scenario, options: &SolveOptions) -> Option<Fingerprint> {
         let spec = scenario.to_spec().ok()?;
+        let class = scenario.class();
         let tolerance_bits = options.tolerance.to_bits();
         let alpha_bits = options.alpha.map_or(u64::MAX, f64::to_bits);
         let mut h = Fnv64::default();
         h.write(spec.as_bytes());
+        h.write_u64(class as u64);
         h.write(options.task.name().as_bytes());
         h.write_u64(tolerance_bits);
         h.write_u64(alpha_bits);
         h.write_u64(options.steps as u64);
         h.write_u64(options.max_iters as u64);
+        h.write_u64(options.strategy as u64);
         Some(Fingerprint {
             spec,
+            class,
             task: options.task,
             tolerance_bits,
             alpha_bits,
             steps: options.steps,
             max_iters: options.max_iters,
+            strategy: options.strategy,
             hash: h.finish(),
         })
     }
@@ -158,9 +178,36 @@ mod tests {
         let mut o = opts();
         o.max_iters = 10;
         assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
+        let mut o = opts();
+        o.strategy = CurveStrategy::Weak;
+        assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
         // Different scenario, same knobs.
         let other = Scenario::parse("x, 2.0").unwrap();
         assert_ne!(base, Fingerprint::of(&other, &opts()).unwrap());
+    }
+
+    #[test]
+    fn class_disambiguates_identical_specs() {
+        // A 1-commodity multicommodity instance and its network twin format
+        // to the same spec string; the class keeps their reports apart.
+        let net = Scenario::parse("nodes=2; 0->1: x; 0->1: 1; demand 0->1: 1").unwrap();
+        let Scenario::Network(inst) = &net else {
+            unreachable!()
+        };
+        let multi = Scenario::Multi(sopt_network::instance::MultiCommodityInstance::new(
+            inst.graph.clone(),
+            inst.latencies.clone(),
+            vec![sopt_network::instance::Commodity {
+                source: inst.source,
+                sink: inst.sink,
+                rate: inst.rate,
+            }],
+        ));
+        let fn_net = Fingerprint::of(&net, &opts()).unwrap();
+        let fn_multi = Fingerprint::of(&multi, &opts()).unwrap();
+        assert_eq!(fn_net.spec, fn_multi.spec);
+        assert_ne!(fn_net, fn_multi);
+        assert_ne!(fn_net.hash, fn_multi.hash);
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //!   thousand Pigou instances no longer pins a single thread.
 //! * **[`cache`]** — a sharded memo table keyed by the canonical spec
 //!   round-trip ([`fingerprint`]): identical scenarios solve once, warm
-//!   re-runs replay bit-identical reports, and the parallel-link
-//!   Nash/optimum profiles shared by the `equilib`/`curve`/`llf` tasks hit
-//!   an equilibrium sub-table instead of re-equalizing.
+//!   re-runs replay bit-identical reports, and the Nash/optimum profiles
+//!   shared by the `equilib`/`curve`/`llf`/`tolls` tasks hit a
+//!   class-polymorphic profile sub-table (generic over
+//!   [`ScenarioModel`](super::model::ScenarioModel)) instead of
+//!   re-solving.
 //! * **[`stream`]** — results leave the engine as they complete, through a
 //!   callback sink ([`Engine::run_streamed`]), an input-order reorder
 //!   adapter ([`Ordered`] / [`Engine::run_ordered`]), or a pull-based

@@ -11,7 +11,9 @@
 //!   ([`crate::spec`]), which covers both parallel links (`"x, 1.0"`) and
 //!   general networks (`"nodes=4; 0->1: x; …; demand 0->3: 2.0"`);
 //! * [`Solve`] — a builder-style session selecting a [`Task`] and solver
-//!   knobs, dispatching to the right algorithm per class;
+//!   knobs, dispatching through the class-polymorphic [`ScenarioModel`]
+//!   trait ([`model`]), so every task is written once and lands on all
+//!   three classes;
 //! * [`Report`] — the typed result, with hand-rolled JSON/CSV/text
 //!   serializers (offline-safe, no serde);
 //! * [`SoptError`] — the single error enum behind every fallible path;
@@ -48,6 +50,7 @@
 pub mod batch;
 pub mod engine;
 pub mod error;
+pub mod model;
 pub mod report;
 pub mod scenario;
 pub mod solve;
@@ -55,9 +58,12 @@ pub mod solve;
 pub use batch::{parse_batch_file, run_batch, Batch};
 pub use engine::{Engine, EngineStats, EngineStream, Ordered, SolveCache};
 pub use error::SoptError;
+pub use model::{BetaPlan, EqKind, InducedOutcome, ModelProfile, ScenarioModel};
 pub use report::{
     BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, Report, ReportData,
     ScenarioSummary, TollsReport,
 };
 pub use scenario::{Scenario, ScenarioClass};
 pub use solve::{Solve, SolveOptions, Task};
+
+pub use sopt_core::curve::CurveStrategy;

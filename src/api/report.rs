@@ -19,7 +19,7 @@
 //! | task | fields |
 //! |---|---|
 //! | `beta` | `beta`, `nash_cost`, `optimum_cost`, `induced_cost`, `strategy[]`, `optimum[]`, `commodity_alphas[]` (multicommodity only) |
-//! | `curve` | `beta`, `nash_cost`, `optimum_cost`, `points[{alpha,cost,ratio,oracle}]` |
+//! | `curve` | `beta`, `strategy` (`"strong"`\|`"weak"`), `weak_beta` (multicommodity only), `nash_cost`, `optimum_cost`, `points[{alpha,cost,ratio,oracle}]` |
 //! | `equilib` | `nash_flows[]`, `nash_level?`, `nash_cost`, `optimum_flows[]`, `optimum_level?`, `optimum_cost` |
 //! | `tolls` | `tolls[]`, `optimum[]`, `tolled_nash[]`, `tolled_cost`, `revenue` |
 //! | `llf` | `alpha`, `strategy[]`, `cost`, `optimum_cost`, `ratio`, `bound` |
@@ -78,8 +78,14 @@ pub struct CurvePointReport {
 /// The curve task: `α ↦ ϱ(M, r, α)` (paper Expression (2)).
 #[derive(Clone, Debug)]
 pub struct CurveReport {
-    /// `β` of the instance (the crossover to ratio 1).
+    /// The crossover portion to ratio 1 under the chosen strategy split:
+    /// `β` of the instance (strong), or `max_i α_i` (weak, k-commodity).
     pub beta: f64,
+    /// The weak crossover `max_i α_i` — reported on multicommodity
+    /// scenarios only (single-commodity classes make it equal `beta`).
+    pub weak_beta: Option<f64>,
+    /// Which portion split produced the sweep (`"strong"` or `"weak"`).
+    pub strategy: &'static str,
     /// `C(N)`.
     pub nash_cost: f64,
     /// `C(O)`.
@@ -274,6 +280,10 @@ impl Report {
             }
             ReportData::Curve(c) => {
                 fields.push(("beta".into(), json_num(c.beta)));
+                if let Some(w) = c.weak_beta {
+                    fields.push(("weak_beta".into(), json_num(w)));
+                }
+                fields.push(("strategy".into(), json_str(c.strategy)));
                 fields.push(("nash_cost".into(), json_num(c.nash_cost)));
                 fields.push(("optimum_cost".into(), json_num(c.optimum_cost)));
                 let pts: Vec<String> = c
@@ -443,6 +453,11 @@ impl Report {
                     c.beta,
                     c.nash_cost / c.optimum_cost
                 );
+                // Multicommodity sweeps name the split; single-commodity
+                // output stays byte-identical to the classic CLI.
+                if let Some(w) = c.weak_beta {
+                    let _ = writeln!(out, "strategy = {}   weak_beta = {w:.6}", c.strategy);
+                }
                 let _ = writeln!(
                     out,
                     "{:>8} {:>12} {:>10}  oracle",

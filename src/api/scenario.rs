@@ -4,11 +4,12 @@ use sopt_equilibrium::parallel::ParallelLinks;
 use sopt_network::instance::{Commodity, MultiCommodityInstance, NetworkInstance};
 
 use super::error::SoptError;
+use super::model::ScenarioModel;
 use super::solve::Solve;
 use crate::spec;
 
 /// Which of the paper's three instance classes a [`Scenario`] belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ScenarioClass {
     /// Parallel links `(M, r)` (paper §4, OpTop).
     Parallel,
@@ -118,13 +119,20 @@ impl Scenario {
         Solve::new(self)
     }
 
+    /// The class-polymorphic model behind this scenario — the single
+    /// per-class dispatch point of the session layer; every task driver and
+    /// the engine's profile memo work against the returned trait object.
+    pub fn model(&self) -> &dyn ScenarioModel {
+        match self {
+            Scenario::Parallel(links) => links,
+            Scenario::Network(inst) => inst,
+            Scenario::Multi(inst) => inst,
+        }
+    }
+
     /// The instance class.
     pub fn class(&self) -> ScenarioClass {
-        match self {
-            Scenario::Parallel(_) => ScenarioClass::Parallel,
-            Scenario::Network(_) => ScenarioClass::Network,
-            Scenario::Multi(_) => ScenarioClass::Multi,
-        }
+        self.model().class()
     }
 
     /// Number of links/edges.

@@ -1,26 +1,20 @@
 //! [`Solve`] — the builder-style session turning a
-//! [`Scenario`](super::Scenario) into a [`Report`](super::Report).
+//! [`Scenario`] into a [`Report`].
+//!
+//! Since PR 5, every task driver here is written once against the
+//! [`ScenarioModel`] trait: the only per-class
+//! `match` in the session layer is [`Scenario::model`](super::Scenario)
+//! handing out the right implementation. Per-class algorithm choices
+//! (OpTop vs MOP vs Theorem 2.1, equalizer vs Frank–Wolfe, α-portion
+//! policies) live in [`super::model`].
 
-use sopt_core::curve::{anarchy_curve, anarchy_curve_network_with, CurveOracle};
-use sopt_core::llf::llf_strategy_for_optimum;
-use sopt_core::tolls::{try_marginal_cost_tolls, try_marginal_cost_tolls_network_with_optimum};
-use sopt_core::{try_mop_multi_with_optimum, try_mop_with_optimum, try_optop};
-use sopt_equilibrium::network::{
-    try_induced_multicommodity, try_induced_network, try_network_nash, warm_seed_from,
-    warm_seed_from_per,
-};
-use sopt_equilibrium::parallel::ParallelLinks;
-use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
-use sopt_solver::frank_wolfe::{FwOptions, FwResult};
+use sopt_core::curve::CurveStrategy;
+use sopt_solver::frank_wolfe::FwOptions;
 
-use super::engine::cache::{
-    solve_multi_profile, solve_network_profile, solve_profile, EqKind, EqProfile, SubMemo,
-};
+use super::engine::cache::SubMemo;
 use super::error::SoptError;
-use super::report::{
-    BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, Report, ReportData,
-    ScenarioSummary, TollsReport,
-};
+use super::model::{EqKind, ModelProfile, ScenarioModel};
+use super::report::{BetaReport, Report, ReportData, ScenarioSummary};
 use super::scenario::Scenario;
 
 /// What to compute about a scenario.
@@ -29,12 +23,14 @@ pub enum Task {
     /// The price of optimum β and the Leader's optimal strategy
     /// (OpTop / MOP / Theorem 2.1, per scenario class).
     Beta,
-    /// The anarchy-value curve `α ↦ ϱ(M, r, α)` (parallel links and s–t
-    /// networks; each network α-point is a warm-started induced solve).
+    /// The anarchy-value curve `α ↦ ϱ(M, r, α)` on every scenario class.
+    /// Network and k-commodity α-points are warm-chained induced solves;
+    /// k-commodity sweeps honour the weak/strong
+    /// [`strategy`](SolveOptions::strategy) split.
     Curve,
     /// Nash and optimum assignments.
     Equilib,
-    /// Marginal-cost tolls (single-commodity scenarios).
+    /// Marginal-cost tolls (every scenario class).
     Tolls,
     /// The LLF baseline at a given Leader portion (parallel links only).
     Llf,
@@ -100,6 +96,10 @@ pub struct SolveOptions {
     pub steps: usize,
     /// Iteration cap for iterative solves. Default 2000.
     pub max_iters: usize,
+    /// Weak/strong portion split for k-commodity curve sweeps (ignored by
+    /// single-commodity classes, where the two coincide). Default
+    /// [`CurveStrategy::Strong`].
+    pub strategy: CurveStrategy,
 }
 
 impl Default for SolveOptions {
@@ -110,6 +110,7 @@ impl Default for SolveOptions {
             alpha: None,
             steps: 10,
             max_iters: 2_000,
+            strategy: CurveStrategy::Strong,
         }
     }
 }
@@ -149,7 +150,7 @@ impl SolveOptions {
         Ok(())
     }
 
-    fn fw(&self) -> FwOptions {
+    pub(crate) fn fw(&self) -> FwOptions {
         FwOptions {
             rel_gap: self.tolerance,
             max_iters: self.max_iters,
@@ -194,6 +195,13 @@ macro_rules! impl_solve_knobs {
                 self
             }
 
+            /// Weak/strong Stackelberg split for k-commodity curve sweeps
+            /// (default strong; single-commodity classes coincide).
+            pub fn strategy(mut self, strategy: sopt_core::curve::CurveStrategy) -> Self {
+                self.options.strategy = strategy;
+                self
+            }
+
             /// Replace the whole knob set at once.
             pub fn options(mut self, options: SolveOptions) -> Self {
                 self.options = options;
@@ -231,8 +239,8 @@ impl Solve {
         }
     }
 
-    /// Run the task, dispatching to the right algorithm for the scenario
-    /// class. Every failure mode is a typed [`SoptError`].
+    /// Run the task, dispatching through the scenario's
+    /// [`ScenarioModel`]. Every failure mode is a typed [`SoptError`].
     pub fn run(self) -> Result<Report, SoptError> {
         run_with(self.scenario, &self.options)
     }
@@ -247,8 +255,7 @@ pub(crate) fn run_with(scenario: Scenario, options: &SolveOptions) -> Result<Rep
 
 /// [`run_with`] with an optional engine memo handle: Nash/optimum
 /// sub-solves of **every** scenario class consult the shared profile table
-/// (parallel equalizer profiles, network and multicommodity Frank–Wolfe
-/// results keyed additionally by the solver knobs).
+/// through the class-polymorphic [`ScenarioModel`] interface.
 pub(crate) fn run_with_memo(
     scenario: Scenario,
     options: &SolveOptions,
@@ -262,58 +269,27 @@ pub(crate) fn run_with_memo(
         nodes: scenario.nodes(),
         rate: scenario.rate(),
     };
-    let data = match &scenario {
-        Scenario::Parallel(links) => solve_parallel(links, options, memo)?,
-        Scenario::Network(inst) => solve_network(inst, options, &scenario, memo)?,
-        Scenario::Multi(inst) => solve_multi(inst, options, &scenario, memo)?,
-    };
+    let data = solve_task(scenario.model(), options, memo)?;
     Ok(Report {
         scenario: summary,
         data,
     })
 }
 
-/// A parallel-link equilibrium, served from the engine's memo table when a
-/// handle is present, computed directly otherwise.
+/// An equilibrium profile, served from the engine's memo table when a
+/// handle is present, computed cold otherwise. Memo entries are always
+/// computed cold (see the cache module's determinism note); warm starts
+/// apply only to derived, non-memoized solves.
 fn profile(
-    links: &ParallelLinks,
-    kind: EqKind,
-    memo: Option<&SubMemo<'_>>,
-) -> Result<EqProfile, SoptError> {
-    match memo {
-        Some(m) => m.profile(kind, links),
-        None => solve_profile(links, kind),
-    }
-}
-
-/// A network Nash/optimum profile, memoized when a handle is present.
-/// Always solved cold on a miss (see the cache module's determinism note);
-/// warm starts apply only to derived, non-memoized solves.
-fn net_profile(
-    inst: &NetworkInstance,
+    model: &dyn ScenarioModel,
     kind: EqKind,
     options: &SolveOptions,
     memo: Option<&SubMemo<'_>>,
-) -> Result<FwResult, SoptError> {
+) -> Result<ModelProfile, SoptError> {
     let fw = options.fw();
     match memo {
-        Some(m) => m.network(kind, inst, &fw),
-        None => solve_network_profile(inst, kind, &fw),
-    }
-}
-
-/// A multicommodity Nash/optimum profile, memoized when a handle is
-/// present.
-fn multi_profile(
-    inst: &MultiCommodityInstance,
-    kind: EqKind,
-    options: &SolveOptions,
-    memo: Option<&SubMemo<'_>>,
-) -> Result<FwResult, SoptError> {
-    let fw = options.fw();
-    match memo {
-        Some(m) => m.multi(kind, inst, &fw),
-        None => solve_multi_profile(inst, kind, &fw),
+        Some(m) => m.profile(kind, model, &fw),
+        None => model.solve_profile(kind, &fw),
     }
 }
 
@@ -324,272 +300,106 @@ fn require_alpha(options: &SolveOptions) -> Result<f64, SoptError> {
     })
 }
 
-fn oracle_name(o: CurveOracle) -> &'static str {
-    match o {
-        CurveOracle::Exact => "exact",
-        CurveOracle::BruteForce => "brute-force",
-        CurveOracle::HeuristicUpperBound => "heuristic-upper-bound",
-    }
+/// The curve's α grid: 0, 1/steps, …, 1.
+fn alpha_grid(steps: usize) -> Vec<f64> {
+    (0..=steps).map(|k| k as f64 / steps as f64).collect()
 }
 
-fn solve_parallel(
-    links: &ParallelLinks,
+/// The class-generic task dispatch. No per-class branches: the
+/// [`ScenarioModel`] implementations carry every class-specific decision.
+fn solve_task(
+    model: &dyn ScenarioModel,
     options: &SolveOptions,
     memo: Option<&SubMemo<'_>>,
 ) -> Result<ReportData, SoptError> {
-    // Per-task feasibility gates convert M/M/1 saturation into a typed
-    // error instead of a panic deep inside an algorithm. Tasks whose
-    // internals already propagate typed errors (Beta via try_optop) run
-    // without a redundant pre-solve — on a large batch fleet those extra
-    // equalizer bisections are pure waste.
+    if !model.supports(options.task) {
+        return Err(SoptError::Unsupported {
+            task: options.task,
+            class: model.class(),
+        });
+    }
     Ok(match options.task {
-        Task::Beta => {
-            let r = try_optop(links)?;
-            let induced_cost = links.try_induced_cost(&r.strategy)?;
-            ReportData::Beta(BetaReport {
-                beta: r.beta,
-                nash_cost: r.nash_cost,
-                optimum_cost: r.optimum_cost,
-                induced_cost,
-                strategy: r.strategy,
-                optimum: r.optimum,
-                commodity_alphas: vec![],
-            })
-        }
+        Task::Beta => ReportData::Beta(solve_beta(model, options, memo)?),
         Task::Curve => {
-            // anarchy_curve calls the panicking internals; gate feasibility
-            // of both equilibria first. (The gates hit the engine's
-            // equilibrium memo table; computed fresh they are noise next to
-            // the per-α strategy solves of the sweep itself.)
-            profile(links, EqKind::Nash, memo)?;
-            profile(links, EqKind::Optimum, memo)?;
-            let alphas: Vec<f64> = (0..=options.steps)
-                .map(|k| k as f64 / options.steps as f64)
-                .collect();
-            let c = anarchy_curve(links, &alphas);
-            ReportData::Curve(CurveReport {
-                beta: c.beta,
-                nash_cost: c.nash_cost,
-                optimum_cost: c.optimum_cost,
-                points: c
-                    .points
-                    .iter()
-                    .map(|p| CurvePointReport {
-                        alpha: p.alpha,
-                        cost: p.cost,
-                        ratio: p.ratio,
-                        oracle: oracle_name(p.oracle),
-                    })
-                    .collect(),
-            })
+            // One memoized optimum + Nash anchor for the whole sweep (they
+            // also gate feasibility before the per-α solves); warm chaining
+            // between adjacent α points happens inside the model's sweep.
+            let optimum = profile(model, EqKind::Optimum, options, memo)?;
+            let nash = profile(model, EqKind::Nash, options, memo)?;
+            ReportData::Curve(model.anarchy_curve(
+                &alpha_grid(options.steps),
+                options.strategy,
+                &options.fw(),
+                &optimum,
+                &nash,
+            )?)
         }
         Task::Equilib => {
-            let (nash_flows, nash_level) = profile(links, EqKind::Nash, memo)?;
-            let (optimum_flows, optimum_level) = profile(links, EqKind::Optimum, memo)?;
-            ReportData::Equilib(EquilibReport {
-                nash_cost: links.cost(&nash_flows),
-                nash_flows,
-                nash_level: Some(nash_level),
-                optimum_cost: links.cost(&optimum_flows),
-                optimum_flows,
-                optimum_level: Some(optimum_level),
+            let nash = profile(model, EqKind::Nash, options, memo)?;
+            let optimum = profile(model, EqKind::Optimum, options, memo)?;
+            ReportData::Equilib(super::report::EquilibReport {
+                nash_cost: model.cost(nash.flows()),
+                nash_level: nash.level(),
+                nash_flows: nash.flows().to_vec(),
+                optimum_cost: model.cost(optimum.flows()),
+                optimum_level: optimum.level(),
+                optimum_flows: optimum.flows().to_vec(),
             })
         }
         Task::Tolls => {
-            let t = try_marginal_cost_tolls(links)?;
-            let tolled_nash = t.tolled.try_nash()?;
-            ReportData::Tolls(TollsReport {
-                tolled_cost: links.cost(tolled_nash.flows()),
-                tolled_nash: tolled_nash.flows().to_vec(),
-                tolls: t.tolls,
-                optimum: t.optimum,
-                revenue: t.revenue,
-            })
+            let optimum = profile(model, EqKind::Optimum, options, memo)?;
+            ReportData::Tolls(model.tolls(&optimum, &options.fw())?)
         }
         Task::Llf => {
             let alpha = require_alpha(options)?;
             // One optimum solve, reused for the strategy and for C(O) —
-            // and shared across an α-sweep via the equilibrium memo table.
-            let (optimum_flows, _) = profile(links, EqKind::Optimum, memo)?;
-            let strategy = llf_strategy_for_optimum(links, &optimum_flows, alpha);
-            let cost = links.try_induced_cost(&strategy)?;
-            let optimum_cost = links.cost(&optimum_flows);
-            ReportData::Llf(LlfReport {
-                alpha,
-                strategy,
-                cost,
-                optimum_cost,
-                ratio: cost / optimum_cost,
-                bound: 1.0 / alpha,
-            })
+            // and shared across an α-sweep via the profile memo table.
+            let optimum = profile(model, EqKind::Optimum, options, memo)?;
+            ReportData::Llf(model.llf(alpha, &optimum)?)
         }
     })
 }
 
-fn check_converged(r: &FwResult, what: &'static str) -> Result<(), SoptError> {
-    if r.converged {
-        Ok(())
+/// The β task: plan (OpTop / MOP / Theorem 2.1), then verify by solving the
+/// induced equilibrium the plan's strategy actually produces.
+fn solve_beta(
+    model: &dyn ScenarioModel,
+    options: &SolveOptions,
+    memo: Option<&SubMemo<'_>>,
+) -> Result<BetaReport, SoptError> {
+    let optimum = if model.plan_needs_optimum() {
+        Some(profile(model, EqKind::Optimum, options, memo)?)
     } else {
-        Err(SoptError::NotConverged {
-            what: what.to_string(),
-            rel_gap: r.rel_gap,
-        })
-    }
-}
-
-fn solve_network(
-    inst: &NetworkInstance,
-    options: &SolveOptions,
-    scenario: &Scenario,
-    memo: Option<&SubMemo<'_>>,
-) -> Result<ReportData, SoptError> {
-    let fw = options.fw();
-    Ok(match options.task {
-        Task::Beta => {
-            let optimum = net_profile(inst, EqKind::Optimum, options, memo)?;
-            let r = try_mop_with_optimum(inst, &optimum)?;
-            let nash = net_profile(inst, EqKind::Nash, options, memo)?;
-            // The free flow IS the follower equilibrium the MOP strategy
-            // induces (S + T = O), so it seeds the induced solve to
-            // near-instant convergence.
-            let seed = warm_seed_from(&r.free_flow);
-            let follower = try_induced_network(inst, &r.leader, r.leader_value, &fw, Some(&seed))?;
-            check_converged(&follower, "induced")?;
-            let total: Vec<f64> = r
-                .leader
-                .as_slice()
-                .iter()
-                .zip(follower.flow.as_slice())
-                .map(|(a, b)| a + b)
-                .collect();
-            ReportData::Beta(BetaReport {
-                beta: r.beta,
-                nash_cost: inst.cost(nash.flow.as_slice()),
-                optimum_cost: r.optimum_cost,
-                induced_cost: inst.cost(&total),
-                strategy: r.leader.as_slice().to_vec(),
-                optimum: r.optimum.as_slice().to_vec(),
-                commodity_alphas: vec![],
-            })
+        None
+    };
+    let plan = model.beta_plan(optimum.as_ref())?;
+    let nash_cost = match plan.nash_cost {
+        Some(c) => c,
+        None => {
+            let nash = profile(model, EqKind::Nash, options, memo)?;
+            model.cost(nash.flows())
         }
-        Task::Equilib => {
-            let nash = net_profile(inst, EqKind::Nash, options, memo)?;
-            let optimum = net_profile(inst, EqKind::Optimum, options, memo)?;
-            ReportData::Equilib(EquilibReport {
-                nash_cost: inst.cost(nash.flow.as_slice()),
-                nash_flows: nash.flow.as_slice().to_vec(),
-                nash_level: None,
-                optimum_cost: inst.cost(optimum.flow.as_slice()),
-                optimum_flows: optimum.flow.as_slice().to_vec(),
-                optimum_level: None,
-            })
-        }
-        Task::Curve => {
-            // One memoized optimum + Nash anchor for the whole sweep; each
-            // α-point's induced solve is seeded from the previous α's
-            // follower flow inside `anarchy_curve_network_with`.
-            let optimum = net_profile(inst, EqKind::Optimum, options, memo)?;
-            let nash = net_profile(inst, EqKind::Nash, options, memo)?;
-            let alphas: Vec<f64> = (0..=options.steps)
-                .map(|k| k as f64 / options.steps as f64)
-                .collect();
-            let c = anarchy_curve_network_with(inst, &alphas, &fw, true, &optimum, &nash)?;
-            ReportData::Curve(CurveReport {
-                beta: c.beta,
-                nash_cost: c.nash_cost,
-                optimum_cost: c.optimum_cost,
-                points: c
-                    .points
-                    .iter()
-                    .map(|p| CurvePointReport {
-                        alpha: p.alpha,
-                        cost: p.cost,
-                        ratio: p.ratio,
-                        oracle: oracle_name(p.oracle),
-                    })
-                    .collect(),
-            })
-        }
-        Task::Tolls => {
-            let optimum = net_profile(inst, EqKind::Optimum, options, memo)?;
-            let t = try_marginal_cost_tolls_network_with_optimum(inst, &optimum)?;
-            // Marginal-cost tolls induce the untolled optimum — seed the
-            // tolled Nash with it.
-            let seed = warm_seed_from(&optimum.flow);
-            let tolled_nash = try_network_nash(&t.tolled, &fw, Some(&seed))?;
-            check_converged(&tolled_nash, "tolled nash")?;
-            ReportData::Tolls(TollsReport {
-                tolled_cost: inst.cost(tolled_nash.flow.as_slice()),
-                tolled_nash: tolled_nash.flow.as_slice().to_vec(),
-                tolls: t.tolls,
-                optimum: t.optimum,
-                revenue: t.revenue,
-            })
-        }
-        Task::Llf => {
-            return Err(SoptError::Unsupported {
-                task: options.task,
-                class: scenario.class(),
-            })
-        }
-    })
-}
-
-fn solve_multi(
-    inst: &MultiCommodityInstance,
-    options: &SolveOptions,
-    scenario: &Scenario,
-    memo: Option<&SubMemo<'_>>,
-) -> Result<ReportData, SoptError> {
-    let fw = options.fw();
-    Ok(match options.task {
-        Task::Beta => {
-            let optimum = multi_profile(inst, EqKind::Optimum, options, memo)?;
-            let r = try_mop_multi_with_optimum(inst, &optimum)?;
-            let nash = multi_profile(inst, EqKind::Nash, options, memo)?;
-            let values: Vec<f64> = r.commodities.iter().map(|c| c.leader_value).collect();
-            // Per-commodity free flows are the follower equilibria the
-            // strategy induces — the exact warm seed.
-            let seed =
-                warm_seed_from_per(r.commodities.iter().map(|c| c.free_flow.clone()).collect());
-            let follower =
-                try_induced_multicommodity(inst, &r.leader_total, &values, &fw, Some(&seed))?;
-            check_converged(&follower, "induced")?;
-            let total: Vec<f64> = r
-                .leader_total
-                .as_slice()
-                .iter()
-                .zip(follower.flow.as_slice())
-                .map(|(a, b)| a + b)
-                .collect();
-            ReportData::Beta(BetaReport {
-                beta: r.beta,
-                nash_cost: inst.cost(nash.flow.as_slice()),
-                optimum_cost: r.optimum_cost,
-                induced_cost: inst.cost(&total),
-                strategy: r.leader_total.as_slice().to_vec(),
-                optimum: r.optimum_total.as_slice().to_vec(),
-                commodity_alphas: r.commodities.iter().map(|c| c.alpha).collect(),
-            })
-        }
-        Task::Equilib => {
-            let nash = multi_profile(inst, EqKind::Nash, options, memo)?;
-            let optimum = multi_profile(inst, EqKind::Optimum, options, memo)?;
-            ReportData::Equilib(EquilibReport {
-                nash_cost: inst.cost(nash.flow.as_slice()),
-                nash_flows: nash.flow.as_slice().to_vec(),
-                nash_level: None,
-                optimum_cost: inst.cost(optimum.flow.as_slice()),
-                optimum_flows: optimum.flow.as_slice().to_vec(),
-                optimum_level: None,
-            })
-        }
-        Task::Curve | Task::Tolls | Task::Llf => {
-            return Err(SoptError::Unsupported {
-                task: options.task,
-                class: scenario.class(),
-            })
-        }
+    };
+    let induced = model.induced(
+        &plan.leader,
+        &plan.leader_values,
+        &options.fw(),
+        plan.induced_seed.as_ref(),
+    )?;
+    let total: Vec<f64> = plan
+        .leader
+        .iter()
+        .zip(&induced.follower)
+        .map(|(a, b)| a + b)
+        .collect();
+    Ok(BetaReport {
+        beta: plan.beta,
+        nash_cost,
+        optimum_cost: plan.optimum_cost,
+        induced_cost: model.cost(&total),
+        strategy: plan.leader,
+        optimum: plan.optimum,
+        commodity_alphas: plan.commodity_alphas,
     })
 }
 
@@ -629,5 +439,33 @@ mod tests {
             bad.run().unwrap_err(),
             SoptError::InvalidParameter { name: "alpha", .. }
         ));
+    }
+
+    #[test]
+    fn curve_runs_on_every_class_with_either_strategy() {
+        for spec in [
+            "x, 1.0",
+            "nodes=2; 0->1: x; 0->1: 1.0; demand 0->1: 1.0",
+            "nodes=4; 0->1: x; 0->1: 1.0; 2->3: x; 2->3: 1.0; \
+             demand 0->1: 1.0; demand 2->3: 1.0",
+        ] {
+            for strategy in [CurveStrategy::Strong, CurveStrategy::Weak] {
+                let report = Scenario::parse(spec)
+                    .unwrap()
+                    .solve()
+                    .task(Task::Curve)
+                    .steps(4)
+                    .strategy(strategy)
+                    .run()
+                    .unwrap_or_else(|e| panic!("'{spec}' {strategy}: {e}"));
+                let c = report.data.as_curve().unwrap();
+                assert_eq!(c.strategy, strategy.name(), "'{spec}'");
+                assert_eq!(c.points.len(), 5, "'{spec}'");
+                assert!(c.beta.is_finite());
+                // The final point always enforces the optimum.
+                let last = c.points.last().unwrap();
+                assert!((last.ratio - 1.0).abs() < 1e-4, "'{spec}': {}", last.ratio);
+            }
+        }
     }
 }

@@ -27,7 +27,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use stackopt::api::report::json_str;
-use stackopt::api::{parse_batch_file, Engine, Report, Scenario, SoptError, Task};
+use stackopt::api::{parse_batch_file, CurveStrategy, Engine, Report, Scenario, SoptError, Task};
 use stackopt::fleet::{generate_fleet, Family};
 
 fn main() -> ExitCode {
@@ -59,6 +59,8 @@ options:
   --rate R                                  override the routed rate
   --alpha A                                 Leader portion (llf)
   --steps N                                 curve samples (default 10)
+  --strategy strong|weak                    k-commodity curve portion split
+                                            (default strong)
   --tolerance E                             solver convergence target
   --max-iters K                             solver iteration cap
 
@@ -94,6 +96,7 @@ struct Args {
     tolerance: Option<f64>,
     max_iters: Option<usize>,
     threads: Option<usize>,
+    strategy: Option<CurveStrategy>,
     stream: bool,
     family: Option<Family>,
     count: Option<usize>,
@@ -115,6 +118,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         tolerance: None,
         max_iters: None,
         threads: None,
+        strategy: None,
         stream: false,
         family: None,
         count: None,
@@ -139,8 +143,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         };
         let value = match flag {
             "--spec" | "--links" | "--file" | "--task" | "--format" | "--rate" | "--steps"
-            | "--alpha" | "--tolerance" | "--max-iters" | "--threads" | "--family" | "--count"
-            | "--seed" | "--size" => value()?,
+            | "--alpha" | "--tolerance" | "--max-iters" | "--threads" | "--strategy"
+            | "--family" | "--count" | "--seed" | "--size" => value()?,
             other => return Err(format!("unknown flag '{other}'")),
         };
         match flag {
@@ -170,6 +174,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             }
             "--threads" => {
                 out.threads = Some(value.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--strategy" => {
+                out.strategy = Some(
+                    CurveStrategy::from_name(value)
+                        .ok_or_else(|| format!("unknown strategy '{value}' (strong|weak)"))?,
+                )
             }
             "--family" => out.family = Some(value.parse().map_err(|e: SoptError| e.to_string())?),
             "--count" => out.count = Some(value.parse().map_err(|e| format!("--count: {e}"))?),
@@ -251,6 +261,9 @@ fn run() -> Result<(), String> {
             if let Some(n) = args.threads {
                 engine = engine.threads(n);
             }
+            if let Some(st) = args.strategy {
+                engine = engine.strategy(st);
+            }
             if args.stream {
                 // JSONL in completion order: nothing is buffered, each
                 // line carries its input index. Write errors (a closed
@@ -298,6 +311,7 @@ fn run() -> Result<(), String> {
                 || args.tolerance.is_some()
                 || args.max_iters.is_some()
                 || args.threads.is_some()
+                || args.strategy.is_some()
             {
                 return Err("'sopt gen' takes --family/--count/--seed/--size/--rate only".into());
             }
@@ -349,6 +363,9 @@ fn solve_one(spec: &str, args: &Args) -> Result<Report, SoptError> {
     }
     if let Some(k) = args.max_iters {
         solve = solve.max_iters(k);
+    }
+    if let Some(st) = args.strategy {
+        solve = solve.strategy(st);
     }
     solve.run()
 }

@@ -19,15 +19,13 @@ fn solve(spec: &str, task: Task) -> Result<Report, SoptError> {
 }
 
 /// Which (class, task) pairs are defined; `Solve::run` must succeed on all
-/// of them and return `Unsupported` on the rest.
+/// of them and return a typed `Unsupported` (never a panic) on the rest.
+/// Since the `ScenarioModel` layer, only LLF is class-restricted.
 #[test]
 fn task_coverage_matrix() {
     let defined = |class: ScenarioClass, task: Task| match class {
         ScenarioClass::Parallel => true,
-        ScenarioClass::Network => {
-            matches!(task, Task::Beta | Task::Curve | Task::Equilib | Task::Tolls)
-        }
-        ScenarioClass::Multi => matches!(task, Task::Beta | Task::Equilib),
+        ScenarioClass::Network | ScenarioClass::Multi => !matches!(task, Task::Llf),
     };
     for (spec, class) in [
         (PIGOU, ScenarioClass::Parallel),
@@ -48,6 +46,64 @@ fn task_coverage_matrix() {
                 );
             }
         }
+    }
+}
+
+/// The k-commodity curve: strong pins to 1 at β, weak only at
+/// `weak_beta = max_i α_i`, and the tolls task restores the optimum on a
+/// multicommodity instance.
+#[test]
+fn multicommodity_curve_and_tolls_are_first_class() {
+    // Two Pigou gadgets at rates 1 and 2: α₁ = 1/2, α₂ = 3/4, so
+    // β = 2/3 and weak_beta = 3/4.
+    let asym = "nodes=4; 0->1: x; 0->1: 1.0; 2->3: x; 2->3: 1.0; \
+                demand 0->1: 1.0; demand 2->3: 2.0";
+    let strong = Scenario::parse(asym)
+        .unwrap()
+        .solve()
+        .task(Task::Curve)
+        .steps(12)
+        .run()
+        .unwrap();
+    let weak = Scenario::parse(asym)
+        .unwrap()
+        .solve()
+        .task(Task::Curve)
+        .steps(12)
+        .strategy(stackopt::api::CurveStrategy::Weak)
+        .run()
+        .unwrap();
+    let (s, w) = (
+        strong.data.as_curve().unwrap(),
+        weak.data.as_curve().unwrap(),
+    );
+    assert_eq!(s.strategy, "strong");
+    assert_eq!(w.strategy, "weak");
+    assert!((s.beta - 2.0 / 3.0).abs() < 1e-3, "β = {}", s.beta);
+    assert!((w.beta - 0.75).abs() < 1e-3, "weak β = {}", w.beta);
+    assert_eq!(s.weak_beta, w.weak_beta);
+    assert!((w.weak_beta.unwrap() - 0.75).abs() < 1e-3);
+    // α = 9/12 = 0.75: strong is exact, weak exactly reaches its crossover.
+    for c in [s, w] {
+        let last = c.points.last().unwrap();
+        assert!(
+            (last.ratio - 1.0).abs() < 1e-4,
+            "{}: {}",
+            c.strategy,
+            last.ratio
+        );
+        // C(N)/C(O) = 3/2.5: the sweep starts at the coordination ratio.
+        assert!((c.points.first().unwrap().ratio - 1.2).abs() < 1e-3);
+    }
+
+    let tolls = solve(TWO_PIGOUS, Task::Tolls).unwrap();
+    let t = tolls.data.as_tolls().unwrap();
+    // Marginal-cost tolls on two unit Pigous: τ = 1/2 on each x-edge, and
+    // the tolled equilibrium restores C(O) = 3/2.
+    assert!((t.tolled_cost - 1.5).abs() < 1e-4);
+    assert!((t.revenue - 0.5).abs() < 1e-4);
+    for (nash, opt) in t.tolled_nash.iter().zip(&t.optimum) {
+        assert!((nash - opt).abs() < 1e-4);
     }
 }
 
@@ -147,9 +203,9 @@ fn every_error_variant_is_reachable() {
     let links = ParallelLinks::new(vec![LatencyFn::identity()], 1.0);
     let e: SoptError = links.try_induced_cost(&[2.0]).unwrap_err().into();
     assert!(matches!(e, SoptError::InvalidStrategy { .. }));
-    // Unsupported
+    // Unsupported (LLF is the one class-restricted task left)
     assert!(matches!(
-        solve(TWO_PIGOUS, Task::Curve).unwrap_err(),
+        solve(TWO_PIGOUS, Task::Llf).unwrap_err(),
         SoptError::Unsupported { .. }
     ));
     // NotConverged

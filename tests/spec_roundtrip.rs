@@ -101,6 +101,54 @@ proptest! {
         assert_round_trip(&scenario);
     }
 
+    /// k-commodity specs with ≥3 demands and mixed latency kinds — the
+    /// fields the multicommodity curve consumes (per-demand endpoints and
+    /// rates, in declaration order) — survive the round trip, and the
+    /// reparsed scenario stays in the multicommodity class.
+    #[test]
+    fn multicommodity_specs_with_many_demands_round_trip(seed in 0u64..100_000) {
+        let mut rng = Rng::new(seed);
+        let n = 5 + rng.next_usize(4); // 5..=8 nodes
+        let mut spec = format!("nodes={n}");
+        let push_edge = |spec: &mut String, a: usize, b: usize, rng: &mut Rng| {
+            let lat = random_latency(rng);
+            spec.push_str(&format!("; {a}->{b}: {}", format_latency(&lat).unwrap()));
+        };
+        // A chain keeps every forward pair reachable; shortcuts mix it up.
+        for v in 0..n - 1 {
+            push_edge(&mut spec, v, v + 1, &mut rng);
+        }
+        for _ in 0..rng.next_usize(6) {
+            let a = rng.next_usize(n - 1);
+            let b = a + 1 + rng.next_usize(n - 1 - a);
+            push_edge(&mut spec, a, b, &mut rng);
+        }
+        // 3..=5 demands over distinct forward pairs (duplicates allowed by
+        // the grammar; distinct pairs keep the order observable).
+        let k = 3 + rng.next_usize(3);
+        for i in 0..k {
+            let a = rng.next_usize(n - 1).min(i % (n - 1));
+            let b = a + 1 + rng.next_usize(n - 1 - a);
+            spec.push_str(&format!("; demand {a}->{b}: {}", 0.25 + rng.next_f64()));
+        }
+        let scenario = Scenario::parse(&spec)
+            .unwrap_or_else(|e| panic!("generated spec '{spec}' failed to parse: {e}"));
+        prop_assert_eq!(scenario.class(), stackopt::api::ScenarioClass::Multi);
+        assert_round_trip(&scenario);
+        // The reparsed commodities match pointwise (endpoints, rates, order).
+        let stackopt::api::Scenario::Multi(original) = &scenario else { unreachable!() };
+        let reparsed = Scenario::parse(&scenario.to_spec().unwrap()).unwrap();
+        let stackopt::api::Scenario::Multi(reparsed) = &reparsed else {
+            panic!("reparse left the multicommodity class");
+        };
+        prop_assert_eq!(original.commodities.len(), reparsed.commodities.len());
+        for (a, b) in original.commodities.iter().zip(&reparsed.commodities) {
+            prop_assert_eq!(a.source, b.source);
+            prop_assert_eq!(a.sink, b.sink);
+            prop_assert_eq!(a.rate.to_bits(), b.rate.to_bits());
+        }
+    }
+
     /// Single latency expressions: parse ∘ format is pointwise identity.
     #[test]
     fn latency_values_survive_the_round_trip(seed in 0u64..100_000, frac in 0.0..1.0f64) {

@@ -4,10 +4,11 @@
 //! sweeps and the engine's Beta/Tolls seeding rely on.
 
 use stackopt::equilibrium::network::{
-    try_induced_network, try_network_nash, try_network_optimum, warm_seed_from,
+    try_induced_network, try_multicommodity_optimum, try_network_nash, try_network_optimum,
+    warm_seed_from,
 };
-use stackopt::instances::random::random_layered_network;
-use stackopt::network::instance::NetworkInstance;
+use stackopt::instances::random::{random_layered_network, random_multicommodity};
+use stackopt::network::instance::{MultiCommodityInstance, NetworkInstance};
 use stackopt::network::EdgeFlow;
 use stackopt::solver::frank_wolfe::FwOptions;
 
@@ -76,6 +77,43 @@ fn perturbed_leader_warm_start_chains_like_a_curve_sweep() {
     );
     for (a, b) in warm.flow.0.iter().zip(&cold.flow.0) {
         assert!((a - b).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn perturbed_multicommodity_warm_start_is_equivalent_and_cheaper() {
+    // A rate-perturbed k-commodity instance: the seed rescales per
+    // commodity and must land on the same equilibrium within 1e-5.
+    let base = random_multicommodity(3, 3, 2, 6.0, 11);
+    let opts = FwOptions::default();
+    let cold_base = try_multicommodity_optimum(&base, &opts, None).unwrap();
+    assert!(cold_base.converged);
+
+    for bump in [1.05, 0.93] {
+        let perturbed = MultiCommodityInstance::new(
+            base.graph.clone(),
+            base.latencies.clone(),
+            base.commodities
+                .iter()
+                .map(|c| {
+                    let mut c = *c;
+                    c.rate *= bump;
+                    c
+                })
+                .collect(),
+        );
+        let fresh = try_multicommodity_optimum(&perturbed, &opts, None).unwrap();
+        let warm = try_multicommodity_optimum(&perturbed, &opts, Some(&cold_base)).unwrap();
+        assert!(fresh.converged && warm.converged, "bump {bump}");
+        assert!(
+            warm.iterations < fresh.iterations,
+            "bump {bump}: warm {} !< cold {}",
+            warm.iterations,
+            fresh.iterations
+        );
+        for (e, (a, b)) in warm.flow.0.iter().zip(&fresh.flow.0).enumerate() {
+            assert!((a - b).abs() < 1e-5, "bump {bump} edge {e}: {a} vs {b}");
+        }
     }
 }
 
