@@ -11,7 +11,7 @@
 //! control, run statistics, or streaming delivery should use
 //! [`super::Engine`] directly.
 
-use super::engine::{Engine, EngineStats};
+use super::engine::{Engine, EngineBuilder, EngineStats};
 use super::error::SoptError;
 use super::report::Report;
 use super::scenario::Scenario;
@@ -68,10 +68,17 @@ impl Batch {
         self.engine().run_stats()
     }
 
+    /// Batch construction routes through [`EngineBuilder`] — the one
+    /// place engine knobs are assembled — with a fresh per-run cache
+    /// (no persistence path, so `build_cache` cannot fail).
     fn engine(self) -> Engine {
-        Engine::new(self.scenarios)
-            .options(self.options)
-            .threads_opt(self.threads)
+        let mut builder = EngineBuilder::new().options(self.options);
+        if let Some(threads) = self.threads {
+            builder = builder.threads(threads);
+        }
+        builder
+            .engine(self.scenarios)
+            .expect("cache without a persistence path always builds")
     }
 }
 

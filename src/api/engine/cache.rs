@@ -27,7 +27,7 @@
 //!
 //! Both tables are sharded 16 ways by the key's FNV digest so concurrent
 //! workers rarely contend on one lock, and **bounded**: each table has a
-//! configurable entry capacity ([`SolveCache::with_capacity`]), split
+//! configurable entry capacity ([`SolveCache::bounded`]), split
 //! exactly across shards, enforced by second-chance (clock) eviction — a
 //! FIFO queue where an entry hit since its last pass gets one reprieve
 //! before eviction. Long-lived shared caches therefore hold at most
@@ -67,16 +67,18 @@ pub const DEFAULT_PROFILE_CAPACITY: usize = 16_384;
 
 /// Every [`FwOptions`] field, bit-exactly — the cached [`FwResult`] of a
 /// network profile depends on all of them, so all of them key the entry.
+/// `pub(crate)` so the disk log ([`crate::api::serve::persist`]) can write
+/// and replay profile keys.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-struct FwKnobs {
-    tolerance_bits: u64,
-    max_iters: u64,
-    conjugate: bool,
-    restart_period: u64,
+pub(crate) struct FwKnobs {
+    pub(crate) tolerance_bits: u64,
+    pub(crate) max_iters: u64,
+    pub(crate) conjugate: bool,
+    pub(crate) restart_period: u64,
     /// The explicit stall-window override, or `u64::MAX` for the adaptive
     /// default (which is a pure function of the keyed instance, so it needs
     /// no separate key material).
-    stall_window: u64,
+    pub(crate) stall_window: u64,
 }
 
 impl FwKnobs {
@@ -97,11 +99,11 @@ impl FwKnobs {
 /// (the parallel equalizer, [`ScenarioModel::fw_keyed`]` == false`) carry
 /// `fw: None`; Frank–Wolfe classes fold in every [`FwOptions`] field.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct ProfileKey {
-    class: ScenarioClass,
-    spec: String,
-    kind: EqKind,
-    fw: Option<FwKnobs>,
+pub(crate) struct ProfileKey {
+    pub(crate) class: ScenarioClass,
+    pub(crate) spec: String,
+    pub(crate) kind: EqKind,
+    pub(crate) fw: Option<FwKnobs>,
 }
 
 impl ProfileKey {
@@ -212,9 +214,36 @@ fn shard_cap(total: usize, shards: usize, i: usize) -> usize {
     total / shards + usize::from(i < total % shards)
 }
 
+/// The disk backing of a persistent cache: the append-only log handle plus
+/// the key sets that were replayed from it at open time (hits on those keys
+/// are *disk* hits — work that survived a process restart).
+pub(crate) struct DiskAttachment {
+    /// The append-only log (new entries are written through).
+    pub(crate) log: crate::api::serve::persist::DiskLog,
+    /// Report keys replayed from disk at open.
+    pub(crate) report_keys: std::collections::HashSet<Fingerprint>,
+    /// Profile keys replayed from disk at open.
+    pub(crate) profile_keys: std::collections::HashSet<ProfileKey>,
+}
+
+impl std::fmt::Debug for DiskAttachment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskAttachment")
+            .field("report_keys", &self.report_keys.len())
+            .field("profile_keys", &self.profile_keys.len())
+            .finish()
+    }
+}
+
 /// The engine's memo table. Cheap to share: wrap in an
 /// [`Arc`](std::sync::Arc) and pass the same cache to several
 /// [`Engine`](super::Engine) runs to keep it warm across fleets.
+///
+/// A cache opened through
+/// [`EngineBuilder::persist`](super::EngineBuilder::persist) is **disk
+/// backed**: entries replayed from the append-only log at open time count
+/// as `disk_hits` when they are served, and fresh `Ok` entries are written
+/// through to the log so the next process starts warm.
 #[derive(Debug)]
 pub struct SolveCache {
     reports: [Mutex<BoundedShard<Fingerprint, Result<Report, SoptError>>>; SHARDS],
@@ -223,12 +252,15 @@ pub struct SolveCache {
     report_shards: usize,
     /// Active profile shards (power of two ≤ [`SHARDS`]).
     profile_shards: usize,
+    /// The disk log, attached once right after replay (before sharing).
+    disk: std::sync::OnceLock<DiskAttachment>,
     hits: AtomicU64,
     misses: AtomicU64,
     eq_hits: AtomicU64,
     eq_misses: AtomicU64,
     net_hits: AtomicU64,
     net_misses: AtomicU64,
+    disk_hits: AtomicU64,
     report_evictions: AtomicU64,
     profile_evictions: AtomicU64,
 }
@@ -255,6 +287,9 @@ pub struct CacheCounters {
     pub net_hits: u64,
     /// Network/multicommodity profile misses.
     pub net_misses: u64,
+    /// Hits served from entries replayed out of the disk log (report and
+    /// profile tables combined) — work that survived a process restart.
+    pub disk_hits: u64,
     /// Entries evicted from the report table.
     pub report_evictions: u64,
     /// Entries evicted from the profile table.
@@ -265,13 +300,24 @@ impl SolveCache {
     /// An empty cache with the default capacity bounds
     /// ([`DEFAULT_REPORT_CAPACITY`], [`DEFAULT_PROFILE_CAPACITY`]).
     pub fn new() -> Self {
-        Self::with_capacity(DEFAULT_REPORT_CAPACITY, DEFAULT_PROFILE_CAPACITY)
+        Self::bounded(DEFAULT_REPORT_CAPACITY, DEFAULT_PROFILE_CAPACITY)
+    }
+
+    /// An empty cache bounded to at most `report_capacity` memoized reports
+    /// and `profile_capacity` memoized equilibrium profiles.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build caches through `EngineBuilder::{report_capacity, profile_capacity}` \
+                (or `SolveCache::bounded` for a bare cache)"
+    )]
+    pub fn with_capacity(report_capacity: usize, profile_capacity: usize) -> Self {
+        Self::bounded(report_capacity, profile_capacity)
     }
 
     /// An empty cache bounded to at most `report_capacity` memoized reports
     /// and `profile_capacity` memoized equilibrium profiles (each split
     /// exactly across the shards; a capacity of 0 disables that table).
-    pub fn with_capacity(report_capacity: usize, profile_capacity: usize) -> Self {
+    pub fn bounded(report_capacity: usize, profile_capacity: usize) -> Self {
         let report_shards = table_shards(report_capacity);
         let profile_shards = table_shards(profile_capacity);
         Self {
@@ -291,32 +337,79 @@ impl SolveCache {
             }),
             report_shards,
             profile_shards,
+            disk: std::sync::OnceLock::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             eq_hits: AtomicU64::new(0),
             eq_misses: AtomicU64::new(0),
             net_hits: AtomicU64::new(0),
             net_misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             report_evictions: AtomicU64::new(0),
             profile_evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up a memoized report, counting the hit or miss.
+    /// Attaches the disk log after replay. Called exactly once, by
+    /// [`EngineBuilder::build_cache`](super::EngineBuilder), before the
+    /// cache is shared; later attempts are ignored.
+    pub(crate) fn attach_disk(&self, att: DiskAttachment) {
+        let _ = self.disk.set(att);
+    }
+
+    /// Replays one report entry from disk: inserted without counting a
+    /// miss, without writing back to the log. Eviction counters still run —
+    /// a log larger than the capacity simply keeps its newest entries.
+    pub(crate) fn seed_report(&self, fp: Fingerprint, report: Report) {
+        let shard = (fp.hash as usize) & (self.report_shards - 1);
+        let evicted = self.reports[shard].lock().insert(fp, Ok(report));
+        if evicted > 0 {
+            self.report_evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Replays one profile entry from disk (see [`Self::seed_report`]).
+    pub(crate) fn seed_profile(&self, key: ProfileKey, profile: ModelProfile) {
+        let shard = key.shard(self.profile_shards);
+        let evicted = self.profiles[shard].lock().insert(key, Ok(profile));
+        if evicted > 0 {
+            self.profile_evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up a memoized report, counting the hit or miss. A hit on an
+    /// entry that was replayed from disk additionally counts a disk hit.
     pub(crate) fn get_report(&self, fp: &Fingerprint) -> Option<Result<Report, SoptError>> {
         let shard = (fp.hash as usize) & (self.report_shards - 1);
         let found = self.reports[shard].lock().get(fp);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(att) = self.disk.get() {
+                    if att.report_keys.contains(fp) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
         };
         found
     }
 
     /// Memoizes a report. Races between workers solving the same scenario
     /// are benign: every solve is deterministic, so last-write-wins stores
-    /// the same value either way.
+    /// the same value either way. On a disk-backed cache, fresh `Ok`
+    /// results are appended to the log (errors recompute deterministically,
+    /// so they are not worth the bytes); entries that came *from* the log
+    /// are never written back.
     pub(crate) fn put_report(&self, fp: Fingerprint, result: Result<Report, SoptError>) {
+        if let (Some(att), Ok(report)) = (self.disk.get(), &result) {
+            if !att.report_keys.contains(&fp) {
+                att.log.append_report(&fp, report);
+            }
+        }
         let shard = (fp.hash as usize) & (self.report_shards - 1);
         let evicted = self.reports[shard].lock().insert(fp, result);
         if evicted > 0 {
@@ -335,10 +428,20 @@ impl SolveCache {
         let shard = key.shard(self.profile_shards);
         if let Some(found) = self.profiles[shard].lock().get(&key) {
             hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(att) = self.disk.get() {
+                if att.profile_keys.contains(&key) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             return found;
         }
         misses.fetch_add(1, Ordering::Relaxed);
         let computed = compute();
+        if let (Some(att), Ok(profile)) = (self.disk.get(), &computed) {
+            if !att.profile_keys.contains(&key) {
+                att.log.append_profile(&key, profile);
+            }
+        }
         let evicted = self.profiles[shard].lock().insert(key, computed.clone());
         if evicted > 0 {
             self.profile_evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -407,6 +510,7 @@ impl SolveCache {
             eq_misses: self.eq_misses.load(Ordering::Relaxed),
             net_hits: self.net_hits.load(Ordering::Relaxed),
             net_misses: self.net_misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             report_evictions: self.report_evictions.load(Ordering::Relaxed),
             profile_evictions: self.profile_evictions.load(Ordering::Relaxed),
         }
@@ -593,7 +697,7 @@ mod tests {
 
     #[test]
     fn profile_capacity_is_respected() {
-        let cache = SolveCache::with_capacity(4, 3);
+        let cache = SolveCache::bounded(4, 3);
         let fw = FwOptions::default();
         for m in 2..12 {
             let spec = format!("{}x", m); // m distinct parallel scenarios

@@ -107,29 +107,54 @@ impl Fingerprint {
     /// identity to memoize under).
     pub fn of(scenario: &Scenario, options: &SolveOptions) -> Option<Fingerprint> {
         let spec = scenario.to_spec().ok()?;
-        let class = scenario.class();
-        let tolerance_bits = options.tolerance.to_bits();
-        let alpha_bits = options.alpha.map_or(u64::MAX, f64::to_bits);
+        Some(Fingerprint::from_parts(
+            spec,
+            scenario.class(),
+            options.task,
+            options.tolerance.to_bits(),
+            options.alpha.map_or(u64::MAX, f64::to_bits),
+            options.steps,
+            options.max_iters,
+            options.strategy,
+        ))
+    }
+
+    /// Rebuilds a fingerprint from its stored fields, recomputing the
+    /// digest. This is how the disk log
+    /// ([`crate::api::serve::persist`]) turns a replayed record back into
+    /// the exact in-memory key — the hash is derived, so a log written by
+    /// one process shards identically in the next.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        spec: String,
+        class: ScenarioClass,
+        task: Task,
+        tolerance_bits: u64,
+        alpha_bits: u64,
+        steps: usize,
+        max_iters: usize,
+        strategy: CurveStrategy,
+    ) -> Fingerprint {
         let mut h = Fnv64::default();
         h.write(spec.as_bytes());
         h.write_u64(class as u64);
-        h.write(options.task.name().as_bytes());
+        h.write(task.name().as_bytes());
         h.write_u64(tolerance_bits);
         h.write_u64(alpha_bits);
-        h.write_u64(options.steps as u64);
-        h.write_u64(options.max_iters as u64);
-        h.write_u64(options.strategy as u64);
-        Some(Fingerprint {
+        h.write_u64(steps as u64);
+        h.write_u64(max_iters as u64);
+        h.write_u64(strategy as u64);
+        Fingerprint {
             spec,
             class,
-            task: options.task,
+            task,
             tolerance_bits,
             alpha_bits,
-            steps: options.steps,
-            max_iters: options.max_iters,
-            strategy: options.strategy,
+            steps,
+            max_iters,
+            strategy,
             hash: h.finish(),
-        })
+        }
     }
 }
 

@@ -82,12 +82,19 @@ pub struct EngineStats {
     pub net_profile_hits: u64,
     /// Network/multicommodity profiles computed fresh (cold Frank–Wolfe).
     pub net_profile_misses: u64,
+    /// Hits served from entries that were replayed out of the disk log
+    /// (reports and profiles combined) — work that survived a restart.
+    /// Always 0 on a cache without a persistence path.
+    pub disk_hits: u64,
     /// Profile-table entries evicted by the capacity bound.
     pub profile_evictions: u64,
     /// Report-table entries evicted by the capacity bound.
     pub report_evictions: u64,
     /// Jobs moved between worker queues by stealing.
     pub steals: u64,
+    /// Serve requests shed for an unmeetable deadline (each answered with a
+    /// typed `dropped` response). Always 0 on the fleet entry points.
+    pub dropped: u64,
 }
 
 impl EngineStats {
@@ -281,6 +288,117 @@ impl Engine {
 }
 
 impl_solve_knobs!(Engine);
+
+/// One builder for every way the engine runs — fleet batches, single
+/// solves, and the serve daemon. It gathers the knobs that used to be
+/// plumbed positionally (`SolveCache::with_capacity(a, b)`) or re-declared
+/// per entry point: worker threads, the two cache capacities, the optional
+/// disk-persistence path, the serve shed policy, and the full solve knob
+/// set (task/tolerance/α/steps/max_iters/strategy via the same
+/// `impl_solve_knobs!` surface as [`Engine`] and [`super::Batch`]).
+///
+/// ```no_run
+/// use stackopt::api::{EngineBuilder, Scenario, Task};
+///
+/// let builder = EngineBuilder::new()
+///     .threads(4)
+///     .report_capacity(10_000)
+///     .persist("/var/cache/sopt.cache")
+///     .task(Task::Beta);
+/// let cache = builder.build_cache()?; // replayed from disk, write-through
+/// let fleet = vec![Scenario::parse("x, 1.0")?];
+/// let reports = builder.engine(fleet)?.run();
+/// # assert_eq!(reports.len(), 1);
+/// # Ok::<(), stackopt::api::SoptError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    pub(crate) threads: Option<usize>,
+    pub(crate) report_cap: usize,
+    pub(crate) profile_cap: usize,
+    pub(crate) persist: Option<std::path::PathBuf>,
+    pub(crate) shed: super::serve::ShedPolicy,
+    pub(crate) options: SolveOptions,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// Default knobs: auto thread count, default cache capacities, no
+    /// persistence, expired deadlines shed.
+    pub fn new() -> Self {
+        EngineBuilder {
+            threads: None,
+            report_cap: DEFAULT_REPORT_CAPACITY,
+            profile_cap: DEFAULT_PROFILE_CAPACITY,
+            persist: None,
+            shed: super::serve::ShedPolicy::DropExpired,
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Worker thread count (default: available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Report-table capacity in entries (0 disables that table).
+    pub fn report_capacity(mut self, entries: usize) -> Self {
+        self.report_cap = entries;
+        self
+    }
+
+    /// Profile-table capacity in entries (0 disables that table).
+    pub fn profile_capacity(mut self, entries: usize) -> Self {
+        self.profile_cap = entries;
+        self
+    }
+
+    /// Back the cache with an append-only log at `path`: replayed on
+    /// [`EngineBuilder::build_cache`], written through afterwards, so a
+    /// restarted process replays earlier solves bit-identically.
+    pub fn persist(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.persist = Some(path.into());
+        self
+    }
+
+    /// What the serve scheduler does with requests whose deadline already
+    /// passed (default: [`ShedPolicy::DropExpired`](super::serve::ShedPolicy)).
+    pub fn shed(mut self, policy: super::serve::ShedPolicy) -> Self {
+        self.shed = policy;
+        self
+    }
+
+    /// Builds the cache these knobs describe. Without a persistence path
+    /// this is infallible in practice; with one, the log is opened (created
+    /// if missing), replayed entry by entry, and attached for write-through
+    /// — an unreadable file or a foreign header is a typed
+    /// [`SoptError::Io`].
+    pub fn build_cache(&self) -> Result<Arc<SolveCache>, SoptError> {
+        let cache = Arc::new(SolveCache::bounded(self.report_cap, self.profile_cap));
+        if let Some(path) = &self.persist {
+            super::serve::persist::attach(path, &cache)?;
+        }
+        Ok(cache)
+    }
+
+    /// An [`Engine`] over `scenarios` carrying this builder's threads,
+    /// solve knobs, and cache (building the cache first — the only
+    /// fallible part, and only when persistence is on).
+    pub fn engine(&self, scenarios: Vec<Scenario>) -> Result<Engine, SoptError> {
+        Ok(Engine::new(scenarios)
+            .options(self.options.clone())
+            .threads_opt(self.threads)
+            .cache(self.build_cache()?))
+    }
+}
+
+impl_solve_knobs!(EngineBuilder);
 
 #[cfg(test)]
 mod tests {

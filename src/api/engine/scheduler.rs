@@ -86,13 +86,16 @@ pub fn scenario_cost(scenario: &Scenario, options: &SolveOptions) -> u64 {
 /// numbers stay exact even when several concurrent runs share one
 /// [`SolveCache`] (whose own counters are cumulative across runs).
 #[derive(Default)]
-struct RunCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
+pub(crate) struct RunCounters {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
 }
 
-/// Solves one scenario, consulting and feeding the memo cache.
-fn cached_solve(
+/// Solves one scenario, consulting and feeding the memo cache. Shared by
+/// the fleet scheduler below and the serve pool
+/// ([`super::super::serve`]), so both paths hit (and persist through) the
+/// same first- and second-level caches.
+pub(crate) fn cached_solve(
     scenario: Scenario,
     options: &SolveOptions,
     cache: Option<&SolveCache>,
@@ -316,6 +319,7 @@ where
         stats.eq_misses = after.eq_misses - before.eq_misses;
         stats.net_profile_hits = after.net_hits - before.net_hits;
         stats.net_profile_misses = after.net_misses - before.net_misses;
+        stats.disk_hits = after.disk_hits - before.disk_hits;
         stats.profile_evictions = after.profile_evictions - before.profile_evictions;
         stats.report_evictions = after.report_evictions - before.report_evictions;
     }
@@ -392,6 +396,114 @@ pub fn run_chunked_reference(
     per_chunk.into_iter().flatten().collect()
 }
 
+/// A closable, blocking max-priority queue — the serve daemon's work
+/// source. Higher [`priority`](PriorityQueue::push) pops first; ties pop
+/// in arrival order (FIFO), so equal-priority requests are never starved
+/// or reordered. Unlike the fleet path above (whole fleet known up front,
+/// LPT + stealing), serve work arrives over time, so ordering lives in one
+/// shared heap instead of per-worker deques.
+pub(crate) struct PriorityQueue<T> {
+    inner: std::sync::Mutex<QueueInner<T>>,
+    cv: std::sync::Condvar,
+}
+
+struct QueueInner<T> {
+    heap: std::collections::BinaryHeap<QueueEntry<T>>,
+    seq: u64,
+    closed: bool,
+}
+
+struct QueueEntry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for QueueEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for QueueEntry<T> {}
+impl<T> PartialOrd for QueueEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for QueueEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: highest priority first, then lowest sequence (FIFO).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> Default for PriorityQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PriorityQueue<T> {
+    pub(crate) fn new() -> Self {
+        PriorityQueue {
+            inner: std::sync::Mutex::new(QueueInner {
+                heap: std::collections::BinaryHeap::new(),
+                seq: 0,
+                closed: false,
+            }),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`. Pushing to a closed queue is a no-op (the item is
+    /// dropped) — callers close only after the last push.
+    pub(crate) fn push(&self, priority: i64, item: T) {
+        let mut q = self.inner.lock().expect("queue lock poisoned");
+        if q.closed {
+            return;
+        }
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(QueueEntry {
+            priority,
+            seq,
+            item,
+        });
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means no item will ever arrive again.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(entry) = q.heap.pop() {
+                return Some(entry.item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.cv.wait(q).expect("queue lock poisoned");
+        }
+    }
+
+    /// Marks the queue closed: pending items still pop; blocked and future
+    /// `pop`s return `None` once the heap drains.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Items currently queued (diagnostic; racy by nature).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").heap.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::super::solve::Task;
@@ -430,6 +542,43 @@ mod tests {
             .collect();
         assert!(loads.contains(&1000), "{loads:?}");
         assert!(loads.contains(&7), "{loads:?}");
+    }
+
+    #[test]
+    fn priority_queue_orders_by_priority_then_fifo() {
+        let q: PriorityQueue<&'static str> = PriorityQueue::new();
+        q.push(0, "first-default");
+        q.push(0, "second-default");
+        q.push(5, "urgent");
+        q.push(-3, "background");
+        q.close();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some("urgent"));
+        assert_eq!(q.pop(), Some("first-default"));
+        assert_eq!(q.pop(), Some("second-default"));
+        assert_eq!(q.pop(), Some("background"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // closed stays closed
+        q.push(9, "late"); // push-after-close is dropped
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn priority_queue_unblocks_waiting_workers() {
+        let q = std::sync::Arc::new(PriorityQueue::<u32>::new());
+        let q2 = std::sync::Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        q.push(1, 10);
+        q.push(2, 20);
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.iter().sum::<u32>(), 30);
     }
 
     #[test]

@@ -96,6 +96,18 @@ pub enum SoptError {
         /// The underlying error.
         source: Box<SoptError>,
     },
+    /// An I/O failure (disk-cache file, socket, pipe). The original
+    /// `std::io::Error` is flattened to text so this enum stays `Clone`.
+    Io {
+        /// What was being done when the I/O failed.
+        context: String,
+    },
+    /// A serve request missed its deadline and was shed by the scheduler
+    /// before solving (answered as a typed `dropped` response, never lost).
+    Dropped {
+        /// Why the request was shed.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SoptError {
@@ -138,6 +150,8 @@ impl std::fmt::Display for SoptError {
                 write!(f, "batch worker panicked while solving scenario {index}")
             }
             SoptError::AtLine { line, source } => write!(f, "line {line}: {source}"),
+            SoptError::Io { context } => write!(f, "i/o error: {context}"),
+            SoptError::Dropped { reason } => write!(f, "request dropped: {reason}"),
         }
     }
 }

@@ -53,10 +53,11 @@ pub mod error;
 pub mod model;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 pub mod solve;
 
 pub use batch::{parse_batch_file, run_batch, Batch};
-pub use engine::{Engine, EngineStats, EngineStream, Ordered, SolveCache};
+pub use engine::{Engine, EngineBuilder, EngineStats, EngineStream, Ordered, SolveCache};
 pub use error::SoptError;
 pub use model::{BetaPlan, EqKind, InducedOutcome, ModelProfile, ScenarioModel};
 pub use report::{
@@ -64,6 +65,9 @@ pub use report::{
     ScenarioSummary, TollsReport,
 };
 pub use scenario::{Scenario, ScenarioClass};
+pub use serve::{
+    Outcome, Rejection, Request, RequestId, RequestKind, Response, Server, ShedPolicy, SolveRequest,
+};
 pub use solve::{Solve, SolveOptions, Task};
 
 pub use sopt_core::curve::CurveStrategy;

@@ -6,6 +6,7 @@
 //!            --task beta
 //! sopt batch --file scenarios.txt --task beta --format csv [--threads 8]
 //! sopt gen --family mm1 --count 10000 --seed 7 | sopt batch --file - --stream
+//! sopt serve --stdin --cache /tmp/sopt.cache --threads 4
 //! ```
 //!
 //! `solve` runs one scenario through the [`stackopt::api`] session layer:
@@ -14,10 +15,17 @@
 //! (`nodes=N; A->B: expr; …; demand A->B: r`) documented in
 //! [`stackopt::spec`]. `batch` runs one spec per line of `--file` (`-` for
 //! stdin) through the [`stackopt::api::engine`] fleet runner: buffered and
-//! input-ordered by default, or — with `--stream` — as JSON Lines emitted
-//! in completion order, each object carrying its input `index` (schema in
-//! the README's Engine section). `gen` emits a batch spec file from the
-//! random instance families, the engine's first-party fleet source.
+//! input-ordered by default, or — with `--stream` — as JSON Lines in the
+//! serve response envelope, emitted in completion order, each line carrying
+//! its input `index` (schema in the README's Serve section). `gen` emits a
+//! batch spec file from the random instance families, the engine's
+//! first-party fleet source.
+//!
+//! `serve` is the persistent daemon: JSONL requests in, JSONL responses
+//! out, over a Unix socket (`--socket PATH`) or the stdin/stdout pipe
+//! (`--stdin`). `--cache PATH` backs the memo tables with an append-only
+//! log replayed on startup, so a restarted daemon answers previously
+//! solved requests bit-identically without recomputing.
 //!
 //! The classic per-task subcommands (`sopt beta --links …`, `curve`,
 //! `equilib`, `tolls`, `llf`) remain as thin aliases for
@@ -26,8 +34,10 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use stackopt::api::report::json_str;
-use stackopt::api::{parse_batch_file, CurveStrategy, Engine, Report, Scenario, SoptError, Task};
+use stackopt::api::{
+    parse_batch_file, CurveStrategy, EngineBuilder, Outcome, Report, Request, ShedPolicy,
+    SolveRequest, SoptError, Task,
+};
 use stackopt::fleet::{generate_fleet, Family};
 
 fn main() -> ExitCode {
@@ -48,10 +58,13 @@ const USAGE: &str = "usage:
                                             solve one scenario per line of PATH
                                             (PATH '-' reads stdin; --stream
                                             emits JSONL as results complete)
+  sopt serve (--socket PATH | --stdin) [options] [--threads N]
+                                            persistent solve daemon: JSONL
+                                            requests in, JSONL responses out
   sopt gen --family F --count N [--seed S] [--size M] [--rate R]
                                             emit a batch spec file of random
                                             scenarios (F: affine|common-slope|
-                                            mixed|mm1; default seed 0)
+                                            mixed|mm1|multi; default seed 0)
 
 options:
   --task beta|curve|equilib|tolls|llf       what to compute (default beta)
@@ -63,6 +76,12 @@ options:
                                             (default strong)
   --tolerance E                             solver convergence target
   --max-iters K                             solver iteration cap
+  --cache PATH                              disk-backed memo log, replayed on
+                                            startup (solve/batch/serve)
+  --report-capacity N / --profile-capacity N
+                                            memo table bounds, in entries
+  --shed drop|never                         expired-deadline policy (serve;
+                                            default drop)
 
 legacy aliases (equivalent to solve --task … --format text):
   sopt beta    --links SPEC [--rate R]
@@ -102,6 +121,12 @@ struct Args {
     count: Option<usize>,
     seed: u64,
     size: Option<usize>,
+    socket: Option<String>,
+    use_stdin: bool,
+    cache: Option<String>,
+    report_capacity: Option<usize>,
+    profile_capacity: Option<usize>,
+    shed: Option<ShedPolicy>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -124,6 +149,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         count: None,
         seed: 0,
         size: None,
+        socket: None,
+        use_stdin: false,
+        cache: None,
+        report_capacity: None,
+        profile_capacity: None,
+        shed: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -131,6 +162,11 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         // Boolean flags take no value and advance by one.
         if flag == "--stream" {
             out.stream = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--stdin" {
+            out.use_stdin = true;
             i += 1;
             continue;
         }
@@ -144,7 +180,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         let value = match flag {
             "--spec" | "--links" | "--file" | "--task" | "--format" | "--rate" | "--steps"
             | "--alpha" | "--tolerance" | "--max-iters" | "--threads" | "--strategy"
-            | "--family" | "--count" | "--seed" | "--size" => value()?,
+            | "--family" | "--count" | "--seed" | "--size" | "--socket" | "--cache"
+            | "--report-capacity" | "--profile-capacity" | "--shed" => value()?,
             other => return Err(format!("unknown flag '{other}'")),
         };
         match flag {
@@ -185,11 +222,70 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--count" => out.count = Some(value.parse().map_err(|e| format!("--count: {e}"))?),
             "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--size" => out.size = Some(value.parse().map_err(|e| format!("--size: {e}"))?),
+            "--socket" => out.socket = Some(value.clone()),
+            "--cache" => out.cache = Some(value.clone()),
+            "--report-capacity" => {
+                out.report_capacity = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("--report-capacity: {e}"))?,
+                )
+            }
+            "--profile-capacity" => {
+                out.profile_capacity = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("--profile-capacity: {e}"))?,
+                )
+            }
+            "--shed" => {
+                out.shed = Some(
+                    ShedPolicy::from_name(value)
+                        .ok_or_else(|| format!("unknown shed policy '{value}' (drop|never)"))?,
+                )
+            }
             _ => unreachable!("flag list is matched above"),
         }
         i += 2;
     }
     Ok(out)
+}
+
+/// One [`EngineBuilder`] per invocation — every subcommand assembles its
+/// threads, cache, persistence, and default solve knobs here, so the CLI,
+/// the fleet engine, and the serve daemon cannot drift apart.
+fn builder_from(args: &Args) -> EngineBuilder {
+    let mut builder = EngineBuilder::new()
+        .task(args.task)
+        .steps(args.steps.unwrap_or(10));
+    if let Some(a) = args.alpha {
+        builder = builder.alpha(a);
+    }
+    if let Some(t) = args.tolerance {
+        builder = builder.tolerance(t);
+    }
+    if let Some(k) = args.max_iters {
+        builder = builder.max_iters(k);
+    }
+    if let Some(st) = args.strategy {
+        builder = builder.strategy(st);
+    }
+    if let Some(n) = args.threads {
+        builder = builder.threads(n);
+    }
+    if let Some(cap) = args.report_capacity {
+        builder = builder.report_capacity(cap);
+    }
+    if let Some(cap) = args.profile_capacity {
+        builder = builder.profile_capacity(cap);
+    }
+    if let Some(path) = &args.cache {
+        builder = builder.persist(path);
+    }
+    if let Some(policy) = args.shed {
+        builder = builder.shed(policy);
+    }
+    builder
 }
 
 fn run() -> Result<(), String> {
@@ -201,7 +297,7 @@ fn run() -> Result<(), String> {
 
     // Legacy aliases: `sopt beta --links …` ≡ `sopt solve --task beta`.
     let cmd = match cmd.as_str() {
-        "solve" | "batch" | "gen" => cmd.as_str(),
+        "solve" | "batch" | "gen" | "serve" => cmd.as_str(),
         legacy => {
             args.task = legacy
                 .parse()
@@ -217,7 +313,7 @@ fn run() -> Result<(), String> {
                 .as_deref()
                 .ok_or("--spec (or --links) is required")?;
             if args.threads.is_some() {
-                return Err("--threads only applies to 'sopt batch'".into());
+                return Err("--threads only applies to 'sopt batch' and 'sopt serve'".into());
             }
             if args.file.is_some() {
                 return Err("--file only applies to 'sopt batch' (use --spec here)".into());
@@ -246,33 +342,39 @@ fn run() -> Result<(), String> {
                     .collect::<Result<_, _>>()
                     .map_err(|e| e.to_string())?;
             }
-            let mut engine = Engine::new(scenarios)
-                .task(args.task)
-                .steps(args.steps.unwrap_or(10));
-            if let Some(a) = args.alpha {
-                engine = engine.alpha(a);
-            }
-            if let Some(t) = args.tolerance {
-                engine = engine.tolerance(t);
-            }
-            if let Some(k) = args.max_iters {
-                engine = engine.max_iters(k);
-            }
-            if let Some(n) = args.threads {
-                engine = engine.threads(n);
-            }
-            if let Some(st) = args.strategy {
-                engine = engine.strategy(st);
-            }
+            let builder = builder_from(&args);
             if args.stream {
-                // JSONL in completion order: nothing is buffered, each
-                // line carries its input index. Write errors (a closed
-                // downstream pipe) abort quietly, matching Unix tools.
+                // JSONL in completion order, in the serve response
+                // envelope: each line carries the protocol version, an id
+                // (the input index), and the `index` field itself — the
+                // documented alias for input position. Nothing is
+                // buffered; write errors (a closed downstream pipe) abort
+                // quietly, matching Unix tools.
+                let server = builder.server().map_err(|e| e.to_string())?;
+                let requests: Result<Vec<Request>, String> = scenarios
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sc)| {
+                        // Fleet scenarios came from spec lines, so the
+                        // round trip back to a spec cannot fail.
+                        let spec = sc.to_spec().map_err(|e| e.to_string())?;
+                        let mut request = Request::solve(
+                            i as i64,
+                            SolveRequest {
+                                spec,
+                                ..SolveRequest::default()
+                            },
+                        );
+                        request.index = Some(i);
+                        Ok(request)
+                    })
+                    .collect();
                 let stdout = std::io::stdout();
                 let mut w = stdout.lock();
-                let stats = engine.run_streamed(|index, result| {
-                    let _ = writeln!(w, "{}", jsonl_line(index, &result));
+                server.run_requests(requests?, |response| {
+                    let _ = writeln!(w, "{}", response.to_json());
                 });
+                let stats = server.stats();
                 eprintln!(
                     "engine: {} scenarios, {} delivered, cache {}/{} hits, \
                      eq-profiles {}/{} hits, net-profiles {}/{} hits, \
@@ -289,15 +391,49 @@ fn run() -> Result<(), String> {
                     stats.steals
                 );
             } else {
-                let reports = engine.run();
+                let reports = builder.engine(scenarios).map_err(|e| e.to_string())?.run();
                 print!("{}", render_batch(&reports, args.format));
             }
             Ok(())
         }
+        "serve" => {
+            if args.spec.is_some() || args.file.is_some() || args.stream || args.format_set {
+                return Err(
+                    "'sopt serve' speaks the request envelope; --spec/--file/--stream/--format \
+                     do not apply"
+                        .into(),
+                );
+            }
+            let server = builder_from(&args).server().map_err(|e| e.to_string())?;
+            match (&args.socket, args.use_stdin) {
+                (Some(_), true) | (None, false) => {
+                    Err("'sopt serve' needs exactly one of --socket PATH or --stdin".into())
+                }
+                (None, true) => server
+                    .serve(
+                        std::io::BufReader::new(std::io::stdin()),
+                        std::io::stdout().lock(),
+                    )
+                    .map_err(|e| e.to_string()),
+                (Some(path), false) => {
+                    #[cfg(unix)]
+                    {
+                        server
+                            .serve_socket(std::path::Path::new(path))
+                            .map_err(|e| e.to_string())
+                    }
+                    #[cfg(not(unix))]
+                    {
+                        let _ = path;
+                        Err("--socket requires a Unix platform; use --stdin".into())
+                    }
+                }
+            }
+        }
         "gen" => {
             let family = args
                 .family
-                .ok_or("--family is required (affine|common-slope|mixed|mm1)")?;
+                .ok_or("--family is required (affine|common-slope|mixed|mm1|multi)")?;
             let count = args.count.ok_or("--count is required")?;
             // Reject every solve/batch flag instead of silently ignoring
             // it — these almost always belong to the downstream `batch`.
@@ -312,6 +448,12 @@ fn run() -> Result<(), String> {
                 || args.max_iters.is_some()
                 || args.threads.is_some()
                 || args.strategy.is_some()
+                || args.socket.is_some()
+                || args.use_stdin
+                || args.cache.is_some()
+                || args.report_capacity.is_some()
+                || args.profile_capacity.is_some()
+                || args.shed.is_some()
             {
                 return Err("'sopt gen' takes --family/--count/--seed/--size/--rate only".into());
             }
@@ -330,44 +472,24 @@ fn run() -> Result<(), String> {
     }
 }
 
-/// One JSONL stream line: the report object with its input `index`
-/// prepended, or `{"index": i, "error": "…"}` on failure.
-fn jsonl_line(index: usize, result: &Result<Report, SoptError>) -> String {
-    match result {
-        Ok(report) => {
-            let json = report.to_json();
-            debug_assert!(json.starts_with('{'));
-            format!("{{\"index\": {index}, {}", &json[1..])
-        }
-        Err(e) => format!(
-            "{{\"index\": {index}, \"error\": {}}}",
-            json_str(&e.to_string())
-        ),
-    }
-}
-
+/// Solves one scenario through the serve envelope — the CLI is a
+/// [`Server::handle`](stackopt::api::Server::handle) client of one
+/// request, so `solve`, `batch --stream`, and the daemon share one path.
 fn solve_one(spec: &str, args: &Args) -> Result<Report, SoptError> {
-    let mut scenario = Scenario::parse(spec)?;
-    if let Some(rate) = args.rate {
-        scenario = scenario.with_rate(rate)?;
+    let server = builder_from(args).threads(1).server()?;
+    let request = Request::solve(
+        "cli",
+        SolveRequest {
+            spec: spec.to_string(),
+            rate: args.rate,
+            ..SolveRequest::default()
+        },
+    );
+    match server.handle(request).outcome {
+        Outcome::Ok(report) => Ok(report),
+        Outcome::Err(e) => Err(e),
+        other => unreachable!("no deadline, no stats request: {other:?}"),
     }
-    let mut solve = scenario
-        .solve()
-        .task(args.task)
-        .steps(args.steps.unwrap_or(10));
-    if let Some(a) = args.alpha {
-        solve = solve.alpha(a);
-    }
-    if let Some(t) = args.tolerance {
-        solve = solve.tolerance(t);
-    }
-    if let Some(k) = args.max_iters {
-        solve = solve.max_iters(k);
-    }
-    if let Some(st) = args.strategy {
-        solve = solve.strategy(st);
-    }
-    solve.run()
 }
 
 fn render(report: &Report, format: Format) -> String {

@@ -16,7 +16,8 @@
 
 use crate::api::{Scenario, SoptError};
 use sopt_instances::random::{
-    try_random_affine, try_random_common_slope, try_random_mm1, try_random_spec_mixed,
+    try_random_affine, try_random_common_slope, try_random_mm1, try_random_multicommodity,
+    try_random_spec_mixed,
 };
 
 /// A spec-representable random instance family.
@@ -32,15 +33,20 @@ pub enum Family {
     Mixed,
     /// M/M/1 links with feasible random capacities (`random_mm1`).
     Mm1,
+    /// Layered k-commodity networks with affine latencies
+    /// (`random_multicommodity`); layer depth and commodity count vary
+    /// deterministically per scenario, `--size` pins the layer width.
+    Multi,
 }
 
 impl Family {
     /// All families, in CLI order.
-    pub const ALL: [Family; 4] = [
+    pub const ALL: [Family; 5] = [
         Family::Affine,
         Family::CommonSlope,
         Family::Mixed,
         Family::Mm1,
+        Family::Multi,
     ];
 
     /// The family's CLI name.
@@ -50,6 +56,7 @@ impl Family {
             Family::CommonSlope => "common-slope",
             Family::Mixed => "mixed",
             Family::Mm1 => "mm1",
+            Family::Multi => "multi",
         }
     }
 }
@@ -69,9 +76,10 @@ impl std::str::FromStr for Family {
             "common-slope" => Ok(Family::CommonSlope),
             "mixed" => Ok(Family::Mixed),
             "mm1" => Ok(Family::Mm1),
+            "multi" => Ok(Family::Multi),
             other => Err(SoptError::Parse {
                 token: other.to_string(),
-                reason: "expected one of affine|common-slope|mixed|mm1".into(),
+                reason: "expected one of affine|common-slope|mixed|mm1|multi".into(),
             }),
         }
     }
@@ -126,13 +134,30 @@ pub fn generate_fleet(
     for i in 0..count {
         let m = size.unwrap_or_else(|| (SIZE_MIN + mix(seed ^ (i as u64)) % SIZE_SPAN) as usize);
         let instance_seed = seed.wrapping_add(i as u64);
-        let links = match family {
-            Family::Affine => try_random_affine(m, rate, instance_seed),
-            Family::CommonSlope => try_random_common_slope(m, rate, instance_seed),
-            Family::Mixed => try_random_spec_mixed(m, rate, instance_seed),
-            Family::Mm1 => try_random_mm1(m, rate, instance_seed),
-        }?;
-        let spec = Scenario::from(links).to_spec()?;
+        let scenario = match family {
+            Family::Affine => Scenario::from(try_random_affine(m, rate, instance_seed)?),
+            Family::CommonSlope => Scenario::from(try_random_common_slope(m, rate, instance_seed)?),
+            Family::Mixed => Scenario::from(try_random_spec_mixed(m, rate, instance_seed)?),
+            Family::Mm1 => Scenario::from(try_random_mm1(m, rate, instance_seed)?),
+            Family::Multi => {
+                // Shape varies deterministically with the same hash stream
+                // the sizes use: 1–3 layers, 2–3 commodities; `--size` (or
+                // the drawn size) pins the layer width, clamped so tiny
+                // fleets stay connected and big ones stay solvable.
+                let h = mix(seed ^ (i as u64) ^ 0x6d75_6c74_6963_6f6d);
+                let layers = 1 + (h % 3) as usize;
+                let k = 2 + ((h >> 8) % 2) as usize;
+                let width = m.clamp(2, 5);
+                Scenario::from(try_random_multicommodity(
+                    layers,
+                    width,
+                    k,
+                    rate,
+                    instance_seed,
+                )?)
+            }
+        };
+        let spec = scenario.to_spec()?;
         out.push_str(&spec);
         out.push('\n');
     }

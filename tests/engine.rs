@@ -206,7 +206,7 @@ fn bounded_cache_respects_capacity_and_stays_bit_identical() {
             Scenario::parse(&format!("nodes=2; 0->1: {n}x; 0->1: 1.0; demand 0->1: 1.0")).unwrap()
         })
         .collect();
-    let cache = Arc::new(SolveCache::with_capacity(4, 2));
+    let cache = Arc::new(SolveCache::bounded(4, 2));
     let (cold, s1) = Engine::new(fleet.clone())
         .task(Task::Equilib)
         .cache(Arc::clone(&cache))
