@@ -17,6 +17,10 @@ pub struct NetworkInstance {
     pub sink: NodeId,
     /// Total flow `r > 0` to route from `s` to `t`.
     pub rate: f64,
+    /// Which edges a Stackelberg price-setter may toll (network pricing).
+    /// Either empty — no priceable edges, the default — or one flag per
+    /// edge, indexed like [`NetworkInstance::latencies`].
+    pub priceable: Vec<bool>,
 }
 
 impl NetworkInstance {
@@ -38,7 +42,29 @@ impl NetworkInstance {
             source,
             sink,
             rate,
+            priceable: Vec::new(),
         }
+    }
+
+    /// The same instance with a priceable-edge mask (one flag per edge; an
+    /// empty mask clears it).
+    pub fn with_priceable(mut self, priceable: Vec<bool>) -> Self {
+        assert!(
+            priceable.is_empty() || priceable.len() == self.num_edges(),
+            "one priceable flag per edge (or none)"
+        );
+        self.priceable = priceable;
+        self
+    }
+
+    /// Indices of the priceable edges (empty when no mask is set).
+    pub fn priceable_edges(&self) -> Vec<usize> {
+        self.priceable
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p)
+            .map(|(e, _)| e)
+            .collect()
     }
 
     /// Number of edges.
@@ -88,6 +114,7 @@ impl NetworkInstance {
             source: self.source,
             sink: self.sink,
             rate: (self.rate - value).max(0.0),
+            priceable: self.priceable.clone(),
         }
     }
 }

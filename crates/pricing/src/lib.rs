@@ -1,0 +1,542 @@
+//! Competitive pricing equilibria for Stackelberg routing.
+//!
+//! The rest of the workspace computes *centralized* control: one Leader
+//! routing β·r of the flow to minimize social cost. This crate computes the
+//! *competitive* counterpart — every link is owned by a profit-maximizing
+//! firm that sets a price (toll) `t_i`, and the inelastic demand `r` then
+//! routes selfishly on the full cost `ℓ_i(x_i) + t_i`.
+//!
+//! Two solvers cover the parallel-links class:
+//!
+//! * [`closed_form_affine`] — for affine latencies `ℓ_i(x) = a_i·x + b_i`
+//!   (`a_i > 0`) the firms' first-order conditions are a linear system.
+//!   With `S = Σ_j 1/a_j` and `S₋ᵢ = S − 1/a_i`, the Wardrop flows under
+//!   prices `t` are `x_i = (L − b_i − t_i)/a_i` at the common level
+//!   `L = (r + Σ_j (b_j + t_j)/a_j)/S`, and revenue stationarity
+//!   `x_i + t_i·∂x_i/∂t_i = 0` gives row `i`:
+//!
+//!   ```text
+//!   2·S₋ᵢ·t_i − Σ_{j≠i} t_j/a_j  =  r + Σ_j b_j/a_j − S·b_i
+//!   ```
+//!
+//!   Links whose solved flow (or price) comes out negative are priced out
+//!   of the market: they are dropped and the sub-game on the remaining
+//!   links is re-solved, recursively.
+//!
+//! * [`best_response`] — for arbitrary latency kinds, Gauss–Seidel
+//!   best-response dynamics: each firm in turn maximizes `t_i · x_i(t)`
+//!   over a price grid (refined by ternary search), where `x(t)` is the
+//!   Wardrop equilibrium on the tolled latencies. For affine instances the
+//!   best-response map is a contraction, so this converges to the same
+//!   equilibrium as the closed form (the parity tests pin ≤ 1e-6).
+//!
+//! A **monopoly is unbounded**: with inelastic demand, a single firm (or
+//! any firm whose removal makes the residual system infeasible) can charge
+//! arbitrarily much — both solvers report this as a typed
+//! [`PricingError::UnboundedRevenue`] rather than a number.
+//!
+//! [`single_price_candidates`] supports the Briest–Hoefer–Krysta
+//! single-price auction for *network* pricing (the api layer drives the
+//! induced solves): candidate prices are the shortest-path gap
+//! `(d_block − d_free)/k` for `k = 1..=k_max`.
+
+use sopt_equilibrium::ParallelLinks;
+use sopt_latency::LatencyFn;
+use sopt_solver::EqualizeError;
+
+/// Why a pricing equilibrium could not be produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PricingError {
+    /// Revenue has no finite maximum: a monopolist (or a firm whose
+    /// removal leaves the demand uncarriable) can charge arbitrarily much
+    /// against inelastic demand.
+    UnboundedRevenue {
+        /// Human-readable description of the market power.
+        reason: String,
+    },
+    /// The closed form was asked for a system that is not affine with
+    /// positive slopes.
+    NotAffine,
+    /// Best-response dynamics did not settle within the round budget.
+    NotConverged {
+        /// Rounds performed before giving up.
+        rounds: usize,
+    },
+    /// The first-order system is degenerate (singular, or a dropped link
+    /// would profitably re-enter the market).
+    Degenerate {
+        /// What went wrong.
+        reason: String,
+    },
+    /// An induced Wardrop solve failed (infeasible rate, empty system…).
+    Equalize(EqualizeError),
+}
+
+impl std::fmt::Display for PricingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PricingError::UnboundedRevenue { reason } => {
+                write!(f, "revenue is unbounded: {reason}")
+            }
+            PricingError::NotAffine => {
+                write!(
+                    f,
+                    "closed form requires affine latencies with positive slope"
+                )
+            }
+            PricingError::NotConverged { rounds } => {
+                write!(
+                    f,
+                    "best-response dynamics did not converge in {rounds} rounds"
+                )
+            }
+            PricingError::Degenerate { reason } => {
+                write!(f, "degenerate pricing game: {reason}")
+            }
+            PricingError::Equalize(e) => write!(f, "induced equilibrium failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}
+
+impl From<EqualizeError> for PricingError {
+    fn from(e: EqualizeError) -> Self {
+        PricingError::Equalize(e)
+    }
+}
+
+/// A pricing Nash equilibrium on parallel links: per-link prices, the
+/// Wardrop flows they induce, and the firms' total revenue.
+#[derive(Clone, Debug)]
+pub struct PricingEquilibrium {
+    /// Per-link prices `t_i` (0 on links priced out of the market).
+    pub prices: Vec<f64>,
+    /// The induced Wardrop flows `x_i`.
+    pub flows: Vec<f64>,
+    /// The common full cost `ℓ_i(x_i) + t_i` on loaded links.
+    pub level: f64,
+    /// Total revenue `Σ t_i·x_i`.
+    pub revenue: f64,
+}
+
+/// `true` when every link is affine with strictly positive slope — the
+/// precondition of [`closed_form_affine`].
+pub fn is_affine(links: &ParallelLinks) -> bool {
+    links
+        .latencies()
+        .iter()
+        .all(|l| matches!(l, LatencyFn::Affine(a) if a.a > 0.0))
+}
+
+/// Affine slope/intercept of link `i`; callers guarantee [`is_affine`].
+fn coeffs(links: &ParallelLinks, i: usize) -> (f64, f64) {
+    match &links.latencies()[i] {
+        LatencyFn::Affine(l) => (l.a, l.b),
+        other => unreachable!("is_affine checked: {other:?}"),
+    }
+}
+
+/// The closed-form pricing Nash equilibrium on affine parallel links,
+/// including the sub-game recursion that drops priced-out links.
+///
+/// Errors: [`PricingError::NotAffine`] off the affine class,
+/// [`PricingError::UnboundedRevenue`] when fewer than two links compete
+/// (before or after drops).
+pub fn closed_form_affine(links: &ParallelLinks) -> Result<PricingEquilibrium, PricingError> {
+    if !is_affine(links) {
+        return Err(PricingError::NotAffine);
+    }
+    let m = links.m();
+    let active: Vec<usize> = (0..m).collect();
+    solve_subgame(links, active)
+}
+
+/// Solves the first-order system on `active`, dropping links whose solved
+/// flow or price is negative and recursing on the survivors.
+fn solve_subgame(
+    links: &ParallelLinks,
+    active: Vec<usize>,
+) -> Result<PricingEquilibrium, PricingError> {
+    let r = links.rate();
+    let n = active.len();
+    if n < 2 {
+        return Err(PricingError::UnboundedRevenue {
+            reason: format!(
+                "{n} competing link(s) against inelastic demand (monopoly has no optimal price)"
+            ),
+        });
+    }
+    let ab: Vec<(f64, f64)> = active.iter().map(|&i| coeffs(links, i)).collect();
+    let s: f64 = ab.iter().map(|(a, _)| 1.0 / a).sum();
+    let b_over_a: f64 = ab.iter().map(|(a, b)| b / a).sum();
+    // Row i: 2·S₋ᵢ·t_i − Σ_{j≠i} t_j/a_j = r + Σ_j b_j/a_j − S·b_i.
+    let mut mat = vec![vec![0.0; n]; n];
+    let mut rhs = vec![0.0; n];
+    for i in 0..n {
+        let (a_i, b_i) = ab[i];
+        let s_not_i = s - 1.0 / a_i;
+        for (j, (a_j, _)) in ab.iter().enumerate() {
+            mat[i][j] = if i == j { 2.0 * s_not_i } else { -1.0 / a_j };
+        }
+        rhs[i] = r + b_over_a - s * b_i;
+    }
+    let t = solve_linear(&mut mat, &mut rhs).ok_or_else(|| PricingError::Degenerate {
+        reason: "singular first-order system".into(),
+    })?;
+    // Wardrop flows under the solved prices.
+    let t_over_a: f64 = t.iter().zip(&ab).map(|(t, (a, _))| t / a).sum();
+    let level = (r + b_over_a + t_over_a) / s;
+    let x: Vec<f64> = t
+        .iter()
+        .zip(&ab)
+        .map(|(t, (a, b))| (level - b - t) / a)
+        .collect();
+    const TOL: f64 = 1e-12;
+    let keep: Vec<usize> = active
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| x[k] >= -TOL && t[k] >= -TOL)
+        .map(|(_, &i)| i)
+        .collect();
+    if keep.len() < active.len() {
+        let sub = solve_subgame(links, keep)?;
+        // A dropped link must stay unattractive at price 0: its free cost
+        // ℓ_i(0) = b_i may not undercut the surviving level.
+        for (k, &i) in active.iter().enumerate() {
+            if x[k] < -TOL || t[k] < -TOL {
+                let (_, b_i) = ab[k];
+                if b_i < sub.level - 1e-9 {
+                    return Err(PricingError::Degenerate {
+                        reason: format!(
+                            "dropped link {i} (free cost {b_i}) would re-enter below level {}",
+                            sub.level
+                        ),
+                    });
+                }
+            }
+        }
+        return Ok(sub);
+    }
+    let revenue = t.iter().zip(&x).map(|(t, x)| t * x).sum();
+    let mut prices = vec![0.0; links.m()];
+    let mut flows = vec![0.0; links.m()];
+    for (k, &i) in active.iter().enumerate() {
+        prices[i] = t[k].max(0.0);
+        flows[i] = x[k].max(0.0);
+    }
+    Ok(PricingEquilibrium {
+        prices,
+        flows,
+        level,
+        revenue,
+    })
+}
+
+/// Gaussian elimination with partial pivoting; `None` on a (numerically)
+/// singular matrix. Consumes its inputs as scratch space.
+fn solve_linear(mat: &mut [Vec<f64>], rhs: &mut [f64]) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&p, &q| {
+            mat[p][col]
+                .abs()
+                .partial_cmp(&mat[q][col].abs())
+                .expect("pivot magnitudes are finite")
+        })?;
+        if mat[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        mat.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in col + 1..n {
+            let (upper, lower) = mat.split_at_mut(row);
+            let (src, dst) = (&upper[col], &mut lower[0]);
+            let factor = dst[col] / src[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (d, &s) in dst[col..n].iter_mut().zip(&src[col..n]) {
+                *d -= factor * s;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..n {
+            acc -= mat[row][k] * x[k];
+        }
+        x[row] = acc / mat[row][row];
+        if !x[row].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+/// The Wardrop equilibrium under per-link prices `t`: flows and the common
+/// full cost level on the tolled system.
+pub fn priced_nash(links: &ParallelLinks, prices: &[f64]) -> Result<(Vec<f64>, f64), PricingError> {
+    assert_eq!(prices.len(), links.m(), "one price per link");
+    let tolled: Vec<LatencyFn> = links
+        .latencies()
+        .iter()
+        .zip(prices)
+        .map(|(l, &t)| l.tolled(t.max(0.0)))
+        .collect();
+    let tolled = ParallelLinks::new(tolled, links.rate());
+    let profile = tolled.try_nash()?;
+    let level = profile.level();
+    Ok((profile.flows().to_vec(), level))
+}
+
+/// Total revenue `Σ t_i·x_i` of prices `t` against the flows they induce.
+pub fn revenue_of(prices: &[f64], flows: &[f64]) -> f64 {
+    prices.iter().zip(flows).map(|(t, x)| t * x).sum()
+}
+
+/// Gauss–Seidel best-response dynamics on arbitrary latency kinds.
+///
+/// Each round, every firm in turn grid-searches its price over
+/// `[0, cap_i]` (`price_steps` samples, then ternary refinement), where
+/// `cap_i` is the Wardrop level the *other* links would settle at carrying
+/// the whole rate — above that the firm's flow is zero. Stops when no
+/// price moved more than `tol` in a round; errors with
+/// [`PricingError::NotConverged`] after `price_rounds` rounds.
+///
+/// Errors with [`PricingError::UnboundedRevenue`] on a monopoly or when
+/// some firm's removal leaves the demand uncarriable (that firm can charge
+/// arbitrarily much).
+pub fn best_response(
+    links: &ParallelLinks,
+    price_steps: usize,
+    price_rounds: usize,
+    tol: f64,
+) -> Result<PricingEquilibrium, PricingError> {
+    let m = links.m();
+    if m < 2 {
+        return Err(PricingError::UnboundedRevenue {
+            reason: "monopoly has no optimal price against inelastic demand".into(),
+        });
+    }
+    let steps = price_steps.max(2);
+    // Market-power check: a firm whose removal leaves the rate uncarriable
+    // has no price ceiling. (Tolls are constant offsets, so tolled
+    // feasibility equals untolled feasibility — checking once suffices.)
+    for i in 0..m {
+        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+        let residual = links.subsystem(&others, links.rate());
+        if let Err(EqualizeError::Infeasible { total_capacity }) = residual.try_nash() {
+            return Err(PricingError::UnboundedRevenue {
+                reason: format!(
+                    "without link {i} the rate exceeds the residual capacity {total_capacity}; \
+                     its owner can charge arbitrarily much"
+                ),
+            });
+        }
+    }
+    let mut prices: Vec<f64> = vec![0.0; m];
+    let rev_i = |prices: &[f64], i: usize| -> Result<f64, PricingError> {
+        let (flows, _) = priced_nash(links, prices)?;
+        Ok(prices[i] * flows[i])
+    };
+    for _round in 0..price_rounds {
+        let mut moved: f64 = 0.0;
+        for i in 0..m {
+            // Price ceiling against the *current* rival prices: at
+            // t_i ≥ cap the rivals' tolled system carries the whole rate
+            // at a level below ℓ_i(0) + t_i, so firm i's flow is zero.
+            let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+            let residual_latencies: Vec<LatencyFn> = others
+                .iter()
+                .map(|&j| links.latencies()[j].tolled(prices[j].max(0.0)))
+                .collect();
+            let residual = ParallelLinks::new(residual_latencies, links.rate());
+            let cap = (residual.try_nash()?.level() - links.latency(i, 0.0)).max(0.0);
+            if cap <= 0.0 {
+                moved = moved.max(prices[i]);
+                prices[i] = 0.0;
+                continue;
+            }
+            let mut trial = prices.to_vec();
+            let eval = |trial: &mut Vec<f64>, t: f64| -> Result<f64, PricingError> {
+                trial[i] = t;
+                rev_i(trial, i)
+            };
+            // Coarse grid.
+            let mut best_t = 0.0;
+            let mut best_rev = 0.0;
+            let h = cap / steps as f64;
+            for k in 0..=steps {
+                let t = h * k as f64;
+                let rev = eval(&mut trial, t)?;
+                if rev > best_rev {
+                    best_rev = rev;
+                    best_t = t;
+                }
+            }
+            // Ternary refinement around the best grid cell (revenue is
+            // concave in own price on the affine class; elsewhere this is
+            // a local polish of the grid winner).
+            let mut lo = (best_t - h).max(0.0);
+            let mut hi = (best_t + h).min(cap);
+            while hi - lo > tol.max(1e-14) {
+                let m1 = lo + (hi - lo) / 3.0;
+                let m2 = hi - (hi - lo) / 3.0;
+                if eval(&mut trial, m1)? < eval(&mut trial, m2)? {
+                    lo = m1;
+                } else {
+                    hi = m2;
+                }
+            }
+            let t_new = 0.5 * (lo + hi);
+            let r_new = eval(&mut trial, t_new)?;
+            let t_new = if r_new >= best_rev { t_new } else { best_t };
+            moved = moved.max((t_new - prices[i]).abs());
+            prices[i] = t_new;
+        }
+        if moved <= tol {
+            let (flows, level) = priced_nash(links, &prices)?;
+            let revenue = revenue_of(&prices, &flows);
+            return Ok(PricingEquilibrium {
+                prices,
+                flows,
+                level,
+                revenue,
+            });
+        }
+    }
+    Err(PricingError::NotConverged {
+        rounds: price_rounds,
+    })
+}
+
+/// Candidate single prices for the Briest–Hoefer–Krysta auction: the
+/// shortest-path gap `(d_block − d_free)/k` for `k = 1..=k_max`, where
+/// `d_free` is the cheapest s–t distance with priceable edges free and
+/// `d_block` the cheapest avoiding them entirely. Non-positive and
+/// non-finite candidates are filtered; `d_block = ∞` (the priceable set is
+/// a cut) yields an empty list — the caller must treat that as unbounded
+/// revenue, not as "no candidates".
+pub fn single_price_candidates(d_free: f64, d_block: f64, k_max: usize) -> Vec<f64> {
+    let gap = d_block - d_free;
+    if !gap.is_finite() || gap <= 0.0 {
+        return Vec::new();
+    }
+    (1..=k_max.max(1)).map(|k| gap / k as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn duopoly() -> ParallelLinks {
+        ParallelLinks::new(
+            vec![LatencyFn::affine(1.0, 0.0), LatencyFn::affine(1.0, 0.0)],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn symmetric_duopoly_closed_form() {
+        // a=1, b=0, r=1: S=2, S₋ᵢ=1 → 2t_i − t_j = 1 → t_i = 1 each;
+        // flows ½/½, revenue 1.
+        let eq = closed_form_affine(&duopoly()).unwrap();
+        assert!((eq.prices[0] - 1.0).abs() < 1e-12, "{eq:?}");
+        assert!((eq.prices[1] - 1.0).abs() < 1e-12);
+        assert!((eq.flows[0] - 0.5).abs() < 1e-12);
+        assert!((eq.revenue - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_matches_best_response() {
+        let links = ParallelLinks::new(
+            vec![
+                LatencyFn::affine(1.0, 0.1),
+                LatencyFn::affine(2.0, 0.0),
+                LatencyFn::affine(0.5, 0.3),
+            ],
+            2.0,
+        );
+        let cf = closed_form_affine(&links).unwrap();
+        let br = best_response(&links, 64, 200, 1e-9).unwrap();
+        for i in 0..3 {
+            assert!(
+                (cf.prices[i] - br.prices[i]).abs() < 1e-6,
+                "link {i}: {} vs {}",
+                cf.prices[i],
+                br.prices[i]
+            );
+        }
+        assert!((cf.revenue - br.revenue).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dominated_link_is_priced_out() {
+        // Two cheap links plus one whose free cost exceeds any reachable
+        // level: the sub-game recursion must drop it.
+        let links = ParallelLinks::new(
+            vec![
+                LatencyFn::affine(1.0, 0.0),
+                LatencyFn::affine(1.0, 0.0),
+                LatencyFn::affine(1.0, 100.0),
+            ],
+            1.0,
+        );
+        let eq = closed_form_affine(&links).unwrap();
+        assert_eq!(eq.prices[2], 0.0);
+        assert_eq!(eq.flows[2], 0.0);
+        assert!(eq.flows[0] > 0.0 && eq.flows[1] > 0.0);
+        // The survivors play the symmetric duopoly.
+        let duo = closed_form_affine(&duopoly()).unwrap();
+        assert!((eq.revenue - duo.revenue).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monopoly_is_unbounded() {
+        let links = ParallelLinks::new(vec![LatencyFn::affine(1.0, 0.0)], 1.0);
+        assert!(matches!(
+            closed_form_affine(&links),
+            Err(PricingError::UnboundedRevenue { .. })
+        ));
+        assert!(matches!(
+            best_response(&links, 8, 10, 1e-6),
+            Err(PricingError::UnboundedRevenue { .. })
+        ));
+    }
+
+    #[test]
+    fn mm1_market_power_is_unbounded() {
+        // Without the affine link the M/M/1 capacity 0.5 cannot carry r=1,
+        // so the affine owner has unbounded market power.
+        let links = ParallelLinks::new(vec![LatencyFn::affine(1.0, 0.0), LatencyFn::mm1(0.5)], 1.0);
+        assert!(matches!(
+            best_response(&links, 8, 10, 1e-6),
+            Err(PricingError::UnboundedRevenue { .. })
+        ));
+    }
+
+    #[test]
+    fn non_affine_rejects_closed_form_but_br_runs() {
+        let links = ParallelLinks::new(vec![LatencyFn::mm1(4.0), LatencyFn::mm1(4.0)], 1.0);
+        assert!(matches!(
+            closed_form_affine(&links),
+            Err(PricingError::NotAffine)
+        ));
+        let eq = best_response(&links, 32, 100, 1e-7).unwrap();
+        assert!(eq.revenue > 0.0, "{eq:?}");
+        assert!((eq.flows.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn candidate_prices_cover_the_gap() {
+        let c = single_price_candidates(1.0, 3.0, 4);
+        assert_eq!(c.len(), 4);
+        assert!((c[0] - 2.0).abs() < 1e-15);
+        assert!((c[3] - 0.5).abs() < 1e-15);
+        assert!(single_price_candidates(1.0, f64::INFINITY, 4).is_empty());
+        assert!(single_price_candidates(3.0, 1.0, 4).is_empty());
+    }
+}

@@ -815,6 +815,7 @@ mod tests {
             source: NodeId(0),
             sink: NodeId(1),
             rate: 0.0,
+            priceable: Vec::new(),
         };
         let r = solve_assignment(&inst, CostModel::Wardrop, &FwOptions::default());
         assert!(r.converged);

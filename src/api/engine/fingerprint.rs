@@ -97,6 +97,10 @@ pub struct Fingerprint {
     pub max_iters: usize,
     /// Weak/strong curve strategy.
     pub strategy: CurveStrategy,
+    /// Pricing best-response grid resolution.
+    pub price_steps: usize,
+    /// Pricing best-response round budget.
+    pub price_rounds: usize,
     /// FNV-1a digest of all of the above (shard selector, log handle).
     pub hash: u64,
 }
@@ -116,6 +120,8 @@ impl Fingerprint {
             options.steps,
             options.max_iters,
             options.strategy,
+            options.price_steps,
+            options.price_rounds,
         ))
     }
 
@@ -134,6 +140,8 @@ impl Fingerprint {
         steps: usize,
         max_iters: usize,
         strategy: CurveStrategy,
+        price_steps: usize,
+        price_rounds: usize,
     ) -> Fingerprint {
         let mut h = Fnv64::default();
         h.write(spec.as_bytes());
@@ -144,6 +152,8 @@ impl Fingerprint {
         h.write_u64(steps as u64);
         h.write_u64(max_iters as u64);
         h.write_u64(strategy as u64);
+        h.write_u64(price_steps as u64);
+        h.write_u64(price_rounds as u64);
         Fingerprint {
             spec,
             class,
@@ -153,6 +163,8 @@ impl Fingerprint {
             steps,
             max_iters,
             strategy,
+            price_steps,
+            price_rounds,
             hash: h.finish(),
         }
     }
@@ -205,6 +217,12 @@ mod tests {
         assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
         let mut o = opts();
         o.strategy = CurveStrategy::Weak;
+        assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
+        let mut o = opts();
+        o.price_steps = 17;
+        assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
+        let mut o = opts();
+        o.price_rounds = 33;
         assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
         // Different scenario, same knobs.
         let other = Scenario::parse("x, 2.0").unwrap();

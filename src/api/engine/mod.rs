@@ -95,6 +95,9 @@ pub struct EngineStats {
     /// Serve requests shed for an unmeetable deadline (each answered with a
     /// typed `dropped` response). Always 0 on the fleet entry points.
     pub dropped: u64,
+    /// Serve solves withdrawn by a `cancel` request before a worker
+    /// reached them. Always 0 on the fleet entry points.
+    pub cancelled: u64,
 }
 
 impl EngineStats {

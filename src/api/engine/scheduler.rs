@@ -78,6 +78,11 @@ pub fn scenario_cost(scenario: &Scenario, options: &SolveOptions) -> u64 {
         super::super::solve::Task::Equilib => 2,
         super::super::solve::Task::Tolls => 3,
         super::super::solve::Task::Llf => 2,
+        // Candidate/grid evaluations plus the revenue-vs-β sweep, each an
+        // equilibrium-grade induced solve.
+        super::super::solve::Task::Pricing => {
+            (options.price_steps as u64).saturating_add(options.steps as u64) + 2
+        }
     };
     class.saturating_mul(task).max(1)
 }

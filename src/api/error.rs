@@ -8,6 +8,7 @@
 
 use sopt_core::error::CoreError;
 use sopt_instances::InstanceError;
+use sopt_pricing::PricingError;
 use sopt_solver::equalize::EqualizeError;
 use sopt_solver::error::SolverError;
 
@@ -108,6 +109,14 @@ pub enum SoptError {
         /// Why the request was shed.
         reason: String,
     },
+    /// A pricing game has no finite revenue maximum: a monopolist (or any
+    /// firm whose removal leaves the demand uncarriable, or a priceable
+    /// edge set that cuts every s–t path) can charge arbitrarily much
+    /// against inelastic demand.
+    UnboundedRevenue {
+        /// Description of the market power.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SoptError {
@@ -152,6 +161,9 @@ impl std::fmt::Display for SoptError {
             SoptError::AtLine { line, source } => write!(f, "line {line}: {source}"),
             SoptError::Io { context } => write!(f, "i/o error: {context}"),
             SoptError::Dropped { reason } => write!(f, "request dropped: {reason}"),
+            SoptError::UnboundedRevenue { reason } => {
+                write!(f, "revenue is unbounded: {reason}")
+            }
         }
     }
 }
@@ -203,6 +215,27 @@ impl From<SolverError> for SoptError {
     fn from(e: SolverError) -> Self {
         match e {
             SolverError::UnreachableSink { commodity, .. } => SoptError::Unreachable { commodity },
+        }
+    }
+}
+
+impl From<PricingError> for SoptError {
+    fn from(e: PricingError) -> Self {
+        match e {
+            PricingError::UnboundedRevenue { reason } => SoptError::UnboundedRevenue { reason },
+            // The api layer picks the solver by inspecting the instance, so
+            // NotAffine never escapes in practice; fold it defensively.
+            PricingError::NotAffine => SoptError::InvalidStrategy {
+                reason: "closed-form pricing requires affine latencies".into(),
+            },
+            PricingError::NotConverged { rounds } => SoptError::NotConverged {
+                what: format!("pricing best-response ({rounds} rounds)"),
+                rel_gap: f64::NAN,
+            },
+            PricingError::Degenerate { reason } => SoptError::InvalidStrategy {
+                reason: format!("degenerate pricing game: {reason}"),
+            },
+            PricingError::Equalize(inner) => inner.into(),
         }
     }
 }

@@ -61,12 +61,13 @@ pub use engine::{Engine, EngineBuilder, EngineStats, EngineStream, Ordered, Solv
 pub use error::SoptError;
 pub use model::{BetaPlan, EqKind, InducedOutcome, ModelProfile, ScenarioModel};
 pub use report::{
-    BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, Report, ReportData,
-    ScenarioSummary, TollsReport,
+    BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, PricingReport,
+    PricingSweepPoint, Report, ReportData, ScenarioSummary, TollsReport,
 };
 pub use scenario::{Scenario, ScenarioClass};
 pub use serve::{
-    Outcome, Rejection, Request, RequestId, RequestKind, Response, Server, ShedPolicy, SolveRequest,
+    compact_cache, Outcome, Rejection, Request, RequestId, RequestKind, Response, Server,
+    ShedPolicy, SolveRequest,
 };
 pub use solve::{Solve, SolveOptions, Task};
 

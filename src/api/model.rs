@@ -34,14 +34,18 @@ use sopt_equilibrium::network::{
     warm_seed_from_per,
 };
 use sopt_equilibrium::parallel::ParallelLinks;
+use sopt_latency::LatencyFn;
 use sopt_network::flow::EdgeFlow;
 use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
+use sopt_network::spath::dijkstra;
 use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
 use super::error::SoptError;
-use super::report::{CurvePointReport, CurveReport, LlfReport, TollsReport};
+use super::report::{
+    CurvePointReport, CurveReport, LlfReport, PricingReport, PricingSweepPoint, TollsReport,
+};
 use super::scenario::ScenarioClass;
-use super::solve::Task;
+use super::solve::{SolveOptions, Task};
 
 /// Which equilibrium a profile holds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -202,6 +206,24 @@ pub trait ScenarioModel {
 
     /// The LLF baseline at Leader portion `alpha` (parallel links only).
     fn llf(&self, alpha: f64, optimum: &ModelProfile) -> Result<LlfReport, SoptError>;
+
+    /// Whether [`ScenarioModel::pricing`] consumes the memoized unpriced
+    /// Nash profile (network pricing anchors its candidates on it; the
+    /// parallel solvers are equalizer-driven).
+    fn pricing_needs_nash(&self) -> bool {
+        false
+    }
+
+    /// The pricing task: the competitive pricing Nash equilibrium
+    /// (parallel links — closed form on the affine class, best-response
+    /// dynamics elsewhere) or the Briest–Hoefer–Krysta single-price
+    /// auction (networks with `[priceable]` edges), plus the revenue-vs-β
+    /// sweep at scaled prices.
+    fn pricing(
+        &self,
+        options: &SolveOptions,
+        nash: Option<&ModelProfile>,
+    ) -> Result<PricingReport, SoptError>;
 
     /// The anarchy-value curve sampled at `alphas`, anchored on the
     /// supplied (memoized) profiles. `strategy` selects the weak/strong
@@ -378,6 +400,46 @@ impl ScenarioModel for ParallelLinks {
         })
     }
 
+    fn pricing(
+        &self,
+        options: &SolveOptions,
+        _nash: Option<&ModelProfile>,
+    ) -> Result<PricingReport, SoptError> {
+        let (eq, method) = if sopt_pricing::is_affine(self) {
+            (sopt_pricing::closed_form_affine(self)?, "closed-form")
+        } else {
+            let eq = sopt_pricing::best_response(
+                self,
+                options.price_steps,
+                options.price_rounds,
+                options.tolerance.max(1e-12),
+            )?;
+            (eq, "best-response")
+        };
+        // Revenue at β-scaled equilibrium prices, β over [0, 2]: the
+        // equilibrium is the stationary point, so the sweep shows the
+        // concave revenue hill around β = 1.
+        let sweep: Result<Vec<PricingSweepPoint>, SoptError> = (0..=options.steps)
+            .map(|j| {
+                let beta = 2.0 * j as f64 / options.steps as f64;
+                let scaled: Vec<f64> = eq.prices.iter().map(|&p| beta * p).collect();
+                let (flows, _) = sopt_pricing::priced_nash(self, &scaled)?;
+                Ok(PricingSweepPoint {
+                    beta,
+                    revenue: sopt_pricing::revenue_of(&scaled, &flows),
+                })
+            })
+            .collect();
+        Ok(PricingReport {
+            method,
+            prices: eq.prices,
+            flows: eq.flows,
+            revenue: eq.revenue,
+            level: Some(eq.level),
+            sweep: sweep?,
+        })
+    }
+
     fn anarchy_curve(
         &self,
         alphas: &[f64],
@@ -497,6 +559,111 @@ impl ScenarioModel for NetworkInstance {
         })
     }
 
+    fn pricing_needs_nash(&self) -> bool {
+        true
+    }
+
+    fn pricing(
+        &self,
+        options: &SolveOptions,
+        nash: Option<&ModelProfile>,
+    ) -> Result<PricingReport, SoptError> {
+        let priceable = self.priceable_edges();
+        if priceable.is_empty() {
+            return Err(SoptError::MissingParameter {
+                name: "priceable",
+                reason: "network pricing needs at least one edge marked '[priceable]' in the spec",
+            });
+        }
+        let nash = ModelProfile::require_flow(nash, "nash")?;
+        // Candidate prices from shortest-path gaps at the unpriced Nash
+        // congestion (Briest–Hoefer–Krysta single-price auction): d_free
+        // uses the priceable edges at toll 0, d_block forbids them.
+        let costs = self.edge_costs(nash.flow.as_slice());
+        let d_free = dijkstra(&self.graph, &costs, self.source).dist[self.sink.idx()];
+        let mut blocked = costs;
+        for &e in &priceable {
+            blocked[e] = f64::INFINITY;
+        }
+        let d_block = dijkstra(&self.graph, &blocked, self.source).dist[self.sink.idx()];
+        if !d_block.is_finite() {
+            return Err(SoptError::UnboundedRevenue {
+                reason: "the priceable edges cut every s→t path; against inelastic demand \
+                         their owner can charge arbitrarily much"
+                    .into(),
+            });
+        }
+        let candidates =
+            sopt_pricing::single_price_candidates(d_free, d_block, options.price_steps);
+        let fw = options.fw();
+        // One tolled Nash per candidate, warm-chained: adjacent candidates
+        // perturb only the priceable tolls, so the previous equilibrium is
+        // an excellent seed.
+        let solve_at = |p: f64, seed: &FwResult| -> Result<FwResult, SoptError> {
+            let latencies: Vec<LatencyFn> = self
+                .latencies
+                .iter()
+                .enumerate()
+                .map(|(e, l)| {
+                    if self.priceable[e] {
+                        l.tolled(p)
+                    } else {
+                        l.clone()
+                    }
+                })
+                .collect();
+            let tolled = NetworkInstance::new(
+                self.graph.clone(),
+                latencies,
+                self.source,
+                self.sink,
+                self.rate,
+            );
+            let r = try_network_nash(&tolled, &fw, Some(seed))?;
+            check_converged(&r, "priced nash")?;
+            Ok(r)
+        };
+        let revenue_at = |p: f64, r: &FwResult| -> f64 {
+            p * priceable.iter().map(|&e| r.flow.as_slice()[e]).sum::<f64>()
+        };
+        let mut seed = warm_seed_from(&nash.flow);
+        let mut best_p = 0.0;
+        let mut best_rev = 0.0;
+        let mut best_flow: Vec<f64> = nash.flow.as_slice().to_vec();
+        for &p in &candidates {
+            let r = solve_at(p, &seed)?;
+            let rev = revenue_at(p, &r);
+            if rev > best_rev {
+                best_rev = rev;
+                best_p = p;
+                best_flow = r.flow.as_slice().to_vec();
+            }
+            seed = r;
+        }
+        // Revenue at β-scaled winning prices, warm-chained along the grid.
+        let sweep: Result<Vec<PricingSweepPoint>, SoptError> = (0..=options.steps)
+            .map(|j| {
+                let beta = 2.0 * j as f64 / options.steps as f64;
+                let r = solve_at(beta * best_p, &seed)?;
+                let revenue = revenue_at(beta * best_p, &r);
+                seed = r;
+                Ok(PricingSweepPoint { beta, revenue })
+            })
+            .collect();
+        let mut prices = vec![0.0; self.num_edges()];
+        for &e in &priceable {
+            prices[e] = best_p;
+        }
+        Ok(PricingReport {
+            method: "single-price-auction",
+            prices,
+            flows: best_flow,
+            revenue: best_rev,
+            level: None,
+            sweep: sweep?,
+        })
+    }
+
     fn anarchy_curve(
         &self,
         alphas: &[f64],
@@ -543,7 +710,9 @@ impl ScenarioModel for MultiCommodityInstance {
     }
 
     fn supports(&self, task: Task) -> bool {
-        !matches!(task, Task::Llf)
+        // Single-price network pricing is an s–t notion; a per-commodity
+        // generalisation is future work (see ROADMAP.md).
+        !matches!(task, Task::Llf | Task::Pricing)
     }
 
     fn solve_profile(&self, kind: EqKind, fw: &FwOptions) -> Result<ModelProfile, SoptError> {
@@ -608,6 +777,17 @@ impl ScenarioModel for MultiCommodityInstance {
     fn llf(&self, _alpha: f64, _optimum: &ModelProfile) -> Result<LlfReport, SoptError> {
         Err(SoptError::Unsupported {
             task: Task::Llf,
+            class: self.class(),
+        })
+    }
+
+    fn pricing(
+        &self,
+        _options: &SolveOptions,
+        _nash: Option<&ModelProfile>,
+    ) -> Result<PricingReport, SoptError> {
+        Err(SoptError::Unsupported {
+            task: Task::Pricing,
             class: self.class(),
         })
     }

@@ -23,6 +23,7 @@
 //! | `equilib` | `nash_flows[]`, `nash_level?`, `nash_cost`, `optimum_flows[]`, `optimum_level?`, `optimum_cost` |
 //! | `tolls` | `tolls[]`, `optimum[]`, `tolled_nash[]`, `tolled_cost`, `revenue` |
 //! | `llf` | `alpha`, `strategy[]`, `cost`, `optimum_cost`, `ratio`, `bound` |
+//! | `pricing` | `method`, `prices[]`, `flows[]`, `revenue`, `level?`, `sweep[{beta,revenue}]` |
 
 use super::scenario::ScenarioClass;
 use super::solve::Task;
@@ -143,6 +144,34 @@ pub struct LlfReport {
     pub bound: f64,
 }
 
+/// One sample of the revenue-vs-β sweep: prices scaled to `β·p*`.
+#[derive(Clone, Copy, Debug)]
+pub struct PricingSweepPoint {
+    /// Price scale factor β (1 at the computed equilibrium/optimum).
+    pub beta: f64,
+    /// Revenue extracted at β-scaled prices.
+    pub revenue: f64,
+}
+
+/// The pricing task: competitive pricing Nash (parallel links) or the
+/// single-price Stackelberg auction (networks with `[priceable]` edges).
+#[derive(Clone, Debug)]
+pub struct PricingReport {
+    /// Which solver produced the prices (`"closed-form"`,
+    /// `"best-response"`, `"single-price-auction"`).
+    pub method: &'static str,
+    /// Per-link/edge prices (0 on unpriced or priced-out links).
+    pub prices: Vec<f64>,
+    /// The flows the prices induce.
+    pub flows: Vec<f64>,
+    /// Total revenue `Σ t_e·f_e`.
+    pub revenue: f64,
+    /// The common tolled level (parallel links only).
+    pub level: Option<f64>,
+    /// Revenue at β-scaled prices, β on a grid over `[0, 2]`.
+    pub sweep: Vec<PricingSweepPoint>,
+}
+
 /// Task-specific report payload.
 #[derive(Clone, Debug)]
 pub enum ReportData {
@@ -156,6 +185,8 @@ pub enum ReportData {
     Tolls(TollsReport),
     /// LLF baseline.
     Llf(LlfReport),
+    /// Competitive / Stackelberg pricing.
+    Pricing(PricingReport),
 }
 
 impl ReportData {
@@ -195,6 +226,14 @@ impl ReportData {
     pub fn as_llf(&self) -> Option<&LlfReport> {
         match self {
             ReportData::Llf(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The pricing payload, if this is a pricing report.
+    pub fn as_pricing(&self) -> Option<&PricingReport> {
+        match self {
+            ReportData::Pricing(p) => Some(p),
             _ => None,
         }
     }
@@ -328,6 +367,27 @@ impl Report {
                 fields.push(("ratio".into(), json_num(l.ratio)));
                 fields.push(("bound".into(), json_num(l.bound)));
             }
+            ReportData::Pricing(p) => {
+                fields.push(("method".into(), json_str(p.method)));
+                fields.push(("prices".into(), json_arr(&p.prices)));
+                fields.push(("flows".into(), json_arr(&p.flows)));
+                fields.push(("revenue".into(), json_num(p.revenue)));
+                if let Some(l) = p.level {
+                    fields.push(("level".into(), json_num(l)));
+                }
+                let pts: Vec<String> = p
+                    .sweep
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"beta\": {}, \"revenue\": {}}}",
+                            json_num(s.beta),
+                            json_num(s.revenue)
+                        )
+                    })
+                    .collect();
+                fields.push(("sweep".into(), format!("[{}]", pts.join(", "))));
+            }
         }
         let body: Vec<String> = fields
             .into_iter()
@@ -346,6 +406,7 @@ impl Report {
             ReportData::Equilib(_) => "link,nash_flow,optimum_flow".into(),
             ReportData::Tolls(_) => "link,toll,optimum,tolled_nash".into(),
             ReportData::Llf(_) => "class,size,rate,alpha,cost,optimum_cost,ratio,bound".into(),
+            ReportData::Pricing(_) => "link,price,flow".into(),
         }
     }
 
@@ -409,6 +470,9 @@ impl Report {
                 json_num(l.ratio),
                 json_num(l.bound)
             )],
+            ReportData::Pricing(p) => (0..p.prices.len())
+                .map(|i| format!("{i},{},{}", json_num(p.prices[i]), json_num(p.flows[i])))
+                .collect(),
         }
     }
 
@@ -520,6 +584,25 @@ impl Report {
                     l.cost, l.optimum_cost, l.ratio
                 );
                 let _ = writeln!(out, "bound 1/alpha = {:.6}", l.bound);
+            }
+            ReportData::Pricing(p) => {
+                let _ = writeln!(out, "method   = {}", p.method);
+                let _ = writeln!(out, "prices   = {:?}", p.prices);
+                let _ = writeln!(out, "flows    = {:?}", p.flows);
+                match p.level {
+                    Some(l) => {
+                        let _ = writeln!(out, "revenue  = {:.6}   level = {l:.6}", p.revenue);
+                    }
+                    None => {
+                        let _ = writeln!(out, "revenue  = {:.6}", p.revenue);
+                    }
+                }
+                if !p.sweep.is_empty() {
+                    let _ = writeln!(out, "{:>8} {:>12}", "beta", "revenue");
+                    for s in &p.sweep {
+                        let _ = writeln!(out, "{:>8.3} {:>12.6}", s.beta, s.revenue);
+                    }
+                }
             }
         }
         out

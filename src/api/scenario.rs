@@ -94,13 +94,10 @@ impl Scenario {
             let net = spec::parse_network(trimmed)?;
             if net.commodities.len() == 1 {
                 let c = net.commodities[0];
-                Ok(Scenario::Network(NetworkInstance::new(
-                    net.graph,
-                    net.latencies,
-                    c.source,
-                    c.sink,
-                    c.rate,
-                )))
+                Ok(Scenario::Network(
+                    NetworkInstance::new(net.graph, net.latencies, c.source, c.sink, c.rate)
+                        .with_priceable(net.priceable),
+                ))
             } else {
                 Ok(Scenario::Multi(MultiCommodityInstance::new(
                     net.graph,
@@ -175,13 +172,13 @@ impl Scenario {
         }
         match self {
             Scenario::Parallel(l) => Ok(Scenario::Parallel(l.with_rate(rate))),
-            Scenario::Network(n) => Ok(Scenario::Network(NetworkInstance::new(
-                n.graph,
-                n.latencies,
-                n.source,
-                n.sink,
-                rate,
-            ))),
+            Scenario::Network(n) => {
+                let priceable = n.priceable.clone();
+                Ok(Scenario::Network(
+                    NetworkInstance::new(n.graph, n.latencies, n.source, n.sink, rate)
+                        .with_priceable(priceable),
+                ))
+            }
             Scenario::Multi(_) => Err(SoptError::InvalidParameter {
                 name: "rate",
                 value: rate,
@@ -224,25 +221,35 @@ impl Scenario {
                     sink: inst.sink,
                     rate: inst.rate,
                 }],
+                &inst.priceable,
                 &fmt_lat,
             ),
-            Scenario::Multi(inst) => {
-                network_spec_string(&inst.graph, &inst.latencies, &inst.commodities, &fmt_lat)
-            }
+            Scenario::Multi(inst) => network_spec_string(
+                &inst.graph,
+                &inst.latencies,
+                &inst.commodities,
+                &[],
+                &fmt_lat,
+            ),
         }
     }
 }
 
-/// Serialize the network grammar: `nodes=N; A->B: expr; …; demand A->B: r`.
+/// Serialize the network grammar: `nodes=N; A->B: expr; …; demand A->B: r`,
+/// with ` [priceable]` suffixes for edges marked in `priceable`.
 fn network_spec_string(
     graph: &sopt_network::graph::DiGraph,
     latencies: &[sopt_latency::LatencyFn],
     commodities: &[Commodity],
+    priceable: &[bool],
     fmt_lat: &dyn Fn(usize, &sopt_latency::LatencyFn) -> Result<String, SoptError>,
 ) -> Result<String, SoptError> {
     let mut out = format!("nodes={}", graph.num_nodes());
     for (i, (e, lat)) in graph.edges().iter().zip(latencies).enumerate() {
         out.push_str(&format!("; {}->{}: {}", e.from.0, e.to.0, fmt_lat(i, lat)?));
+        if priceable.get(i).copied().unwrap_or(false) {
+            out.push_str(" [priceable]");
+        }
     }
     for c in commodities {
         out.push_str(&format!(
@@ -303,6 +310,7 @@ mod tests {
             "nodes=2; 0->1: x; 0->1: 1; demand 0->1: 1",
             "nodes=4; 0->1: x; 1->3: 1; 0->2: 1; 2->3: x; demand 0->3: 1",
             "nodes=4; 0->1: x; 0->1: 1; 2->3: x; 2->3: 1; demand 0->1: 1; demand 2->3: 1",
+            "nodes=3; 0->1: x [priceable]; 1->2: 2x+0.3; demand 0->2: 1",
         ] {
             let spec1 = Scenario::parse(s).unwrap().to_spec().unwrap();
             let spec2 = Scenario::parse(&spec1).unwrap().to_spec().unwrap();

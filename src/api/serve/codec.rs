@@ -19,10 +19,16 @@
 //!
 //! * `v` (required) — protocol version, must be `1`.
 //! * `id` (required) — string or integer, echoed verbatim in the response.
-//! * `kind` — `"solve"` (default) or `"stats"`.
+//! * `kind` — `"solve"` (default), `"stats"`, or `"cancel"`.
 //! * `spec` — scenario spec (required for `solve`; both grammars).
-//! * `task`/`rate`/`alpha`/`steps`/`tolerance`/`max_iters`/`strategy` —
-//!   per-request solve knobs overriding the server's defaults.
+//! * `task`/`rate`/`alpha`/`steps`/`tolerance`/`max_iters`/`strategy`/
+//!   `price_steps`/`price_rounds` — per-request solve knobs overriding
+//!   the server's defaults.
+//! * `target` — the id of the solve a `cancel` withdraws (required for
+//!   `cancel`, invalid elsewhere). The cancel is acked immediately with
+//!   `{"status": "cancelled", "target": …}`; the withdrawn solve, if
+//!   still queued when a worker reaches it, is answered
+//!   `{"status": "dropped", …}` and counted in the `cancelled` stat.
 //! * `priority` — integer, higher pops first (default 0; FIFO within ties).
 //! * `deadline_ms` — budget from receipt; a request still queued when it
 //!   expires is answered `dropped`, never silently lost.
@@ -38,6 +44,7 @@
 //! {"v": 1, "id": "r1", "index": 0, "status": "ok", "report": {…}}
 //! {"v": 1, "id": "r1", "status": "err", "error": "cannot parse …"}
 //! {"v": 1, "id": "r1", "status": "dropped", "reason": "deadline …"}
+//! {"v": 1, "id": "c1", "status": "cancelled", "target": "r1"}
 //! {"v": 1, "id": "s", "status": "stats", "stats": {…, "disk_hits": 2}}
 //! ```
 //!
@@ -346,6 +353,10 @@ pub struct SolveRequest {
     pub max_iters: Option<usize>,
     /// Weak/strong curve split.
     pub strategy: Option<CurveStrategy>,
+    /// Pricing grid resolution (candidate count / best-response grid).
+    pub price_steps: Option<usize>,
+    /// Pricing best-response round budget.
+    pub price_rounds: Option<usize>,
 }
 
 impl SolveRequest {
@@ -371,6 +382,12 @@ impl SolveRequest {
         if let Some(st) = self.strategy {
             o.strategy = st;
         }
+        if let Some(p) = self.price_steps {
+            o.price_steps = p;
+        }
+        if let Some(p) = self.price_rounds {
+            o.price_rounds = p;
+        }
         o
     }
 }
@@ -382,6 +399,15 @@ pub enum RequestKind {
     Solve(SolveRequest),
     /// Report the server's [`EngineStats`] snapshot.
     Stats,
+    /// Withdraw a queued solve by its id. The ack answers immediately;
+    /// the withdrawn solve (if it is still queued when a worker reaches
+    /// it) is answered `dropped` and counted in `cancelled`. Cancels ride
+    /// the same priority queue as solves — submit them at a higher
+    /// priority to overtake the work they withdraw.
+    Cancel {
+        /// The id of the solve to withdraw.
+        target: RequestId,
+    },
 }
 
 /// One line of the serve protocol: the typed request envelope.
@@ -424,6 +450,19 @@ impl Request {
         }
     }
 
+    /// A cancel request withdrawing the solve whose id is `target`.
+    pub fn cancel(id: impl Into<RequestId>, target: impl Into<RequestId>) -> Self {
+        Request {
+            id: id.into(),
+            kind: RequestKind::Cancel {
+                target: target.into(),
+            },
+            priority: 0,
+            deadline_ms: None,
+            index: None,
+        }
+    }
+
     /// Serializes to one JSONL line (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut fields = vec![
@@ -432,6 +471,10 @@ impl Request {
         ];
         match &self.kind {
             RequestKind::Stats => fields.push("\"kind\": \"stats\"".to_string()),
+            RequestKind::Cancel { target } => {
+                fields.push("\"kind\": \"cancel\"".to_string());
+                fields.push(format!("\"target\": {}", target.to_json()));
+            }
             RequestKind::Solve(s) => {
                 fields.push("\"kind\": \"solve\"".to_string());
                 fields.push(format!("\"spec\": {}", json_str(&s.spec)));
@@ -455,6 +498,12 @@ impl Request {
                 }
                 if let Some(st) = s.strategy {
                     fields.push(format!("\"strategy\": {}", json_str(st.name())));
+                }
+                if let Some(p) = s.price_steps {
+                    fields.push(format!("\"price_steps\": {p}"));
+                }
+                if let Some(p) = s.price_rounds {
+                    fields.push(format!("\"price_rounds\": {p}"));
                 }
             }
         }
@@ -501,6 +550,7 @@ impl Request {
         let mut kind_name: Option<String> = None;
         let mut solve = SolveRequest::default();
         let mut spec_set = false;
+        let mut target: Option<RequestId> = None;
         let mut priority = 0i64;
         let mut deadline_ms = None;
         let mut index = None;
@@ -566,6 +616,22 @@ impl Request {
                             .ok_or_else(|| reject(format!("unknown strategy '{name}'")))?,
                     );
                 }
+                "price_steps" => {
+                    solve.price_steps = Some(uint_of(val).ok_or_else(|| {
+                        reject("'price_steps' must be a non-negative integer".into())
+                    })? as usize)
+                }
+                "price_rounds" => {
+                    solve.price_rounds = Some(uint_of(val).ok_or_else(|| {
+                        reject("'price_rounds' must be a non-negative integer".into())
+                    })? as usize)
+                }
+                "target" => {
+                    target = Some(
+                        id_of(val)
+                            .ok_or_else(|| reject("'target' must be a string or integer".into()))?,
+                    )
+                }
                 "priority" => {
                     priority =
                         int_of(val).ok_or_else(|| reject("'priority' must be an integer".into()))?
@@ -592,6 +658,9 @@ impl Request {
         let Some(id) = id_field else {
             return Err(reject("missing required key 'id'".into()));
         };
+        if target.is_some() && kind_name.as_deref() != Some("cancel") {
+            return Err(reject("'target' is only valid on a cancel request".into()));
+        }
         let kind = match kind_name.as_deref() {
             Some("stats") => {
                 if spec_set {
@@ -599,13 +668,26 @@ impl Request {
                 }
                 RequestKind::Stats
             }
+            Some("cancel") => {
+                if spec_set {
+                    return Err(reject("'spec' is not valid on a cancel request".into()));
+                }
+                let Some(target) = target else {
+                    return Err(reject("missing required key 'target'".into()));
+                };
+                RequestKind::Cancel { target }
+            }
             Some("solve") | None => {
                 if !spec_set {
                     return Err(reject("missing required key 'spec'".into()));
                 }
                 RequestKind::Solve(solve)
             }
-            Some(other) => return Err(reject(format!("unknown kind '{other}' (solve|stats)"))),
+            Some(other) => {
+                return Err(reject(format!(
+                    "unknown kind '{other}' (solve|stats|cancel)"
+                )))
+            }
         };
         Ok(Request {
             id,
@@ -694,10 +776,17 @@ pub enum Outcome {
     Ok(Report),
     /// The solve (or the request itself) failed; the error is typed.
     Err(SoptError),
-    /// The scheduler shed the request (deadline expired before solving).
+    /// The scheduler shed the request (deadline expired before solving,
+    /// or it was withdrawn by a cancel).
     Dropped {
         /// Why it was shed.
         reason: String,
+    },
+    /// A cancel request's acknowledgement: the target id is now marked
+    /// withdrawn (whether or not a matching solve is queued).
+    Cancelled {
+        /// The id the cancel targeted.
+        target: RequestId,
     },
     /// A stats snapshot.
     Stats(EngineStats),
@@ -748,6 +837,10 @@ impl Response {
                 fields.push("\"status\": \"dropped\"".to_string());
                 fields.push(format!("\"reason\": {}", json_str(reason)));
             }
+            Outcome::Cancelled { target } => {
+                fields.push("\"status\": \"cancelled\"".to_string());
+                fields.push(format!("\"target\": {}", target.to_json()));
+            }
             Outcome::Stats(stats) => {
                 fields.push("\"status\": \"stats\"".to_string());
                 fields.push(format!("\"stats\": {}", stats_json(stats)));
@@ -764,7 +857,8 @@ pub(crate) fn stats_json(s: &EngineStats) -> String {
          \"cache_misses\": {}, \"eq_hits\": {}, \"eq_misses\": {}, \
          \"net_profile_hits\": {}, \"net_profile_misses\": {}, \
          \"disk_hits\": {}, \"profile_evictions\": {}, \
-         \"report_evictions\": {}, \"steals\": {}, \"dropped\": {}}}",
+         \"report_evictions\": {}, \"steals\": {}, \"dropped\": {}, \
+         \"cancelled\": {}}}",
         s.scenarios,
         s.delivered,
         s.cache_hits,
@@ -777,7 +871,8 @@ pub(crate) fn stats_json(s: &EngineStats) -> String {
         s.profile_evictions,
         s.report_evictions,
         s.steals,
-        s.dropped
+        s.dropped,
+        s.cancelled
     )
 }
 
@@ -833,6 +928,8 @@ mod tests {
                 tolerance: Some(1e-9),
                 max_iters: Some(500),
                 strategy: Some(CurveStrategy::Weak),
+                price_steps: Some(24),
+                price_rounds: Some(80),
             }),
             priority: -3,
             deadline_ms: Some(1500),
@@ -842,6 +939,39 @@ mod tests {
         assert_eq!(back, req);
         let stats = Request::stats(9);
         assert_eq!(Request::parse(&stats.to_json()).unwrap(), stats);
+        let cancel = Request::cancel("c1", 42);
+        assert_eq!(Request::parse(&cancel.to_json()).unwrap(), cancel);
+    }
+
+    #[test]
+    fn cancel_requests_validate_their_target() {
+        // target is required on cancel…
+        let r = Request::parse(r#"{"v": 1, "id": "c", "kind": "cancel"}"#).unwrap_err();
+        assert!(r.error.to_string().contains("'target'"), "{}", r.error);
+        // …and invalid anywhere else.
+        let r =
+            Request::parse(r#"{"v": 1, "id": "s", "spec": "x, 1.0", "target": 3}"#).unwrap_err();
+        assert!(
+            r.error.to_string().contains("only valid on a cancel"),
+            "{}",
+            r.error
+        );
+        // A cancel cannot smuggle a spec.
+        let r =
+            Request::parse(r#"{"v": 1, "id": "c", "kind": "cancel", "target": 3, "spec": "x"}"#)
+                .unwrap_err();
+        assert!(r.error.to_string().contains("'spec'"), "{}", r.error);
+        // The ack echoes the target.
+        let resp = Response {
+            id: Some(RequestId::Str("c".into())),
+            index: None,
+            outcome: Outcome::Cancelled {
+                target: RequestId::Num(42),
+            },
+        };
+        let line = resp.to_json();
+        assert!(line.contains("\"status\": \"cancelled\""), "{line}");
+        assert!(line.contains("\"target\": 42"), "{line}");
     }
 
     #[test]
@@ -888,11 +1018,13 @@ mod tests {
         let s = EngineStats {
             disk_hits: 2,
             dropped: 1,
+            cancelled: 3,
             ..EngineStats::default()
         };
         let j = stats_json(&s);
         assert!(j.contains("\"disk_hits\": 2"), "{j}");
         assert!(j.contains("\"dropped\": 1"), "{j}");
+        assert!(j.contains("\"cancelled\": 3"), "{j}");
         assert!(parse_json(&j).is_ok(), "{j}");
     }
 }

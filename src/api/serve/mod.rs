@@ -32,6 +32,15 @@
 //!   needed) and answer with the server's cumulative [`EngineStats`],
 //!   including `disk_hits` — cache hits served by entries that were
 //!   replayed from the persistence log rather than computed this process.
+//! * `kind: "cancel"` requests withdraw a queued solve by id
+//!   (`"target"`). The cancel is acked with `{"status": "cancelled"}` as
+//!   soon as a worker pops it; the targeted solve, when it is later
+//!   dequeued, is answered `{"status": "dropped"}` without solving and
+//!   counted in `EngineStats::cancelled`. Cancels obey the same priority
+//!   order as everything else — submit them at a higher priority to
+//!   overtake the work they withdraw. A cancel whose target was already
+//!   solved (or never submitted) still acks; the mark waits for a future
+//!   solve with that id.
 
 pub mod codec;
 pub(crate) mod persist;
@@ -50,6 +59,17 @@ use super::scenario::Scenario;
 use super::solve::SolveOptions;
 
 pub use codec::{Outcome, Rejection, Request, RequestId, RequestKind, Response, SolveRequest};
+
+/// One-shot compaction of a `soptcache` log at `path` (`sopt cache
+/// compact`): drops torn or undecodable records, keeps only the newest
+/// record per cache key, and atomically replaces the file. Returns
+/// `(before, after)` record counts.
+///
+/// Offline maintenance: run it while no server has the log attached — an
+/// append racing the snapshot is lost at the rename.
+pub fn compact_cache(path: &std::path::Path) -> Result<(usize, usize), SoptError> {
+    persist::compact(path)
+}
 
 /// What the scheduler does with a request whose deadline expired while it
 /// waited in the queue.
@@ -112,6 +132,12 @@ pub struct Server {
     scenarios: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    cancelled: AtomicU64,
+    /// Ids withdrawn by a `cancel` request but not yet matched against a
+    /// dequeued solve. Insert-on-cancel, remove-on-match: a cancel that
+    /// arrives before its solve still wins, and each cancel withdraws at
+    /// most one solve.
+    withdrawn: std::sync::Mutex<std::collections::HashSet<codec::RequestId>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -145,6 +171,8 @@ impl EngineBuilder {
             scenarios: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            withdrawn: std::sync::Mutex::new(std::collections::HashSet::new()),
             cache,
         })
     }
@@ -178,6 +206,7 @@ impl Server {
             report_evictions: after.report_evictions - self.base.report_evictions,
             steals: 0,
             dropped: self.dropped.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
         }
     }
 
@@ -346,9 +375,35 @@ impl Server {
                     outcome: Outcome::Stats(self.stats()),
                 }
             }
+            RequestKind::Cancel { target } => {
+                self.withdrawn
+                    .lock()
+                    .expect("withdrawn-set lock poisoned")
+                    .insert(target.clone());
+                return Response {
+                    id: Some(id),
+                    index,
+                    outcome: Outcome::Cancelled { target },
+                };
+            }
             RequestKind::Solve(solve) => solve,
         };
         self.scenarios.fetch_add(1, Ordering::Relaxed);
+        if self
+            .withdrawn
+            .lock()
+            .expect("withdrawn-set lock poisoned")
+            .remove(&id)
+        {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+            return Response {
+                id: Some(id),
+                index,
+                outcome: Outcome::Dropped {
+                    reason: "withdrawn by a cancel request".into(),
+                },
+            };
+        }
         if self.shed == ShedPolicy::DropExpired {
             if let Some(budget) = deadline_ms {
                 let waited = arrival.elapsed().as_millis() as u64;
@@ -471,6 +526,43 @@ mod tests {
             order.push(id);
         });
         assert_eq!(order, ["urgent", "first", "second", "low"]);
+    }
+
+    #[test]
+    fn cancel_withdraws_a_queued_solve_and_is_counted() {
+        let server = server();
+        // Cancel-before-solve: the mark waits for the matching id.
+        let ack = server.handle(Request::cancel("c1", "victim"));
+        let Outcome::Cancelled { target } = &ack.outcome else {
+            panic!("{:?}", ack.outcome)
+        };
+        assert_eq!(*target, RequestId::Str("victim".into()));
+        let resp = server.handle(solve_req("victim", "x, 1.0"));
+        assert!(
+            matches!(&resp.outcome, Outcome::Dropped { reason } if reason.contains("cancel")),
+            "{:?}",
+            resp.outcome
+        );
+        let stats = server.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.dropped, 0, "cancel is not a deadline shed");
+        // The mark is consumed: resubmitting the same id solves normally.
+        let resp = server.handle(solve_req("victim", "x, 1.0"));
+        assert!(matches!(resp.outcome, Outcome::Ok(_)));
+        assert_eq!(server.stats().cancelled, 1);
+        // In the priority queue, a high-priority cancel overtakes the
+        // low-priority solve it withdraws.
+        let mut solve = solve_req("slow", "x, 1.0");
+        solve.priority = -5;
+        let mut cancel = Request::cancel("c2", "slow");
+        cancel.priority = 5;
+        let mut outcomes = Vec::new();
+        server.run_requests(vec![solve, cancel], |resp| {
+            outcomes.push(resp.outcome);
+        });
+        assert!(matches!(outcomes[0], Outcome::Cancelled { .. }));
+        assert!(matches!(outcomes[1], Outcome::Dropped { .. }));
+        assert_eq!(server.stats().cancelled, 2);
     }
 
     #[test]

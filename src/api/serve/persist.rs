@@ -7,7 +7,7 @@
 //! line is one record, tab-separated:
 //!
 //! ```text
-//! R␉task␉class␉tol₁₆␉alpha₁₆␉steps␉max_iters␉strategy␉spec␉payload
+//! R␉task␉class␉tol₁₆␉alpha₁₆␉steps␉max_iters␉strategy␉psteps␉prounds␉spec␉payload
 //! P␉class␉kind␉fwknobs␉spec␉payload
 //! ```
 //!
@@ -49,8 +49,8 @@ use super::super::engine::fingerprint::Fingerprint;
 use super::super::error::SoptError;
 use super::super::model::ModelProfile;
 use super::super::report::{
-    BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, Report, ReportData,
-    ScenarioSummary, TollsReport,
+    BetaReport, CurvePointReport, CurveReport, EquilibReport, LlfReport, PricingReport,
+    PricingSweepPoint, Report, ReportData, ScenarioSummary, TollsReport,
 };
 use super::super::scenario::ScenarioClass;
 use super::super::solve::Task;
@@ -157,6 +157,66 @@ enum Record {
     Profile(ProfileKey, ModelProfile),
 }
 
+/// One-shot compaction of the log at `path`: drops torn or undecodable
+/// records, keeps only the newest record per cache key, and atomically
+/// replaces the file (temp file in the same directory + rename). Returns
+/// `(before, after)` record counts, header excluded.
+///
+/// Compaction is offline maintenance: run it while no server has the log
+/// attached — an append racing the snapshot is lost at the rename.
+pub(crate) fn compact(path: &Path) -> Result<(usize, usize), SoptError> {
+    let io_err = |what: &str, e: std::io::Error| SoptError::Io {
+        context: format!("{what} '{}': {e}", path.display()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| io_err("cannot read cache file", e))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return Err(SoptError::Io {
+            context: format!(
+                "'{}' is not a soptcache v1 file (bad header)",
+                path.display()
+            ),
+        });
+    }
+    // Key = every field but the payload (the final tab-separated field) —
+    // exactly the cache identity the record seeds. First-seen key order is
+    // kept; the newest record per key wins, mirroring replay semantics.
+    let mut order: Vec<&str> = Vec::new();
+    let mut latest: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    let mut before = 0usize;
+    for line in lines {
+        before += 1;
+        if decode_record(line).is_none() {
+            continue; // torn or foreign: drop rather than carry forward
+        }
+        let Some((key, _payload)) = line.rsplit_once('\t') else {
+            continue;
+        };
+        if latest.insert(key, line).is_none() {
+            order.push(key);
+        }
+    }
+    let tmp = {
+        let mut name = path.as_os_str().to_owned();
+        name.push(".compact-tmp");
+        std::path::PathBuf::from(name)
+    };
+    let write_tmp = |tmp: &Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(tmp)?;
+        writeln!(f, "{HEADER}")?;
+        for key in &order {
+            writeln!(f, "{}", latest[key])?;
+        }
+        f.sync_all()
+    };
+    if let Err(e) = write_tmp(&tmp) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err("cannot write compacted file", e));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err("cannot replace cache file", e))?;
+    Ok((before, order.len()))
+}
+
 // ---------------------------------------------------------------------------
 // Primitive token encoding.
 
@@ -238,6 +298,16 @@ fn oracle_static(s: &str) -> Option<&'static str> {
     }
 }
 
+/// Map a pricing-method name back to the report's `&'static str`.
+fn method_static(s: &str) -> Option<&'static str> {
+    match s {
+        "closed-form" => Some("closed-form"),
+        "best-response" => Some("best-response"),
+        "single-price-auction" => Some("single-price-auction"),
+        _ => None,
+    }
+}
+
 /// Map a curve-strategy name back to the report's `&'static str`.
 fn split_static(s: &str) -> Option<&'static str> {
     match s {
@@ -291,7 +361,7 @@ fn encode_report(fp: &Fingerprint, report: &Report) -> Option<String> {
     }
     let payload = encode_report_payload(report)?;
     Some(format!(
-        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         fp.task.name(),
         class_name(fp.class),
         hx_bits(fp.tolerance_bits),
@@ -299,6 +369,8 @@ fn encode_report(fp: &Fingerprint, report: &Report) -> Option<String> {
         fp.steps,
         fp.max_iters,
         fp.strategy.name(),
+        fp.price_steps,
+        fp.price_rounds,
         fp.spec,
         payload
     ))
@@ -371,6 +443,25 @@ fn encode_report_payload(report: &Report) -> Option<String> {
             hx(l.ratio),
             hx(l.bound)
         ),
+        ReportData::Pricing(p) => {
+            let sweep = if p.sweep.is_empty() {
+                "-".to_string()
+            } else {
+                p.sweep
+                    .iter()
+                    .map(|s| format!("{}:{}", hx(s.beta), hx(s.revenue)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            format!(
+                "pricing {} {} {} {} {} {sweep}",
+                p.method,
+                vec_enc(&p.prices),
+                vec_enc(&p.flows),
+                hx(p.revenue),
+                opt_enc(p.level)
+            )
+        }
     };
     Some(format!("{head} {data}"))
 }
@@ -392,6 +483,8 @@ fn decode_report(mut fields: std::str::Split<'_, char>) -> Option<Record> {
     let steps: usize = fields.next()?.parse().ok()?;
     let max_iters: usize = fields.next()?.parse().ok()?;
     let strategy = CurveStrategy::from_name(fields.next()?)?;
+    let price_steps: usize = fields.next()?.parse().ok()?;
+    let price_rounds: usize = fields.next()?.parse().ok()?;
     let spec = fields.next()?.to_string();
     let payload = fields.next()?;
     if fields.next().is_some() {
@@ -422,6 +515,8 @@ fn decode_report(mut fields: std::str::Split<'_, char>) -> Option<Record> {
         steps,
         max_iters,
         strategy,
+        price_steps,
+        price_rounds,
     );
     Some(Record::Report(fp, report))
 }
@@ -493,6 +588,37 @@ fn decode_report_data(t: &mut Tok<'_>) -> Option<ReportData> {
             ratio: t.f64()?,
             bound: t.f64()?,
         })),
+        "pricing" => {
+            let method = method_static(t.next()?)?;
+            let prices = t.vec()?;
+            let flows = t.vec()?;
+            let revenue = t.f64()?;
+            let level = t.opt()?;
+            let sweep_tok = t.next()?;
+            let sweep = if sweep_tok == "-" {
+                Vec::new()
+            } else {
+                sweep_tok
+                    .split(',')
+                    .map(|p| {
+                        let mut parts = p.split(':');
+                        let point = PricingSweepPoint {
+                            beta: unhx(parts.next()?)?,
+                            revenue: unhx(parts.next()?)?,
+                        };
+                        parts.next().is_none().then_some(point)
+                    })
+                    .collect::<Option<Vec<_>>>()?
+            };
+            Some(ReportData::Pricing(PricingReport {
+                method,
+                prices,
+                flows,
+                revenue,
+                level,
+                sweep,
+            }))
+        }
         _ => None,
     }
 }
@@ -650,7 +776,14 @@ mod tests {
     #[test]
     fn report_records_round_trip_bit_exactly() {
         for task in Task::ALL {
-            let (fp, report) = report_of("x, 2x+0.3, 1.0", task);
+            // Pricing needs an all-affine instance (a constant link has no
+            // pricing equilibrium for best-response to find).
+            let spec = if task == Task::Pricing {
+                "x+0.2, 2x+0.3"
+            } else {
+                "x, 2x+0.3, 1.0"
+            };
+            let (fp, report) = report_of(spec, task);
             let line = encode_report(&fp, &report).unwrap();
             let Some(Record::Report(fp2, report2)) = decode_record(&line) else {
                 panic!("{task}: undecodable: {line}");
@@ -734,6 +867,55 @@ mod tests {
         assert_eq!(r.iterations, 42);
         assert!(r.converged);
         assert_eq!(r.objective.to_bits(), 0.123456789f64.to_bits());
+    }
+
+    #[test]
+    fn compact_keeps_newest_record_per_key_and_drops_torn_lines() {
+        let (fp, report) = report_of("x, 2x+0.3, 1.0", Task::Beta);
+        let line_a = encode_report(&fp, &report).unwrap();
+        // A second record under the same key but a different payload — the
+        // newest must win.
+        let mut doctored = report.clone();
+        if let ReportData::Beta(b) = &mut doctored.data {
+            b.beta = 0.25;
+        }
+        let line_b = encode_report(&fp, &doctored).unwrap();
+        let (fp2, report2) = report_of("x, 1.0", Task::Equilib);
+        let line_c = encode_report(&fp2, &report2).unwrap();
+        let dir = std::env::temp_dir().join(format!("sopt-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.soptcache");
+        std::fs::write(
+            &path,
+            format!("{HEADER}\n{line_a}\n{line_c}\n{line_b}\nR\ttorn"),
+        )
+        .unwrap();
+        let (before, after) = compact(&path).unwrap();
+        assert_eq!((before, after), (4, 2));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header intact, first-seen key order, newest payload per key.
+        assert_eq!(lines, vec![HEADER, line_b.as_str(), line_c.as_str()]);
+        // The compacted file still replays: every line decodes.
+        for line in &lines[1..] {
+            assert!(decode_record(line).is_some());
+        }
+        // Compacting an already-compact file is a fixpoint.
+        assert_eq!(compact(&path).unwrap(), (2, 2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_refuses_a_foreign_header() {
+        let dir = std::env::temp_dir().join(format!("sopt-compact-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not-a-cache");
+        std::fs::write(&path, "something else\n").unwrap();
+        assert!(matches!(
+            compact(&path).unwrap_err(),
+            SoptError::Io { context } if context.contains("bad header")
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

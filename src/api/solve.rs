@@ -34,16 +34,21 @@ pub enum Task {
     Tolls,
     /// The LLF baseline at a given Leader portion (parallel links only).
     Llf,
+    /// Competitive pricing: the pricing Nash equilibrium on parallel links
+    /// (every owner sets a profit-maximizing toll), or the single-price
+    /// Stackelberg auction on networks with `[priceable]` edges.
+    Pricing,
 }
 
 impl Task {
     /// All tasks, in CLI order.
-    pub const ALL: [Task; 5] = [
+    pub const ALL: [Task; 6] = [
         Task::Beta,
         Task::Curve,
         Task::Equilib,
         Task::Tolls,
         Task::Llf,
+        Task::Pricing,
     ];
 
     /// The task's CLI/JSON name.
@@ -54,6 +59,7 @@ impl Task {
             Task::Equilib => "equilib",
             Task::Tolls => "tolls",
             Task::Llf => "llf",
+            Task::Pricing => "pricing",
         }
     }
 }
@@ -74,9 +80,10 @@ impl std::str::FromStr for Task {
             "equilib" => Ok(Task::Equilib),
             "tolls" => Ok(Task::Tolls),
             "llf" => Ok(Task::Llf),
+            "pricing" => Ok(Task::Pricing),
             other => Err(SoptError::Parse {
                 token: other.to_string(),
-                reason: "expected one of beta|curve|equilib|tolls|llf".into(),
+                reason: "expected one of beta|curve|equilib|tolls|llf|pricing".into(),
             }),
         }
     }
@@ -100,6 +107,11 @@ pub struct SolveOptions {
     /// single-commodity classes, where the two coincide). Default
     /// [`CurveStrategy::Strong`].
     pub strategy: CurveStrategy,
+    /// Grid resolution of each firm's best-response price search
+    /// ([`Task::Pricing`], non-affine parallel instances). Default 50.
+    pub price_steps: usize,
+    /// Round budget for pricing best-response dynamics. Default 200.
+    pub price_rounds: usize,
 }
 
 impl Default for SolveOptions {
@@ -111,6 +123,8 @@ impl Default for SolveOptions {
             steps: 10,
             max_iters: 2_000,
             strategy: CurveStrategy::Strong,
+            price_steps: 50,
+            price_rounds: 200,
         }
     }
 }
@@ -134,6 +148,20 @@ impl SolveOptions {
         if self.max_iters == 0 {
             return Err(SoptError::InvalidParameter {
                 name: "max_iters",
+                value: 0.0,
+                reason: "must be ≥ 1",
+            });
+        }
+        if self.price_steps < 2 {
+            return Err(SoptError::InvalidParameter {
+                name: "price_steps",
+                value: self.price_steps as f64,
+                reason: "must be ≥ 2",
+            });
+        }
+        if self.price_rounds == 0 {
+            return Err(SoptError::InvalidParameter {
+                name: "price_rounds",
                 value: 0.0,
                 reason: "must be ≥ 1",
             });
@@ -199,6 +227,20 @@ macro_rules! impl_solve_knobs {
             /// (default strong; single-commodity classes coincide).
             pub fn strategy(mut self, strategy: sopt_core::curve::CurveStrategy) -> Self {
                 self.options.strategy = strategy;
+                self
+            }
+
+            /// Grid resolution of the pricing best-response search
+            /// (default 50).
+            pub fn price_steps(mut self, price_steps: usize) -> Self {
+                self.options.price_steps = price_steps;
+                self
+            }
+
+            /// Round budget for pricing best-response dynamics
+            /// (default 200).
+            pub fn price_rounds(mut self, price_rounds: usize) -> Self {
+                self.options.price_rounds = price_rounds;
                 self
             }
 
@@ -356,6 +398,17 @@ fn solve_task(
             // and shared across an α-sweep via the profile memo table.
             let optimum = profile(model, EqKind::Optimum, options, memo)?;
             ReportData::Llf(model.llf(alpha, &optimum)?)
+        }
+        Task::Pricing => {
+            // Network pricing anchors its price candidates on the memoized
+            // unpriced Nash; the parallel solvers are equalizer-driven and
+            // skip the profile solve entirely.
+            let nash = if model.pricing_needs_nash() {
+                Some(profile(model, EqKind::Nash, options, memo)?)
+            } else {
+                None
+            };
+            ReportData::Pricing(model.pricing(options, nash.as_ref())?)
         }
     })
 }

@@ -25,7 +25,9 @@
 //! out, over a Unix socket (`--socket PATH`) or the stdin/stdout pipe
 //! (`--stdin`). `--cache PATH` backs the memo tables with an append-only
 //! log replayed on startup, so a restarted daemon answers previously
-//! solved requests bit-identically without recomputing.
+//! solved requests bit-identically without recomputing. `cache compact`
+//! rewrites such a log offline, dropping torn records and superseded
+//! duplicates.
 //!
 //! The classic per-task subcommands (`sopt beta --links …`, `curve`,
 //! `equilib`, `tolls`, `llf`) remain as thin aliases for
@@ -65,9 +67,13 @@ const USAGE: &str = "usage:
                                             emit a batch spec file of random
                                             scenarios (F: affine|common-slope|
                                             mixed|mm1|multi; default seed 0)
+  sopt cache compact --cache PATH           rewrite a soptcache log in place,
+                                            dropping torn records and stale
+                                            duplicates (run offline)
 
 options:
-  --task beta|curve|equilib|tolls|llf       what to compute (default beta)
+  --task beta|curve|equilib|tolls|llf|pricing
+                                            what to compute (default beta)
   --format text|json|csv                    output format (default text)
   --rate R                                  override the routed rate
   --alpha A                                 Leader portion (llf)
@@ -76,6 +82,10 @@ options:
                                             (default strong)
   --tolerance E                             solver convergence target
   --max-iters K                             solver iteration cap
+  --price-steps N                           pricing candidate/grid resolution
+                                            (default 50)
+  --price-rounds K                          pricing best-response round cap
+                                            (default 200)
   --cache PATH                              disk-backed memo log, replayed on
                                             startup (solve/batch/serve)
   --report-capacity N / --profile-capacity N
@@ -116,6 +126,8 @@ struct Args {
     max_iters: Option<usize>,
     threads: Option<usize>,
     strategy: Option<CurveStrategy>,
+    price_steps: Option<usize>,
+    price_rounds: Option<usize>,
     stream: bool,
     family: Option<Family>,
     count: Option<usize>,
@@ -144,6 +156,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         max_iters: None,
         threads: None,
         strategy: None,
+        price_steps: None,
+        price_rounds: None,
         stream: false,
         family: None,
         count: None,
@@ -180,8 +194,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         let value = match flag {
             "--spec" | "--links" | "--file" | "--task" | "--format" | "--rate" | "--steps"
             | "--alpha" | "--tolerance" | "--max-iters" | "--threads" | "--strategy"
-            | "--family" | "--count" | "--seed" | "--size" | "--socket" | "--cache"
-            | "--report-capacity" | "--profile-capacity" | "--shed" => value()?,
+            | "--price-steps" | "--price-rounds" | "--family" | "--count" | "--seed" | "--size"
+            | "--socket" | "--cache" | "--report-capacity" | "--profile-capacity" | "--shed" => {
+                value()?
+            }
             other => return Err(format!("unknown flag '{other}'")),
         };
         match flag {
@@ -217,6 +233,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     CurveStrategy::from_name(value)
                         .ok_or_else(|| format!("unknown strategy '{value}' (strong|weak)"))?,
                 )
+            }
+            "--price-steps" => {
+                out.price_steps = Some(value.parse().map_err(|e| format!("--price-steps: {e}"))?)
+            }
+            "--price-rounds" => {
+                out.price_rounds = Some(value.parse().map_err(|e| format!("--price-rounds: {e}"))?)
             }
             "--family" => out.family = Some(value.parse().map_err(|e: SoptError| e.to_string())?),
             "--count" => out.count = Some(value.parse().map_err(|e| format!("--count: {e}"))?),
@@ -270,6 +292,12 @@ fn builder_from(args: &Args) -> EngineBuilder {
     if let Some(st) = args.strategy {
         builder = builder.strategy(st);
     }
+    if let Some(p) = args.price_steps {
+        builder = builder.price_steps(p);
+    }
+    if let Some(p) = args.price_rounds {
+        builder = builder.price_rounds(p);
+    }
     if let Some(n) = args.threads {
         builder = builder.threads(n);
     }
@@ -293,6 +321,11 @@ fn run() -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("no command given".into());
     };
+    // `cache` takes a positional subcommand, so it is dispatched before
+    // the flag parser (and before the legacy task aliases).
+    if cmd == "cache" {
+        return run_cache(rest);
+    }
     let mut args = parse_args(rest)?;
 
     // Legacy aliases: `sopt beta --links …` ≡ `sopt solve --task beta`.
@@ -448,6 +481,8 @@ fn run() -> Result<(), String> {
                 || args.max_iters.is_some()
                 || args.threads.is_some()
                 || args.strategy.is_some()
+                || args.price_steps.is_some()
+                || args.price_rounds.is_some()
                 || args.socket.is_some()
                 || args.use_stdin
                 || args.cache.is_some()
@@ -470,6 +505,30 @@ fn run() -> Result<(), String> {
         }
         _ => unreachable!("cmd is normalised above"),
     }
+}
+
+/// `sopt cache compact --cache PATH` — one-shot offline compaction of a
+/// soptcache log: torn records and stale duplicates are dropped, the file
+/// is replaced atomically, and the before/after record counts are
+/// printed.
+fn run_cache(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("'sopt cache' needs a subcommand (compact)".into());
+    };
+    if sub != "compact" {
+        return Err(format!("unknown cache subcommand '{sub}' (compact)"));
+    }
+    let args = parse_args(rest)?;
+    let Some(path) = args.cache.as_deref() else {
+        return Err("'sopt cache compact' needs --cache PATH".into());
+    };
+    if args.spec.is_some() || args.file.is_some() || args.task_set || args.format_set {
+        return Err("'sopt cache compact' takes --cache PATH only".into());
+    }
+    let (before, after) =
+        stackopt::api::compact_cache(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    println!("compacted '{path}': {before} records -> {after}");
+    Ok(())
 }
 
 /// Solves one scenario through the serve envelope — the CLI is a

@@ -31,7 +31,9 @@
 //!
 //! * `nodes=N` — declares vertices `0..N`; must come first;
 //! * `A->B: EXPR` — a directed edge with a latency expression (parallel
-//!   edges allowed, self-loops rejected);
+//!   edges allowed, self-loops rejected). A trailing `[priceable]` marker
+//!   (`0->1: x [priceable]`) nominates the edge for the Stackelberg
+//!   pricing task (`--task pricing`);
 //! * `demand A->B: R` — routes rate `R` from `A` to `B`. One demand makes
 //!   a single-commodity instance; several make a multicommodity one.
 //!
@@ -295,6 +297,9 @@ pub struct NetworkSpec {
     pub latencies: Vec<LatencyFn>,
     /// The demands, in declaration order.
     pub commodities: Vec<Commodity>,
+    /// Priceable-edge mask from `[priceable]` markers: empty when no edge
+    /// carries one, else one flag per edge in edge order.
+    pub priceable: Vec<bool>,
 }
 
 /// Does this spec use the network grammar (vs the parallel-links one)?
@@ -312,6 +317,7 @@ pub fn parse_network(spec: &str) -> Result<NetworkSpec, SoptError> {
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut latencies: Vec<LatencyFn> = Vec::new();
     let mut commodities: Vec<Commodity> = Vec::new();
+    let mut flags: Vec<bool> = Vec::new();
 
     for stmt in spec.split(';') {
         let stmt = stmt.trim();
@@ -361,12 +367,26 @@ pub fn parse_network(spec: &str) -> Result<NetworkSpec, SoptError> {
             });
             continue;
         }
-        // Edge statement: A->B: EXPR.
+        // Edge statement: A->B: EXPR [priceable].
         let (a, b, payload) = parse_arrow(stmt, stmt, n)?;
         if a == b {
             return Err(perr(stmt, "self-loops are not allowed (paper §4)"));
         }
+        let (payload, priceable) = match payload.strip_suffix("[priceable]") {
+            Some(expr) => (expr.trim_end(), true),
+            None => {
+                // A different bracketed suffix is a typo, not a latency.
+                if payload.ends_with(']') {
+                    return Err(perr(
+                        stmt,
+                        "unknown edge attribute (only '[priceable]' is supported)",
+                    ));
+                }
+                (payload, false)
+            }
+        };
         edges.push((a, b));
+        flags.push(priceable);
         // An empty payload would otherwise report token='' — name the
         // whole edge statement so the user can find it in a long spec.
         latencies.push(parse_latency(payload).map_err(|e| match e {
@@ -399,6 +419,14 @@ pub fn parse_network(spec: &str) -> Result<NetworkSpec, SoptError> {
         graph,
         latencies,
         commodities,
+        // Normalise all-false to empty: the mask is only set when at least
+        // one edge is actually marked, so unmarked specs stay bit-identical
+        // to their pre-pricing form everywhere downstream.
+        priceable: if flags.contains(&true) {
+            flags
+        } else {
+            Vec::new()
+        },
     })
 }
 
@@ -760,6 +788,20 @@ mod tests {
         assert_eq!(net.commodities[0].rate, 1.0);
         assert_eq!(net.latencies[0], LatencyFn::identity());
         assert_eq!(net.latencies[1], LatencyFn::constant(1.0));
+    }
+
+    #[test]
+    fn parses_priceable_markers() {
+        let spec = "nodes=3; 0->1: x [priceable]; 1->2: 2x+0.3; demand 0->2: 1.0";
+        let net = parse_network(spec).unwrap();
+        assert_eq!(net.priceable, vec![true, false]);
+        assert_eq!(net.latencies[0], LatencyFn::identity());
+        // No marker anywhere ⇒ the mask stays empty, not all-false.
+        let plain = parse_network("nodes=2; 0->1: x; demand 0->1: 1.0").unwrap();
+        assert!(plain.priceable.is_empty());
+        // Unknown bracketed attributes are named, not parsed as latencies.
+        let err = parse_network("nodes=2; 0->1: x [tolled]; demand 0->1: 1.0").unwrap_err();
+        assert!(err.to_string().contains("priceable"), "{err}");
     }
 
     #[test]

@@ -20,12 +20,16 @@ fn solve(spec: &str, task: Task) -> Result<Report, SoptError> {
 
 /// Which (class, task) pairs are defined; `Solve::run` must succeed on all
 /// of them and return a typed `Unsupported` (never a panic) on the rest.
-/// Since the `ScenarioModel` layer, only LLF is class-restricted.
+/// Since the `ScenarioModel` layer, only LLF and pricing are
+/// class-restricted. Network pricing is defined but needs a `[priceable]`
+/// edge, so on the plain Pigou net it returns a typed `MissingParameter`
+/// rather than a report — still never a panic.
 #[test]
 fn task_coverage_matrix() {
     let defined = |class: ScenarioClass, task: Task| match class {
         ScenarioClass::Parallel => true,
-        ScenarioClass::Network | ScenarioClass::Multi => !matches!(task, Task::Llf),
+        ScenarioClass::Network => !matches!(task, Task::Llf),
+        ScenarioClass::Multi => !matches!(task, Task::Llf | Task::Pricing),
     };
     for (spec, class) in [
         (PIGOU, ScenarioClass::Parallel),
@@ -34,7 +38,17 @@ fn task_coverage_matrix() {
     ] {
         for task in Task::ALL {
             let result = solve(spec, task);
-            if defined(class, task) {
+            if class == ScenarioClass::Network && task == Task::Pricing {
+                assert_eq!(
+                    result.unwrap_err(),
+                    SoptError::MissingParameter {
+                        name: "priceable",
+                        reason:
+                            "network pricing needs at least one edge marked '[priceable]' in the spec",
+                    },
+                    "{class} {task}"
+                );
+            } else if defined(class, task) {
                 let report = result.unwrap_or_else(|e| panic!("{class} {task}: {e}"));
                 assert_eq!(report.scenario.class, class);
                 assert_eq!(report.scenario.task, task);

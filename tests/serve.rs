@@ -292,6 +292,8 @@ fn random_request(rng: &mut Rng) -> Request {
                     CurveStrategy::Weak
                 }
             }),
+            price_steps: rng.maybe(|r| 2 + r.next_usize(100)),
+            price_rounds: rng.maybe(|r| 1 + r.next_usize(500)),
         })
     };
     let mut req = Request {
