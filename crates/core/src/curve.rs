@@ -447,7 +447,12 @@ where
         assert!((0.0..=1.0).contains(&alpha), "α must lie in [0, 1]");
         let (leader, values, oracle) = plan.leader_at(alpha, copts.strategy);
         let seed: WarmSeed<'_> = if copts.warm { prev.as_ref() } else { None };
-        let follower = induced(&leader, &values, seed)?;
+        let follower = {
+            // One induced-equilibrium solve per α — the unit the warm-chain
+            // optimisation targets, so it gets its own phase histogram.
+            let _induced = sopt_obs::global().span(sopt_obs::Phase::Induced);
+            induced(&leader, &values, seed)?
+        };
         if !follower.converged {
             return Err(CoreError::NotConverged {
                 what: "induced",

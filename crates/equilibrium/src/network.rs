@@ -45,6 +45,8 @@ pub fn warm_seed_from_per(per: Vec<EdgeFlow>) -> FwResult {
         objective: f64::NAN,
         rel_gap: f64::INFINITY,
         iterations: 0,
+        fw_iterations: 0,
+        polish_rounds: 0,
         converged: false,
     }
 }

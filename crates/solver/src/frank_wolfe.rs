@@ -107,8 +107,13 @@ pub struct FwResult {
     pub objective: f64,
     /// Final relative gap.
     pub rel_gap: f64,
-    /// Iterations performed.
+    /// Iterations performed (Frank–Wolfe iterations plus polish rounds).
     pub iterations: usize,
+    /// The Frank–Wolfe share of [`FwResult::iterations`] — 0 for a
+    /// warm-seeded solve, which hands the seed straight to the polish.
+    pub fw_iterations: usize,
+    /// The path-polish share of [`FwResult::iterations`].
+    pub polish_rounds: usize,
     /// Whether `rel_gap` reached the target.
     pub converged: bool,
 }
@@ -426,11 +431,19 @@ fn solve_inner(
             objective: 0.0,
             rel_gap: 0.0,
             iterations: 0,
+            fw_iterations: 0,
+            polish_rounds: 0,
             converged: true,
         });
     }
 
     ws.prepare(graph, k);
+
+    // Instrumentation is observed through the process-global recorder so
+    // fleet callers need no extra plumbing; when it is disabled (the
+    // default) no clock is read on this path.
+    let rec = sopt_obs::global();
+    let solve_started = rec.is_enabled().then(std::time::Instant::now);
 
     // Initial point: a validated warm-start seed, or all-or-nothing at
     // empty-network costs. The cold path maintains the running combined
@@ -582,10 +595,24 @@ fn solve_inner(
         }
     }
 
+    let fw_iterations = iterations;
+    if let Some(started) = solve_started {
+        // The cold phase is the AON bootstrap plus the FW loop above; a
+        // warm-seeded solve skipped both, so its time belongs to the polish.
+        if !warm {
+            rec.record_duration(
+                sopt_obs::Phase::ColdSolve,
+                started.elapsed().as_micros() as u64,
+            );
+        }
+    }
+
     // Tail phase: Frank–Wolfe zigzags sublinearly near low-dimensional
     // optimal faces; finish with path-based column generation + pairwise
     // equilibration, warm-started from the FW point (see `path_polish`).
+    let mut polish_rounds = 0;
     if !converged {
+        let polish_started = rec.is_enabled().then(std::time::Instant::now);
         // The polish honours the same iteration budget as the FW phase, so
         // `max_iters` caps total work end to end (the session API relies on
         // this to surface NotConverged instead of spinning).
@@ -603,7 +630,26 @@ fn solve_inner(
         rel_gap = pr.rel_gap;
         converged = pr.converged;
         iterations += pr.rounds;
+        polish_rounds = pr.rounds;
         combined_into(&per, &mut ws.f);
+        if let Some(started) = polish_started {
+            rec.record_duration(
+                sopt_obs::Phase::WarmPolish,
+                started.elapsed().as_micros() as u64,
+            );
+        }
+    }
+
+    if rec.is_enabled() {
+        rec.add(sopt_obs::Counter::FwIterations, fw_iterations as u64);
+        rec.add(sopt_obs::Counter::PolishRounds, polish_rounds as u64);
+        let kind = if warm {
+            sopt_obs::Counter::WarmStarts
+        } else {
+            sopt_obs::Counter::ColdStarts
+        };
+        rec.add(kind, 1);
+        sopt_obs::note_solve(fw_iterations as u64, polish_rounds as u64);
     }
 
     let objective: f64 = latencies
@@ -617,6 +663,8 @@ fn solve_inner(
         objective,
         rel_gap,
         iterations,
+        fw_iterations,
+        polish_rounds,
         converged,
     })
 }
@@ -916,6 +964,8 @@ mod tests {
             objective: 0.0,
             rel_gap: f64::INFINITY,
             iterations: 0,
+            fw_iterations: 0,
+            polish_rounds: 0,
             converged: false,
         };
         let r = solve_warm(&inst, CostModel::Wardrop, &opts, Some(&bad));

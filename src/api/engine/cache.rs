@@ -380,6 +380,11 @@ impl SolveCache {
     /// Looks up a memoized report, counting the hit or miss. A hit on an
     /// entry that was replayed from disk additionally counts a disk hit.
     pub(crate) fn get_report(&self, fp: &Fingerprint) -> Option<Result<Report, SoptError>> {
+        // Lookup latency (hit or miss — lock wait plus probe) lands in the
+        // cache_lookup histogram; compute latency shows up as cold_solve /
+        // warm_polish, so the two sides of the memoization bet are
+        // separately measurable.
+        let _lookup = sopt_obs::global().span(sopt_obs::Phase::CacheLookup);
         let shard = (fp.hash as usize) & (self.report_shards - 1);
         let found = self.reports[shard].lock().get(fp);
         match &found {

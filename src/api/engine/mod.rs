@@ -98,6 +98,12 @@ pub struct EngineStats {
     /// Serve solves withdrawn by a `cancel` request before a worker
     /// reached them. Always 0 on the fleet entry points.
     pub cancelled: u64,
+    /// Milliseconds since the serve daemon was constructed. Always 0 on
+    /// the fleet entry points (a fleet run reports when it is finished).
+    pub uptime_ms: u64,
+    /// Requests sitting in the serve queue when this snapshot was taken.
+    /// Always 0 on the fleet entry points.
+    pub queue_depth: u64,
 }
 
 impl EngineStats {
@@ -322,6 +328,7 @@ pub struct EngineBuilder {
     pub(crate) persist: Option<std::path::PathBuf>,
     pub(crate) shed: super::serve::ShedPolicy,
     pub(crate) options: SolveOptions,
+    pub(crate) metrics: bool,
 }
 
 impl Default for EngineBuilder {
@@ -341,6 +348,7 @@ impl EngineBuilder {
             persist: None,
             shed: super::serve::ShedPolicy::DropExpired,
             options: SolveOptions::default(),
+            metrics: false,
         }
     }
 
@@ -374,6 +382,16 @@ impl EngineBuilder {
     /// passed (default: [`ShedPolicy::DropExpired`](super::serve::ShedPolicy)).
     pub fn shed(mut self, policy: super::serve::ShedPolicy) -> Self {
         self.shed = policy;
+        self
+    }
+
+    /// Turn on the process-global metrics recorder for servers built from
+    /// these knobs (see [`crate::obs`]). `ok` responses then carry
+    /// `elapsed_us`/`fw_iters`, and the `metrics` request kind returns
+    /// populated histograms. Enabling is process-wide and irreversible;
+    /// the default (off) keeps every solve path free of clock reads.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
         self
     }
 
@@ -473,6 +491,17 @@ mod tests {
     fn no_cache_disables_memoization() {
         let (_, stats) = Engine::new(fleet()).no_cache().threads(2).run_stats();
         assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_traffic() {
+        // Regression: 0/0 must read as 0.0, not NaN — serialized stats
+        // must always be valid JSON numbers.
+        let stats = EngineStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        let (_, stats) = Engine::new(fleet()).no_cache().threads(2).run_stats();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert!(stats.hit_rate().is_finite());
     }
 
     #[test]

@@ -600,6 +600,10 @@ impl ScenarioModel for NetworkInstance {
         // perturb only the priceable tolls, so the previous equilibrium is
         // an excellent seed.
         let solve_at = |p: f64, seed: &FwResult| -> Result<FwResult, SoptError> {
+            // Each candidate price costs one tolled-Nash solve; the
+            // auction_candidate histogram shows whether warm-chaining
+            // keeps that unit cheap across the candidate grid.
+            let _candidate = sopt_obs::global().span(sopt_obs::Phase::AuctionCandidate);
             let latencies: Vec<LatencyFn> = self
                 .latencies
                 .iter()

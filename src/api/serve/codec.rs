@@ -19,7 +19,7 @@
 //!
 //! * `v` (required) — protocol version, must be `1`.
 //! * `id` (required) — string or integer, echoed verbatim in the response.
-//! * `kind` — `"solve"` (default), `"stats"`, or `"cancel"`.
+//! * `kind` — `"solve"` (default), `"stats"`, `"metrics"`, or `"cancel"`.
 //! * `spec` — scenario spec (required for `solve`; both grammars).
 //! * `task`/`rate`/`alpha`/`steps`/`tolerance`/`max_iters`/`strategy`/
 //!   `price_steps`/`price_rounds` — per-request solve knobs overriding
@@ -45,8 +45,16 @@
 //! {"v": 1, "id": "r1", "status": "err", "error": "cannot parse …"}
 //! {"v": 1, "id": "r1", "status": "dropped", "reason": "deadline …"}
 //! {"v": 1, "id": "c1", "status": "cancelled", "target": "r1"}
-//! {"v": 1, "id": "s", "status": "stats", "stats": {…, "disk_hits": 2}}
+//! {"v": 1, "id": "s", "status": "stats", "stats": {…, "disk_hits": 2,
+//!  "uptime_ms": 1234, "queue_depth": 0}}
+//! {"v": 1, "id": "m", "status": "metrics", "metrics": {"phases":
+//!  {"solve_latency": {"count": 9, "p50_us": 180, …, "buckets": [[160, 5],
+//!  [192, 4]]}, …}, "counters": {"fw_iterations": 120, …}}}
 //! ```
+//!
+//! An `ok` response from a metrics-enabled server additionally carries
+//! `"elapsed_us"` and `"fw_iters"` (see
+//! [`EngineBuilder::metrics`](super::super::engine::EngineBuilder::metrics)).
 //!
 //! Malformed input never panics and never skips an id: a line that parses
 //! as JSON but fails validation echoes its `id` back in the error
@@ -399,6 +407,10 @@ pub enum RequestKind {
     Solve(SolveRequest),
     /// Report the server's [`EngineStats`] snapshot.
     Stats,
+    /// Report the server's metrics recorder snapshot: per-phase latency
+    /// histograms (bucket arrays plus p50/p90/p99) and solver counters.
+    /// Empty unless the server was built with metrics enabled.
+    Metrics,
     /// Withdraw a queued solve by its id. The ack answers immediately;
     /// the withdrawn solve (if it is still queued when a worker reaches
     /// it) is answered `dropped` and counted in `cancelled`. Cancels ride
@@ -450,6 +462,17 @@ impl Request {
         }
     }
 
+    /// A metrics request.
+    pub fn metrics(id: impl Into<RequestId>) -> Self {
+        Request {
+            id: id.into(),
+            kind: RequestKind::Metrics,
+            priority: 0,
+            deadline_ms: None,
+            index: None,
+        }
+    }
+
     /// A cancel request withdrawing the solve whose id is `target`.
     pub fn cancel(id: impl Into<RequestId>, target: impl Into<RequestId>) -> Self {
         Request {
@@ -471,6 +494,7 @@ impl Request {
         ];
         match &self.kind {
             RequestKind::Stats => fields.push("\"kind\": \"stats\"".to_string()),
+            RequestKind::Metrics => fields.push("\"kind\": \"metrics\"".to_string()),
             RequestKind::Cancel { target } => {
                 fields.push("\"kind\": \"cancel\"".to_string());
                 fields.push(format!("\"target\": {}", target.to_json()));
@@ -668,6 +692,12 @@ impl Request {
                 }
                 RequestKind::Stats
             }
+            Some("metrics") => {
+                if spec_set {
+                    return Err(reject("'spec' is not valid on a metrics request".into()));
+                }
+                RequestKind::Metrics
+            }
             Some("cancel") => {
                 if spec_set {
                     return Err(reject("'spec' is not valid on a cancel request".into()));
@@ -685,7 +715,7 @@ impl Request {
             }
             Some(other) => {
                 return Err(reject(format!(
-                    "unknown kind '{other}' (solve|stats|cancel)"
+                    "unknown kind '{other}' (solve|stats|metrics|cancel)"
                 )))
             }
         };
@@ -790,6 +820,20 @@ pub enum Outcome {
     },
     /// A stats snapshot.
     Stats(EngineStats),
+    /// A metrics snapshot: per-phase latency histograms and counters.
+    Metrics(sopt_obs::MetricsSnapshot),
+}
+
+/// Per-solve timing attached to an `ok` response when the server was
+/// built with metrics enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolveTelemetry {
+    /// End-to-end service time of the solve in microseconds (cache hits
+    /// included — they are the fast mode of the same distribution).
+    pub elapsed_us: u64,
+    /// Frank–Wolfe iterations this request cost (0 for a cache hit or a
+    /// warm-seeded solve that went straight to the polish).
+    pub fw_iters: u64,
 }
 
 /// One line of the serve protocol: the typed response envelope.
@@ -802,6 +846,10 @@ pub struct Response {
     pub index: Option<usize>,
     /// What happened.
     pub outcome: Outcome,
+    /// Per-solve timing, present only on `ok` outcomes from a
+    /// metrics-enabled server (serialized as top-level `elapsed_us` /
+    /// `fw_iters` fields).
+    pub telemetry: Option<SolveTelemetry>,
 }
 
 impl Response {
@@ -811,6 +859,7 @@ impl Response {
             id: r.id,
             index: None,
             outcome: Outcome::Err(r.error),
+            telemetry: None,
         }
     }
 
@@ -828,6 +877,10 @@ impl Response {
             Outcome::Ok(report) => {
                 fields.push("\"status\": \"ok\"".to_string());
                 fields.push(format!("\"report\": {}", report.to_json()));
+                if let Some(t) = &self.telemetry {
+                    fields.push(format!("\"elapsed_us\": {}", t.elapsed_us));
+                    fields.push(format!("\"fw_iters\": {}", t.fw_iters));
+                }
             }
             Outcome::Err(e) => {
                 fields.push("\"status\": \"err\"".to_string());
@@ -845,6 +898,10 @@ impl Response {
                 fields.push("\"status\": \"stats\"".to_string());
                 fields.push(format!("\"stats\": {}", stats_json(stats)));
             }
+            Outcome::Metrics(snapshot) => {
+                fields.push("\"status\": \"metrics\"".to_string());
+                fields.push(format!("\"metrics\": {}", snapshot.to_json()));
+            }
         }
         format!("{{{}}}", fields.join(", "))
     }
@@ -858,7 +915,7 @@ pub(crate) fn stats_json(s: &EngineStats) -> String {
          \"net_profile_hits\": {}, \"net_profile_misses\": {}, \
          \"disk_hits\": {}, \"profile_evictions\": {}, \
          \"report_evictions\": {}, \"steals\": {}, \"dropped\": {}, \
-         \"cancelled\": {}}}",
+         \"cancelled\": {}, \"uptime_ms\": {}, \"queue_depth\": {}}}",
         s.scenarios,
         s.delivered,
         s.cache_hits,
@@ -872,7 +929,9 @@ pub(crate) fn stats_json(s: &EngineStats) -> String {
         s.report_evictions,
         s.steals,
         s.dropped,
-        s.cancelled
+        s.cancelled,
+        s.uptime_ms,
+        s.queue_depth
     )
 }
 
@@ -968,6 +1027,7 @@ mod tests {
             outcome: Outcome::Cancelled {
                 target: RequestId::Num(42),
             },
+            telemetry: None,
         };
         let line = resp.to_json();
         assert!(line.contains("\"status\": \"cancelled\""), "{line}");
@@ -999,6 +1059,7 @@ mod tests {
             outcome: Outcome::Dropped {
                 reason: "deadline expired".into(),
             },
+            telemetry: None,
         };
         let line = resp.to_json();
         assert!(line.contains("\"v\": 1"), "{line}");
@@ -1019,12 +1080,78 @@ mod tests {
             disk_hits: 2,
             dropped: 1,
             cancelled: 3,
+            uptime_ms: 1234,
+            queue_depth: 5,
             ..EngineStats::default()
         };
         let j = stats_json(&s);
         assert!(j.contains("\"disk_hits\": 2"), "{j}");
         assert!(j.contains("\"dropped\": 1"), "{j}");
         assert!(j.contains("\"cancelled\": 3"), "{j}");
+        assert!(j.contains("\"uptime_ms\": 1234"), "{j}");
+        assert!(j.contains("\"queue_depth\": 5"), "{j}");
         assert!(parse_json(&j).is_ok(), "{j}");
+    }
+
+    #[test]
+    fn metrics_requests_round_trip_and_validate() {
+        let req = Request::metrics("m1");
+        assert_eq!(req.to_json(), r#"{"v": 1, "id": "m1", "kind": "metrics"}"#);
+        assert_eq!(Request::parse(&req.to_json()).unwrap(), req);
+        // A metrics request cannot smuggle a spec…
+        let r =
+            Request::parse(r#"{"v": 1, "id": "m", "kind": "metrics", "spec": "x"}"#).unwrap_err();
+        assert!(r.error.to_string().contains("'spec'"), "{}", r.error);
+        // …or a target.
+        let r =
+            Request::parse(r#"{"v": 1, "id": "m", "kind": "metrics", "target": 3}"#).unwrap_err();
+        assert!(r.error.to_string().contains("'target'"), "{}", r.error);
+    }
+
+    #[test]
+    fn metrics_response_serializes_the_snapshot_as_json() {
+        let rec = sopt_obs::Recorder::enabled();
+        rec.record_duration(sopt_obs::Phase::SolveLatency, 180);
+        rec.record_duration(sopt_obs::Phase::QueueWait, 12);
+        rec.add(sopt_obs::Counter::ColdStarts, 1);
+        let resp = Response {
+            id: Some(RequestId::Str("m".into())),
+            index: None,
+            outcome: Outcome::Metrics(rec.snapshot()),
+            telemetry: None,
+        };
+        let line = resp.to_json();
+        assert!(line.contains("\"status\": \"metrics\""), "{line}");
+        assert!(line.contains("\"solve_latency\": {\"count\": 1"), "{line}");
+        assert!(line.contains("\"p50_us\": "), "{line}");
+        assert!(line.contains("\"cold_starts\": 1"), "{line}");
+        // The whole envelope stays parseable by the codec's own parser.
+        assert!(parse_json(&line).is_ok(), "{line}");
+    }
+
+    #[test]
+    fn ok_responses_carry_telemetry_when_present() {
+        let report = crate::api::Scenario::parse("x, 1.0")
+            .unwrap()
+            .solve()
+            .run()
+            .unwrap();
+        let mut resp = Response {
+            id: Some(RequestId::Num(1)),
+            index: None,
+            outcome: Outcome::Ok(report),
+            telemetry: Some(SolveTelemetry {
+                elapsed_us: 321,
+                fw_iters: 9,
+            }),
+        };
+        let line = resp.to_json();
+        assert!(line.contains("\"elapsed_us\": 321"), "{line}");
+        assert!(line.contains("\"fw_iters\": 9"), "{line}");
+        assert!(parse_json(&line).is_ok(), "{line}");
+        // Without telemetry the fields are absent entirely.
+        resp.telemetry = None;
+        let line = resp.to_json();
+        assert!(!line.contains("elapsed_us"), "{line}");
     }
 }

@@ -32,6 +32,13 @@
 //!   needed) and answer with the server's cumulative [`EngineStats`],
 //!   including `disk_hits` — cache hits served by entries that were
 //!   replayed from the persistence log rather than computed this process.
+//! * `kind: "metrics"` requests answer with the full
+//!   [`MetricsSnapshot`](sopt_obs::MetricsSnapshot) of the server's
+//!   recorder (per-phase latency histograms as bucket arrays plus solver
+//!   counters). The recorder is off — and the snapshot empty — unless the
+//!   server was built with [`EngineBuilder::metrics`]; when it is on,
+//!   every `ok` solve response additionally carries `elapsed_us` and
+//!   `fw_iters`.
 //! * `kind: "cancel"` requests withdraw a queued solve by id
 //!   (`"target"`). The cancel is acked with `{"status": "cancelled"}` as
 //!   soon as a worker pops it; the targeted solve, when it is later
@@ -58,7 +65,9 @@ use super::report::Report;
 use super::scenario::Scenario;
 use super::solve::SolveOptions;
 
-pub use codec::{Outcome, Rejection, Request, RequestId, RequestKind, Response, SolveRequest};
+pub use codec::{
+    Outcome, Rejection, Request, RequestId, RequestKind, Response, SolveRequest, SolveTelemetry,
+};
 
 /// One-shot compaction of a `soptcache` log at `path` (`sopt cache
 /// compact`): drops torn or undecodable records, keeps only the newest
@@ -133,6 +142,18 @@ pub struct Server {
     delivered: AtomicU64,
     dropped: AtomicU64,
     cancelled: AtomicU64,
+    /// Construction instant — `stats` reports the difference as
+    /// `uptime_ms`.
+    started: Instant,
+    /// Requests pushed but not yet popped, across every entry point that
+    /// routes through the queue (a live gauge, not a counter).
+    queue_depth: AtomicU64,
+    /// This server's handle on the process-global recorder: enabled when
+    /// the builder asked for metrics, otherwise a free no-op. Response
+    /// telemetry is gated on this handle (not on the global directly) so
+    /// one metrics-enabled server does not change the envelopes of
+    /// another in the same process.
+    recorder: sopt_obs::Recorder,
     /// Ids withdrawn by a `cancel` request but not yet matched against a
     /// dequeued solve. Insert-on-cancel, remove-on-match: a cancel that
     /// arrives before its solve still wins, and each cancel withdraws at
@@ -172,6 +193,13 @@ impl EngineBuilder {
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            started: Instant::now(),
+            queue_depth: AtomicU64::new(0),
+            recorder: if self.metrics {
+                sopt_obs::enable().clone()
+            } else {
+                sopt_obs::Recorder::disabled()
+            },
             withdrawn: std::sync::Mutex::new(std::collections::HashSet::new()),
             cache,
         })
@@ -207,7 +235,17 @@ impl Server {
             steals: 0,
             dropped: self.dropped.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
+    }
+
+    /// A point-in-time [`MetricsSnapshot`](sopt_obs::MetricsSnapshot) of
+    /// this server's recorder — the same payload a `kind: "metrics"`
+    /// request returns. Empty (all counts zero) unless the server was
+    /// built with [`EngineBuilder::metrics`].
+    pub fn metrics(&self) -> sopt_obs::MetricsSnapshot {
+        self.recorder.snapshot()
     }
 
     /// Runs a batch of requests through the priority scheduler, delivering
@@ -223,10 +261,12 @@ impl Server {
         for request in requests {
             let priority = request.priority;
             queue.push(priority, (request, arrival));
+            self.queue_depth.fetch_add(1, Ordering::Relaxed);
         }
         queue.close();
         if self.threads == 1 {
             while let Some((request, arrival)) = queue.pop() {
+                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 sink(self.process(request, arrival));
             }
             return;
@@ -238,6 +278,7 @@ impl Server {
                 let queue = &queue;
                 s.spawn(move |_| {
                     while let Some((request, arrival)) = queue.pop() {
+                        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         if tx.send(self.process(request, arrival)).is_err() {
                             break;
                         }
@@ -287,6 +328,7 @@ impl Server {
                             Ok(request) => {
                                 let priority = request.priority;
                                 queue.push(priority, (request, Instant::now()));
+                                self.queue_depth.fetch_add(1, Ordering::Relaxed);
                             }
                             Err(rejection) => {
                                 if tx.send(Response::rejection(rejection)).is_err() {
@@ -303,6 +345,7 @@ impl Server {
                 let queue = &queue;
                 s.spawn(move |_| {
                     while let Some((request, arrival)) = queue.pop() {
+                        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         if tx.send(self.process(request, arrival)).is_err() {
                             break;
                         }
@@ -360,6 +403,10 @@ impl Server {
     /// Answers one request whose queue-residency clock started at
     /// `arrival` (the shed check compares the elapsed wait to the budget).
     fn process(&self, request: Request, arrival: Instant) -> Response {
+        self.recorder.record_duration(
+            sopt_obs::Phase::QueueWait,
+            arrival.elapsed().as_micros() as u64,
+        );
         let Request {
             id,
             kind,
@@ -373,6 +420,15 @@ impl Server {
                     id: Some(id),
                     index,
                     outcome: Outcome::Stats(self.stats()),
+                    telemetry: None,
+                }
+            }
+            RequestKind::Metrics => {
+                return Response {
+                    id: Some(id),
+                    index,
+                    outcome: Outcome::Metrics(self.metrics()),
+                    telemetry: None,
                 }
             }
             RequestKind::Cancel { target } => {
@@ -384,6 +440,7 @@ impl Server {
                     id: Some(id),
                     index,
                     outcome: Outcome::Cancelled { target },
+                    telemetry: None,
                 };
             }
             RequestKind::Solve(solve) => solve,
@@ -402,6 +459,7 @@ impl Server {
                 outcome: Outcome::Dropped {
                     reason: "withdrawn by a cancel request".into(),
                 },
+                telemetry: None,
             };
         }
         if self.shed == ShedPolicy::DropExpired {
@@ -417,10 +475,19 @@ impl Server {
                                 "deadline of {budget} ms expired after {waited} ms in queue"
                             ),
                         },
+                        telemetry: None,
                     };
                 }
             }
         }
+        // A request is solved start to finish on this thread, so the
+        // solver's thread-local notes (FW iteration counts) belong to this
+        // request; drain any residue first, time the whole service, and
+        // attach both to the envelope on success.
+        let solve_started = self.recorder.is_enabled().then(|| {
+            let _ = sopt_obs::take_solve_notes();
+            Instant::now()
+        });
         let result =
             catch_unwind(AssertUnwindSafe(|| self.solve_scenario(&solve))).unwrap_or_else(|_| {
                 Err(SoptError::WorkerPanic {
@@ -428,12 +495,27 @@ impl Server {
                 })
             });
         self.delivered.fetch_add(1, Ordering::Relaxed);
-        Response {
-            id: Some(id),
-            index,
-            outcome: match result {
-                Ok(report) => Outcome::Ok(report),
-                Err(e) => Outcome::Err(e),
+        let telemetry = solve_started.map(|started| {
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            self.recorder
+                .record_duration(sopt_obs::Phase::SolveLatency, elapsed_us);
+            codec::SolveTelemetry {
+                elapsed_us,
+                fw_iters: sopt_obs::take_solve_notes().fw_iters,
+            }
+        });
+        match result {
+            Ok(report) => Response {
+                id: Some(id),
+                index,
+                outcome: Outcome::Ok(report),
+                telemetry,
+            },
+            Err(e) => Response {
+                id: Some(id),
+                index,
+                outcome: Outcome::Err(e),
+                telemetry: None,
             },
         }
     }

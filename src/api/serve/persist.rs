@@ -727,12 +727,17 @@ fn decode_profile(mut fields: std::str::Split<'_, char>) -> Option<Record> {
                     .map(|s| vec_dec(s).map(EdgeFlow))
                     .collect::<Option<Vec<_>>>()?
             };
+            // The on-disk record predates the fw/polish iteration split;
+            // attribute everything to the FW phase on replay. Telemetry
+            // fields never feed a Report, so replays stay bit-identical.
             ModelProfile::Flow(FwResult {
                 flow,
                 per_commodity,
                 objective,
                 rel_gap,
                 iterations,
+                fw_iterations: iterations,
+                polish_rounds: 0,
                 converged,
             })
         }
@@ -852,6 +857,8 @@ mod tests {
             objective: 0.123456789,
             rel_gap: 1e-11,
             iterations: 42,
+            fw_iterations: 42,
+            polish_rounds: 0,
             converged: true,
         });
         let line = encode_profile(&fw_key, &fw_profile).unwrap();

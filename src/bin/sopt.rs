@@ -92,6 +92,16 @@ options:
                                             memo table bounds, in entries
   --shed drop|never                         expired-deadline policy (serve;
                                             default drop)
+  --metrics                                 record per-phase latency
+                                            histograms; serve answers
+                                            kind 'metrics' with them and ok
+                                            responses carry elapsed_us/
+                                            fw_iters (serve; batch --stream
+                                            records implicitly)
+  --metrics-text                            like --metrics, plus a
+                                            Prometheus-style text exposition
+                                            on stderr when the serve session
+                                            ends
 
 legacy aliases (equivalent to solve --task … --format text):
   sopt beta    --links SPEC [--rate R]
@@ -139,6 +149,8 @@ struct Args {
     report_capacity: Option<usize>,
     profile_capacity: Option<usize>,
     shed: Option<ShedPolicy>,
+    metrics: bool,
+    metrics_text: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -169,6 +181,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         report_capacity: None,
         profile_capacity: None,
         shed: None,
+        metrics: false,
+        metrics_text: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -181,6 +195,16 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         }
         if flag == "--stdin" {
             out.use_stdin = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--metrics" {
+            out.metrics = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--metrics-text" {
+            out.metrics_text = true;
             i += 1;
             continue;
         }
@@ -351,6 +375,13 @@ fn run() -> Result<(), String> {
             if args.file.is_some() {
                 return Err("--file only applies to 'sopt batch' (use --spec here)".into());
             }
+            if args.metrics || args.metrics_text {
+                return Err(
+                    "--metrics/--metrics-text only apply to 'sopt serve' (batch --stream \
+                     records implicitly)"
+                        .into(),
+                );
+            }
             let report = solve_one(spec, &args).map_err(|e| e.to_string())?;
             print!("{}", render(&report, args.format));
             Ok(())
@@ -375,6 +406,13 @@ fn run() -> Result<(), String> {
                     .collect::<Result<_, _>>()
                     .map_err(|e| e.to_string())?;
             }
+            if args.metrics || args.metrics_text {
+                return Err(
+                    "--metrics/--metrics-text only apply to 'sopt serve'; 'batch --stream' \
+                     records metrics implicitly"
+                        .into(),
+                );
+            }
             let builder = builder_from(&args);
             if args.stream {
                 // JSONL in completion order, in the serve response
@@ -383,7 +421,9 @@ fn run() -> Result<(), String> {
                 // documented alias for input position. Nothing is
                 // buffered; write errors (a closed downstream pipe) abort
                 // quietly, matching Unix tools.
-                let server = builder.server().map_err(|e| e.to_string())?;
+                // The stream path always records metrics: the per-request
+                // latency percentiles join the engine summary on stderr.
+                let server = builder.metrics(true).server().map_err(|e| e.to_string())?;
                 let requests: Result<Vec<Request>, String> = scenarios
                     .iter()
                     .enumerate()
@@ -423,6 +463,20 @@ fn run() -> Result<(), String> {
                     stats.profile_evictions + stats.report_evictions,
                     stats.steals
                 );
+                let snap = server.metrics();
+                if let Some(lat) = snap.phase("solve_latency") {
+                    if lat.count > 0 {
+                        eprintln!(
+                            "latency: p50 {} us, p90 {} us, p99 {} us, max {} us \
+                             over {} solves",
+                            lat.p50(),
+                            lat.p90(),
+                            lat.p99(),
+                            lat.max,
+                            lat.count
+                        );
+                    }
+                }
             } else {
                 let reports = builder.engine(scenarios).map_err(|e| e.to_string())?.run();
                 print!("{}", render_batch(&reports, args.format));
@@ -437,17 +491,26 @@ fn run() -> Result<(), String> {
                         .into(),
                 );
             }
-            let server = builder_from(&args).server().map_err(|e| e.to_string())?;
+            let server = builder_from(&args)
+                .metrics(args.metrics || args.metrics_text)
+                .server()
+                .map_err(|e| e.to_string())?;
             match (&args.socket, args.use_stdin) {
                 (Some(_), true) | (None, false) => {
                     Err("'sopt serve' needs exactly one of --socket PATH or --stdin".into())
                 }
-                (None, true) => server
-                    .serve(
-                        std::io::BufReader::new(std::io::stdin()),
-                        std::io::stdout().lock(),
-                    )
-                    .map_err(|e| e.to_string()),
+                (None, true) => {
+                    let served = server
+                        .serve(
+                            std::io::BufReader::new(std::io::stdin()),
+                            std::io::stdout().lock(),
+                        )
+                        .map_err(|e| e.to_string());
+                    if args.metrics_text {
+                        eprint!("{}", server.metrics().to_text());
+                    }
+                    served
+                }
                 (Some(path), false) => {
                     #[cfg(unix)]
                     {
@@ -489,6 +552,8 @@ fn run() -> Result<(), String> {
                 || args.report_capacity.is_some()
                 || args.profile_capacity.is_some()
                 || args.shed.is_some()
+                || args.metrics
+                || args.metrics_text
             {
                 return Err("'sopt gen' takes --family/--count/--seed/--size/--rate only".into());
             }

@@ -57,6 +57,7 @@ pub use sopt_equilibrium as equilibrium;
 pub use sopt_instances as instances;
 pub use sopt_latency as latency;
 pub use sopt_network as network;
+pub use sopt_obs as obs;
 pub use sopt_pricing as pricing;
 pub use sopt_solver as solver;
 
