@@ -1,0 +1,285 @@
+//! `scale_bench` — the city-scale solver core's checked-in perf baseline
+//! (`BENCH_scale.json`; first CLI argument overrides the path, `--full`
+//! adds the ~10⁵-edge grid to the CI-sized pair).
+//!
+//! For each deterministic city grid (`try_grid_city`) it solves the
+//! Wardrop assignment twice with the *same* solver under two option sets:
+//!
+//! * **baseline** — `batch: false, sp_mode: Full`: per-edge scalar latency
+//!   dispatch and full-sweep Dijkstra, the solver exactly as it was before
+//!   the SoA/targeted-search work;
+//! * **batched** — `FwOptions::default()`: struct-of-arrays latency lanes
+//!   plus target-aware (early-exit / bidirectional) shortest paths.
+//!
+//! Recorded per grid: Frank–Wolfe wall seconds and seconds/iteration for
+//! both variants, the wall-time speedup, the max per-edge flow deviation
+//! between the two converged flows, and a shortest-path microbenchmark
+//! (µs/query and settled nodes for full vs. auto traversal of the
+//! corner-to-corner query). The file also carries an engine throughput
+//! number (scenarios/second over a small grid fleet) and the process's
+//! peak RSS from `/proc/self/status`.
+//!
+//! Acceptance bars (asserted here, checked in CI):
+//! * batched and baseline flows agree within `1e-6` per edge everywhere;
+//! * ≥ 2× wall-time speedup on every grid with ≥ 10⁴ edges.
+
+use std::time::Instant;
+
+use sopt_instances::{grid_dims, try_grid_city};
+use sopt_latency::Latency;
+use sopt_network::csr::{Csr, RevCsr, SpMode, SpWorkspace};
+use sopt_network::instance::NetworkInstance;
+use sopt_solver::frank_wolfe::{try_solve_assignment, FwOptions, FwResult};
+use sopt_solver::CostModel;
+use stackopt::api::{parse_batch_file, Engine};
+use stackopt::fleet::{generate_fleet, Family};
+
+/// Grid sides always measured: 960 and 10 200 edges.
+const SIDES_CI: [usize; 2] = [16, 51];
+/// Added by `--full`: 100 488 edges.
+const SIDE_FULL: usize = 159;
+/// Per-edge flow-parity bar between the baseline and batched solves.
+const FLOW_TOL: f64 = 1e-6;
+/// Wall-time bar on grids with ≥ `SPEEDUP_MIN_EDGES` edges.
+const MIN_SPEEDUP: f64 = 2.0;
+const SPEEDUP_MIN_EDGES: usize = 10_000;
+/// Shortest-path microbenchmark repetitions.
+const SP_REPS: usize = 20;
+
+/// The historical solver: scalar latency dispatch, full-sweep Dijkstra.
+fn baseline_opts() -> FwOptions {
+    FwOptions {
+        batch: false,
+        sp_mode: SpMode::Full,
+        ..FwOptions::default()
+    }
+}
+
+struct SolveNumbers {
+    secs: f64,
+    iters: usize,
+    objective: f64,
+}
+
+fn solve_timed(inst: &NetworkInstance, opts: &FwOptions, reps: usize) -> (SolveNumbers, FwResult) {
+    let mut secs = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        result = Some(try_solve_assignment(inst, CostModel::Wardrop, opts).expect("grid solve"));
+        secs = secs.min(t.elapsed().as_secs_f64());
+    }
+    let r = result.unwrap();
+    (
+        SolveNumbers {
+            secs,
+            iters: r.iterations,
+            objective: r.objective,
+        },
+        r,
+    )
+}
+
+struct SpNumbers {
+    full_us: f64,
+    auto_us: f64,
+    full_settled: usize,
+    auto_settled: usize,
+}
+
+/// Times the corner-to-corner query at free-flow costs, full sweep vs.
+/// the target-aware auto mode.
+fn sp_micro(inst: &NetworkInstance) -> SpNumbers {
+    let csr = Csr::new(&inst.graph);
+    let rcsr = RevCsr::new(&inst.graph);
+    let costs: Vec<f64> = inst.latencies.iter().map(|l| l.value(0.0)).collect();
+    let mut sp = SpWorkspace::new();
+    let mut run = |mode: SpMode, rcsr: Option<&RevCsr>| {
+        let mut best = f64::INFINITY;
+        let mut settled = 0;
+        for _ in 0..SP_REPS {
+            let t = Instant::now();
+            let d = sp.shortest_to(&csr, rcsr, &costs, inst.source, inst.sink, mode);
+            best = best.min(t.elapsed().as_secs_f64());
+            assert!(d.is_some(), "grid sink unreachable");
+            settled = sp.settled_nodes();
+        }
+        (best * 1e6, settled)
+    };
+    let (full_us, full_settled) = run(SpMode::Full, None);
+    let (auto_us, auto_settled) = run(SpMode::Auto, Some(&rcsr));
+    SpNumbers {
+        full_us,
+        auto_us,
+        full_settled,
+        auto_settled,
+    }
+}
+
+struct GridCase {
+    side: usize,
+    nodes: usize,
+    edges: usize,
+    base: SolveNumbers,
+    fast: SolveNumbers,
+    max_flow_dev: f64,
+    sp: SpNumbers,
+}
+
+fn measure(side: usize) -> GridCase {
+    let (nodes, edges) = grid_dims(side).expect("bench sides are valid");
+    let inst = try_grid_city(side, 1.0, side as u64).expect("bench grid");
+    // Best-of timing; big grids get one rep to keep CI affordable.
+    let reps = if edges >= 50_000 { 1 } else { 3 };
+    let (base, base_r) = solve_timed(&inst, &baseline_opts(), reps);
+    let (fast, fast_r) = solve_timed(&inst, &FwOptions::default(), reps);
+    let max_flow_dev = base_r
+        .flow
+        .0
+        .iter()
+        .zip(fast_r.flow.0.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    GridCase {
+        side,
+        nodes,
+        edges,
+        base,
+        fast,
+        max_flow_dev,
+        sp: sp_micro(&inst),
+    }
+}
+
+/// Engine throughput over a small grid fleet — the `sopt gen --family
+/// grid | sopt batch` pipeline as one number.
+fn fleet_scenarios_per_sec() -> f64 {
+    let text = generate_fleet(Family::Grid, 24, 7, Some(8), 1.0).expect("grid fleet");
+    let scenarios = parse_batch_file(&text).expect("fleet parses");
+    let n = scenarios.len();
+    let t = Instant::now();
+    for r in Engine::new(scenarios).run() {
+        r.expect("fleet scenario solves");
+    }
+    n as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Peak resident set size in kilobytes, from `/proc/self/status` (`None`
+/// off Linux).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn sci(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn case_json(c: &GridCase) -> String {
+    let speedup = c.base.secs / c.fast.secs.max(1e-12);
+    format!(
+        "{{\"side\": {}, \"nodes\": {}, \"edges\": {}, \
+         \"baseline\": {{\"secs\": {}, \"iters\": {}, \"secs_per_iter\": {}}}, \
+         \"batched\": {{\"secs\": {}, \"iters\": {}, \"secs_per_iter\": {}}}, \
+         \"speedup\": {}, \"max_flow_dev\": {}, \"objective_dev\": {}, \
+         \"sp\": {{\"full_us\": {}, \"auto_us\": {}, \
+         \"full_settled\": {}, \"auto_settled\": {}}}}}",
+        c.side,
+        c.nodes,
+        c.edges,
+        num(c.base.secs),
+        c.base.iters,
+        sci(c.base.secs / c.base.iters.max(1) as f64),
+        num(c.fast.secs),
+        c.fast.iters,
+        sci(c.fast.secs / c.fast.iters.max(1) as f64),
+        num(speedup),
+        sci(c.max_flow_dev),
+        sci((c.base.objective - c.fast.objective).abs()),
+        num(c.sp.full_us),
+        num(c.sp.auto_us),
+        c.sp.full_settled,
+        c.sp.auto_settled,
+    )
+}
+
+fn main() {
+    let mut path = "BENCH_scale.json".to_string();
+    let mut full = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--full" {
+            full = true;
+        } else {
+            path = arg;
+        }
+    }
+
+    let mut sides: Vec<usize> = SIDES_CI.to_vec();
+    if full {
+        sides.push(SIDE_FULL);
+    }
+    let cases: Vec<GridCase> = sides
+        .iter()
+        .map(|&s| {
+            let c = measure(s);
+            eprintln!(
+                "side {}: {} edges, baseline {:.3}s, batched {:.3}s ({:.2}x), flow dev {:.2e}",
+                c.side,
+                c.edges,
+                c.base.secs,
+                c.fast.secs,
+                c.base.secs / c.fast.secs.max(1e-12),
+                c.max_flow_dev
+            );
+            c
+        })
+        .collect();
+
+    let scenarios_per_sec = fleet_scenarios_per_sec();
+    let case_lines: Vec<String> = cases
+        .iter()
+        .map(|c| format!("    {}", case_json(c)))
+        .collect();
+    let json = format!(
+        "{{\n  \"full\": {full},\n  \"cases\": [\n{}\n  ],\n  \
+         \"fleet\": {{\"family\": \"grid\", \"count\": 24, \"side\": 8, \
+         \"scenarios_per_sec\": {}}},\n  \"peak_rss_kb\": {}\n}}\n",
+        case_lines.join(",\n"),
+        num(scenarios_per_sec),
+        peak_rss_kb()
+            .map(|kb| kb.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+    );
+    std::fs::write(&path, &json).expect("write BENCH_scale.json");
+    print!("{json}");
+    eprintln!("wrote {path}");
+
+    for c in &cases {
+        assert!(
+            c.max_flow_dev <= FLOW_TOL,
+            "side {}: batched flow deviates from baseline by {:.3e} > {FLOW_TOL:.1e}",
+            c.side,
+            c.max_flow_dev
+        );
+        let speedup = c.base.secs / c.fast.secs.max(1e-12);
+        assert!(
+            c.edges < SPEEDUP_MIN_EDGES || speedup >= MIN_SPEEDUP,
+            "side {}: {} edges sped up only {speedup:.2}x < {MIN_SPEEDUP}x",
+            c.side,
+            c.edges
+        );
+    }
+}

@@ -23,6 +23,16 @@ pub enum InstanceError {
         /// The offending rate.
         rate: f64,
     },
+    /// A size parameter is so large the generated graph would overflow its
+    /// id space (node/edge ids are `u32`).
+    TooLarge {
+        /// Which parameter (e.g. `"side"`).
+        name: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The largest admissible value.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for InstanceError {
@@ -33,6 +43,9 @@ impl std::fmt::Display for InstanceError {
             }
             InstanceError::InvalidRate { rate } => {
                 write!(f, "invalid rate {rate}: must be finite and > 0")
+            }
+            InstanceError::TooLarge { name, value, max } => {
+                write!(f, "invalid {name} {value}: generators need {name} <= {max}")
             }
         }
     }

@@ -1,0 +1,152 @@
+//! Deterministic city-grid networks — the scale workload behind
+//! `sopt gen --family grid` and `scale_bench`.
+//!
+//! A `side × side` lattice of intersections with bidirectional street
+//! segments between neighbours: `side²` nodes and `4·side·(side−1)` edges,
+//! every edge carrying a BPR latency with seeded free-flow time and
+//! capacity. One commodity routes corner to corner (top-left → bottom-right),
+//! so the shortest-path structure is rich (exponentially many same-length
+//! lattice paths) while the instance stays a single-commodity
+//! [`NetworkInstance`] that round-trips through the spec language.
+//!
+//! The family is the repo's scalable congestion workload: `side = 16`
+//! is ~10³ edges, `side = 51` ~10⁴, `side = 159` ~10⁵ — the three rungs
+//! `scale_bench` measures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sopt_latency::LatencyFn;
+use sopt_network::graph::{DiGraph, NodeId};
+use sopt_network::instance::NetworkInstance;
+
+use crate::error::{check_rate, check_shape, InstanceError};
+
+/// Largest admissible `side`: node ids are `u32`, so `side²` must fit
+/// (with room for the edge count `4·side·(side−1)` as well).
+pub const GRID_SIDE_MAX: usize = 30_000;
+
+/// `(nodes, edges)` of [`try_grid_city`] at `side` — `side²` and
+/// `4·side·(side−1)` — without building the graph. Errors exactly when
+/// the generator would.
+pub fn grid_dims(side: usize) -> Result<(usize, usize), InstanceError> {
+    check_shape("side", side, 2)?;
+    if side > GRID_SIDE_MAX {
+        return Err(InstanceError::TooLarge {
+            name: "side",
+            value: side,
+            max: GRID_SIDE_MAX,
+        });
+    }
+    // side ≤ 30_000 ⇒ side² ≤ 9·10⁸ < u32::MAX and 4·side·(side−1) fits
+    // usize on every supported platform; the checks above make the
+    // arithmetic below overflow-free.
+    Ok((side * side, 4 * side * (side - 1)))
+}
+
+/// Deterministic `side × side` city grid with BPR streets and one
+/// corner-to-corner demand of `rate`.
+///
+/// Every neighbouring pair of intersections is joined by one edge per
+/// direction. Edge `t0` (free-flow time) is drawn in `[0.5, 2.5]` and
+/// capacity in `[0.3, 1.5]·rate` from `seed` (same seed ⇒ identical
+/// instance), with `b = 0.15`, `p = 4` — the classic BPR profile, so the
+/// instance round-trips through the `bpr:t0,b,c,p` spec grammar.
+pub fn try_grid_city(side: usize, rate: f64, seed: u64) -> Result<NetworkInstance, InstanceError> {
+    let (n, m) = grid_dims(side)?;
+    check_rate(rate)?;
+    let node = |i: usize, j: usize| NodeId((i * side + j) as u32);
+    let mut g = DiGraph::with_nodes(n);
+    let mut lats = Vec::with_capacity(m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut street = |g: &mut DiGraph, a: NodeId, b: NodeId, rng: &mut StdRng| {
+        let t0 = rng.random_range(0.5..2.5);
+        let cap = rate * rng.random_range(0.3..1.5);
+        g.add_edge(a, b);
+        lats.push(LatencyFn::bpr(t0, 0.15, cap, 4));
+    };
+    for i in 0..side {
+        for j in 0..side {
+            if j + 1 < side {
+                street(&mut g, node(i, j), node(i, j + 1), &mut rng);
+                street(&mut g, node(i, j + 1), node(i, j), &mut rng);
+            }
+            if i + 1 < side {
+                street(&mut g, node(i, j), node(i + 1, j), &mut rng);
+                street(&mut g, node(i + 1, j), node(i, j), &mut rng);
+            }
+        }
+    }
+    debug_assert_eq!(lats.len(), m);
+    Ok(NetworkInstance::new(
+        g,
+        lats,
+        node(0, 0),
+        node(side - 1, side - 1),
+        rate,
+    ))
+}
+
+/// Panicking shim over [`try_grid_city`] for trusted parameters.
+///
+/// # Panics
+/// If `side < 2`, `side > GRID_SIDE_MAX`, or `rate` is not a positive
+/// finite number.
+pub fn grid_city(side: usize, rate: f64, seed: u64) -> NetworkInstance {
+    try_grid_city(side, rate, seed).expect("valid generator parameters")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_match_the_closed_form() {
+        assert_eq!(grid_dims(2).unwrap(), (4, 8));
+        assert_eq!(grid_dims(16).unwrap(), (256, 960));
+        assert_eq!(grid_dims(51).unwrap(), (2601, 10_200));
+        assert_eq!(grid_dims(159).unwrap(), (25_281, 100_488));
+    }
+
+    #[test]
+    fn builds_the_advertised_shape() {
+        let inst = grid_city(4, 1.0, 7);
+        assert_eq!(inst.graph.num_nodes(), 16);
+        assert_eq!(inst.graph.num_edges(), 48);
+        assert_eq!(inst.latencies.len(), 48);
+        assert_eq!(inst.source, NodeId(0));
+        assert_eq!(inst.sink, NodeId(15));
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let a = grid_city(5, 2.0, 11);
+        let b = grid_city(5, 2.0, 11);
+        assert_eq!(a.latencies, b.latencies);
+        let c = grid_city(5, 2.0, 12);
+        assert_ne!(a.latencies, c.latencies);
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed() {
+        assert_eq!(
+            try_grid_city(1, 1.0, 0).unwrap_err(),
+            InstanceError::InvalidShape {
+                name: "side",
+                value: 1,
+                min: 2,
+            }
+        );
+        assert_eq!(
+            try_grid_city(GRID_SIDE_MAX + 1, 1.0, 0).unwrap_err(),
+            InstanceError::TooLarge {
+                name: "side",
+                value: GRID_SIDE_MAX + 1,
+                max: GRID_SIDE_MAX,
+            }
+        );
+        assert_eq!(
+            try_grid_city(3, 0.0, 0).unwrap_err(),
+            InstanceError::InvalidRate { rate: 0.0 }
+        );
+    }
+}

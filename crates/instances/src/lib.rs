@@ -17,17 +17,25 @@
 //! * [`mm1_families`] — the §2 M/M/1 discussion: appealing groups vs
 //!   identical groups;
 //! * [`hard`] — the knapsack-flavoured family in the spirit of the weak
-//!   NP-hardness reduction [40, Thm 6.1].
+//!   NP-hardness reduction [40, Thm 6.1];
+//! * [`grid`] — deterministic city-grid networks with BPR streets, the
+//!   scalable workload behind `sopt gen --family grid` and `scale_bench`;
+//! * [`tntp`] — importer for the TNTP traffic-assignment exchange format
+//!   (`sopt import --format tntp`).
 
 pub mod braess;
 pub mod error;
 pub mod fig4;
+pub mod grid;
 pub mod hard;
 pub mod mm1_families;
 pub mod pigou;
 pub mod random;
+pub mod tntp;
 
 pub use braess::{braess_classic, fig7_instance, roughgarden_651};
 pub use error::InstanceError;
 pub use fig4::fig4_links;
+pub use grid::{grid_city, grid_dims, try_grid_city};
 pub use pigou::pigou_links;
+pub use tntp::{parse_tntp, TntpError, TntpInstance, TntpNetwork};

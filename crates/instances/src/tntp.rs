@@ -1,0 +1,439 @@
+//! TNTP importer — the Transportation Networks test-problem format behind
+//! `sopt import --format tntp`.
+//!
+//! TNTP (<https://github.com/bstabler/TransportationNetworks>) is the de
+//! facto exchange format for traffic-assignment benchmarks (Sioux Falls,
+//! Anaheim, Chicago, …). A *network* file carries `<KEY> value` metadata
+//! followed by one link row per line; a *trips* file carries `Origin`
+//! blocks of `destination : flow;` entries. This module parses both into
+//! the repo's native types: every link becomes a BPR latency
+//! `t0·(1 + b·(x/c)^p)` from its free-flow time, coefficient, capacity and
+//! power columns, so imported instances run on the exact same solver path
+//! as the generated families.
+//!
+//! The parsers are strict where it matters (node ids in range, positive
+//! capacities, integral BPR powers — the latency kernels need `p: u32`)
+//! and lenient where real files are sloppy (tilde comments, `~` header
+//! rows, missing optional columns, blank lines). All failures are typed
+//! [`TntpError`] values carrying the 1-based source line.
+
+use sopt_latency::LatencyFn;
+use sopt_network::graph::{DiGraph, NodeId};
+use sopt_network::instance::{Commodity, MultiCommodityInstance, NetworkInstance};
+
+/// A parse failure, pointing at the offending 1-based line of the input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TntpError {
+    /// A required `<KEY>` metadata tag is missing.
+    MissingMetadata {
+        /// The tag, e.g. `"NUMBER OF NODES"`.
+        key: &'static str,
+    },
+    /// A line could not be parsed or carries an invalid value.
+    Malformed {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The parsed demands cannot form an instance (e.g. no trips at all).
+    NoDemand,
+}
+
+impl std::fmt::Display for TntpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TntpError::MissingMetadata { key } => {
+                write!(f, "tntp: missing <{key}> metadata tag")
+            }
+            TntpError::Malformed { line, reason } => {
+                write!(f, "tntp: line {line}: {reason}")
+            }
+            TntpError::NoDemand => {
+                write!(f, "tntp: trips carry no positive off-diagonal demand")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TntpError {}
+
+/// A parsed TNTP network (+ optional trips): the pieces of a
+/// [`NetworkInstance`] / [`MultiCommodityInstance`] before a demand
+/// structure is chosen.
+#[derive(Clone, Debug)]
+pub struct TntpNetwork {
+    /// The street graph, nodes `0..n` (TNTP's 1-based ids minus one).
+    pub graph: DiGraph,
+    /// One BPR latency per edge, in link-row order.
+    pub latencies: Vec<LatencyFn>,
+    /// `(origin, destination, flow)` demands from the trips file; empty
+    /// when no trips were supplied.
+    pub demands: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl TntpNetwork {
+    /// Build the native instance: single-commodity when exactly one demand
+    /// survived, multicommodity otherwise. `fallback_rate` routes
+    /// first-node → last-node when no trips were supplied.
+    pub fn into_instance(self, fallback_rate: f64) -> Result<TntpInstance, TntpError> {
+        let mut demands = self.demands;
+        if demands.is_empty() {
+            let n = self.graph.num_nodes();
+            if n < 2 || !(fallback_rate.is_finite() && fallback_rate > 0.0) {
+                return Err(TntpError::NoDemand);
+            }
+            demands.push((NodeId(0), NodeId(n as u32 - 1), fallback_rate));
+        }
+        if demands.len() == 1 {
+            let (s, t, r) = demands[0];
+            return Ok(TntpInstance::Single(NetworkInstance::new(
+                self.graph,
+                self.latencies,
+                s,
+                t,
+                r,
+            )));
+        }
+        let commodities = demands
+            .into_iter()
+            .map(|(source, sink, rate)| Commodity { source, sink, rate })
+            .collect();
+        Ok(TntpInstance::Multi(MultiCommodityInstance::new(
+            self.graph,
+            self.latencies,
+            commodities,
+        )))
+    }
+}
+
+/// The instance an import produced.
+#[derive(Clone, Debug)]
+pub enum TntpInstance {
+    /// Exactly one origin–destination pair.
+    Single(NetworkInstance),
+    /// Several origin–destination pairs.
+    Multi(MultiCommodityInstance),
+}
+
+/// Strip a `~` comment and surrounding whitespace from a TNTP line.
+fn clean(line: &str) -> &str {
+    match line.find('~') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+/// Metadata `(key, value)` pairs plus the 1-based `(line_no, text)` body rows.
+type MetadataSplit<'a> = (Vec<(&'a str, &'a str)>, Vec<(usize, &'a str)>);
+
+/// Extract `<KEY> value` metadata; returns the remaining 1-based
+/// `(line_no, text)` rows after `<END OF METADATA>`.
+fn split_metadata(text: &str) -> MetadataSplit<'_> {
+    let mut meta = Vec::new();
+    let mut body = Vec::new();
+    let mut in_meta = true;
+    for (i, raw) in text.lines().enumerate() {
+        let line = clean(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if in_meta {
+            if let Some(rest) = line.strip_prefix('<') {
+                if let Some(end) = rest.find('>') {
+                    let key = rest[..end].trim();
+                    if key.eq_ignore_ascii_case("END OF METADATA") {
+                        in_meta = false;
+                        continue;
+                    }
+                    meta.push((key, rest[end + 1..].trim()));
+                    continue;
+                }
+            }
+            // Files without an explicit end tag: first non-tag row starts
+            // the body.
+            in_meta = false;
+        }
+        body.push((i + 1, line));
+    }
+    (meta, body)
+}
+
+fn meta_usize(meta: &[(&str, &str)], key: &'static str) -> Result<Option<usize>, TntpError> {
+    for (k, v) in meta {
+        if k.eq_ignore_ascii_case(key) {
+            return v
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.parse().ok())
+                .map(Some)
+                .ok_or(TntpError::MissingMetadata { key });
+        }
+    }
+    Ok(None)
+}
+
+fn field(tokens: &[&str], idx: usize, name: &str, line: usize) -> Result<f64, TntpError> {
+    let tok = tokens.get(idx).ok_or_else(|| TntpError::Malformed {
+        line,
+        reason: format!("missing {name} column (need {} fields)", idx + 1),
+    })?;
+    tok.parse().map_err(|e| TntpError::Malformed {
+        line,
+        reason: format!("bad {name} '{tok}': {e}"),
+    })
+}
+
+fn node_in_range(raw: f64, n: usize, name: &str, line: usize) -> Result<NodeId, TntpError> {
+    let id = raw as i64;
+    if raw.fract() != 0.0 || id < 1 || id as usize > n {
+        return Err(TntpError::Malformed {
+            line,
+            reason: format!("{name} {raw} out of range 1..={n}"),
+        });
+    }
+    Ok(NodeId(id as u32 - 1))
+}
+
+/// Parse a TNTP network file into a graph and per-edge BPR latencies.
+///
+/// Link rows are `init term capacity length fft b power …` (trailing
+/// columns — speed, toll, type — are ignored, as is a trailing `;`).
+/// `power` must be integral and ≥ 0 (0 or a zero `b` coefficient turns the
+/// link into its constant free-flow time).
+pub fn parse_tntp_net(text: &str) -> Result<(DiGraph, Vec<LatencyFn>), TntpError> {
+    let (meta, body) = split_metadata(text);
+    let n = meta_usize(&meta, "NUMBER OF NODES")?.ok_or(TntpError::MissingMetadata {
+        key: "NUMBER OF NODES",
+    })?;
+    let links = meta_usize(&meta, "NUMBER OF LINKS")?;
+    let mut g = DiGraph::with_nodes(n);
+    let mut lats = Vec::new();
+    for (line, row) in body {
+        // Header rows some files repeat mid-body.
+        if row.starts_with("init") || row.starts_with("Init") {
+            continue;
+        }
+        let row = row.trim_end_matches(';').trim();
+        if row.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = row.split_whitespace().collect();
+        let init = node_in_range(field(&tokens, 0, "init node", line)?, n, "init node", line)?;
+        let term = node_in_range(field(&tokens, 1, "term node", line)?, n, "term node", line)?;
+        if init == term {
+            return Err(TntpError::Malformed {
+                line,
+                reason: format!("self-loop at node {}", init.0 + 1),
+            });
+        }
+        let capacity = field(&tokens, 2, "capacity", line)?;
+        let length = field(&tokens, 3, "length", line)?;
+        let fft = field(&tokens, 4, "free flow time", line)?;
+        let b = field(&tokens, 5, "b", line)?;
+        let power = field(&tokens, 6, "power", line)?;
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(TntpError::Malformed {
+                line,
+                reason: format!("capacity must be positive, got {capacity}"),
+            });
+        }
+        if !(b.is_finite() && b >= 0.0) {
+            return Err(TntpError::Malformed {
+                line,
+                reason: format!("b must be ≥ 0, got {b}"),
+            });
+        }
+        if power.fract() != 0.0 || !(0.0..=64.0).contains(&power) {
+            return Err(TntpError::Malformed {
+                line,
+                reason: format!("power must be an integer in 0..=64, got {power}"),
+            });
+        }
+        // Zero free-flow time appears in real files (connector links);
+        // fall back to the length column, then to a nominal unit time.
+        let t0 = if fft > 0.0 {
+            fft
+        } else if length > 0.0 {
+            length
+        } else {
+            1.0
+        };
+        let lat = if b == 0.0 || power == 0.0 {
+            LatencyFn::constant(t0)
+        } else {
+            LatencyFn::bpr(t0, b, capacity, power as u32)
+        };
+        g.add_edge(init, term);
+        lats.push(lat);
+    }
+    if let Some(expect) = links {
+        if lats.len() != expect {
+            return Err(TntpError::Malformed {
+                line: 0,
+                reason: format!(
+                    "<NUMBER OF LINKS> says {expect} but {} link rows parsed",
+                    lats.len()
+                ),
+            });
+        }
+    }
+    Ok((g, lats))
+}
+
+/// Parse a TNTP trips file into `(origin, destination, flow)` demands.
+/// Zero and diagonal (self) flows are dropped. `n` bounds the node ids.
+pub fn parse_tntp_trips(text: &str, n: usize) -> Result<Vec<(NodeId, NodeId, f64)>, TntpError> {
+    let (_meta, body) = split_metadata(text);
+    let mut demands = Vec::new();
+    let mut origin: Option<NodeId> = None;
+    for (line, row) in body {
+        if let Some(rest) = row.strip_prefix("Origin") {
+            let raw: f64 = rest.trim().parse().map_err(|e| TntpError::Malformed {
+                line,
+                reason: format!("bad origin '{}': {e}", rest.trim()),
+            })?;
+            origin = Some(node_in_range(raw, n, "origin", line)?);
+            continue;
+        }
+        let Some(o) = origin else {
+            return Err(TntpError::Malformed {
+                line,
+                reason: "destination entries before any 'Origin' header".into(),
+            });
+        };
+        // `dest : flow; dest : flow; …`
+        for entry in row.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (d, v) = entry.split_once(':').ok_or_else(|| TntpError::Malformed {
+                line,
+                reason: format!("expected 'dest : flow', got '{entry}'"),
+            })?;
+            let draw: f64 = d.trim().parse().map_err(|e| TntpError::Malformed {
+                line,
+                reason: format!("bad destination '{}': {e}", d.trim()),
+            })?;
+            let dest = node_in_range(draw, n, "destination", line)?;
+            let flow: f64 = v.trim().parse().map_err(|e| TntpError::Malformed {
+                line,
+                reason: format!("bad flow '{}': {e}", v.trim()),
+            })?;
+            if !flow.is_finite() || flow < 0.0 {
+                return Err(TntpError::Malformed {
+                    line,
+                    reason: format!("flow must be finite and ≥ 0, got {flow}"),
+                });
+            }
+            if flow > 0.0 && dest != o {
+                demands.push((o, dest, flow));
+            }
+        }
+    }
+    Ok(demands)
+}
+
+/// Parse a network file and (optionally) a trips file into a
+/// [`TntpNetwork`].
+pub fn parse_tntp(net: &str, trips: Option<&str>) -> Result<TntpNetwork, TntpError> {
+    let (graph, latencies) = parse_tntp_net(net)?;
+    let demands = match trips {
+        Some(t) => parse_tntp_trips(t, graph.num_nodes())?,
+        None => Vec::new(),
+    };
+    Ok(TntpNetwork {
+        graph,
+        latencies,
+        demands,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET: &str = include_str!("../fixtures/mini.tntp");
+    const TRIPS: &str = include_str!("../fixtures/mini_trips.tntp");
+
+    #[test]
+    fn parses_the_fixture_net() {
+        let (g, lats) = parse_tntp_net(NET).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(lats.len(), 5);
+        assert_eq!(lats[0], LatencyFn::bpr(6.0, 0.15, 25.9, 4));
+        // Zero-b link degrades to its free-flow constant.
+        assert_eq!(lats[4], LatencyFn::constant(3.0));
+    }
+
+    #[test]
+    fn parses_the_fixture_trips() {
+        let demands = parse_tntp_trips(TRIPS, 4).unwrap();
+        assert_eq!(
+            demands,
+            vec![
+                (NodeId(0), NodeId(3), 2.5),
+                (NodeId(0), NodeId(2), 1.0),
+                (NodeId(1), NodeId(3), 4.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn round_trips_into_a_multicommodity_instance() {
+        let net = parse_tntp(NET, Some(TRIPS)).unwrap();
+        match net.into_instance(1.0).unwrap() {
+            TntpInstance::Multi(inst) => {
+                assert_eq!(inst.commodities.len(), 3);
+                assert_eq!(inst.graph.num_edges(), 5);
+            }
+            TntpInstance::Single(_) => panic!("three demands must stay multicommodity"),
+        }
+    }
+
+    #[test]
+    fn no_trips_falls_back_to_corner_demand() {
+        let net = parse_tntp(NET, None).unwrap();
+        match net.into_instance(2.0).unwrap() {
+            TntpInstance::Single(inst) => {
+                assert_eq!(inst.source, NodeId(0));
+                assert_eq!(inst.sink, NodeId(3));
+                assert_eq!(inst.rate, 2.0);
+            }
+            TntpInstance::Multi(_) => panic!("fallback demand is single-commodity"),
+        }
+    }
+
+    #[test]
+    fn malformed_rows_carry_the_line_number() {
+        let bad = "<NUMBER OF NODES> 2\n<END OF METADATA>\n1 2 0.0 1 1 0.15 4 ;\n";
+        match parse_tntp_net(bad).unwrap_err() {
+            TntpError::Malformed { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("capacity"), "{reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let missing = "1 2 10 1 1 0.15 4 ;\n";
+        assert_eq!(
+            parse_tntp_net(missing).unwrap_err(),
+            TntpError::MissingMetadata {
+                key: "NUMBER OF NODES"
+            }
+        );
+    }
+
+    #[test]
+    fn link_count_mismatch_is_detected() {
+        let bad =
+            "<NUMBER OF NODES> 2\n<NUMBER OF LINKS> 3\n<END OF METADATA>\n1 2 10 1 1 0.15 4 ;\n";
+        match parse_tntp_net(bad).unwrap_err() {
+            TntpError::Malformed { reason, .. } => {
+                assert!(reason.contains("link rows"), "{reason}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! * [`checks`] — numeric standardness certificates used in tests.
 
 pub mod affine;
+pub mod batch;
 pub mod bpr;
 pub mod checks;
 pub mod constant;
@@ -39,6 +40,7 @@ pub mod shifted;
 pub mod traits;
 
 pub use affine::Affine;
+pub use batch::{DirPlan, LatencyBatch};
 pub use bpr::Bpr;
 pub use constant::Constant;
 pub use kind::LatencyFn;

@@ -119,6 +119,127 @@ impl Csr {
     }
 }
 
+/// The reverse forward-star view: slot `i` in `offsets[v]..offsets[v+1]`
+/// holds the `i`-th *incoming* edge of `v`. Backing store for the backward
+/// half of bidirectional Dijkstra (searching from the sink over reversed
+/// edges).
+#[derive(Clone, Debug, Default)]
+pub struct RevCsr {
+    /// `offsets[v]..offsets[v+1]` indexes the slot arrays for head node `v`.
+    offsets: Vec<u32>,
+    /// Original edge id per slot.
+    edge_ids: Vec<EdgeId>,
+    /// Tail node (`edge.from`) per slot — the "successor" when walking the
+    /// reversed graph.
+    sources: Vec<u32>,
+    /// Head node per edge id (for forward reconstruction of backward parent
+    /// chains without the original graph).
+    heads: Vec<u32>,
+}
+
+impl RevCsr {
+    /// Build the reverse CSR view of `g` (counting sort over edge heads).
+    pub fn new(g: &DiGraph) -> Self {
+        let mut rcsr = RevCsr::default();
+        rcsr.rebuild(g);
+        rcsr
+    }
+
+    /// Rebuild in place from `g`, reusing the existing allocations.
+    pub fn rebuild(&mut self, g: &DiGraph) {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for e in g.edges() {
+            self.offsets[e.to.idx() + 1] += 1;
+        }
+        for v in 0..n {
+            self.offsets[v + 1] += self.offsets[v];
+        }
+        self.edge_ids.clear();
+        self.edge_ids.resize(m, EdgeId(0));
+        self.sources.clear();
+        self.sources.resize(m, 0);
+        self.heads.clear();
+        self.heads.resize(m, 0);
+        let mut cursor: Vec<u32> = self.offsets[..n].to_vec();
+        for (i, e) in g.edges().iter().enumerate() {
+            let slot = cursor[e.to.idx()] as usize;
+            cursor[e.to.idx()] += 1;
+            self.edge_ids[slot] = EdgeId(i as u32);
+            self.sources[slot] = e.from.0;
+            self.heads[i] = e.to.0;
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// The incoming `(edge id, tail node)` pairs of `v`.
+    #[inline]
+    pub fn inc(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let lo = self.offsets[v.idx()] as usize;
+        let hi = self.offsets[v.idx() + 1] as usize;
+        self.edge_ids[lo..hi]
+            .iter()
+            .zip(&self.sources[lo..hi])
+            .map(|(&e, &t)| (e, NodeId(t)))
+    }
+
+    /// Head node of edge `e`.
+    #[inline]
+    pub fn head(&self, e: EdgeId) -> NodeId {
+        NodeId(self.heads[e.idx()])
+    }
+}
+
+/// How a single-target query traverses the graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpMode {
+    /// Pick per query: bidirectional when a [`RevCsr`] is supplied and the
+    /// graph is large enough to amortise the second frontier, early-exit
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Full single-source Dijkstra (the pre-existing behaviour): settles
+    /// every reachable node, leaves a complete tree behind.
+    Full,
+    /// Forward Dijkstra that stops as soon as the target is settled.
+    EarlyExit,
+    /// Simultaneous forward/backward search meeting in the middle; needs a
+    /// [`RevCsr`]. Falls back to early-exit when none is supplied.
+    Bidirectional,
+}
+
+/// Node count below which `SpMode::Auto` keeps the single frontier (the
+/// second heap costs more than it saves on tiny graphs).
+const BIDI_MIN_NODES: usize = 64;
+
+/// What the workspace's arrays currently describe (see
+/// [`SpWorkspace::walk_st_path`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum LastQuery {
+    #[default]
+    None,
+    /// Full tree from `dijkstra`; `dist`/`parent` are dense and valid.
+    Full { t: Option<NodeId> },
+    /// Early-exit forward query; `dist`/`parent` valid where stamped.
+    Forward { t: NodeId },
+    /// Bidirectional query; forward chain from `meet` + backward chain to
+    /// the sink.
+    Bidi { meet: Option<NodeId>, t: NodeId },
+}
+
 /// Reusable single-source shortest-path state: preallocated distance,
 /// parent-edge and settled arrays plus the binary heap. One workspace
 /// serves any number of [`SpWorkspace::dijkstra`] calls (over graphs of any
@@ -129,6 +250,20 @@ pub struct SpWorkspace {
     parent: Vec<Option<EdgeId>>,
     done: Vec<bool>,
     heap: BinaryHeap<Reverse<(Cost, u32)>>,
+    // Targeted-query state. `dist`/`parent` double as the forward buffers;
+    // validity is tracked by generation stamps (`seen`/`settled` match
+    // `gen`), so a query over a 10⁶-node workspace resets in O(touched)
+    // rather than O(n).
+    seen: Vec<u32>,
+    settled: Vec<u32>,
+    dist_b: Vec<f64>,
+    parent_b: Vec<Option<EdgeId>>,
+    seen_b: Vec<u32>,
+    settled_b: Vec<u32>,
+    heap_b: BinaryHeap<Reverse<(Cost, u32)>>,
+    gen: u32,
+    settled_count: usize,
+    last: LastQuery,
 }
 
 impl SpWorkspace {
@@ -156,12 +291,14 @@ impl SpWorkspace {
         self.heap.clear();
         self.dist[s.idx()] = 0.0;
         self.heap.push(Reverse((Cost(0.0), s.0)));
+        self.settled_count = 0;
         while let Some(Reverse((Cost(d), u))) = self.heap.pop() {
             let u = NodeId(u);
             if self.done[u.idx()] {
                 continue;
             }
             self.done[u.idx()] = true;
+            self.settled_count += 1;
             for (e, v) in csr.out(u) {
                 let nd = d + edge_costs[e.idx()];
                 if nd < self.dist[v.idx()] {
@@ -171,6 +308,7 @@ impl SpWorkspace {
                 }
             }
         }
+        self.last = LastQuery::Full { t: None };
     }
 
     /// `dist[v]` from the last source (`f64::INFINITY` if unreachable).
@@ -225,6 +363,306 @@ impl SpWorkspace {
         ShortestPaths {
             dist: self.dist.clone(),
             parent: self.parent.clone(),
+        }
+    }
+
+    /// Nodes settled by the most recent query (full or targeted) — the
+    /// work metric behind the `sp_settled_nodes` counter.
+    #[inline]
+    pub fn settled_nodes(&self) -> usize {
+        self.settled_count
+    }
+
+    /// Single-target shortest-path distance `s → t`, or `None` when `t` is
+    /// unreachable. `mode` picks the traversal; [`SpMode::Bidirectional`]
+    /// (and [`SpMode::Auto`] on graphs with ≥ 64 nodes) needs `rcsr` and
+    /// degrades to early-exit without it. After a `Some` result,
+    /// [`walk_st_path`](Self::walk_st_path) /
+    /// [`st_path_edges`](Self::st_path_edges) expose one shortest `s–t`
+    /// path.
+    ///
+    /// Unlike [`dijkstra`](Self::dijkstra), targeted queries reset in
+    /// O(touched) via generation stamps and leave [`dist`](Self::dist) /
+    /// [`parent`](Self::parent) unspecified (use the return value and the
+    /// walk methods instead).
+    pub fn shortest_to(
+        &mut self,
+        csr: &Csr,
+        rcsr: Option<&RevCsr>,
+        edge_costs: &[f64],
+        s: NodeId,
+        t: NodeId,
+        mode: SpMode,
+    ) -> Option<f64> {
+        assert_eq!(edge_costs.len(), csr.num_edges());
+        let n = csr.num_nodes();
+        if s == t {
+            self.settled_count = 0;
+            self.last = LastQuery::Forward { t };
+            self.next_gen(n);
+            self.seen[s.idx()] = self.gen;
+            self.settled[s.idx()] = self.gen;
+            self.dist[s.idx()] = 0.0;
+            self.parent[s.idx()] = None;
+            return Some(0.0);
+        }
+        let bidi = match mode {
+            SpMode::Full => {
+                self.dijkstra(csr, edge_costs, s);
+                self.last = LastQuery::Full { t: Some(t) };
+                return self.reached(t).then(|| self.dist[t.idx()]);
+            }
+            SpMode::EarlyExit => false,
+            SpMode::Bidirectional => rcsr.is_some(),
+            SpMode::Auto => rcsr.is_some() && n >= BIDI_MIN_NODES,
+        };
+        debug_assert!(
+            edge_costs.iter().all(|c| *c >= 0.0),
+            "Dijkstra requires nonnegative edge costs"
+        );
+        if bidi {
+            self.bidirectional(csr, rcsr.unwrap(), edge_costs, s, t)
+        } else {
+            self.forward_to(csr, edge_costs, s, t)
+        }
+    }
+
+    /// Advance the stamp generation (wrap-safe) and size the stamp/value
+    /// buffers for `n` nodes without initialising them.
+    fn next_gen(&mut self, n: usize) {
+        if self.gen == u32::MAX {
+            self.seen.iter_mut().for_each(|s| *s = 0);
+            self.settled.iter_mut().for_each(|s| *s = 0);
+            self.seen_b.iter_mut().for_each(|s| *s = 0);
+            self.settled_b.iter_mut().for_each(|s| *s = 0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+            self.settled.resize(n, 0);
+        }
+        // `dist`/`parent` are shared with full `dijkstra`, which sizes them
+        // to its own graph — grow them independently of the stamp buffers.
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, None);
+        }
+    }
+
+    fn ensure_backward(&mut self, n: usize) {
+        if self.seen_b.len() < n {
+            self.seen_b.resize(n, 0);
+            self.settled_b.resize(n, 0);
+            self.dist_b.resize(n, f64::INFINITY);
+            self.parent_b.resize(n, None);
+        }
+    }
+
+    /// Forward Dijkstra from `s`, stopping the moment `t` is settled.
+    fn forward_to(&mut self, csr: &Csr, edge_costs: &[f64], s: NodeId, t: NodeId) -> Option<f64> {
+        let n = csr.num_nodes();
+        self.next_gen(n);
+        let gen = self.gen;
+        self.heap.clear();
+        self.settled_count = 0;
+        self.last = LastQuery::Forward { t };
+        self.seen[s.idx()] = gen;
+        self.dist[s.idx()] = 0.0;
+        self.parent[s.idx()] = None;
+        self.heap.push(Reverse((Cost(0.0), s.0)));
+        while let Some(Reverse((Cost(d), u))) = self.heap.pop() {
+            let u = NodeId(u);
+            if self.settled[u.idx()] == gen {
+                continue;
+            }
+            self.settled[u.idx()] = gen;
+            self.settled_count += 1;
+            if u == t {
+                return Some(d);
+            }
+            for (e, v) in csr.out(u) {
+                let nd = d + edge_costs[e.idx()];
+                if self.seen[v.idx()] != gen || nd < self.dist[v.idx()] {
+                    self.seen[v.idx()] = gen;
+                    self.dist[v.idx()] = nd;
+                    self.parent[v.idx()] = Some(e);
+                    self.heap.push(Reverse((Cost(nd), v.0)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Bidirectional Dijkstra: forward frontier from `s` over `csr`,
+    /// backward frontier from `t` over `rcsr`, stopping once the two
+    /// frontier minima certify the best meeting point.
+    fn bidirectional(
+        &mut self,
+        csr: &Csr,
+        rcsr: &RevCsr,
+        edge_costs: &[f64],
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<f64> {
+        let n = csr.num_nodes();
+        self.next_gen(n);
+        self.ensure_backward(n);
+        let gen = self.gen;
+        self.heap.clear();
+        self.heap_b.clear();
+        self.settled_count = 0;
+        self.seen[s.idx()] = gen;
+        self.dist[s.idx()] = 0.0;
+        self.parent[s.idx()] = None;
+        self.heap.push(Reverse((Cost(0.0), s.0)));
+        self.seen_b[t.idx()] = gen;
+        self.dist_b[t.idx()] = 0.0;
+        self.parent_b[t.idx()] = None;
+        self.heap_b.push(Reverse((Cost(0.0), t.0)));
+        let mut best = f64::INFINITY;
+        let mut meet: Option<NodeId> = None;
+        loop {
+            let top_f = self.heap.peek().map_or(f64::INFINITY, |r| r.0 .0 .0);
+            let top_b = self.heap_b.peek().map_or(f64::INFINITY, |r| r.0 .0 .0);
+            if top_f + top_b >= best {
+                break;
+            }
+            if top_f <= top_b {
+                let Some(Reverse((Cost(d), u))) = self.heap.pop() else {
+                    break;
+                };
+                let u = NodeId(u);
+                if self.settled[u.idx()] == gen {
+                    continue;
+                }
+                self.settled[u.idx()] = gen;
+                self.settled_count += 1;
+                for (e, v) in csr.out(u) {
+                    let nd = d + edge_costs[e.idx()];
+                    if self.seen[v.idx()] != gen || nd < self.dist[v.idx()] {
+                        self.seen[v.idx()] = gen;
+                        self.dist[v.idx()] = nd;
+                        self.parent[v.idx()] = Some(e);
+                        self.heap.push(Reverse((Cost(nd), v.0)));
+                    }
+                    if self.seen_b[v.idx()] == gen {
+                        let cand = self.dist[v.idx()] + self.dist_b[v.idx()];
+                        if cand < best {
+                            best = cand;
+                            meet = Some(v);
+                        }
+                    }
+                }
+            } else {
+                let Some(Reverse((Cost(d), u))) = self.heap_b.pop() else {
+                    break;
+                };
+                let u = NodeId(u);
+                if self.settled_b[u.idx()] == gen {
+                    continue;
+                }
+                self.settled_b[u.idx()] = gen;
+                self.settled_count += 1;
+                for (e, v) in rcsr.inc(u) {
+                    let nd = d + edge_costs[e.idx()];
+                    if self.seen_b[v.idx()] != gen || nd < self.dist_b[v.idx()] {
+                        self.seen_b[v.idx()] = gen;
+                        self.dist_b[v.idx()] = nd;
+                        self.parent_b[v.idx()] = Some(e);
+                        self.heap_b.push(Reverse((Cost(nd), v.0)));
+                    }
+                    if self.seen[v.idx()] == gen {
+                        let cand = self.dist[v.idx()] + self.dist_b[v.idx()];
+                        if cand < best {
+                            best = cand;
+                            meet = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        self.last = LastQuery::Bidi { meet, t };
+        meet.map(|_| best)
+    }
+
+    /// Visit every edge of one shortest `s–t` path found by the last
+    /// [`shortest_to`](Self::shortest_to) (order unspecified; use
+    /// [`st_path_edges`](Self::st_path_edges) for source-to-sink order).
+    /// Returns `false`, visiting nothing, when the target was unreachable.
+    /// `rcsr` must be the view passed to the query (only consulted after a
+    /// bidirectional run).
+    pub fn walk_st_path(
+        &self,
+        csr: &Csr,
+        rcsr: Option<&RevCsr>,
+        mut visit: impl FnMut(EdgeId),
+    ) -> bool {
+        match self.last {
+            LastQuery::None | LastQuery::Full { t: None } => false,
+            LastQuery::Full { t: Some(t) } => self.walk_path_to(csr, t, visit),
+            LastQuery::Forward { t } => {
+                if self.seen[t.idx()] != self.gen || self.settled[t.idx()] != self.gen {
+                    return false;
+                }
+                let mut v = t;
+                while let Some(e) = self.parent[v.idx()] {
+                    visit(e);
+                    v = csr.tail(e);
+                }
+                true
+            }
+            LastQuery::Bidi { meet, t } => {
+                let Some(meet) = meet else {
+                    return false;
+                };
+                let rcsr = rcsr.expect("bidirectional walk needs the RevCsr used by the query");
+                let mut v = meet;
+                while let Some(e) = self.parent[v.idx()] {
+                    visit(e);
+                    v = csr.tail(e);
+                }
+                let mut v = meet;
+                while v != t {
+                    let e = self.parent_b[v.idx()].expect("backward chain reaches the sink");
+                    visit(e);
+                    v = rcsr.head(e);
+                }
+                true
+            }
+        }
+    }
+
+    /// One shortest `s–t` path from the last targeted query as an ordered
+    /// source-to-sink edge list (`None` when unreachable).
+    pub fn st_path_edges(&self, csr: &Csr, rcsr: Option<&RevCsr>) -> Option<Vec<EdgeId>> {
+        match self.last {
+            LastQuery::Bidi { meet, t } => {
+                let meet = meet?;
+                let rcsr = rcsr.expect("bidirectional walk needs the RevCsr used by the query");
+                let mut edges = Vec::new();
+                let mut v = meet;
+                while let Some(e) = self.parent[v.idx()] {
+                    edges.push(e);
+                    v = csr.tail(e);
+                }
+                edges.reverse();
+                let mut v = meet;
+                while v != t {
+                    let e = self.parent_b[v.idx()].expect("backward chain reaches the sink");
+                    edges.push(e);
+                    v = rcsr.head(e);
+                }
+                Some(edges)
+            }
+            _ => {
+                let mut edges = Vec::new();
+                if !self.walk_st_path(csr, rcsr, |e| edges.push(e)) {
+                    return None;
+                }
+                edges.reverse();
+                Some(edges)
+            }
         }
     }
 }

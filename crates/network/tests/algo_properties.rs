@@ -184,3 +184,92 @@ proptest! {
         }
     }
 }
+
+/// A random graph with NO guaranteed spine, so some targets are
+/// unreachable, at sizes straddling the `SpMode::Auto` bidirectional
+/// threshold.
+fn random_sparse_graph() -> impl Strategy<Value = (DiGraph, Vec<f64>)> {
+    (2usize..120, 0usize..240, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut g = DiGraph::with_nodes(n);
+        let mut costs = Vec::new();
+        for _ in 0..extra {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            if a != b {
+                g.add_edge(NodeId(a), NodeId(b));
+                costs.push((next() % 1000) as f64 / 100.0);
+            }
+        }
+        (g, costs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn targeted_queries_match_full_dijkstra((g, costs) in random_sparse_graph()) {
+        use sopt_network::csr::{RevCsr, SpMode};
+        let csr = Csr::new(&g);
+        let rcsr = RevCsr::new(&g);
+        let mut full = SpWorkspace::new();
+        full.dijkstra(&csr, &costs, NodeId(0));
+        let reference = full.dist().to_vec();
+        // One shared workspace across every mode and target exercises the
+        // generation-stamped O(touched) reset.
+        let mut ws = SpWorkspace::new();
+        for (v, &ref_dist) in reference.iter().enumerate() {
+            let t = NodeId(v as u32);
+            for (mode, rev) in [
+                (SpMode::EarlyExit, None),
+                (SpMode::Bidirectional, Some(&rcsr)),
+                (SpMode::Auto, Some(&rcsr)),
+                (SpMode::Full, None),
+            ] {
+                let got = ws.shortest_to(&csr, rev, &costs, NodeId(0), t, mode);
+                match got {
+                    Some(d) => {
+                        prop_assert!(
+                            (d - ref_dist).abs() < 1e-9,
+                            "{mode:?} to {v}: {d} vs {}", ref_dist
+                        );
+                        let edges = ws.st_path_edges(&csr, rev).expect("reached ⇒ path");
+                        // The edge list is a contiguous 0→t walk realising d.
+                        let mut at = NodeId(0);
+                        let mut cost = 0.0;
+                        for &e in &edges {
+                            prop_assert_eq!(g.edge(e).from, at);
+                            at = g.edge(e).to;
+                            cost += costs[e.idx()];
+                        }
+                        prop_assert_eq!(at, t);
+                        prop_assert!((cost - d).abs() < 1e-9, "{mode:?}: path cost {cost} vs {d}");
+                    }
+                    None => prop_assert!(
+                        ref_dist.is_infinite(),
+                        "{mode:?} to {v}: None vs {}", ref_dist
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_settles_no_more_than_full((g, costs) in random_sparse_graph()) {
+        use sopt_network::csr::SpMode;
+        let csr = Csr::new(&g);
+        let t = NodeId((g.num_nodes() - 1) as u32);
+        let mut ws = SpWorkspace::new();
+        ws.dijkstra(&csr, &costs, NodeId(0));
+        let full_settled = ws.settled_nodes();
+        ws.shortest_to(&csr, None, &costs, NodeId(0), t, SpMode::EarlyExit);
+        prop_assert!(ws.settled_nodes() <= full_settled);
+    }
+}

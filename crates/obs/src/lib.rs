@@ -227,11 +227,14 @@ pub enum Phase {
     QueueWait,
     /// End-to-end service time of one serve solve request.
     SolveLatency,
+    /// One single-target shortest-path query (all-or-nothing linearization,
+    /// polish column generation, auction candidate gaps).
+    SpQuery,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::CacheLookup,
         Phase::ColdSolve,
         Phase::WarmPolish,
@@ -239,6 +242,7 @@ impl Phase {
         Phase::AuctionCandidate,
         Phase::QueueWait,
         Phase::SolveLatency,
+        Phase::SpQuery,
     ];
 
     /// Stable snake_case name used in the JSON and text expositions.
@@ -251,6 +255,7 @@ impl Phase {
             Phase::AuctionCandidate => "auction_candidate",
             Phase::QueueWait => "queue_wait",
             Phase::SolveLatency => "solve_latency",
+            Phase::SpQuery => "sp_query",
         }
     }
 }
@@ -266,15 +271,19 @@ pub enum Counter {
     WarmStarts,
     /// Solves that bootstrapped cold.
     ColdStarts,
+    /// Nodes settled across all shortest-path queries (the work an
+    /// early-exit or bidirectional traversal saves shows up here).
+    SpSettledNodes,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 4] = [
+    pub const ALL: [Counter; 5] = [
         Counter::FwIterations,
         Counter::PolishRounds,
         Counter::WarmStarts,
         Counter::ColdStarts,
+        Counter::SpSettledNodes,
     ];
 
     /// Stable snake_case name used in the JSON and text expositions.
@@ -284,6 +293,7 @@ impl Counter {
             Counter::PolishRounds => "polish_rounds",
             Counter::WarmStarts => "warm_starts",
             Counter::ColdStarts => "cold_starts",
+            Counter::SpSettledNodes => "sp_settled_nodes",
         }
     }
 }

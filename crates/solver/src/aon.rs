@@ -1,12 +1,35 @@
 //! All-or-nothing assignment: the Frank–Wolfe linearised subproblem.
 
-use sopt_network::csr::{Csr, SpWorkspace};
+use sopt_network::csr::{Csr, RevCsr, SpMode, SpWorkspace};
 use sopt_network::flow::EdgeFlow;
 use sopt_network::graph::NodeId;
 use sopt_network::spath::{dijkstra, ShortestPaths};
 use sopt_network::DiGraph;
 
 use crate::error::SolverError;
+
+/// [`SpWorkspace::shortest_to`] wrapped in the solver's observability
+/// surface: the `sp_query` span and the `sp_settled_nodes` counter (both
+/// free when the global recorder is disabled). All solver shortest-path
+/// queries route through here so the metrics cover every solve path.
+pub(crate) fn timed_shortest_to(
+    csr: &Csr,
+    rcsr: Option<&RevCsr>,
+    sp: &mut SpWorkspace,
+    mode: SpMode,
+    edge_costs: &[f64],
+    s: NodeId,
+    t: NodeId,
+) -> Option<f64> {
+    let rec = sopt_obs::global();
+    let started = rec.is_enabled().then(std::time::Instant::now);
+    let dist = sp.shortest_to(csr, rcsr, edge_costs, s, t, mode);
+    if let Some(at) = started {
+        rec.record_duration(sopt_obs::Phase::SpQuery, at.elapsed().as_micros() as u64);
+        rec.add(sopt_obs::Counter::SpSettledNodes, sp.settled_nodes() as u64);
+    }
+    dist
+}
 
 /// Route the whole `rate` along one shortest `s→t` path under `edge_costs`.
 ///
@@ -67,6 +90,33 @@ pub fn aon_into(
             sink: t,
         })
     }
+}
+
+/// Target-aware [`aon_into`]: the shortest-path query runs in `mode`
+/// (early-exit or bidirectional under [`SpMode::Auto`]), settling only the
+/// nodes the single `s→t` answer needs instead of the whole graph.
+/// [`SpMode::Full`] reproduces `aon_into` exactly (full sweep + walk).
+#[allow(clippy::too_many_arguments)]
+pub fn aon_st_into(
+    csr: &Csr,
+    rcsr: Option<&RevCsr>,
+    sp: &mut SpWorkspace,
+    mode: SpMode,
+    edge_costs: &[f64],
+    s: NodeId,
+    t: NodeId,
+    rate: f64,
+    out: &mut [f64],
+) -> Result<(), SolverError> {
+    if timed_shortest_to(csr, rcsr, sp, mode, edge_costs, s, t).is_none() {
+        return Err(SolverError::UnreachableSink {
+            commodity: 0,
+            source: s,
+            sink: t,
+        });
+    }
+    sp.walk_st_path(csr, rcsr, |e| out[e.idx()] += rate);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -150,5 +200,65 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out, vec![2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn aon_st_into_matches_full_across_modes() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let csr = Csr::new(&g);
+        let rcsr = RevCsr::new(&g);
+        let costs = [1.0, 1.0, 0.5, 0.4];
+        let mut sp = SpWorkspace::new();
+        let mut want = vec![0.0; 4];
+        aon_into(&csr, &mut sp, &costs, NodeId(0), NodeId(3), 2.0, &mut want).unwrap();
+        for mode in [
+            SpMode::Auto,
+            SpMode::Full,
+            SpMode::EarlyExit,
+            SpMode::Bidirectional,
+        ] {
+            for rc in [None, Some(&rcsr)] {
+                let mut out = vec![0.0; 4];
+                aon_st_into(
+                    &csr,
+                    rc,
+                    &mut sp,
+                    mode,
+                    &costs,
+                    NodeId(0),
+                    NodeId(3),
+                    2.0,
+                    &mut out,
+                )
+                .unwrap();
+                assert_eq!(out, want, "{mode:?} rcsr={}", rc.is_some());
+            }
+        }
+        // Unreachable sink stays a typed error in targeted modes.
+        let mut out = vec![0.0; 4];
+        let err = aon_st_into(
+            &csr,
+            Some(&rcsr),
+            &mut sp,
+            SpMode::Auto,
+            &costs,
+            NodeId(3),
+            NodeId(0),
+            1.0,
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SolverError::UnreachableSink {
+                commodity: 0,
+                source: NodeId(3),
+                sink: NodeId(0),
+            }
+        );
     }
 }

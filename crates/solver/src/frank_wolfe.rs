@@ -33,16 +33,17 @@
 
 use std::cell::RefCell;
 
-use sopt_latency::{Latency, LatencyFn};
-use sopt_network::csr::{Csr, SpWorkspace};
+use sopt_latency::{DirPlan, Latency, LatencyBatch, LatencyFn};
+use sopt_network::csr::{Csr, RevCsr, SpMode, SpWorkspace};
 use sopt_network::flow::EdgeFlow;
 use sopt_network::graph::NodeId;
 use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
 use sopt_network::DiGraph;
 
-use crate::aon::aon_into;
+use crate::aon::aon_st_into;
 use crate::error::SolverError;
-use crate::line_search::{exact_step, max_step};
+use crate::eval::Eval;
+use crate::line_search::{exact_step_eval, max_step_eval};
 use crate::objective::CostModel;
 
 /// Tuning knobs for the Frank–Wolfe solvers.
@@ -70,6 +71,17 @@ pub struct FwOptions {
     /// per-iteration progress, so a fixed window of 64 hands over to the
     /// polish before the FW phase has delivered a useful start.
     pub stall_window: Option<usize>,
+    /// Evaluate the O(m) latency sweeps (gradient costs, curvature, line
+    /// search, objective) through the struct-of-arrays
+    /// [`LatencyBatch`] lanes (recommended; `false` = per-edge scalar
+    /// dispatch, the historical path kept as an A/B baseline for
+    /// `scale_bench`).
+    pub batch: bool,
+    /// Shortest-path strategy for the all-or-nothing subproblems and the
+    /// polish columns. [`SpMode::Auto`] picks bidirectional search on
+    /// graphs large enough to pay for it and early-exit Dijkstra
+    /// otherwise; [`SpMode::Full`] is the historical full-sweep path.
+    pub sp_mode: SpMode,
 }
 
 impl Default for FwOptions {
@@ -82,6 +94,8 @@ impl Default for FwOptions {
             conjugate: true,
             restart_period: 256,
             stall_window: None,
+            batch: true,
+            sp_mode: SpMode::Auto,
         }
     }
 }
@@ -125,9 +139,19 @@ pub struct FwResult {
 #[derive(Clone, Debug, Default)]
 pub struct FwWorkspace {
     csr: Csr,
+    /// Reverse adjacency for bidirectional queries (valid iff `use_rcsr`).
+    rcsr: RevCsr,
+    use_rcsr: bool,
     sp: SpWorkspace,
+    /// Struct-of-arrays latency lanes (rebuilt per solve when
+    /// [`FwOptions::batch`] is on; empty otherwise).
+    batch: LatencyBatch,
+    /// Gathered line-search direction, reused across iterations.
+    dir_plan: DirPlan,
     /// Gradient edge costs.
     costs: Vec<f64>,
+    /// Curvature weights for the conjugacy coefficient.
+    h: Vec<f64>,
     /// Combined flow over commodities.
     f: Vec<f64>,
     /// Combined all-or-nothing target.
@@ -165,11 +189,21 @@ impl FwWorkspace {
     }
 
     /// Size every buffer for a `k`-commodity solve over `graph`.
-    fn prepare(&mut self, graph: &DiGraph, k: usize) {
+    fn prepare(&mut self, graph: &DiGraph, latencies: &[LatencyFn], k: usize, opts: &FwOptions) {
         self.csr.rebuild(graph);
+        // The reverse view only pays off when a bidirectional query can
+        // run; skip the O(m) build otherwise.
+        self.use_rcsr = matches!(opts.sp_mode, SpMode::Auto | SpMode::Bidirectional);
+        if self.use_rcsr {
+            self.rcsr.rebuild(graph);
+        }
+        if opts.batch {
+            self.batch.rebuild(latencies);
+        }
         let m = graph.num_edges();
         for buf in [
             &mut self.costs,
+            &mut self.h,
             &mut self.f,
             &mut self.y,
             &mut self.t_comb,
@@ -345,13 +379,6 @@ pub fn try_solve_warm_multicommodity_with(
     )
 }
 
-/// Evaluate the model gradient at `f` into `out`.
-fn grad_into(latencies: &[LatencyFn], model: CostModel, f: &[f64], out: &mut [f64]) {
-    for (o, (l, &x)) in out.iter_mut().zip(latencies.iter().zip(f)) {
-        *o = model.edge_gradient(l, x);
-    }
-}
-
 /// Sum per-commodity flows into `out`.
 fn combined_into(per: &[EdgeFlow], out: &mut [f64]) {
     out.fill(0.0);
@@ -437,7 +464,9 @@ fn solve_inner(
         });
     }
 
-    ws.prepare(graph, k);
+    ws.prepare(graph, latencies, k, opts);
+    let rcsr = ws.use_rcsr.then_some(&ws.rcsr);
+    let eval = Eval::new(latencies, opts.batch.then_some(&ws.batch));
 
     // Instrumentation is observed through the process-global recorder so
     // fleet callers need no extra plumbing; when it is disabled (the
@@ -469,12 +498,12 @@ fn solve_inner(
                     per.push(EdgeFlow::zeros(m));
                     const CHUNKS: usize = 8;
                     for _ in 0..CHUNKS {
-                        grad_into(latencies, model, &ws.f, &mut ws.costs);
+                        eval.gradient_into(model, &ws.f, &mut ws.costs);
                         // Saturated edges (≥99.99% of capacity) get
                         // prohibitive cost so the init never steps over a
                         // pole.
-                        for (c, (l, &fe)) in ws.costs.iter_mut().zip(latencies.iter().zip(&ws.f)) {
-                            let cap = l.capacity();
+                        for (e, (c, &fe)) in ws.costs.iter_mut().zip(&ws.f).enumerate() {
+                            let cap = eval.capacity(e);
                             if cap.is_finite() && fe >= cap * 0.9999 {
                                 *c = f64::MAX / 1e6;
                             }
@@ -482,10 +511,20 @@ fn solve_inner(
                         let last = per.last_mut().expect("pushed above");
                         let slice = r / CHUNKS as f64;
                         let f = &mut ws.f;
-                        aon_into(&ws.csr, &mut ws.sp, &ws.costs, s, t, slice, &mut last.0)
-                            .map_err(|e| e.with_commodity(ci))?;
+                        aon_st_into(
+                            &ws.csr,
+                            rcsr,
+                            &mut ws.sp,
+                            opts.sp_mode,
+                            &ws.costs,
+                            s,
+                            t,
+                            slice,
+                            &mut last.0,
+                        )
+                        .map_err(|e| e.with_commodity(ci))?;
                         // Mirror the slice into the running combined flow.
-                        ws.sp.walk_path_to(&ws.csr, t, |e| f[e.idx()] += slice);
+                        ws.sp.walk_st_path(&ws.csr, rcsr, |e| f[e.idx()] += slice);
                     }
                 }
                 per
@@ -513,13 +552,23 @@ fn solve_inner(
         if opts.restart_period > 0 && iter % opts.restart_period == 0 {
             ws.s_bar_set = false;
         }
-        grad_into(latencies, model, &ws.f, &mut ws.costs);
+        eval.gradient_into(model, &ws.f, &mut ws.costs);
 
         // Per-commodity all-or-nothing targets.
         for (ci, &(s, t, r)) in demands.iter().enumerate() {
             ws.ys[ci].0.fill(0.0);
-            aon_into(&ws.csr, &mut ws.sp, &ws.costs, s, t, r, &mut ws.ys[ci].0)
-                .map_err(|e| e.with_commodity(ci))?;
+            aon_st_into(
+                &ws.csr,
+                rcsr,
+                &mut ws.sp,
+                opts.sp_mode,
+                &ws.costs,
+                s,
+                t,
+                r,
+                &mut ws.ys[ci].0,
+            )
+            .map_err(|e| e.with_commodity(ci))?;
         }
         combined_into(&ws.ys, &mut ws.y);
 
@@ -543,7 +592,8 @@ fn solve_inner(
         // Direction point: conjugate combination of previous target and y.
         if opts.conjugate && ws.s_bar_set {
             combined_into(&ws.s_bar, &mut ws.prev_comb);
-            let a = conjugate_weight(latencies, model, &ws.f, &ws.prev_comb, &ws.y);
+            eval.curvature_into(model, &ws.f, &mut ws.h);
+            let a = conjugate_weight(&ws.h, &ws.f, &ws.prev_comb, &ws.y);
             for (ti, (yi, pi)) in ws.target.iter_mut().zip(ws.ys.iter().zip(&ws.s_bar)) {
                 for (te, (&ye, &pe)) in ti.0.iter_mut().zip(yi.0.iter().zip(&pi.0)) {
                     *te = a * pe + (1.0 - a) * ye;
@@ -560,15 +610,15 @@ fn solve_inner(
             *de = te - fe;
         }
 
-        let mut gamma_max = max_step(latencies, &ws.f, &ws.d);
-        let mut gamma = exact_step(latencies, model, &ws.f, &ws.d, gamma_max);
+        let mut gamma_max = max_step_eval(&eval, &ws.f, &ws.d);
+        let mut gamma = exact_step_eval(&eval, model, &ws.f, &ws.d, gamma_max, &mut ws.dir_plan);
         if gamma <= 0.0 && opts.conjugate {
             // Conjugate direction degenerated; fall back to plain FW.
             for ((de, &ye), &fe) in ws.d.iter_mut().zip(&ws.y).zip(&ws.f) {
                 *de = ye - fe;
             }
-            gamma_max = max_step(latencies, &ws.f, &ws.d);
-            gamma = exact_step(latencies, model, &ws.f, &ws.d, gamma_max);
+            gamma_max = max_step_eval(&eval, &ws.f, &ws.d);
+            gamma = exact_step_eval(&eval, model, &ws.f, &ws.d, gamma_max, &mut ws.dir_plan);
             ws.s_bar_set = false;
         } else {
             std::mem::swap(&mut ws.s_bar, &mut ws.target);
@@ -618,9 +668,11 @@ fn solve_inner(
         // this to surface NotConverged instead of spinning).
         let pr = crate::path_polish::polish_with(
             &ws.csr,
+            rcsr,
             &mut ws.sp,
+            opts.sp_mode,
             graph,
-            latencies,
+            &eval,
             demands,
             model,
             &mut per,
@@ -652,11 +704,7 @@ fn solve_inner(
         sopt_obs::note_solve(fw_iterations as u64, polish_rounds as u64);
     }
 
-    let objective: f64 = latencies
-        .iter()
-        .zip(&ws.f)
-        .map(|(l, &x)| model.edge_objective(l, x))
-        .sum();
+    let objective = eval.objective_sum(model, &ws.f);
     Ok(FwResult {
         flow: EdgeFlow(ws.f.clone()),
         per_commodity: per,
@@ -671,19 +719,14 @@ fn solve_inner(
 
 /// Conjugacy weight `a` of Mitradjieva–Lindberg: choose the target
 /// `a·s_prev + (1−a)·y` whose direction is Hessian-conjugate to the previous
-/// direction `s_prev − f`. Clamped to `[0, 0.999]` with a plain-FW fallback
-/// when the curvature degenerates.
-fn conjugate_weight(
-    latencies: &[LatencyFn],
-    model: CostModel,
-    f: &[f64],
-    s_prev: &[f64],
-    y: &[f64],
-) -> f64 {
+/// direction `s_prev − f`. `h` holds the per-edge curvature `F''_e(f_e)`
+/// (see [`Eval::curvature_into`]). Clamped to `[0, 0.999]` with a plain-FW
+/// fallback when the curvature degenerates.
+fn conjugate_weight(h: &[f64], f: &[f64], s_prev: &[f64], y: &[f64]) -> f64 {
     let mut num = 0.0; // d_fwᵀ H d_prev
     let mut den_part = 0.0; // d_prevᵀ H d_prev
     for i in 0..f.len() {
-        let h = model.edge_curvature(&latencies[i], f[i]).max(0.0);
+        let h = h[i].max(0.0);
         let dp = s_prev[i] - f[i];
         let df = y[i] - f[i];
         num += h * df * dp;

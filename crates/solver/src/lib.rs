@@ -27,6 +27,7 @@
 pub mod aon;
 pub mod equalize;
 pub mod error;
+pub mod eval;
 pub mod frank_wolfe;
 pub mod line_search;
 pub mod objective;
@@ -37,9 +38,12 @@ pub mod sweep;
 
 pub use equalize::{equalize, EqualizeError, EqualizeResult};
 pub use error::SolverError;
+pub use eval::Eval;
+// Re-exported so FwOptions::sp_mode can be set without a sopt-network dep.
 pub use frank_wolfe::{
     solve_assignment, solve_multicommodity, solve_warm, solve_warm_multicommodity,
     try_solve_assignment, try_solve_multicommodity, try_solve_warm, try_solve_warm_multicommodity,
     FwOptions, FwResult, FwWorkspace,
 };
 pub use objective::CostModel;
+pub use sopt_network::csr::SpMode;

@@ -21,11 +21,13 @@
 use std::collections::HashMap;
 
 use sopt_latency::{Latency, LatencyFn};
-use sopt_network::csr::{Csr, SpWorkspace};
+use sopt_network::csr::{Csr, RevCsr, SpMode, SpWorkspace};
 use sopt_network::flow::{decompose, EdgeFlow};
 use sopt_network::graph::{EdgeId, NodeId};
 use sopt_network::DiGraph;
 
+use crate::aon::timed_shortest_to;
+use crate::eval::Eval;
 use crate::objective::CostModel;
 use crate::roots::bisect_root;
 
@@ -85,9 +87,11 @@ pub fn polish_to_equilibrium(
 ) -> PolishResult {
     polish_with(
         &Csr::new(graph),
+        None,
         &mut SpWorkspace::new(),
+        SpMode::Auto,
         graph,
-        latencies,
+        &Eval::scalar(latencies),
         demands,
         model,
         per,
@@ -98,13 +102,19 @@ pub fn polish_to_equilibrium(
 
 /// [`polish_to_equilibrium`] over a caller-owned CSR view and Dijkstra
 /// workspace (the Frank–Wolfe solver hands in its own, so the polish
-/// phase shares the solve's buffers).
+/// phase shares the solve's buffers). Column generation runs its
+/// single-sink queries in `sp_mode` (bidirectional when `rcsr` is
+/// supplied and the graph is large enough under [`SpMode::Auto`]), and
+/// the O(m) cost sweeps route through `eval`'s batch lanes when it is
+/// batched.
 #[allow(clippy::too_many_arguments)]
 pub fn polish_with(
     csr: &Csr,
+    rcsr: Option<&RevCsr>,
     sp: &mut SpWorkspace,
+    sp_mode: SpMode,
     graph: &DiGraph,
-    latencies: &[LatencyFn],
+    eval: &Eval,
     demands: &[(NodeId, NodeId, f64)],
     model: CostModel,
     per: &mut [EdgeFlow],
@@ -112,6 +122,7 @@ pub fn polish_with(
     max_rounds: usize,
 ) -> PolishResult {
     let m = graph.num_edges();
+    let latencies = eval.latencies();
     assert_eq!(per.len(), demands.len());
 
     // Path-decompose the warm start (circulations are dropped: they carry no
@@ -162,21 +173,27 @@ pub fn polish_with(
 
     for round in 0..max_rounds {
         rounds = round + 1;
-        // Column generation + gap measurement at the current point.
-        for (e, c) in costs.iter_mut().enumerate() {
-            *c = grad_edge(&f, e);
-        }
+        // Column generation + gap measurement at the current point. Path
+        // arithmetic keeps `f` nonnegative (transfers clamp at zero), so
+        // the batched sweep agrees with the clamped `grad_edge`.
+        eval.gradient_into(model, &f, &mut costs);
         let cf: f64 = costs.iter().zip(&f).map(|(c, x)| c * x).sum();
         let mut cy = 0.0;
         for st in &mut states {
             if st.rate <= 0.0 {
                 continue;
             }
-            sp.dijkstra(csr, &costs, st.source);
-            let dist = sp.dist()[st.sink.idx()];
-            cy += st.rate * dist;
-            if let Some(path) = sp.path_to(graph, csr, st.sink) {
-                st.add_path(path.edges().to_vec());
+            match timed_shortest_to(csr, rcsr, sp, sp_mode, &costs, st.source, st.sink) {
+                Some(dist) => {
+                    cy += st.rate * dist;
+                    if let Some(edges) = sp.st_path_edges(csr, rcsr) {
+                        st.add_path(edges);
+                    }
+                }
+                // Unreachable under the current costs: mirror the full
+                // sweep's infinite label (the gap check then fails and the
+                // round budget runs out instead of panicking).
+                None => cy += st.rate * f64::INFINITY,
             }
         }
         rel_gap = if cf.abs() > 1e-300 {

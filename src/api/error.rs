@@ -207,6 +207,11 @@ impl From<InstanceError> for SoptError {
                 value: rate,
                 reason: "must be finite and > 0",
             },
+            InstanceError::TooLarge { name, value, .. } => SoptError::InvalidParameter {
+                name,
+                value: value as f64,
+                reason: "generated graph would overflow its u32 id space",
+            },
         }
     }
 }

@@ -35,9 +35,9 @@ use sopt_equilibrium::network::{
 };
 use sopt_equilibrium::parallel::ParallelLinks;
 use sopt_latency::LatencyFn;
+use sopt_network::csr::{Csr, RevCsr, SpMode, SpWorkspace};
 use sopt_network::flow::EdgeFlow;
 use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
-use sopt_network::spath::dijkstra;
 use sopt_solver::frank_wolfe::{FwOptions, FwResult};
 
 use super::error::SoptError;
@@ -580,12 +580,35 @@ impl ScenarioModel for NetworkInstance {
         // congestion (Briest–Hoefer–Krysta single-price auction): d_free
         // uses the priceable edges at toll 0, d_block forbids them.
         let costs = self.edge_costs(nash.flow.as_slice());
-        let d_free = dijkstra(&self.graph, &costs, self.source).dist[self.sink.idx()];
+        // Single-target queries: the early-exit/bidirectional workspace
+        // settles only what the s→t answer needs instead of the whole graph.
+        let csr = Csr::new(&self.graph);
+        let rcsr = RevCsr::new(&self.graph);
+        let mut sp = SpWorkspace::new();
+        let d_free = sp
+            .shortest_to(
+                &csr,
+                Some(&rcsr),
+                &costs,
+                self.source,
+                self.sink,
+                SpMode::Auto,
+            )
+            .unwrap_or(f64::INFINITY);
         let mut blocked = costs;
         for &e in &priceable {
             blocked[e] = f64::INFINITY;
         }
-        let d_block = dijkstra(&self.graph, &blocked, self.source).dist[self.sink.idx()];
+        let d_block = sp
+            .shortest_to(
+                &csr,
+                Some(&rcsr),
+                &blocked,
+                self.source,
+                self.sink,
+                SpMode::Auto,
+            )
+            .unwrap_or(f64::INFINITY);
         if !d_block.is_finite() {
             return Err(SoptError::UnboundedRevenue {
                 reason: "the priceable edges cut every s→t path; against inelastic demand \

@@ -6,6 +6,7 @@
 //!            --task beta
 //! sopt batch --file scenarios.txt --task beta --format csv [--threads 8]
 //! sopt gen --family mm1 --count 10000 --seed 7 | sopt batch --file - --stream
+//! sopt import --format tntp --net city_net.tntp --trips city_trips.tntp | sopt batch --file -
 //! sopt serve --stdin --cache /tmp/sopt.cache --threads 4
 //! ```
 //!
@@ -19,7 +20,10 @@
 //! serve response envelope, emitted in completion order, each line carrying
 //! its input `index` (schema in the README's Serve section). `gen` emits a
 //! batch spec file from the random instance families, the engine's
-//! first-party fleet source.
+//! first-party fleet source. `import` converts a network in an external
+//! exchange format (currently TNTP, the traffic-assignment benchmark
+//! format) into the same batch spec text, so real city instances flow
+//! through the identical pipeline.
 //!
 //! `serve` is the persistent daemon: JSONL requests in, JSONL responses
 //! out, over a Unix socket (`--socket PATH`) or the stdin/stdout pipe
@@ -36,8 +40,9 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use sopt_instances::TntpInstance;
 use stackopt::api::{
-    parse_batch_file, CurveStrategy, EngineBuilder, Outcome, Report, Request, ShedPolicy,
+    parse_batch_file, CurveStrategy, EngineBuilder, Outcome, Report, Request, Scenario, ShedPolicy,
     SolveRequest, SoptError, Task,
 };
 use stackopt::fleet::{generate_fleet, Family};
@@ -66,7 +71,15 @@ const USAGE: &str = "usage:
   sopt gen --family F --count N [--seed S] [--size M] [--rate R]
                                             emit a batch spec file of random
                                             scenarios (F: affine|common-slope|
-                                            mixed|mm1|multi; default seed 0)
+                                            mixed|mm1|multi|grid; default
+                                            seed 0; for grid, --size is the
+                                            grid side)
+  sopt import --format tntp --net PATH [--trips PATH] [--rate R]
+                                            convert a TNTP network (plus
+                                            optional trips table) to a batch
+                                            spec on stdout; --rate routes
+                                            first->last node when no trips
+                                            are given (default 1.0)
   sopt cache compact --cache PATH           rewrite a soptcache log in place,
                                             dropping torn records and stale
                                             duplicates (run offline)
@@ -346,9 +359,14 @@ fn run() -> Result<(), String> {
         return Err("no command given".into());
     };
     // `cache` takes a positional subcommand, so it is dispatched before
-    // the flag parser (and before the legacy task aliases).
+    // the flag parser (and before the legacy task aliases). `import`
+    // reuses `--format` for the *input* format (tntp), which would
+    // collide with the output-format flag, so it parses its own flags.
     if cmd == "cache" {
         return run_cache(rest);
+    }
+    if cmd == "import" {
+        return run_import(rest);
     }
     let mut args = parse_args(rest)?;
 
@@ -529,7 +547,7 @@ fn run() -> Result<(), String> {
         "gen" => {
             let family = args
                 .family
-                .ok_or("--family is required (affine|common-slope|mixed|mm1|multi)")?;
+                .ok_or("--family is required (affine|common-slope|mixed|mm1|multi|grid)")?;
             let count = args.count.ok_or("--count is required")?;
             // Reject every solve/batch flag instead of silently ignoring
             // it — these almost always belong to the downstream `batch`.
@@ -593,6 +611,76 @@ fn run_cache(rest: &[String]) -> Result<(), String> {
     let (before, after) =
         stackopt::api::compact_cache(std::path::Path::new(path)).map_err(|e| e.to_string())?;
     println!("compacted '{path}': {before} records -> {after}");
+    Ok(())
+}
+
+/// `sopt import --format tntp --net PATH [--trips PATH] [--rate R]` —
+/// converts a TNTP network (and optional trips table) into batch spec
+/// text on stdout, ready for `sopt batch --file -`. A network with no
+/// trips gets one first-node → last-node demand at `--rate` (default
+/// 1.0); a one-pair trips table becomes a single-commodity spec, more
+/// pairs a multicommodity one.
+fn run_import(rest: &[String]) -> Result<(), String> {
+    let mut format: Option<String> = None;
+    let mut net: Option<String> = None;
+    let mut trips: Option<String> = None;
+    let mut rate: Option<f64> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value after {flag}"))?;
+        match flag {
+            "--format" => format = Some(value.clone()),
+            "--net" => net = Some(value.clone()),
+            "--trips" => trips = Some(value.clone()),
+            "--rate" => rate = Some(value.parse().map_err(|e| format!("--rate: {e}"))?),
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' ('sopt import' takes --format/--net/--trips/--rate)"
+                ))
+            }
+        }
+        i += 2;
+    }
+    match format.as_deref() {
+        Some("tntp") => {}
+        Some(other) => return Err(format!("unknown import format '{other}' (tntp)")),
+        None => return Err("--format tntp is required".into()),
+    }
+    let net_path = net.ok_or("--net PATH is required")?;
+    let net_text =
+        std::fs::read_to_string(&net_path).map_err(|e| format!("cannot read '{net_path}': {e}"))?;
+    let trips_text = match &trips {
+        Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("cannot read '{p}': {e}"))?),
+        None => None,
+    };
+    let network = sopt_instances::parse_tntp(&net_text, trips_text.as_deref())
+        .map_err(|e| format!("{net_path}: {e}"))?;
+    let (nodes, edges, pairs) = (
+        network.graph.num_nodes(),
+        network.graph.num_edges(),
+        network.demands.len(),
+    );
+    let scenario: Scenario = match network
+        .into_instance(rate.unwrap_or(1.0))
+        .map_err(|e| format!("{net_path}: {e}"))?
+    {
+        TntpInstance::Single(inst) => Scenario::from(inst),
+        TntpInstance::Multi(inst) => Scenario::from(inst),
+    };
+    let spec = scenario.to_spec().map_err(|e| e.to_string())?;
+    println!(
+        "# sopt import --format tntp --net {net_path}{}: {nodes} nodes, {edges} edges, {} od pairs",
+        match &trips {
+            Some(p) => format!(" --trips {p}"),
+            None => String::new(),
+        },
+        // No trips table means the fallback demand was synthesised.
+        pairs.max(1)
+    );
+    println!("{spec}");
     Ok(())
 }
 

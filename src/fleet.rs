@@ -19,6 +19,7 @@ use sopt_instances::random::{
     try_random_affine, try_random_common_slope, try_random_mm1, try_random_multicommodity,
     try_random_spec_mixed,
 };
+use sopt_instances::try_grid_city;
 
 /// A spec-representable random instance family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,16 +38,22 @@ pub enum Family {
     /// (`random_multicommodity`); layer depth and commodity count vary
     /// deterministically per scenario, `--size` pins the layer width.
     Multi,
+    /// Deterministic city grids with BPR streets and a corner-to-corner
+    /// demand (`grid_city`); `--size` pins the grid side (default sides
+    /// vary in 2..=10, so edges vary in 8..=360). Oversized sides are a
+    /// typed error, never a panic.
+    Grid,
 }
 
 impl Family {
     /// All families, in CLI order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Affine,
         Family::CommonSlope,
         Family::Mixed,
         Family::Mm1,
         Family::Multi,
+        Family::Grid,
     ];
 
     /// The family's CLI name.
@@ -57,6 +64,7 @@ impl Family {
             Family::Mixed => "mixed",
             Family::Mm1 => "mm1",
             Family::Multi => "multi",
+            Family::Grid => "grid",
         }
     }
 }
@@ -77,9 +85,10 @@ impl std::str::FromStr for Family {
             "mixed" => Ok(Family::Mixed),
             "mm1" => Ok(Family::Mm1),
             "multi" => Ok(Family::Multi),
+            "grid" => Ok(Family::Grid),
             other => Err(SoptError::Parse {
                 token: other.to_string(),
-                reason: "expected one of affine|common-slope|mixed|mm1|multi".into(),
+                reason: "expected one of affine|common-slope|mixed|mm1|multi|grid".into(),
             }),
         }
     }
@@ -156,6 +165,12 @@ pub fn generate_fleet(
                     instance_seed,
                 )?)
             }
+            Family::Grid => {
+                // `--size` (or the drawn size, always ≥ 2) is the grid
+                // *side*; the generator rejects undersized and oversized
+                // sides with typed errors instead of overflowing node ids.
+                Scenario::from(try_grid_city(m, rate, instance_seed)?)
+            }
         };
         let spec = scenario.to_spec()?;
         out.push_str(&spec);
@@ -228,6 +243,25 @@ mod tests {
         assert!(matches!(
             generate_fleet(Family::Affine, 3, 1, Some(0), 1.0).unwrap_err(),
             SoptError::InvalidParameter { name: "m", .. }
+        ));
+    }
+
+    #[test]
+    fn grid_family_is_deterministic_and_bounded() {
+        let a = generate_fleet(Family::Grid, 3, 9, Some(4), 1.0).unwrap();
+        let b = generate_fleet(Family::Grid, 3, 9, Some(4), 1.0).unwrap();
+        assert_eq!(a, b);
+        for sc in parse_batch_file(&a).unwrap() {
+            assert_eq!(sc.size(), 48); // 4·side·(side−1) edges at side 4
+        }
+        // Oversized sides are a typed error, not a panic or an id overflow.
+        assert!(matches!(
+            generate_fleet(Family::Grid, 1, 9, Some(40_000), 1.0).unwrap_err(),
+            SoptError::InvalidParameter { name: "side", .. }
+        ));
+        assert!(matches!(
+            generate_fleet(Family::Grid, 1, 9, Some(1), 1.0).unwrap_err(),
+            SoptError::InvalidParameter { name: "side", .. }
         ));
     }
 

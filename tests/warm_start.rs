@@ -118,6 +118,35 @@ fn perturbed_multicommodity_warm_start_is_equivalent_and_cheaper() {
 }
 
 #[test]
+fn batched_evaluation_preserves_warm_and_cold_flows() {
+    // Regression guard for the struct-of-arrays fast path: the default
+    // options (batched lanes, target-aware shortest paths) and the
+    // historical scalar/full-Dijkstra configuration must agree on every
+    // edge flow, cold-started and warm-started alike.
+    let inst = stackopt::instances::try_grid_city(6, 1.0, 42).unwrap();
+    let batched = FwOptions::default();
+    let scalar = FwOptions {
+        batch: false,
+        sp_mode: stackopt::solver::SpMode::Full,
+        ..FwOptions::default()
+    };
+    let cold_b = try_network_optimum(&inst, &batched, None).unwrap();
+    let cold_s = try_network_optimum(&inst, &scalar, None).unwrap();
+    assert!(cold_b.converged && cold_s.converged);
+    for (e, (a, b)) in cold_b.flow.0.iter().zip(&cold_s.flow.0).enumerate() {
+        assert!((a - b).abs() < 1e-5, "cold edge {e}: {a} vs {b}");
+    }
+
+    let perturbed = with_rate(&inst, 1.1);
+    let warm_b = try_network_optimum(&perturbed, &batched, Some(&cold_b)).unwrap();
+    let warm_s = try_network_optimum(&perturbed, &scalar, Some(&cold_s)).unwrap();
+    assert!(warm_b.converged && warm_s.converged);
+    for (e, (a, b)) in warm_b.flow.0.iter().zip(&warm_s.flow.0).enumerate() {
+        assert!((a - b).abs() < 1e-5, "warm edge {e}: {a} vs {b}");
+    }
+}
+
+#[test]
 fn unusable_seed_falls_back_to_cold_and_still_solves() {
     let inst = random_layered_network(3, 3, 4.0, 3);
     let opts = FwOptions::default();
