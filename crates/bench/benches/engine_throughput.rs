@@ -20,7 +20,7 @@ use std::hint::black_box;
 const THREADS: usize = 8;
 
 fn fleet_of(family: Family, count: usize, size: usize, rate: f64, seed: u64) -> Vec<Scenario> {
-    parse_batch_file(&generate_fleet(family, count, seed, Some(size), rate).unwrap()).unwrap()
+    parse_batch_file(&generate_fleet(family, count, seed, Some(size), rate, None).unwrap()).unwrap()
 }
 
 /// 128 same-shaped small scenarios.

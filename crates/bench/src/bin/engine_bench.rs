@@ -30,7 +30,7 @@ const THREADS: usize = 8;
 const REPS: usize = 3;
 
 fn fleet_of(family: Family, count: usize, size: usize, rate: f64, seed: u64) -> Vec<Scenario> {
-    parse_batch_file(&generate_fleet(family, count, seed, Some(size), rate).unwrap()).unwrap()
+    parse_batch_file(&generate_fleet(family, count, seed, Some(size), rate, None).unwrap()).unwrap()
 }
 
 fn uniform_fleet() -> Vec<Scenario> {

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sopt_latency::LatencyFn;
 use sopt_network::graph::{DiGraph, NodeId};
-use sopt_network::instance::NetworkInstance;
+use sopt_network::instance::{Commodity, MultiCommodityInstance, NetworkInstance};
 
 use crate::error::{check_rate, check_shape, InstanceError};
 
@@ -95,6 +95,66 @@ pub fn grid_city(side: usize, rate: f64, seed: u64) -> NetworkInstance {
     try_grid_city(side, rate, seed).expect("valid generator parameters")
 }
 
+/// Most distinct origins a [`try_grid_city_multi`] OD matrix uses: real
+/// trip tables concentrate many destinations behind few origin zones, and
+/// the origin-grouped AON path is exactly what this family exercises.
+pub const GRID_MULTI_MAX_ORIGINS: usize = 16;
+
+/// Deterministic `side × side` city grid carrying a `k`-demand OD matrix.
+///
+/// The streets are bit-identical to [`try_grid_city`] at the same `(side,
+/// rate, seed)` — same RNG stream, same BPR draws. On top of them, `k`
+/// commodities share at most [`GRID_MULTI_MAX_ORIGINS`] distinct origins
+/// (round-robin, so consecutive commodities alternate origins and
+/// origin-grouping has to bucket by value, not by position); each sink is
+/// drawn anywhere on the grid away from its origin, and the total demand
+/// `rate` splits unevenly (deterministically per seed) across the `k`
+/// commodities, mirroring the `multi` family's convention.
+pub fn try_grid_city_multi(
+    side: usize,
+    rate: f64,
+    k: usize,
+    seed: u64,
+) -> Result<MultiCommodityInstance, InstanceError> {
+    check_shape("commodities", k, 1)?;
+    let base = try_grid_city(side, rate, seed)?;
+    let n = base.graph.num_nodes();
+    // A fresh, domain-separated stream for the OD matrix keeps the street
+    // draws byte-for-byte those of the single-commodity grid.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6772_6964_5f6f_6473); // "grid_ods"
+    let num_origins = k.min(GRID_MULTI_MAX_ORIGINS).min(n - 1);
+    let mut origins: Vec<NodeId> = Vec::with_capacity(num_origins);
+    while origins.len() < num_origins {
+        let cand = NodeId(rng.random_range(0..n as u32));
+        if !origins.contains(&cand) {
+            origins.push(cand);
+        }
+    }
+    let weights: Vec<f64> = (0..k).map(|_| rng.random_range(0.5..2.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let commodities = (0..k)
+        .map(|i| {
+            let source = origins[i % num_origins];
+            let sink = loop {
+                let cand = NodeId(rng.random_range(0..n as u32));
+                if cand != source {
+                    break cand;
+                }
+            };
+            Commodity {
+                source,
+                sink,
+                rate: rate * weights[i] / total,
+            }
+        })
+        .collect();
+    Ok(MultiCommodityInstance::new(
+        base.graph,
+        base.latencies,
+        commodities,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +184,51 @@ mod tests {
         assert_eq!(a.latencies, b.latencies);
         let c = grid_city(5, 2.0, 12);
         assert_ne!(a.latencies, c.latencies);
+    }
+
+    #[test]
+    fn multi_reuses_the_streets_and_caps_origins() {
+        let single = grid_city(5, 3.0, 11);
+        let multi = try_grid_city_multi(5, 3.0, 40, 11).unwrap();
+        // Same seed ⇒ identical street network under the OD matrix.
+        assert_eq!(multi.latencies, single.latencies);
+        assert_eq!(multi.graph.num_edges(), single.graph.num_edges());
+        assert_eq!(multi.commodities.len(), 40);
+        let origins: std::collections::HashSet<u32> =
+            multi.commodities.iter().map(|c| c.source.0).collect();
+        assert!(origins.len() <= GRID_MULTI_MAX_ORIGINS, "{origins:?}");
+        assert!(origins.len() > 1, "origins never varied");
+        let total: f64 = multi.commodities.iter().map(|c| c.rate).sum();
+        assert!((total - 3.0).abs() < 1e-9, "total rate drifted: {total}");
+        for c in &multi.commodities {
+            assert_ne!(c.source, c.sink);
+            assert!(c.rate > 0.0);
+        }
+        // Deterministic in the seed.
+        let again = try_grid_city_multi(5, 3.0, 40, 11).unwrap();
+        assert_eq!(multi.commodities, again.commodities);
+        let other = try_grid_city_multi(5, 3.0, 40, 12).unwrap();
+        assert_ne!(multi.commodities, other.commodities);
+    }
+
+    #[test]
+    fn multi_invalid_parameters_are_typed() {
+        assert_eq!(
+            try_grid_city_multi(4, 1.0, 0, 7).unwrap_err(),
+            InstanceError::InvalidShape {
+                name: "commodities",
+                value: 0,
+                min: 1,
+            }
+        );
+        assert_eq!(
+            try_grid_city_multi(1, 1.0, 4, 7).unwrap_err(),
+            InstanceError::InvalidShape {
+                name: "side",
+                value: 1,
+                min: 2,
+            }
+        );
     }
 
     #[test]

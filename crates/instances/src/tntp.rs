@@ -16,6 +16,14 @@
 //! and lenient where real files are sloppy (tilde comments, `~` header
 //! rows, missing optional columns, blank lines). All failures are typed
 //! [`TntpError`] values carrying the 1-based source line.
+//!
+//! Parsing is *streaming*: [`parse_tntp_net_reader`] and
+//! [`parse_tntp_trips_reader`] consume any [`BufRead`] line by line through
+//! one reused buffer, so a city-scale file never has to sit in memory as
+//! one string. The `&str` entry points are thin wrappers over the byte
+//! readers and behave identically.
+
+use std::io::BufRead;
 
 use sopt_latency::LatencyFn;
 use sopt_network::graph::{DiGraph, NodeId};
@@ -38,6 +46,8 @@ pub enum TntpError {
     },
     /// The parsed demands cannot form an instance (e.g. no trips at all).
     NoDemand,
+    /// The underlying reader failed mid-stream.
+    Io(String),
 }
 
 impl std::fmt::Display for TntpError {
@@ -52,6 +62,7 @@ impl std::fmt::Display for TntpError {
             TntpError::NoDemand => {
                 write!(f, "tntp: trips carry no positive off-diagonal demand")
             }
+            TntpError::Io(e) => write!(f, "tntp: read failed: {e}"),
         }
     }
 }
@@ -124,53 +135,87 @@ fn clean(line: &str) -> &str {
     }
 }
 
-/// Metadata `(key, value)` pairs plus the 1-based `(line_no, text)` body rows.
-type MetadataSplit<'a> = (Vec<(&'a str, &'a str)>, Vec<(usize, &'a str)>);
-
-/// Extract `<KEY> value` metadata; returns the remaining 1-based
-/// `(line_no, text)` rows after `<END OF METADATA>`.
-fn split_metadata(text: &str) -> MetadataSplit<'_> {
-    let mut meta = Vec::new();
-    let mut body = Vec::new();
-    let mut in_meta = true;
-    for (i, raw) in text.lines().enumerate() {
-        let line = clean(raw);
-        if line.is_empty() {
-            continue;
-        }
-        if in_meta {
-            if let Some(rest) = line.strip_prefix('<') {
-                if let Some(end) = rest.find('>') {
-                    let key = rest[..end].trim();
-                    if key.eq_ignore_ascii_case("END OF METADATA") {
-                        in_meta = false;
-                        continue;
-                    }
-                    meta.push((key, rest[end + 1..].trim()));
-                    continue;
-                }
-            }
-            // Files without an explicit end tag: first non-tag row starts
-            // the body.
-            in_meta = false;
-        }
-        body.push((i + 1, line));
-    }
-    (meta, body)
+/// Streams non-empty, comment-stripped lines out of a [`BufRead`] through
+/// one reused buffer, tracking the `<KEY> value` metadata header as it
+/// goes. Callers pull body rows with [`LineScanner::next_body_row`]; the
+/// accumulated metadata is available once the first body row (or EOF) has
+/// been seen — metadata always precedes the body in TNTP files.
+struct LineScanner<R> {
+    reader: R,
+    buf: String,
+    line_no: usize,
+    in_meta: bool,
+    meta: Vec<(String, String)>,
 }
 
-fn meta_usize(meta: &[(&str, &str)], key: &'static str) -> Result<Option<usize>, TntpError> {
-    for (k, v) in meta {
-        if k.eq_ignore_ascii_case(key) {
-            return v
-                .split_whitespace()
-                .next()
-                .and_then(|t| t.parse().ok())
-                .map(Some)
-                .ok_or(TntpError::MissingMetadata { key });
+impl<R: BufRead> LineScanner<R> {
+    fn new(reader: R) -> Self {
+        LineScanner {
+            reader,
+            buf: String::new(),
+            line_no: 0,
+            in_meta: true,
+            meta: Vec::new(),
         }
     }
-    Ok(None)
+
+    /// The next 1-based `(line_no, row)` body line, or `None` at EOF.
+    /// Metadata tags are absorbed into `self.meta` along the way; a file
+    /// without an explicit `<END OF METADATA>` ends its header at the
+    /// first non-tag row.
+    fn next_body_row(&mut self) -> Result<Option<(usize, &str)>, TntpError> {
+        // The loop yields the row's *byte span* and re-slices after it
+        // ends: returning `clean(&self.buf)` directly from inside the
+        // loop would pin the borrow across the `buf.clear()` of the next
+        // iteration under the current borrow checker.
+        let span = loop {
+            self.buf.clear();
+            let read = self
+                .reader
+                .read_line(&mut self.buf)
+                .map_err(|e| TntpError::Io(e.to_string()))?;
+            if read == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let cleaned = clean(&self.buf);
+            if cleaned.is_empty() {
+                continue;
+            }
+            if self.in_meta {
+                if let Some(rest) = cleaned.strip_prefix('<') {
+                    if let Some(end) = rest.find('>') {
+                        let key = rest[..end].trim();
+                        if key.eq_ignore_ascii_case("END OF METADATA") {
+                            self.in_meta = false;
+                            continue;
+                        }
+                        let (key, value) = (key.to_string(), rest[end + 1..].trim().to_string());
+                        self.meta.push((key, value));
+                        continue;
+                    }
+                }
+                self.in_meta = false;
+            }
+            let start = cleaned.as_ptr() as usize - self.buf.as_ptr() as usize;
+            break start..start + cleaned.len();
+        };
+        Ok(Some((self.line_no, &self.buf[span])))
+    }
+
+    fn meta_usize(&self, key: &'static str) -> Result<Option<usize>, TntpError> {
+        for (k, v) in &self.meta {
+            if k.eq_ignore_ascii_case(key) {
+                return v
+                    .split_whitespace()
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .map(Some)
+                    .ok_or(TntpError::MissingMetadata { key });
+            }
+        }
+        Ok(None)
+    }
 }
 
 fn field(tokens: &[&str], idx: usize, name: &str, line: usize) -> Result<f64, TntpError> {
@@ -195,77 +240,98 @@ fn node_in_range(raw: f64, n: usize, name: &str, line: usize) -> Result<NodeId, 
     Ok(NodeId(id as u32 - 1))
 }
 
-/// Parse a TNTP network file into a graph and per-edge BPR latencies.
-///
-/// Link rows are `init term capacity length fft b power …` (trailing
+/// One link row: `init term capacity length fft b power …` (trailing
 /// columns — speed, toll, type — are ignored, as is a trailing `;`).
-/// `power` must be integral and ≥ 0 (0 or a zero `b` coefficient turns the
-/// link into its constant free-flow time).
-pub fn parse_tntp_net(text: &str) -> Result<(DiGraph, Vec<LatencyFn>), TntpError> {
-    let (meta, body) = split_metadata(text);
-    let n = meta_usize(&meta, "NUMBER OF NODES")?.ok_or(TntpError::MissingMetadata {
-        key: "NUMBER OF NODES",
-    })?;
-    let links = meta_usize(&meta, "NUMBER OF LINKS")?;
+fn parse_link_row(
+    g: &mut DiGraph,
+    lats: &mut Vec<LatencyFn>,
+    n: usize,
+    line: usize,
+    row: &str,
+) -> Result<(), TntpError> {
+    // Header rows some files repeat mid-body.
+    if row.starts_with("init") || row.starts_with("Init") {
+        return Ok(());
+    }
+    let row = row.trim_end_matches(';').trim();
+    if row.is_empty() {
+        return Ok(());
+    }
+    let tokens: Vec<&str> = row.split_whitespace().collect();
+    let init = node_in_range(field(&tokens, 0, "init node", line)?, n, "init node", line)?;
+    let term = node_in_range(field(&tokens, 1, "term node", line)?, n, "term node", line)?;
+    if init == term {
+        return Err(TntpError::Malformed {
+            line,
+            reason: format!("self-loop at node {}", init.0 + 1),
+        });
+    }
+    let capacity = field(&tokens, 2, "capacity", line)?;
+    let length = field(&tokens, 3, "length", line)?;
+    let fft = field(&tokens, 4, "free flow time", line)?;
+    let b = field(&tokens, 5, "b", line)?;
+    let power = field(&tokens, 6, "power", line)?;
+    if !(capacity.is_finite() && capacity > 0.0) {
+        return Err(TntpError::Malformed {
+            line,
+            reason: format!("capacity must be positive, got {capacity}"),
+        });
+    }
+    if !(b.is_finite() && b >= 0.0) {
+        return Err(TntpError::Malformed {
+            line,
+            reason: format!("b must be ≥ 0, got {b}"),
+        });
+    }
+    if power.fract() != 0.0 || !(0.0..=64.0).contains(&power) {
+        return Err(TntpError::Malformed {
+            line,
+            reason: format!("power must be an integer in 0..=64, got {power}"),
+        });
+    }
+    // Zero free-flow time appears in real files (connector links);
+    // fall back to the length column, then to a nominal unit time.
+    let t0 = if fft > 0.0 {
+        fft
+    } else if length > 0.0 {
+        length
+    } else {
+        1.0
+    };
+    let lat = if b == 0.0 || power == 0.0 {
+        LatencyFn::constant(t0)
+    } else {
+        LatencyFn::bpr(t0, b, capacity, power as u32)
+    };
+    g.add_edge(init, term);
+    lats.push(lat);
+    Ok(())
+}
+
+/// Streaming parse of a TNTP network into a graph and per-edge BPR
+/// latencies — one buffered line at a time, never the whole file.
+pub fn parse_tntp_net_reader<R: BufRead>(
+    reader: R,
+) -> Result<(DiGraph, Vec<LatencyFn>), TntpError> {
+    let mut scanner = LineScanner::new(reader);
+    // The first body row (copied out — the scanner's buffer is about to be
+    // reused) closes the metadata header, which the graph size needs.
+    let first: Option<(usize, String)> = scanner
+        .next_body_row()?
+        .map(|(line, row)| (line, row.to_string()));
+    let n = scanner
+        .meta_usize("NUMBER OF NODES")?
+        .ok_or(TntpError::MissingMetadata {
+            key: "NUMBER OF NODES",
+        })?;
+    let links = scanner.meta_usize("NUMBER OF LINKS")?;
     let mut g = DiGraph::with_nodes(n);
     let mut lats = Vec::new();
-    for (line, row) in body {
-        // Header rows some files repeat mid-body.
-        if row.starts_with("init") || row.starts_with("Init") {
-            continue;
-        }
-        let row = row.trim_end_matches(';').trim();
-        if row.is_empty() {
-            continue;
-        }
-        let tokens: Vec<&str> = row.split_whitespace().collect();
-        let init = node_in_range(field(&tokens, 0, "init node", line)?, n, "init node", line)?;
-        let term = node_in_range(field(&tokens, 1, "term node", line)?, n, "term node", line)?;
-        if init == term {
-            return Err(TntpError::Malformed {
-                line,
-                reason: format!("self-loop at node {}", init.0 + 1),
-            });
-        }
-        let capacity = field(&tokens, 2, "capacity", line)?;
-        let length = field(&tokens, 3, "length", line)?;
-        let fft = field(&tokens, 4, "free flow time", line)?;
-        let b = field(&tokens, 5, "b", line)?;
-        let power = field(&tokens, 6, "power", line)?;
-        if !(capacity.is_finite() && capacity > 0.0) {
-            return Err(TntpError::Malformed {
-                line,
-                reason: format!("capacity must be positive, got {capacity}"),
-            });
-        }
-        if !(b.is_finite() && b >= 0.0) {
-            return Err(TntpError::Malformed {
-                line,
-                reason: format!("b must be ≥ 0, got {b}"),
-            });
-        }
-        if power.fract() != 0.0 || !(0.0..=64.0).contains(&power) {
-            return Err(TntpError::Malformed {
-                line,
-                reason: format!("power must be an integer in 0..=64, got {power}"),
-            });
-        }
-        // Zero free-flow time appears in real files (connector links);
-        // fall back to the length column, then to a nominal unit time.
-        let t0 = if fft > 0.0 {
-            fft
-        } else if length > 0.0 {
-            length
-        } else {
-            1.0
-        };
-        let lat = if b == 0.0 || power == 0.0 {
-            LatencyFn::constant(t0)
-        } else {
-            LatencyFn::bpr(t0, b, capacity, power as u32)
-        };
-        g.add_edge(init, term);
-        lats.push(lat);
+    if let Some((line, row)) = &first {
+        parse_link_row(&mut g, &mut lats, n, *line, row)?;
+    }
+    while let Some((line, row)) = scanner.next_body_row()? {
+        parse_link_row(&mut g, &mut lats, n, line, row)?;
     }
     if let Some(expect) = links {
         if lats.len() != expect {
@@ -281,13 +347,27 @@ pub fn parse_tntp_net(text: &str) -> Result<(DiGraph, Vec<LatencyFn>), TntpError
     Ok((g, lats))
 }
 
-/// Parse a TNTP trips file into `(origin, destination, flow)` demands.
+/// Parse a TNTP network file into a graph and per-edge BPR latencies.
+///
+/// Link rows are `init term capacity length fft b power …` (trailing
+/// columns — speed, toll, type — are ignored, as is a trailing `;`).
+/// `power` must be integral and ≥ 0 (0 or a zero `b` coefficient turns the
+/// link into its constant free-flow time).
+pub fn parse_tntp_net(text: &str) -> Result<(DiGraph, Vec<LatencyFn>), TntpError> {
+    parse_tntp_net_reader(text.as_bytes())
+}
+
+/// Streaming parse of a TNTP trips table into `(origin, destination,
+/// flow)` demands — one buffered line at a time, never the whole file.
 /// Zero and diagonal (self) flows are dropped. `n` bounds the node ids.
-pub fn parse_tntp_trips(text: &str, n: usize) -> Result<Vec<(NodeId, NodeId, f64)>, TntpError> {
-    let (_meta, body) = split_metadata(text);
+pub fn parse_tntp_trips_reader<R: BufRead>(
+    reader: R,
+    n: usize,
+) -> Result<Vec<(NodeId, NodeId, f64)>, TntpError> {
+    let mut scanner = LineScanner::new(reader);
     let mut demands = Vec::new();
     let mut origin: Option<NodeId> = None;
-    for (line, row) in body {
+    while let Some((line, row)) = scanner.next_body_row()? {
         if let Some(rest) = row.strip_prefix("Origin") {
             let raw: f64 = rest.trim().parse().map_err(|e| TntpError::Malformed {
                 line,
@@ -333,6 +413,30 @@ pub fn parse_tntp_trips(text: &str, n: usize) -> Result<Vec<(NodeId, NodeId, f64
         }
     }
     Ok(demands)
+}
+
+/// Parse a TNTP trips file into `(origin, destination, flow)` demands.
+/// Zero and diagonal (self) flows are dropped. `n` bounds the node ids.
+pub fn parse_tntp_trips(text: &str, n: usize) -> Result<Vec<(NodeId, NodeId, f64)>, TntpError> {
+    parse_tntp_trips_reader(text.as_bytes(), n)
+}
+
+/// Streaming parse of a network reader and (optionally) a trips reader
+/// into a [`TntpNetwork`] — the file-backed twin of [`parse_tntp`].
+pub fn parse_tntp_readers<R: BufRead, T: BufRead>(
+    net: R,
+    trips: Option<T>,
+) -> Result<TntpNetwork, TntpError> {
+    let (graph, latencies) = parse_tntp_net_reader(net)?;
+    let demands = match trips {
+        Some(t) => parse_tntp_trips_reader(t, graph.num_nodes())?,
+        None => Vec::new(),
+    };
+    Ok(TntpNetwork {
+        graph,
+        latencies,
+        demands,
+    })
 }
 
 /// Parse a network file and (optionally) a trips file into a
@@ -423,6 +527,34 @@ mod tests {
                 key: "NUMBER OF NODES"
             }
         );
+    }
+
+    #[test]
+    fn streaming_readers_match_the_str_parsers() {
+        // Tiny buffer capacity forces many refills; results must be
+        // identical to the whole-string parse, line numbers included.
+        let net_stream = std::io::BufReader::with_capacity(8, NET.as_bytes());
+        let trips_stream = std::io::BufReader::with_capacity(8, TRIPS.as_bytes());
+        let streamed = parse_tntp_readers(net_stream, Some(trips_stream)).unwrap();
+        let whole = parse_tntp(NET, Some(TRIPS)).unwrap();
+        assert_eq!(streamed.latencies, whole.latencies);
+        assert_eq!(streamed.demands, whole.demands);
+        assert_eq!(streamed.graph.num_edges(), whole.graph.num_edges());
+    }
+
+    #[test]
+    fn reader_failures_become_typed_io_errors() {
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk gone"))
+            }
+        }
+        let r = std::io::BufReader::new(Failing);
+        match parse_tntp_net_reader(r).unwrap_err() {
+            TntpError::Io(msg) => assert!(msg.contains("disk gone"), "{msg}"),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 
     #[test]

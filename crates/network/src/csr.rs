@@ -238,6 +238,10 @@ enum LastQuery {
     /// Bidirectional query; forward chain from `meet` + backward chain to
     /// the sink.
     Bidi { meet: Option<NodeId>, t: NodeId },
+    /// One-to-many query; per-target validity via the stamp arrays
+    /// ([`SpWorkspace::walk_many_path_to`]). `walk_st_path` has no single
+    /// target to walk and returns `false`.
+    Many,
 }
 
 /// Reusable single-source shortest-path state: preallocated distance,
@@ -256,6 +260,9 @@ pub struct SpWorkspace {
     // rather than O(n).
     seen: Vec<u32>,
     settled: Vec<u32>,
+    /// Stamp marking the requested targets of the current one-to-many
+    /// query (`target_stamp[v] == gen` ⇔ `v` is a target this generation).
+    target_stamp: Vec<u32>,
     dist_b: Vec<f64>,
     parent_b: Vec<Option<EdgeId>>,
     seen_b: Vec<u32>,
@@ -433,6 +440,7 @@ impl SpWorkspace {
         if self.gen == u32::MAX {
             self.seen.iter_mut().for_each(|s| *s = 0);
             self.settled.iter_mut().for_each(|s| *s = 0);
+            self.target_stamp.iter_mut().for_each(|s| *s = 0);
             self.seen_b.iter_mut().for_each(|s| *s = 0);
             self.settled_b.iter_mut().for_each(|s| *s = 0);
             self.gen = 0;
@@ -492,6 +500,112 @@ impl SpWorkspace {
             }
         }
         None
+    }
+
+    /// One-to-many shortest paths: forward Dijkstra from `source` that
+    /// stops the moment every *distinct* node in `targets` is settled
+    /// (remaining-targets early exit), leaving one shared tree behind.
+    /// Returns the number of distinct targets reached.
+    ///
+    /// After the call, [`many_dist`](Self::many_dist) and
+    /// [`walk_many_path_to`](Self::walk_many_path_to) answer per-target
+    /// queries against the shared tree — the backbone of origin-grouped
+    /// all-or-nothing assignment, where k commodities sharing one origin
+    /// cost one traversal instead of k. Duplicate targets are counted
+    /// once; `source` itself may appear among the targets (settled first,
+    /// with an empty path). Resets in O(touched) via generation stamps,
+    /// like the other targeted queries.
+    pub fn shortest_to_many(
+        &mut self,
+        csr: &Csr,
+        edge_costs: &[f64],
+        source: NodeId,
+        targets: &[NodeId],
+    ) -> usize {
+        assert_eq!(edge_costs.len(), csr.num_edges());
+        debug_assert!(
+            edge_costs.iter().all(|c| *c >= 0.0),
+            "Dijkstra requires nonnegative edge costs"
+        );
+        let n = csr.num_nodes();
+        self.next_gen(n);
+        if self.target_stamp.len() < n {
+            self.target_stamp.resize(n, 0);
+        }
+        let gen = self.gen;
+        self.heap.clear();
+        self.settled_count = 0;
+        self.last = LastQuery::Many;
+        let mut remaining = 0usize;
+        for &t in targets {
+            if self.target_stamp[t.idx()] != gen {
+                self.target_stamp[t.idx()] = gen;
+                remaining += 1;
+            }
+        }
+        let mut reached = 0usize;
+        self.seen[source.idx()] = gen;
+        self.dist[source.idx()] = 0.0;
+        self.parent[source.idx()] = None;
+        self.heap.push(Reverse((Cost(0.0), source.0)));
+        while let Some(Reverse((Cost(d), u))) = self.heap.pop() {
+            let u = NodeId(u);
+            if self.settled[u.idx()] == gen {
+                continue;
+            }
+            self.settled[u.idx()] = gen;
+            self.settled_count += 1;
+            if self.target_stamp[u.idx()] == gen {
+                // Nodes settle at most once per generation, so this cannot
+                // double-count a target.
+                reached += 1;
+                if reached == remaining {
+                    return reached;
+                }
+            }
+            for (e, v) in csr.out(u) {
+                let nd = d + edge_costs[e.idx()];
+                if self.seen[v.idx()] != gen || nd < self.dist[v.idx()] {
+                    self.seen[v.idx()] = gen;
+                    self.dist[v.idx()] = nd;
+                    self.parent[v.idx()] = Some(e);
+                    self.heap.push(Reverse((Cost(nd), v.0)));
+                }
+            }
+        }
+        reached
+    }
+
+    /// Distance to `t` in the tree left by the last
+    /// [`shortest_to_many`](Self::shortest_to_many) (`None` when `t` was
+    /// not settled — unreachable, or pruned by the early exit).
+    #[inline]
+    pub fn many_dist(&self, t: NodeId) -> Option<f64> {
+        if self.last != LastQuery::Many
+            || self.seen[t.idx()] != self.gen
+            || self.settled[t.idx()] != self.gen
+        {
+            return None;
+        }
+        Some(self.dist[t.idx()])
+    }
+
+    /// Walk the shared-tree parent chain from `t` back to the source of
+    /// the last [`shortest_to_many`](Self::shortest_to_many), calling
+    /// `visit` on each edge (sink-to-source order). Returns `false`,
+    /// visiting nothing, when `t` was not settled. Sound because every
+    /// parent chain of a settled node consists of settled nodes (the
+    /// Dijkstra invariant), so the whole walk is stamp-valid.
+    pub fn walk_many_path_to(&self, csr: &Csr, t: NodeId, mut visit: impl FnMut(EdgeId)) -> bool {
+        if self.many_dist(t).is_none() {
+            return false;
+        }
+        let mut v = t;
+        while let Some(e) = self.parent[v.idx()] {
+            visit(e);
+            v = csr.tail(e);
+        }
+        true
     }
 
     /// Bidirectional Dijkstra: forward frontier from `s` over `csr`,
@@ -599,7 +713,7 @@ impl SpWorkspace {
         mut visit: impl FnMut(EdgeId),
     ) -> bool {
         match self.last {
-            LastQuery::None | LastQuery::Full { t: None } => false,
+            LastQuery::None | LastQuery::Full { t: None } | LastQuery::Many => false,
             LastQuery::Full { t: Some(t) } => self.walk_path_to(csr, t, visit),
             LastQuery::Forward { t } => {
                 if self.seen[t.idx()] != self.gen || self.settled[t.idx()] != self.gen {
@@ -664,6 +778,44 @@ impl SpWorkspace {
                 Some(edges)
             }
         }
+    }
+}
+
+/// A small free-list of [`SpWorkspace`]s for fan-out code: workers take a
+/// warm workspace before spawning and put it back after joining, so
+/// repeated parallel phases reuse their buffers instead of reallocating
+/// per round. No locking — the pool is owned by the orchestrating thread;
+/// workspaces are *moved* to workers and returned when they finish.
+#[derive(Clone, Debug, Default)]
+pub struct SpPool {
+    free: Vec<SpWorkspace>,
+}
+
+impl SpPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a workspace (warm if one was returned earlier, fresh
+    /// otherwise).
+    pub fn take(&mut self) -> SpWorkspace {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a workspace for later reuse.
+    pub fn put(&mut self, ws: SpWorkspace) {
+        self.free.push(ws);
+    }
+
+    /// Workspaces currently parked in the pool.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
     }
 }
 
@@ -741,6 +893,83 @@ mod tests {
         ws.dijkstra(&Csr::new(&small), &[0.5], NodeId(0));
         assert_eq!(ws.dist(), &[0.0, 0.5]);
         assert!(ws.reached(NodeId(1)));
+    }
+
+    #[test]
+    fn one_to_many_matches_single_queries() {
+        let g = diamond();
+        let csr = Csr::new(&g);
+        let costs = [1.0, 4.0, 1.0, 5.0, 1.0];
+        let mut many = SpWorkspace::new();
+        // Duplicate target and the source itself are both handled.
+        let targets = [NodeId(3), NodeId(2), NodeId(3), NodeId(0)];
+        assert_eq!(many.shortest_to_many(&csr, &costs, NodeId(0), &targets), 3);
+        let mut single = SpWorkspace::new();
+        for t in [NodeId(2), NodeId(3)] {
+            let d = single
+                .shortest_to(&csr, None, &costs, NodeId(0), t, SpMode::Full)
+                .unwrap();
+            assert_eq!(many.many_dist(t), Some(d), "target {t}");
+            let mut edges = Vec::new();
+            assert!(many.walk_many_path_to(&csr, t, |e| edges.push(e)));
+            edges.reverse();
+            assert_eq!(edges, single.st_path_edges(&csr, None).unwrap());
+        }
+        assert_eq!(many.many_dist(NodeId(0)), Some(0.0));
+        let mut visited = 0;
+        assert!(many.walk_many_path_to(&csr, NodeId(0), |_| visited += 1));
+        assert_eq!(visited, 0, "source path is empty");
+    }
+
+    #[test]
+    fn one_to_many_early_exit_settles_less_than_full() {
+        // A long chain after the targets: the early exit must not settle it.
+        let mut g = DiGraph::with_nodes(10);
+        for v in 0..9 {
+            g.add_edge(NodeId(v), NodeId(v + 1));
+        }
+        let csr = Csr::new(&g);
+        let costs = [1.0; 9];
+        let mut ws = SpWorkspace::new();
+        let reached = ws.shortest_to_many(&csr, &costs, NodeId(0), &[NodeId(1), NodeId(2)]);
+        assert_eq!(reached, 2);
+        assert!(
+            ws.settled_nodes() <= 3,
+            "settled {} nodes past the last target",
+            ws.settled_nodes()
+        );
+        // Pruned nodes report None, as does a stale walk.
+        assert_eq!(ws.many_dist(NodeId(9)), None);
+        assert!(!ws.walk_many_path_to(&csr, NodeId(9), |_| {}));
+        // And the single-target walk API refuses a Many tree.
+        assert!(!ws.walk_st_path(&csr, None, |_| {}));
+    }
+
+    #[test]
+    fn one_to_many_reports_unreachable_targets() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let csr = Csr::new(&g);
+        let mut ws = SpWorkspace::new();
+        let reached = ws.shortest_to_many(&csr, &[1.0], NodeId(0), &[NodeId(1), NodeId(2)]);
+        assert_eq!(reached, 1);
+        assert_eq!(ws.many_dist(NodeId(1)), Some(1.0));
+        assert_eq!(ws.many_dist(NodeId(2)), None);
+    }
+
+    #[test]
+    fn sp_pool_recycles_workspaces() {
+        let mut pool = SpPool::new();
+        assert!(pool.is_empty());
+        let mut ws = pool.take();
+        let g = diamond();
+        ws.dijkstra(&Csr::new(&g), &[1.0; 5], NodeId(0));
+        pool.put(ws);
+        assert_eq!(pool.len(), 1);
+        let warm = pool.take();
+        // The recycled workspace still carries its grown buffers.
+        assert_eq!(warm.dist().len(), 4);
+        assert!(pool.is_empty());
     }
 
     #[test]

@@ -120,7 +120,7 @@ impl NetworkInstance {
 }
 
 /// One demand pair of a multicommodity instance.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Commodity {
     /// Source `s_i`.
     pub source: NodeId,

@@ -230,11 +230,15 @@ pub enum Phase {
     /// One single-target shortest-path query (all-or-nothing linearization,
     /// polish column generation, auction candidate gaps).
     SpQuery,
+    /// One multi-commodity all-or-nothing assignment pass (all commodities,
+    /// whatever the `AonMode` — grouped/parallel wins show up as shorter
+    /// spans at the same count).
+    Aon,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::CacheLookup,
         Phase::ColdSolve,
         Phase::WarmPolish,
@@ -243,6 +247,7 @@ impl Phase {
         Phase::QueueWait,
         Phase::SolveLatency,
         Phase::SpQuery,
+        Phase::Aon,
     ];
 
     /// Stable snake_case name used in the JSON and text expositions.
@@ -256,6 +261,7 @@ impl Phase {
             Phase::QueueWait => "queue_wait",
             Phase::SolveLatency => "solve_latency",
             Phase::SpQuery => "sp_query",
+            Phase::Aon => "aon",
         }
     }
 }
@@ -274,16 +280,25 @@ pub enum Counter {
     /// Nodes settled across all shortest-path queries (the work an
     /// early-exit or bidirectional traversal saves shows up here).
     SpSettledNodes,
+    /// Origin groups traversed by grouped/parallel all-or-nothing passes
+    /// (each group is one one-to-many Dijkstra).
+    AonGroups,
+    /// Shortest-path queries *not* issued because commodities shared an
+    /// origin group (`k − G` per grouped pass) — the grouping win as a
+    /// number.
+    AonQueriesSaved,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 5] = [
+    pub const ALL: [Counter; 7] = [
         Counter::FwIterations,
         Counter::PolishRounds,
         Counter::WarmStarts,
         Counter::ColdStarts,
         Counter::SpSettledNodes,
+        Counter::AonGroups,
+        Counter::AonQueriesSaved,
     ];
 
     /// Stable snake_case name used in the JSON and text expositions.
@@ -294,6 +309,8 @@ impl Counter {
             Counter::WarmStarts => "warm_starts",
             Counter::ColdStarts => "cold_starts",
             Counter::SpSettledNodes => "sp_settled_nodes",
+            Counter::AonGroups => "aon_groups",
+            Counter::AonQueriesSaved => "aon_queries_saved",
         }
     }
 }

@@ -34,13 +34,13 @@
 use std::cell::RefCell;
 
 use sopt_latency::{DirPlan, Latency, LatencyBatch, LatencyFn};
-use sopt_network::csr::{Csr, RevCsr, SpMode, SpWorkspace};
+use sopt_network::csr::{Csr, RevCsr, SpMode, SpPool, SpWorkspace};
 use sopt_network::flow::EdgeFlow;
 use sopt_network::graph::NodeId;
 use sopt_network::instance::{MultiCommodityInstance, NetworkInstance};
 use sopt_network::DiGraph;
 
-use crate::aon::aon_st_into;
+use crate::aon::{aon_assign_targets, aon_st_into, AonMode, CommodityGroups};
 use crate::error::SolverError;
 use crate::eval::Eval;
 use crate::line_search::{exact_step_eval, max_step_eval};
@@ -82,6 +82,12 @@ pub struct FwOptions {
     /// graphs large enough to pay for it and early-exit Dijkstra
     /// otherwise; [`SpMode::Full`] is the historical full-sweep path.
     pub sp_mode: SpMode,
+    /// Strategy for the per-iteration multi-commodity all-or-nothing step.
+    /// [`AonMode::Auto`] groups commodities by origin (one one-to-many
+    /// Dijkstra per distinct source) and fans the groups out across
+    /// threads when the work pays for it; [`AonMode::Sequential`] is the
+    /// historical one-query-per-commodity loop kept for honest A/B.
+    pub aon: AonMode,
 }
 
 impl Default for FwOptions {
@@ -96,6 +102,7 @@ impl Default for FwOptions {
             stall_window: None,
             batch: true,
             sp_mode: SpMode::Auto,
+            aon: AonMode::Auto,
         }
     }
 }
@@ -143,6 +150,10 @@ pub struct FwWorkspace {
     rcsr: RevCsr,
     use_rcsr: bool,
     sp: SpWorkspace,
+    /// Origin-grouping plan for the AON step (rebuilt on demand change).
+    groups: CommodityGroups,
+    /// Workspaces for the parallel AON workers, recycled across iterations.
+    pool: SpPool,
     /// Struct-of-arrays latency lanes (rebuilt per solve when
     /// [`FwOptions::batch`] is on; empty otherwise).
     batch: LatencyBatch,
@@ -188,9 +199,17 @@ impl FwWorkspace {
         Self::default()
     }
 
-    /// Size every buffer for a `k`-commodity solve over `graph`.
-    fn prepare(&mut self, graph: &DiGraph, latencies: &[LatencyFn], k: usize, opts: &FwOptions) {
+    /// Size every buffer for a solve of `demands` over `graph`.
+    fn prepare(
+        &mut self,
+        graph: &DiGraph,
+        latencies: &[LatencyFn],
+        demands: &[(NodeId, NodeId, f64)],
+        opts: &FwOptions,
+    ) {
+        let k = demands.len();
         self.csr.rebuild(graph);
+        self.groups.rebuild(demands);
         // The reverse view only pays off when a bidirectional query can
         // run; skip the O(m) build otherwise.
         self.use_rcsr = matches!(opts.sp_mode, SpMode::Auto | SpMode::Bidirectional);
@@ -464,7 +483,7 @@ fn solve_inner(
         });
     }
 
-    ws.prepare(graph, latencies, k, opts);
+    ws.prepare(graph, latencies, demands, opts);
     let rcsr = ws.use_rcsr.then_some(&ws.rcsr);
     let eval = Eval::new(latencies, opts.batch.then_some(&ws.batch));
 
@@ -554,22 +573,20 @@ fn solve_inner(
         }
         eval.gradient_into(model, &ws.f, &mut ws.costs);
 
-        // Per-commodity all-or-nothing targets.
-        for (ci, &(s, t, r)) in demands.iter().enumerate() {
-            ws.ys[ci].0.fill(0.0);
-            aon_st_into(
-                &ws.csr,
-                rcsr,
-                &mut ws.sp,
-                opts.sp_mode,
-                &ws.costs,
-                s,
-                t,
-                r,
-                &mut ws.ys[ci].0,
-            )
-            .map_err(|e| e.with_commodity(ci))?;
-        }
+        // Per-commodity all-or-nothing targets: origin-grouped one-to-many
+        // queries, threaded when `opts.aon` resolves that way.
+        aon_assign_targets(
+            &ws.csr,
+            rcsr,
+            &mut ws.sp,
+            &mut ws.pool,
+            &ws.groups,
+            opts.sp_mode,
+            opts.aon,
+            &ws.costs,
+            demands,
+            &mut ws.ys,
+        )?;
         combined_into(&ws.ys, &mut ws.y);
 
         // Relative gap.

@@ -36,6 +36,7 @@ pub mod pgd;
 pub mod roots;
 pub mod sweep;
 
+pub use aon::{AonMode, CommodityGroups};
 pub use equalize::{equalize, EqualizeError, EqualizeResult};
 pub use error::SolverError;
 pub use eval::Eval;

@@ -79,6 +79,10 @@ pub(crate) struct FwKnobs {
     /// default (which is a pure function of the keyed instance, so it needs
     /// no separate key material).
     pub(crate) stall_window: u64,
+    /// The AON strategy token ([`sopt_solver::AonMode::name`]):
+    /// grouped/parallel AON may break shortest-path ties differently from
+    /// sequential, so the mode keys the profile.
+    pub(crate) aon: &'static str,
 }
 
 impl FwKnobs {
@@ -89,6 +93,7 @@ impl FwKnobs {
             conjugate: fw.conjugate,
             restart_period: fw.restart_period as u64,
             stall_window: fw.stall_window.map_or(u64::MAX, |w| w as u64),
+            aon: fw.aon.name(),
         }
     }
 }
@@ -120,6 +125,7 @@ impl ProfileKey {
             h.write_u64(u64::from(k.conjugate));
             h.write_u64(k.restart_period);
             h.write_u64(k.stall_window);
+            h.write(k.aon.as_bytes());
         }
         (h.finish() as usize) & (shards - 1)
     }

@@ -26,6 +26,7 @@
 //! collisions can never alias two different solves.
 
 use sopt_core::curve::CurveStrategy;
+use sopt_solver::AonMode;
 
 use super::super::scenario::{Scenario, ScenarioClass};
 use super::super::solve::{SolveOptions, Task};
@@ -101,6 +102,10 @@ pub struct Fingerprint {
     pub price_steps: usize,
     /// Pricing best-response round budget.
     pub price_rounds: usize,
+    /// Multi-commodity all-or-nothing strategy. Grouped/parallel AON may
+    /// break shortest-path ties differently from sequential, so the mode
+    /// is part of the report's identity.
+    pub aon: AonMode,
     /// FNV-1a digest of all of the above (shard selector, log handle).
     pub hash: u64,
 }
@@ -122,6 +127,7 @@ impl Fingerprint {
             options.strategy,
             options.price_steps,
             options.price_rounds,
+            options.aon,
         ))
     }
 
@@ -142,6 +148,7 @@ impl Fingerprint {
         strategy: CurveStrategy,
         price_steps: usize,
         price_rounds: usize,
+        aon: AonMode,
     ) -> Fingerprint {
         let mut h = Fnv64::default();
         h.write(spec.as_bytes());
@@ -154,6 +161,7 @@ impl Fingerprint {
         h.write_u64(strategy as u64);
         h.write_u64(price_steps as u64);
         h.write_u64(price_rounds as u64);
+        h.write(aon.name().as_bytes());
         Fingerprint {
             spec,
             class,
@@ -165,6 +173,7 @@ impl Fingerprint {
             strategy,
             price_steps,
             price_rounds,
+            aon,
             hash: h.finish(),
         }
     }
@@ -223,6 +232,9 @@ mod tests {
         assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
         let mut o = opts();
         o.price_rounds = 33;
+        assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
+        let mut o = opts();
+        o.aon = AonMode::Sequential;
         assert_ne!(base, Fingerprint::of(&sc, &o).unwrap());
         // Different scenario, same knobs.
         let other = Scenario::parse("x, 2.0").unwrap();

@@ -72,3 +72,4 @@ pub use serve::{
 pub use solve::{Solve, SolveOptions, Task};
 
 pub use sopt_core::curve::CurveStrategy;
+pub use sopt_solver::AonMode;

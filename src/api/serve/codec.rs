@@ -22,8 +22,8 @@
 //! * `kind` — `"solve"` (default), `"stats"`, `"metrics"`, or `"cancel"`.
 //! * `spec` — scenario spec (required for `solve`; both grammars).
 //! * `task`/`rate`/`alpha`/`steps`/`tolerance`/`max_iters`/`strategy`/
-//!   `price_steps`/`price_rounds` — per-request solve knobs overriding
-//!   the server's defaults.
+//!   `price_steps`/`price_rounds`/`aon` — per-request solve knobs
+//!   overriding the server's defaults.
 //! * `target` — the id of the solve a `cancel` withdraws (required for
 //!   `cancel`, invalid elsewhere). The cancel is acked immediately with
 //!   `{"status": "cancelled", "target": …}`; the withdrawn solve, if
@@ -61,6 +61,7 @@
 //! response; a line that is not JSON at all gets `"id": null`.
 
 use sopt_core::curve::CurveStrategy;
+use sopt_solver::AonMode;
 
 use super::super::engine::EngineStats;
 use super::super::error::SoptError;
@@ -365,6 +366,8 @@ pub struct SolveRequest {
     pub price_steps: Option<usize>,
     /// Pricing best-response round budget.
     pub price_rounds: Option<usize>,
+    /// Multi-commodity all-or-nothing strategy.
+    pub aon: Option<AonMode>,
 }
 
 impl SolveRequest {
@@ -395,6 +398,9 @@ impl SolveRequest {
         }
         if let Some(p) = self.price_rounds {
             o.price_rounds = p;
+        }
+        if let Some(a) = self.aon {
+            o.aon = a;
         }
         o
     }
@@ -529,6 +535,9 @@ impl Request {
                 if let Some(p) = s.price_rounds {
                     fields.push(format!("\"price_rounds\": {p}"));
                 }
+                if let Some(a) = s.aon {
+                    fields.push(format!("\"aon\": {}", json_str(a.name())));
+                }
             }
         }
         if self.priority != 0 {
@@ -649,6 +658,14 @@ impl Request {
                     solve.price_rounds = Some(uint_of(val).ok_or_else(|| {
                         reject("'price_rounds' must be a non-negative integer".into())
                     })? as usize)
+                }
+                "aon" => {
+                    let name =
+                        str_of(val).ok_or_else(|| reject("'aon' must be a string".into()))?;
+                    solve.aon = Some(
+                        AonMode::from_name(name)
+                            .ok_or_else(|| reject(format!("unknown aon mode '{name}'")))?,
+                    );
                 }
                 "target" => {
                     target = Some(
@@ -989,6 +1006,7 @@ mod tests {
                 strategy: Some(CurveStrategy::Weak),
                 price_steps: Some(24),
                 price_rounds: Some(80),
+                aon: Some(AonMode::Parallel),
             }),
             priority: -3,
             deadline_ms: Some(1500),

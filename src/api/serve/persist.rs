@@ -1,13 +1,13 @@
 //! The disk-backed second-level cache: an append-only log of solved
 //! reports and equilibrium profiles, replayed on startup.
 //!
-//! ## File format (`soptcache` version 1)
+//! ## File format (`soptcache` version 2)
 //!
-//! A plain text file. Line 1 is the header `soptcache 1`; every further
+//! A plain text file. Line 1 is the header `soptcache 2`; every further
 //! line is one record, tab-separated:
 //!
 //! ```text
-//! R␉task␉class␉tol₁₆␉alpha₁₆␉steps␉max_iters␉strategy␉psteps␉prounds␉spec␉payload
+//! R␉task␉class␉tol₁₆␉alpha₁₆␉steps␉max_iters␉strategy␉psteps␉prounds␉aon␉spec␉payload
 //! P␉class␉kind␉fwknobs␉spec␉payload
 //! ```
 //!
@@ -15,7 +15,8 @@
 //! [`Fingerprint`] fields (the digest is recomputed on replay, so the log
 //! carries no hash to go stale). `P` records are profile-memo entries —
 //! the [`ProfileKey`] fields, with `fwknobs` either `-` (knob-free
-//! parallel equalizer) or `tol₁₆:max_iters:conjugate:restart:stall`.
+//! parallel equalizer) or `tol₁₆:max_iters:conjugate:restart:stall:aon`.
+//! (Version 2 added the `aon` strategy token to both key shapes.)
 //!
 //! Every `f64` in a key or payload is written as the 16-hex-digit big-endian
 //! encoding of its IEEE-754 bits (`f64::to_bits`), **never** as decimal
@@ -30,7 +31,7 @@
 //!   recompute and not worth the bytes.
 //! * A torn final line (crash mid-append) or any undecodable record is
 //!   skipped on replay; the rest of the log still loads.
-//! * A file whose header is not `soptcache 1` is refused with a typed
+//! * A file whose header is not `soptcache 2` is refused with a typed
 //!   [`SoptError::Io`] — future format versions bump the header rather
 //!   than silently misparsing.
 //! * Append failures (disk full, revoked permissions) poison the log
@@ -43,6 +44,7 @@ use std::path::Path;
 use sopt_core::curve::CurveStrategy;
 use sopt_network::flow::EdgeFlow;
 use sopt_solver::frank_wolfe::FwResult;
+use sopt_solver::AonMode;
 
 use super::super::engine::cache::{DiskAttachment, EqKind, FwKnobs, ProfileKey, SolveCache};
 use super::super::engine::fingerprint::Fingerprint;
@@ -55,8 +57,8 @@ use super::super::report::{
 use super::super::scenario::ScenarioClass;
 use super::super::solve::Task;
 
-/// The header line a version-1 cache file starts with.
-const HEADER: &str = "soptcache 1";
+/// The header line a version-2 cache file starts with.
+const HEADER: &str = "soptcache 2";
 
 /// The write side of the log. Appends are serialized by a mutex and
 /// flushed per record; a failed append poisons the handle (persistence
@@ -106,7 +108,7 @@ pub(crate) fn attach(path: &Path, cache: &SolveCache) -> Result<(), SoptError> {
             if lines.next() != Some(HEADER) {
                 return Err(SoptError::Io {
                     context: format!(
-                        "'{}' is not a soptcache v1 file (bad header)",
+                        "'{}' is not a soptcache v2 file (bad header)",
                         path.display()
                     ),
                 });
@@ -173,7 +175,7 @@ pub(crate) fn compact(path: &Path) -> Result<(usize, usize), SoptError> {
     if lines.next() != Some(HEADER) {
         return Err(SoptError::Io {
             context: format!(
-                "'{}' is not a soptcache v1 file (bad header)",
+                "'{}' is not a soptcache v2 file (bad header)",
                 path.display()
             ),
         });
@@ -361,7 +363,7 @@ fn encode_report(fp: &Fingerprint, report: &Report) -> Option<String> {
     }
     let payload = encode_report_payload(report)?;
     Some(format!(
-        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "R\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         fp.task.name(),
         class_name(fp.class),
         hx_bits(fp.tolerance_bits),
@@ -371,6 +373,7 @@ fn encode_report(fp: &Fingerprint, report: &Report) -> Option<String> {
         fp.strategy.name(),
         fp.price_steps,
         fp.price_rounds,
+        fp.aon.name(),
         fp.spec,
         payload
     ))
@@ -485,6 +488,7 @@ fn decode_report(mut fields: std::str::Split<'_, char>) -> Option<Record> {
     let strategy = CurveStrategy::from_name(fields.next()?)?;
     let price_steps: usize = fields.next()?.parse().ok()?;
     let price_rounds: usize = fields.next()?.parse().ok()?;
+    let aon = AonMode::from_name(fields.next()?)?;
     let spec = fields.next()?.to_string();
     let payload = fields.next()?;
     if fields.next().is_some() {
@@ -517,6 +521,7 @@ fn decode_report(mut fields: std::str::Split<'_, char>) -> Option<Record> {
         strategy,
         price_steps,
         price_rounds,
+        aon,
     );
     Some(Record::Report(fp, report))
 }
@@ -633,12 +638,13 @@ fn encode_profile(key: &ProfileKey, profile: &ModelProfile) -> Option<String> {
     let fw = match key.fw {
         None => "-".to_string(),
         Some(k) => format!(
-            "{}:{}:{}:{}:{}",
+            "{}:{}:{}:{}:{}:{}",
             hx_bits(k.tolerance_bits),
             k.max_iters,
             u8::from(k.conjugate),
             k.restart_period,
-            k.stall_window
+            k.stall_window,
+            k.aon
         ),
     };
     let payload = match profile {
@@ -691,6 +697,7 @@ fn decode_profile(mut fields: std::str::Split<'_, char>) -> Option<Record> {
             },
             restart_period: parts.next()?.parse().ok()?,
             stall_window: parts.next()?.parse().ok()?,
+            aon: AonMode::from_name(parts.next()?)?.name(),
         };
         if parts.next().is_some() {
             return None;
@@ -849,6 +856,7 @@ mod tests {
                 conjugate: true,
                 restart_period: 50,
                 stall_window: u64::MAX,
+                aon: AonMode::Auto.name(),
             }),
         };
         let fw_profile = ModelProfile::Flow(FwResult {

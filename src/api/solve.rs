@@ -10,6 +10,7 @@
 
 use sopt_core::curve::CurveStrategy;
 use sopt_solver::frank_wolfe::FwOptions;
+use sopt_solver::AonMode;
 
 use super::engine::cache::SubMemo;
 use super::error::SoptError;
@@ -112,6 +113,11 @@ pub struct SolveOptions {
     pub price_steps: usize,
     /// Round budget for pricing best-response dynamics. Default 200.
     pub price_rounds: usize,
+    /// Multi-commodity all-or-nothing strategy: origin-grouped one-to-many
+    /// Dijkstra, optionally fanned across threads. Default
+    /// [`AonMode::Auto`]; [`AonMode::Sequential`] reproduces the
+    /// per-commodity query loop for honest A/B.
+    pub aon: AonMode,
 }
 
 impl Default for SolveOptions {
@@ -125,6 +131,7 @@ impl Default for SolveOptions {
             strategy: CurveStrategy::Strong,
             price_steps: 50,
             price_rounds: 200,
+            aon: AonMode::Auto,
         }
     }
 }
@@ -182,6 +189,7 @@ impl SolveOptions {
         FwOptions {
             rel_gap: self.tolerance,
             max_iters: self.max_iters,
+            aon: self.aon,
             ..FwOptions::default()
         }
     }
@@ -241,6 +249,14 @@ macro_rules! impl_solve_knobs {
             /// (default 200).
             pub fn price_rounds(mut self, price_rounds: usize) -> Self {
                 self.options.price_rounds = price_rounds;
+                self
+            }
+
+            /// Multi-commodity all-or-nothing strategy (default
+            /// [`sopt_solver::AonMode::Auto`]; `Sequential` reproduces the
+            /// per-commodity query loop).
+            pub fn aon(mut self, aon: sopt_solver::AonMode) -> Self {
+                self.options.aon = aon;
                 self
             }
 

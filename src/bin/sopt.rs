@@ -42,8 +42,8 @@ use std::process::ExitCode;
 
 use sopt_instances::TntpInstance;
 use stackopt::api::{
-    parse_batch_file, CurveStrategy, EngineBuilder, Outcome, Report, Request, Scenario, ShedPolicy,
-    SolveRequest, SoptError, Task,
+    parse_batch_file, AonMode, CurveStrategy, EngineBuilder, Outcome, Report, Request, Scenario,
+    ShedPolicy, SolveRequest, SoptError, Task,
 };
 use stackopt::fleet::{generate_fleet, Family};
 
@@ -68,12 +68,13 @@ const USAGE: &str = "usage:
   sopt serve (--socket PATH | --stdin) [options] [--threads N]
                                             persistent solve daemon: JSONL
                                             requests in, JSONL responses out
-  sopt gen --family F --count N [--seed S] [--size M] [--rate R]
+  sopt gen --family F --count N [--seed S] [--size M] [--rate R] [--commodities K]
                                             emit a batch spec file of random
                                             scenarios (F: affine|common-slope|
                                             mixed|mm1|multi|grid; default
                                             seed 0; for grid, --size is the
-                                            grid side)
+                                            grid side and --commodities the
+                                            demands per instance)
   sopt import --format tntp --net PATH [--trips PATH] [--rate R]
                                             convert a TNTP network (plus
                                             optional trips table) to a batch
@@ -99,6 +100,10 @@ options:
                                             (default 50)
   --price-rounds K                          pricing best-response round cap
                                             (default 200)
+  --aon auto|sequential|grouped|parallel    multi-commodity all-or-nothing
+                                            strategy (default auto: group
+                                            demands by origin, thread the
+                                            fan-out when it pays)
   --cache PATH                              disk-backed memo log, replayed on
                                             startup (solve/batch/serve)
   --report-capacity N / --profile-capacity N
@@ -151,11 +156,13 @@ struct Args {
     strategy: Option<CurveStrategy>,
     price_steps: Option<usize>,
     price_rounds: Option<usize>,
+    aon: Option<AonMode>,
     stream: bool,
     family: Option<Family>,
     count: Option<usize>,
     seed: u64,
     size: Option<usize>,
+    commodities: Option<usize>,
     socket: Option<String>,
     use_stdin: bool,
     cache: Option<String>,
@@ -183,11 +190,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         strategy: None,
         price_steps: None,
         price_rounds: None,
+        aon: None,
         stream: false,
         family: None,
         count: None,
         seed: 0,
         size: None,
+        commodities: None,
         socket: None,
         use_stdin: false,
         cache: None,
@@ -231,10 +240,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         let value = match flag {
             "--spec" | "--links" | "--file" | "--task" | "--format" | "--rate" | "--steps"
             | "--alpha" | "--tolerance" | "--max-iters" | "--threads" | "--strategy"
-            | "--price-steps" | "--price-rounds" | "--family" | "--count" | "--seed" | "--size"
-            | "--socket" | "--cache" | "--report-capacity" | "--profile-capacity" | "--shed" => {
-                value()?
-            }
+            | "--price-steps" | "--price-rounds" | "--aon" | "--family" | "--count" | "--seed"
+            | "--size" | "--commodities" | "--socket" | "--cache" | "--report-capacity"
+            | "--profile-capacity" | "--shed" => value()?,
             other => return Err(format!("unknown flag '{other}'")),
         };
         match flag {
@@ -277,10 +285,18 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--price-rounds" => {
                 out.price_rounds = Some(value.parse().map_err(|e| format!("--price-rounds: {e}"))?)
             }
+            "--aon" => {
+                out.aon = Some(AonMode::from_name(value).ok_or_else(|| {
+                    format!("unknown aon mode '{value}' (auto|sequential|grouped|parallel)")
+                })?)
+            }
             "--family" => out.family = Some(value.parse().map_err(|e: SoptError| e.to_string())?),
             "--count" => out.count = Some(value.parse().map_err(|e| format!("--count: {e}"))?),
             "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--size" => out.size = Some(value.parse().map_err(|e| format!("--size: {e}"))?),
+            "--commodities" => {
+                out.commodities = Some(value.parse().map_err(|e| format!("--commodities: {e}"))?)
+            }
             "--socket" => out.socket = Some(value.clone()),
             "--cache" => out.cache = Some(value.clone()),
             "--report-capacity" => {
@@ -334,6 +350,9 @@ fn builder_from(args: &Args) -> EngineBuilder {
     }
     if let Some(p) = args.price_rounds {
         builder = builder.price_rounds(p);
+    }
+    if let Some(a) = args.aon {
+        builder = builder.aon(a);
     }
     if let Some(n) = args.threads {
         builder = builder.threads(n);
@@ -564,6 +583,7 @@ fn run() -> Result<(), String> {
                 || args.strategy.is_some()
                 || args.price_steps.is_some()
                 || args.price_rounds.is_some()
+                || args.aon.is_some()
                 || args.socket.is_some()
                 || args.use_stdin
                 || args.cache.is_some()
@@ -573,7 +593,10 @@ fn run() -> Result<(), String> {
                 || args.metrics
                 || args.metrics_text
             {
-                return Err("'sopt gen' takes --family/--count/--seed/--size/--rate only".into());
+                return Err(
+                    "'sopt gen' takes --family/--count/--seed/--size/--rate/--commodities only"
+                        .into(),
+                );
             }
             let text = generate_fleet(
                 family,
@@ -581,6 +604,7 @@ fn run() -> Result<(), String> {
                 args.seed,
                 args.size,
                 args.rate.unwrap_or(1.0),
+                args.commodities,
             )
             .map_err(|e| e.to_string())?;
             print!("{text}");
@@ -650,13 +674,19 @@ fn run_import(rest: &[String]) -> Result<(), String> {
         None => return Err("--format tntp is required".into()),
     }
     let net_path = net.ok_or("--net PATH is required")?;
-    let net_text =
-        std::fs::read_to_string(&net_path).map_err(|e| format!("cannot read '{net_path}': {e}"))?;
-    let trips_text = match &trips {
-        Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("cannot read '{p}': {e}"))?),
+    // Streamed, not slurped: city-scale TNTP files flow through one
+    // buffered line at a time.
+    let open = |p: &str| {
+        std::fs::File::open(p)
+            .map(std::io::BufReader::new)
+            .map_err(|e| format!("cannot read '{p}': {e}"))
+    };
+    let net_file = open(&net_path)?;
+    let trips_file = match &trips {
+        Some(p) => Some(open(p)?),
         None => None,
     };
-    let network = sopt_instances::parse_tntp(&net_text, trips_text.as_deref())
+    let network = sopt_instances::parse_tntp_readers(net_file, trips_file)
         .map_err(|e| format!("{net_path}: {e}"))?;
     let (nodes, edges, pairs) = (
         network.graph.num_nodes(),

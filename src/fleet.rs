@@ -19,7 +19,7 @@ use sopt_instances::random::{
     try_random_affine, try_random_common_slope, try_random_mm1, try_random_multicommodity,
     try_random_spec_mixed,
 };
-use sopt_instances::try_grid_city;
+use sopt_instances::{try_grid_city, try_grid_city_multi};
 
 /// A spec-representable random instance family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,8 +40,10 @@ pub enum Family {
     Multi,
     /// Deterministic city grids with BPR streets and a corner-to-corner
     /// demand (`grid_city`); `--size` pins the grid side (default sides
-    /// vary in 2..=10, so edges vary in 8..=360). Oversized sides are a
-    /// typed error, never a panic.
+    /// vary in 2..=10, so edges vary in 8..=360). `--commodities K` swaps
+    /// the single demand for a deterministic K-demand OD matrix sharing at
+    /// most 16 origins (`try_grid_city_multi`) — the origin-grouped AON
+    /// workload. Oversized sides are a typed error, never a panic.
     Grid,
 }
 
@@ -114,12 +116,16 @@ fn mix(mut z: u64) -> u64 {
 /// * `size` — pin every scenario to this many links, or `None` to vary
 ///   sizes deterministically in `2..=10`.
 /// * `rate` — total routed rate of every scenario (must be finite, `> 0`).
+/// * `commodities` — for the `grid` family, emit a `K`-demand OD matrix
+///   per scenario instead of the corner-to-corner demand; a typed error
+///   for every other family (their commodity structure is fixed).
 pub fn generate_fleet(
     family: Family,
     count: usize,
     seed: u64,
     size: Option<usize>,
     rate: f64,
+    commodities: Option<usize>,
 ) -> Result<String, SoptError> {
     if count == 0 {
         return Err(SoptError::InvalidParameter {
@@ -128,8 +134,17 @@ pub fn generate_fleet(
             reason: "must be ≥ 1",
         });
     }
+    if let Some(k) = commodities {
+        if family != Family::Grid {
+            return Err(SoptError::InvalidParameter {
+                name: "commodities",
+                value: k as f64,
+                reason: "--commodities applies to --family grid only",
+            });
+        }
+    }
     let mut out = format!(
-        "# sopt gen --family {family} --count {count} --seed {seed}{}{}\n",
+        "# sopt gen --family {family} --count {count} --seed {seed}{}{}{}\n",
         match size {
             Some(m) => format!(" --size {m}"),
             None => String::new(),
@@ -138,6 +153,10 @@ pub fn generate_fleet(
             String::new()
         } else {
             format!(" --rate {rate}")
+        },
+        match commodities {
+            Some(k) => format!(" --commodities {k}"),
+            None => String::new(),
         }
     );
     for i in 0..count {
@@ -169,7 +188,10 @@ pub fn generate_fleet(
                 // `--size` (or the drawn size, always ≥ 2) is the grid
                 // *side*; the generator rejects undersized and oversized
                 // sides with typed errors instead of overflowing node ids.
-                Scenario::from(try_grid_city(m, rate, instance_seed)?)
+                match commodities {
+                    Some(k) => Scenario::from(try_grid_city_multi(m, rate, k, instance_seed)?),
+                    None => Scenario::from(try_grid_city(m, rate, instance_seed)?),
+                }
             }
         };
         let spec = scenario.to_spec()?;
@@ -195,7 +217,7 @@ mod tests {
     #[test]
     fn every_family_emits_a_parseable_fleet() {
         for f in Family::ALL {
-            let text = generate_fleet(f, 8, 42, None, 1.0).unwrap();
+            let text = generate_fleet(f, 8, 42, None, 1.0, None).unwrap();
             let scenarios = parse_batch_file(&text).unwrap_or_else(|e| panic!("{f}: {e}"));
             assert_eq!(scenarios.len(), 8, "{f}");
             // Round-trip-representable by construction.
@@ -207,20 +229,20 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_in_the_seed() {
-        let a = generate_fleet(Family::Mixed, 6, 7, None, 2.0).unwrap();
-        let b = generate_fleet(Family::Mixed, 6, 7, None, 2.0).unwrap();
+        let a = generate_fleet(Family::Mixed, 6, 7, None, 2.0, None).unwrap();
+        let b = generate_fleet(Family::Mixed, 6, 7, None, 2.0, None).unwrap();
         assert_eq!(a, b);
-        let c = generate_fleet(Family::Mixed, 6, 8, None, 2.0).unwrap();
+        let c = generate_fleet(Family::Mixed, 6, 8, None, 2.0, None).unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn size_pins_and_varies() {
-        let pinned = generate_fleet(Family::Affine, 5, 1, Some(3), 1.0).unwrap();
+        let pinned = generate_fleet(Family::Affine, 5, 1, Some(3), 1.0, None).unwrap();
         for sc in parse_batch_file(&pinned).unwrap() {
             assert_eq!(sc.size(), 3);
         }
-        let varied = generate_fleet(Family::Affine, 20, 1, None, 1.0).unwrap();
+        let varied = generate_fleet(Family::Affine, 20, 1, None, 1.0, None).unwrap();
         let sizes: std::collections::HashSet<usize> = parse_batch_file(&varied)
             .unwrap()
             .iter()
@@ -233,41 +255,64 @@ mod tests {
     #[test]
     fn invalid_parameters_are_typed() {
         assert!(matches!(
-            generate_fleet(Family::Affine, 0, 1, None, 1.0).unwrap_err(),
+            generate_fleet(Family::Affine, 0, 1, None, 1.0, None).unwrap_err(),
             SoptError::InvalidParameter { name: "count", .. }
         ));
         assert!(matches!(
-            generate_fleet(Family::Affine, 3, 1, None, -1.0).unwrap_err(),
+            generate_fleet(Family::Affine, 3, 1, None, -1.0, None).unwrap_err(),
             SoptError::InvalidParameter { name: "rate", .. }
         ));
         assert!(matches!(
-            generate_fleet(Family::Affine, 3, 1, Some(0), 1.0).unwrap_err(),
+            generate_fleet(Family::Affine, 3, 1, Some(0), 1.0, None).unwrap_err(),
             SoptError::InvalidParameter { name: "m", .. }
         ));
     }
 
     #[test]
     fn grid_family_is_deterministic_and_bounded() {
-        let a = generate_fleet(Family::Grid, 3, 9, Some(4), 1.0).unwrap();
-        let b = generate_fleet(Family::Grid, 3, 9, Some(4), 1.0).unwrap();
+        let a = generate_fleet(Family::Grid, 3, 9, Some(4), 1.0, None).unwrap();
+        let b = generate_fleet(Family::Grid, 3, 9, Some(4), 1.0, None).unwrap();
         assert_eq!(a, b);
         for sc in parse_batch_file(&a).unwrap() {
             assert_eq!(sc.size(), 48); // 4·side·(side−1) edges at side 4
         }
         // Oversized sides are a typed error, not a panic or an id overflow.
         assert!(matches!(
-            generate_fleet(Family::Grid, 1, 9, Some(40_000), 1.0).unwrap_err(),
+            generate_fleet(Family::Grid, 1, 9, Some(40_000), 1.0, None).unwrap_err(),
             SoptError::InvalidParameter { name: "side", .. }
         ));
         assert!(matches!(
-            generate_fleet(Family::Grid, 1, 9, Some(1), 1.0).unwrap_err(),
+            generate_fleet(Family::Grid, 1, 9, Some(1), 1.0, None).unwrap_err(),
             SoptError::InvalidParameter { name: "side", .. }
         ));
     }
 
     #[test]
+    fn grid_commodities_emit_multicommodity_scenarios() {
+        let text = generate_fleet(Family::Grid, 3, 5, Some(4), 2.0, Some(6)).unwrap();
+        assert!(text.starts_with("# sopt gen --family grid"), "{text}");
+        assert!(text.contains("--commodities 6"), "{text}");
+        let scenarios = parse_batch_file(&text).unwrap();
+        assert_eq!(scenarios.len(), 3);
+        for sc in &scenarios {
+            assert!(matches!(sc, Scenario::Multi(_)), "expected k-commodity");
+            sc.to_spec().unwrap();
+        }
+        // Deterministic, and --commodities is grid-only.
+        let again = generate_fleet(Family::Grid, 3, 5, Some(4), 2.0, Some(6)).unwrap();
+        assert_eq!(text, again);
+        assert!(matches!(
+            generate_fleet(Family::Affine, 3, 5, Some(4), 2.0, Some(6)).unwrap_err(),
+            SoptError::InvalidParameter {
+                name: "commodities",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn generated_fleets_solve() {
-        let text = generate_fleet(Family::Mm1, 4, 11, Some(3), 1.0).unwrap();
+        let text = generate_fleet(Family::Mm1, 4, 11, Some(3), 1.0, None).unwrap();
         let scenarios = parse_batch_file(&text).unwrap();
         for r in crate::api::Engine::new(scenarios).run() {
             r.unwrap();

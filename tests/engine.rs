@@ -15,7 +15,7 @@ use stackopt::instances::random::random_layered_network;
 
 /// A *uniform* fleet: same-shaped small parallel scenarios, distinct seeds.
 fn uniform_fleet(n: usize) -> Vec<Scenario> {
-    parse_batch_file(&generate_fleet(Family::Affine, n, 101, Some(4), 1.0).unwrap()).unwrap()
+    parse_batch_file(&generate_fleet(Family::Affine, n, 101, Some(4), 1.0, None).unwrap()).unwrap()
 }
 
 /// A *skewed* fleet: a large layered network up front (orders of magnitude
@@ -93,7 +93,7 @@ proptest! {
         let task = [Task::Beta, Task::Equilib, Task::Tolls][(seed % 3) as usize];
         let threads = [1usize, 2, 8][(seed % 3) as usize];
         let fleet =
-            parse_batch_file(&generate_fleet(family, n, seed, None, 1.5).unwrap()).unwrap();
+            parse_batch_file(&generate_fleet(family, n, seed, None, 1.5, None).unwrap()).unwrap();
         let expected = rendered(&sequential(&fleet, task));
         let got = Engine::new(fleet).task(task).threads(threads).run();
         prop_assert_eq!(rendered(&got), expected);
@@ -283,7 +283,8 @@ fn stream_iterator_yields_input_order_and_supports_early_drop() {
 #[test]
 fn gen_fleets_flow_through_the_engine_for_every_family() {
     for family in Family::ALL {
-        let fleet = parse_batch_file(&generate_fleet(family, 6, 3, None, 1.0).unwrap()).unwrap();
+        let fleet =
+            parse_batch_file(&generate_fleet(family, 6, 3, None, 1.0, None).unwrap()).unwrap();
         let (reports, stats) = Engine::new(fleet).threads(2).run_stats();
         assert_eq!(reports.len(), 6, "{family}");
         for r in reports {

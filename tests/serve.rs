@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use stackopt::api::{
-    CurveStrategy, EngineBuilder, Outcome, Request, RequestId, RequestKind, Response, ShedPolicy,
-    SolveRequest, Task,
+    AonMode, CurveStrategy, EngineBuilder, Outcome, Request, RequestId, RequestKind, Response,
+    ShedPolicy, SolveRequest, Task,
 };
 
 /// A unique temp path per test (no tempfile dependency; the process id
@@ -95,7 +95,7 @@ fn warm_across_restart_is_bit_identical_and_counts_disk_hits() {
 
     // The log exists, is versioned, and holds one record per unique solve.
     let log = std::fs::read_to_string(&cache_file.0).unwrap();
-    assert!(log.starts_with("soptcache 1\n"), "missing header: {log}");
+    assert!(log.starts_with("soptcache 2\n"), "missing header: {log}");
     assert!(log.lines().skip(1).count() >= first.len());
 
     // Warm process: the same requests replay from the log — report-table
@@ -243,6 +243,44 @@ fn metrics_requests_return_populated_histograms_after_a_mixed_workload() {
 }
 
 #[test]
+fn multicommodity_solves_populate_the_aon_metrics() {
+    // Two demands sharing one origin: the origin-grouped AON path answers
+    // both from a single one-to-many query, and the `aon` phase plus the
+    // grouping counters must show up in the metrics surface.
+    let server = EngineBuilder::new()
+        .threads(1)
+        .metrics(true)
+        .server()
+        .unwrap();
+    let mut req = solve_req(
+        1,
+        "nodes=4; 0->1: x; 0->2: x; 1->3: x; 2->3: 1.0; demand 0->3: 1.0; demand 0->2: 0.5",
+    );
+    let RequestKind::Solve(s) = &mut req.kind else {
+        unreachable!()
+    };
+    s.task = Some(Task::Equilib);
+    let resp = server.handle(req);
+    assert!(matches!(resp.outcome, Outcome::Ok(_)), "{:?}", resp.outcome);
+    let resp = server.handle(Request::metrics("m"));
+    let Outcome::Metrics(snap) = &resp.outcome else {
+        panic!("{:?}", resp.outcome)
+    };
+    assert!(
+        snap.phase("aon").unwrap().count > 0,
+        "aon phase never recorded"
+    );
+    // One origin serves two commodities: one group, one query saved.
+    assert!(snap.counter("aon_groups").unwrap() >= 1);
+    assert!(snap.counter("aon_queries_saved").unwrap() >= 1);
+    // The text exposition (--metrics-text) carries the same series.
+    let text = snap.to_text();
+    assert!(text.contains("sopt_aon_us_count"), "{text}");
+    assert!(text.contains("sopt_aon_groups"), "{text}");
+    assert!(text.contains("sopt_aon_queries_saved"), "{text}");
+}
+
+#[test]
 fn metrics_off_servers_answer_metrics_with_an_empty_snapshot() {
     let server = EngineBuilder::new().threads(1).server().unwrap();
     let resp = server.handle(solve_req(1, "x, 1.0"));
@@ -372,6 +410,14 @@ fn random_request(rng: &mut Rng) -> Request {
             }),
             price_steps: rng.maybe(|r| 2 + r.next_usize(100)),
             price_rounds: rng.maybe(|r| 1 + r.next_usize(500)),
+            aon: rng.maybe(|r| {
+                [
+                    AonMode::Auto,
+                    AonMode::Sequential,
+                    AonMode::Grouped,
+                    AonMode::Parallel,
+                ][r.next_usize(4)]
+            }),
         })
     };
     let mut req = Request {

@@ -147,6 +147,46 @@ fn batched_evaluation_preserves_warm_and_cold_flows() {
 }
 
 #[test]
+fn grouped_aon_preserves_warm_and_cold_multicommodity_flows() {
+    // Regression guard for the origin-grouped AON path: the default
+    // options (AonMode::Auto, which groups demands by origin and may
+    // thread the fan-out) and the historical per-commodity sequential
+    // loop must agree on every edge flow, cold- and warm-started alike.
+    use stackopt::solver::AonMode;
+    let base = random_multicommodity(3, 3, 2, 6.0, 11);
+    let auto = FwOptions::default();
+    let sequential = FwOptions {
+        aon: AonMode::Sequential,
+        ..FwOptions::default()
+    };
+    let cold_a = try_multicommodity_optimum(&base, &auto, None).unwrap();
+    let cold_s = try_multicommodity_optimum(&base, &sequential, None).unwrap();
+    assert!(cold_a.converged && cold_s.converged);
+    for (e, (a, b)) in cold_a.flow.0.iter().zip(&cold_s.flow.0).enumerate() {
+        assert!((a - b).abs() < 1e-5, "cold edge {e}: {a} vs {b}");
+    }
+
+    let perturbed = MultiCommodityInstance::new(
+        base.graph.clone(),
+        base.latencies.clone(),
+        base.commodities
+            .iter()
+            .map(|c| {
+                let mut c = *c;
+                c.rate *= 1.07;
+                c
+            })
+            .collect(),
+    );
+    let warm_a = try_multicommodity_optimum(&perturbed, &auto, Some(&cold_a)).unwrap();
+    let warm_s = try_multicommodity_optimum(&perturbed, &sequential, Some(&cold_s)).unwrap();
+    assert!(warm_a.converged && warm_s.converged);
+    for (e, (a, b)) in warm_a.flow.0.iter().zip(&warm_s.flow.0).enumerate() {
+        assert!((a - b).abs() < 1e-5, "warm edge {e}: {a} vs {b}");
+    }
+}
+
+#[test]
 fn unusable_seed_falls_back_to_cold_and_still_solves() {
     let inst = random_layered_network(3, 3, 4.0, 3);
     let opts = FwOptions::default();
